@@ -1,0 +1,107 @@
+// Ablation — budget-aware measurement scheduling (§7.1): the paper's
+// cost-conscious requirements (packet-level accounting, measurement
+// reuse, tariff awareness) versus a naive planner, across the three
+// pricing models, at several monthly budgets.
+
+#include "bench_common.hpp"
+#include "core/budget.hpp"
+
+using namespace aio;
+
+namespace {
+
+std::vector<core::MeasurementTask> campaignTasks() {
+    return {
+        {.id = "topo-traceroutes", .kind = "traceroute",
+         .payloadBytesPerRun = 60e3, .utilityPerRun = 5.0,
+         .desiredRuns = 400, .sharedGroup = 0, .offPeakOk = true},
+        {.id = "ixp-detection", .kind = "traceroute",
+         .payloadBytesPerRun = 60e3, .utilityPerRun = 4.0,
+         .desiredRuns = 400, .sharedGroup = 0, .offPeakOk = true},
+        {.id = "cable-inference", .kind = "traceroute",
+         .payloadBytesPerRun = 60e3, .utilityPerRun = 3.0,
+         .desiredRuns = 400, .sharedGroup = 0, .offPeakOk = true},
+        {.id = "dns-dependency", .kind = "dns", .payloadBytesPerRun = 2e3,
+         .utilityPerRun = 1.0, .desiredRuns = 1500, .sharedGroup = -1,
+         .offPeakOk = true},
+        {.id = "content-locality", .kind = "http",
+         .payloadBytesPerRun = 1.5e6, .utilityPerRun = 6.0,
+         .desiredRuns = 200, .sharedGroup = -1, .offPeakOk = false},
+        {.id = "throughput-sample", .kind = "http",
+         .payloadBytesPerRun = 8e6, .utilityPerRun = 9.0,
+         .desiredRuns = 60, .sharedGroup = -1, .offPeakOk = true},
+    };
+}
+
+core::Probe probeWith(core::PricingModel pricing) {
+    core::Probe probe;
+    probe.id = "abl";
+    probe.countryCode = "GH";
+    probe.pricing = pricing;
+    return probe;
+}
+
+} // namespace
+
+int main() {
+    bench::banner("Ablation", "Budget-aware scheduling vs naive planning");
+
+    const auto tasks = campaignTasks();
+    core::SchedulerOptions smartOpts;
+    core::SchedulerOptions naiveOpts;
+    naiveOpts.accountPacketOverhead = false;
+    naiveOpts.exploitReuse = false;
+    naiveOpts.useOffPeak = false;
+
+    struct NamedPricing {
+        std::string name;
+        core::PricingModel pricing;
+    };
+    std::vector<NamedPricing> tariffs;
+    {
+        core::PricingModel flat;
+        flat.kind = core::PricingModel::Kind::FlatPerMb;
+        flat.perMbUsd = 0.01;
+        tariffs.push_back({"flat $0.01/MB", flat});
+        core::PricingModel prepaid;
+        prepaid.kind = core::PricingModel::Kind::PrepaidBundle;
+        prepaid.bundleMb = 300.0;
+        prepaid.bundleCostUsd = 2.5;
+        tariffs.push_back({"prepaid 300MB/$2.50", prepaid});
+        core::PricingModel tod;
+        tod.kind = core::PricingModel::Kind::TimeOfDayDiscount;
+        tod.perMbUsd = 0.012;
+        tod.offPeakFactor = 0.4;
+        tariffs.push_back({"time-of-day (40% off-peak)", tod});
+    }
+
+    for (const double budget : {2.0, 5.0, 10.0}) {
+        std::cout << "\n--- monthly budget $" << bench::num(budget, 2)
+                  << " ---\n";
+        net::TextTable table({"Tariff", "planner", "utility delivered",
+                              "runs done", "runs aborted", "spent"});
+        for (const auto& [name, pricing] : tariffs) {
+            const auto probe = probeWith(pricing);
+            for (const auto& [label, opts] :
+                 {std::pair{"budget-aware", smartOpts},
+                  std::pair{"naive", naiveOpts}}) {
+                const core::BudgetScheduler scheduler{opts};
+                const auto plan = scheduler.plan(probe, tasks, budget);
+                const auto result =
+                    core::BudgetScheduler::execute(probe, plan, budget);
+                table.addRow({name, label,
+                              bench::num(result.deliveredUtility, 0),
+                              std::to_string(result.runsCompleted),
+                              std::to_string(result.runsAborted),
+                              "$" + bench::num(result.spentUsd, 2)});
+            }
+        }
+        std::cout << table.render();
+    }
+
+    std::cout << "\nShape: the budget-aware planner delivers more utility\n"
+                 "at every budget and tariff; the naive planner's payload-\n"
+                 "level accounting overshoots the wire volume and aborts\n"
+                 "runs mid-campaign (the §7.1 requirement).\n";
+    return 0;
+}

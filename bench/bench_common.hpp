@@ -1,0 +1,92 @@
+#pragma once
+
+// Shared world construction for the reproduction harness. Every bench
+// builds the same seeded substrate so numbers are comparable across
+// binaries, then prints its table/figure as "paper vs measured" rows.
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "content/catalog.hpp"
+#include "core/observatory.hpp"
+#include "core/setcover.hpp"
+#include "core/studies.hpp"
+#include "core/whatif.hpp"
+#include "dns/resolver.hpp"
+#include "measure/geoloc.hpp"
+#include "measure/ixp_detect.hpp"
+#include "measure/scanner.hpp"
+#include "nautilus/inference.hpp"
+#include "netbase/stats.hpp"
+#include "outage/radar.hpp"
+#include "topo/generator.hpp"
+#include "topo/growth.hpp"
+
+namespace aio::bench {
+
+inline constexpr std::uint64_t kWorldSeed = 20250704;
+
+/// The full simulated world, built once per bench binary.
+struct World {
+    topo::Topology topo;
+    route::PathOracle oracle;
+    measure::TracerouteEngine engine;
+    phys::CableRegistry registry;
+    net::Rng mapRng;
+    phys::PhysicalLinkMap linkMap;
+    dns::ResolverEcosystem resolvers;
+    content::ContentCatalog catalog;
+    measure::ResponsivenessModel responsiveness;
+    measure::GeolocationModel geoloc;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          oracle(topo), engine(topo, oracle),
+          registry(phys::CableRegistry::africanDefaults()),
+          mapRng(kWorldSeed), linkMap(topo, registry, mapRng),
+          resolvers(topo, dns::DnsConfig::defaults(), kWorldSeed + 1),
+          catalog(topo, content::ContentConfig::defaults(), kWorldSeed + 2),
+          responsiveness(topo, measure::ResponsivenessConfig{},
+                         kWorldSeed + 3),
+          geoloc(topo, measure::GeolocationConfig{}, kWorldSeed + 4) {}
+};
+
+inline void banner(const std::string& id, const std::string& title) {
+    std::cout << "==============================================================\n"
+              << id << " — " << title << "\n"
+              << "(synthetic substrate, seed " << kWorldSeed
+              << "; shapes, not absolute values, are the claim)\n"
+              << "==============================================================\n";
+}
+
+inline std::string pct(double fraction, int decimals = 1) {
+    return net::TextTable::pct(fraction, decimals);
+}
+
+inline std::string num(double value, int decimals = 1) {
+    return net::TextTable::num(value, decimals);
+}
+
+/// The Rwandan residential/campus vantage used for the YARRP run (§6.1):
+/// an RW stub whose transit is entirely European (NOT the AS36924 §7.3
+/// probe).
+inline std::optional<topo::AsIndex> yarrpVantage(const World& world) {
+    for (const topo::AsIndex as : world.topo.asesInCountry("RW")) {
+        if (world.topo.as(as).asn ==
+            topo::TopologyGenerator::kKigaliProbeAsn) {
+            continue;
+        }
+        bool euOnly = true;
+        for (const topo::AsIndex p : world.topo.providersOf(as)) {
+            euOnly = euOnly && !net::isAfrican(world.topo.as(p).region);
+        }
+        if (euOnly) {
+            return as;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace aio::bench

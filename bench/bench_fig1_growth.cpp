@@ -1,0 +1,52 @@
+// Figure 1 — growth of critical infrastructure (subsea cables, IXPs,
+// ASNs) over the last decade, Africa vs the comparison macro regions.
+
+#include "bench_common.hpp"
+
+using namespace aio;
+
+int main() {
+    bench::banner("Figure 1", "Critical-infrastructure growth 2015-2025");
+    const topo::GrowthTimeline timeline;
+
+    for (const auto metric :
+         {topo::InfraMetric::SubseaCables, topo::InfraMetric::Ixps,
+          topo::InfraMetric::Asns}) {
+        std::cout << "\n--- " << topo::infraMetricName(metric) << " ---\n";
+        net::TextTable table({"Region", "2015", "2020", "2025", "growth",
+                              "per 100M pop (2025)"});
+        for (const auto macro : net::allMacroRegions()) {
+            table.addRow(
+                {std::string{net::macroRegionName(macro)},
+                 bench::num(timeline.count(macro, metric, 2015), 0),
+                 bench::num(timeline.count(macro, metric, 2020), 0),
+                 bench::num(timeline.count(macro, metric, 2025), 0),
+                 "+" + bench::num(
+                           timeline.relativeGrowth(macro, metric) * 100.0,
+                           0) +
+                     "%",
+                 bench::num(timeline.perCapitaMaturity(macro, metric), 1)});
+        }
+        std::cout << table.render();
+    }
+
+    std::cout
+        << "\nPaper claims vs measured:\n"
+        << "  Africa cable growth:  paper +45%   measured +"
+        << bench::num(timeline.relativeGrowth(net::MacroRegion::Africa,
+                                              topo::InfraMetric::SubseaCables) *
+                          100.0,
+                      0)
+        << "%\n"
+        << "  Africa IXP growth:    paper +600%  measured +"
+        << bench::num(timeline.relativeGrowth(net::MacroRegion::Africa,
+                                              topo::InfraMetric::Ixps) *
+                          100.0,
+                      0)
+        << "%\n"
+        << "  Africa trails the other Global-South regions in per-capita\n"
+        << "  maturity on every metric despite the larger relative growth\n"
+        << "  (see the last column above) — the paper's 'lower level of\n"
+        << "  maturity' observation.\n";
+    return 0;
+}

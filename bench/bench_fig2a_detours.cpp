@@ -1,0 +1,44 @@
+// Figure 2a — prevalence of detours: intra-African routes that leave the
+// continent, with the §4.1 attribution split.
+
+#include "bench_common.hpp"
+
+using namespace aio;
+
+int main() {
+    bench::World world;
+    bench::banner("Figure 2a", "Prevalence of detours in intra-African routes");
+
+    const core::ConnectivityStudies studies{world.topo, world.oracle};
+    net::Rng rng{1};
+    const auto report = studies.detourStudy(8000, rng);
+
+    net::TextTable table({"Source region", "pairs", "detour share"});
+    for (const auto& row : report.byRegion) {
+        table.addRow({std::string{net::regionName(row.region)},
+                      std::to_string(row.pairs),
+                      bench::pct(row.detourShare)});
+    }
+    table.addRow({"ALL (intra-Africa)", std::to_string(report.totalPairs),
+                  bench::pct(report.overallDetourShare)});
+    std::cout << table.render();
+
+    std::cout << "\nDetour attribution (share of detoured routes):\n";
+    net::TextTable attribution({"Cause", "share"});
+    for (const auto& [cls, share] : report.attribution) {
+        attribution.addRow({std::string{route::detourClassName(cls)},
+                            bench::pct(share)});
+    }
+    std::cout << attribution.render();
+
+    std::cout << "\nPaper claims vs measured:\n"
+              << "  'a non-trivial number of routes continue to detour':\n"
+              << "      measured overall detour share  "
+              << bench::pct(report.overallDetourShare) << "\n"
+              << "  'only 40% of the detour can be attributed to EU-based\n"
+              << "   Tier-1 and IXP':                paper 40.0%   measured "
+              << bench::pct(report.euTier1OrIxpShare()) << "\n"
+              << "  (the remainder rides EU Tier-2 transit — the missing\n"
+              << "   African Tier-2 layer)\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+// Performance micro-benchmarks (google-benchmark) for the algorithmic
+// cores: longest-prefix-match trie, Gao-Rexford route computation,
+// traceroute simulation, greedy set cover and the budget scheduler.
+
+#include <benchmark/benchmark.h>
+
+#include "core/budget.hpp"
+#include "core/setcover.hpp"
+#include "measure/traceroute.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "routing/path_oracle.hpp"
+#include "topo/generator.hpp"
+
+namespace {
+
+using namespace aio;
+
+const topo::Topology& world() {
+    static const topo::Topology topo =
+        topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
+    return topo;
+}
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+    net::Rng rng{1};
+    net::PrefixTrie<int> trie;
+    for (int i = 0; i < 10000; ++i) {
+        trie.insert(net::Prefix{net::Ipv4Address{static_cast<std::uint32_t>(
+                                    rng.next())},
+                                static_cast<int>(rng.uniformRange(8, 24))},
+                    i);
+    }
+    std::uint32_t probe = 1;
+    for (auto _ : state) {
+        probe = probe * 1664525U + 1013904223U;
+        benchmark::DoNotOptimize(trie.lookup(net::Ipv4Address{probe}));
+    }
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_PathOracleConstruction(benchmark::State& state) {
+    const auto& topo = world();
+    for (auto _ : state) {
+        const route::PathOracle oracle{topo};
+        benchmark::DoNotOptimize(&oracle);
+    }
+    state.SetLabel(std::to_string(topo.asCount()) + " ASes, " +
+                   std::to_string(topo.links().size()) + " links");
+}
+BENCHMARK(BM_PathOracleConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_PathQuery(benchmark::State& state) {
+    const auto& topo = world();
+    static const route::PathOracle oracle{topo};
+    net::Rng rng{2};
+    for (auto _ : state) {
+        const auto src = rng.uniformInt(topo.asCount());
+        const auto dst = rng.uniformInt(topo.asCount());
+        benchmark::DoNotOptimize(oracle.path(src, dst));
+    }
+}
+BENCHMARK(BM_PathQuery);
+
+void BM_TracerouteSimulation(benchmark::State& state) {
+    const auto& topo = world();
+    static const route::PathOracle oracle{topo};
+    const measure::TracerouteEngine engine{topo, oracle};
+    net::Rng rng{3};
+    const auto african = topo.africanAses();
+    for (auto _ : state) {
+        const auto src = african[rng.uniformInt(african.size())];
+        const auto dst = african[rng.uniformInt(african.size())];
+        benchmark::DoNotOptimize(engine.traceToAs(src, dst, rng));
+    }
+}
+BENCHMARK(BM_TracerouteSimulation);
+
+void BM_GreedySetCover(benchmark::State& state) {
+    const auto& topo = world();
+    const core::VantageSelector selector{topo};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(selector.minimalIxpCover());
+    }
+}
+BENCHMARK(BM_GreedySetCover)->Unit(benchmark::kMillisecond);
+
+void BM_BudgetPlan(benchmark::State& state) {
+    core::Probe probe;
+    probe.id = "bench";
+    probe.countryCode = "GH";
+    probe.pricing.kind = core::PricingModel::Kind::PrepaidBundle;
+    probe.pricing.bundleMb = 300;
+    probe.pricing.bundleCostUsd = 2.5;
+    std::vector<core::MeasurementTask> tasks;
+    for (int i = 0; i < 64; ++i) {
+        tasks.push_back({.id = "t" + std::to_string(i),
+                         .kind = "traceroute",
+                         .payloadBytesPerRun = 1e4 * (1 + i % 7),
+                         .utilityPerRun = 1.0 + i % 5,
+                         .desiredRuns = 50,
+                         .sharedGroup = i % 8,
+                         .offPeakOk = (i % 2) == 0});
+    }
+    const core::BudgetScheduler scheduler;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.plan(probe, tasks, 10.0));
+    }
+}
+BENCHMARK(BM_BudgetPlan);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// §6.2 — submarine-cable identification: Nautilus-style inference over a
+// traceroute corpus maps >40% of paths to more than one cable (up to a
+// large fraction of the registry), driven by co-located landings and
+// African geolocation error.
+
+#include "bench_common.hpp"
+
+using namespace aio;
+
+namespace {
+
+std::vector<measure::TracerouteResult>
+buildCorpus(bench::World& world, int count, std::uint64_t seed) {
+    net::Rng rng{seed};
+    std::vector<measure::TracerouteResult> traces;
+    const auto african = world.topo.africanAses();
+    while (static_cast<int>(traces.size()) < count) {
+        const auto src = african[rng.uniformInt(african.size())];
+        const auto dst = african[rng.uniformInt(african.size())];
+        if (src == dst) continue;
+        auto trace = world.engine.traceToAs(src, dst, rng);
+        if (trace.hops.size() >= 2) {
+            traces.push_back(std::move(trace));
+        }
+    }
+    return traces;
+}
+
+nautilus::AmbiguityStats
+run(bench::World& world, const measure::GeolocationModel& geoloc,
+    const std::vector<measure::TracerouteResult>& corpus,
+    const nautilus::InferenceConfig& config) {
+    const nautilus::CableInference inference{world.topo, world.linkMap,
+                                             geoloc, config};
+    return nautilus::AmbiguityAnalyzer{inference}.analyze(corpus);
+}
+
+} // namespace
+
+int main() {
+    bench::World world;
+    bench::banner("Sec. 6.2", "Nautilus-style submarine cable identification");
+
+    const auto corpus = buildCorpus(world, 1500, 5);
+    // The matching radius must absorb the expected geolocation error:
+    // generous with real (African) databases, tight with perfect data.
+    const auto noisy =
+        run(world, world.geoloc, corpus, nautilus::InferenceConfig{});
+    measure::GeolocationConfig perfectCfg;
+    perfectCfg.africanErrorProb = 0.0;
+    perfectCfg.otherErrorProb = 0.0;
+    const measure::GeolocationModel perfect{world.topo, perfectCfg,
+                                            bench::kWorldSeed + 4};
+    nautilus::InferenceConfig tight;
+    tight.landingRadiusKm = 300.0;
+    tight.latencySlackMs = 10.0;
+    const auto clean = run(world, perfect, corpus, tight);
+
+    net::TextTable table({"Geolocation", "paths w/ subsea segs",
+                          "ambiguous (>1 cable)", "mean candidates",
+                          "max candidates"});
+    const auto addRow = [&](const std::string& name,
+                            const nautilus::AmbiguityStats& s) {
+        table.addRow({name, std::to_string(s.pathsWithSubmarineSegments),
+                      bench::pct(s.ambiguousShare()),
+                      bench::num(s.meanCandidatesPerAmbiguousPath, 1),
+                      std::to_string(s.maxCandidatesOnOnePath)});
+    };
+    addRow("realistic African error", noisy);
+    addRow("perfect geolocation", clean);
+    std::cout << table.render();
+
+    std::cout
+        << "\nPaper claims vs measured:\n"
+        << "  'maps over 40% of the network paths to more than one\n"
+        << "   submarine cable':  paper >40%   measured "
+        << bench::pct(noisy.ambiguousShare()) << "\n"
+        << "  'often maps a network path to up to 40 submarine cables':\n"
+        << "      measured max " << noisy.maxCandidatesOnOnePath << " of "
+        << world.registry.cableCount()
+        << " modelled cables (the registry is a scaled subset of the\n"
+        << "      ~500-cable real plant, so the ceiling scales too)\n"
+        << "  Ambiguity drops with perfect geolocation — the paper's\n"
+        << "  'known geolocation accuracy problems in Africa' mechanism.\n";
+    return 0;
+}

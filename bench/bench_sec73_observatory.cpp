@@ -1,0 +1,75 @@
+// §7.3 — preliminary results: the Observatory's Kigali probe on AS36924
+// detects many more African IXPs than a RIPE-Atlas-style approach.
+
+#include "bench_common.hpp"
+
+using namespace aio;
+
+int main() {
+    bench::World world;
+    bench::banner("Sec. 7.3", "Observatory vs Atlas-style IXP visibility");
+
+    const measure::IxpDetector detector{
+        world.topo, measure::IxpKnowledgeBase::full(world.topo)};
+    net::Rng rng{6};
+
+    // --- the single Kigali probe, targeted campaign ---
+    const auto kigaliIdx =
+        world.topo.indexOfAsn(topo::TopologyGenerator::kKigaliProbeAsn);
+    if (!kigaliIdx) {
+        std::cerr << "AS36924 missing from topology\n";
+        return 1;
+    }
+    core::ProbeFleet single;
+    core::Probe kigali;
+    kigali.id = "obs-RW-kigali";
+    kigali.hostAs = *kigaliIdx;
+    kigali.countryCode = "RW";
+    kigali.availability = 1.0;
+    single.add(kigali);
+    const core::Observatory kigaliObs{world.topo, world.engine, detector,
+                                      single};
+    const auto targeted = kigaliObs.runIxpDiscoveryFrom(kigali, rng);
+
+    // --- Atlas-like baseline: biased fleet, mesh measurements ---
+    net::Rng fleetRng{7};
+    const core::Observatory atlasObs{
+        world.topo, world.engine, detector,
+        core::ProbeFleet::atlasLike(world.topo, fleetRng)};
+    const auto atlasMesh = atlasObs.runMesh(rng);
+
+    // --- full observatory fleet, targeted campaign (upper bound) ---
+    net::Rng obsRng{8};
+    const core::Observatory fullObs{
+        world.topo, world.engine, detector,
+        core::ProbeFleet::observatory(world.topo, obsRng)};
+    const auto fullTargeted = fullObs.runIxpDiscovery(rng);
+
+    net::TextTable table({"Campaign", "probes", "countries", "traces",
+                          "African IXPs detected (of 77)"});
+    table.addRow({"Atlas-like mesh",
+                  std::to_string(atlasObs.fleet().size()),
+                  std::to_string(atlasObs.fleet().countryCount()),
+                  std::to_string(atlasMesh.tracesLaunched),
+                  std::to_string(atlasMesh.africanIxpCount(world.topo))});
+    table.addRow({"Observatory, Kigali AS36924 only", "1", "1",
+                  std::to_string(targeted.tracesLaunched),
+                  std::to_string(targeted.africanIxpCount(world.topo))});
+    table.addRow({"Observatory, full fleet",
+                  std::to_string(fullObs.fleet().size()),
+                  std::to_string(fullObs.fleet().countryCount()),
+                  std::to_string(fullTargeted.tracesLaunched),
+                  std::to_string(fullTargeted.africanIxpCount(world.topo))});
+    std::cout << table.render();
+
+    const auto delta =
+        static_cast<long>(targeted.africanIxpCount(world.topo)) -
+        static_cast<long>(atlasMesh.africanIxpCount(world.topo));
+    std::cout << "\nPaper claims vs measured:\n"
+              << "  'traceroutes from a Kigali vantage point on AS36924\n"
+              << "   detected 14 additional IXPs compared to RIPE Atlas\n"
+              << "   approaches':   paper +14   measured +" << delta << "\n"
+              << "  The mechanism is the probe's IXP-rich African transit\n"
+              << "  plus targeting customers of exchange members (§6.1).\n";
+    return 0;
+}

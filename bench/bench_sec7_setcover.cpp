@@ -1,0 +1,40 @@
+// §7 footnote 1 — greedy set-cover over peering data: a minimal set of
+// ASNs that jointly cover all 77 African IXPs (paper: 34 ASNs).
+
+#include "bench_common.hpp"
+
+using namespace aio;
+
+int main() {
+    bench::World world;
+    bench::banner("Sec. 7 fn.1", "Greedy set-cover vantage selection");
+
+    const core::VantageSelector selector{world.topo};
+    const auto cover = selector.minimalIxpCover();
+
+    std::cout << "African IXPs to cover: " << cover.totalIxps << "\n"
+              << "Greedy cover size:     " << cover.chosenAses.size()
+              << " ASNs (complete: " << (cover.complete ? "yes" : "NO")
+              << ")\n\n";
+
+    net::TextTable table({"#", "ASN", "type", "country", "IXPs covered"});
+    for (std::size_t i = 0; i < cover.chosenAses.size(); ++i) {
+        const auto& info = world.topo.as(cover.chosenAses[i]);
+        table.addRow({std::to_string(i + 1),
+                      "AS" + std::to_string(info.asn),
+                      std::string{topo::asTypeName(info.type)},
+                      info.countryCode,
+                      std::to_string(
+                          world.topo.ixpsOf(cover.chosenAses[i]).size())});
+    }
+    std::cout << table.render();
+
+    std::cout << "\nPaper claims vs measured:\n"
+              << "  'a minimal set of 34 ASNs that jointly cover all 77\n"
+              << "   African IXPs':   paper 34/77   measured "
+              << cover.chosenAses.size() << "/" << cover.totalIxps << "\n"
+              << "  The head of the greedy order is the continental-\n"
+              << "  carrier layer (multi-IXP ASNs); the tail is one local\n"
+              << "  member per single-member exchange.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Table 1 — dataset size and coverage of African mobile ASNs, non-mobile
+// ASNs and IXPs for the three scanning methodologies: ANT-style curated
+// hitlist, CAIDA-style routed-/24 hitlist, and a YARRP run from Rwanda.
+
+#include "bench_common.hpp"
+
+using namespace aio;
+
+namespace {
+
+void printReport(const measure::CoverageReport& report) {
+    std::cout << "\n  regional breakdown (" << report.dataset << "):\n";
+    net::TextTable table({"Region", "mobile", "non-mobile", "IXP"});
+    for (const auto& row : report.regional) {
+        table.addRow({std::string{net::regionName(row.region)},
+                      bench::pct(row.mobile), bench::pct(row.nonMobile),
+                      bench::pct(row.ixp)});
+    }
+    std::cout << table.render();
+}
+
+} // namespace
+
+int main() {
+    bench::World world;
+    bench::banner("Table 1", "Scanning-dataset size and coverage in Africa");
+
+    net::Rng rng{4};
+    const measure::HitlistBuilder builder{world.topo, world.responsiveness};
+    const measure::PingScanner ping{world.topo, world.responsiveness};
+    const measure::CoverageAnalyzer analyzer{world.topo};
+
+    const auto ant = builder.buildAntStyle(rng);
+    const auto antReport =
+        analyzer.analyze(ping.scan(ant), ant.entries.size());
+
+    const auto caida = builder.buildCaidaStyle(rng);
+    const auto caidaReport =
+        analyzer.analyze(ping.scan(caida), caida.entries.size());
+
+    const measure::YarrpScanner yarrp{world.topo, world.engine,
+                                      world.responsiveness};
+    const auto vantage = bench::yarrpVantage(world);
+    if (!vantage) {
+        std::cerr << "no suitable Rwandan vantage found\n";
+        return 1;
+    }
+    const auto yarrpOutcome = yarrp.scan(*vantage, rng, 1.0);
+    const auto yarrpReport =
+        analyzer.analyze(yarrpOutcome, yarrpOutcome.probesSent);
+
+    net::TextTable table({"Dataset", "Entries", "Mobile ASN",
+                          "Non-mobile ASN", "IXP"});
+    const auto addRow = [&](const measure::CoverageReport& r) {
+        table.addRow({r.dataset, std::to_string(r.entries),
+                      bench::pct(r.mobileAsnCoverage, 2),
+                      bench::pct(r.nonMobileAsnCoverage, 2),
+                      bench::pct(r.ixpCoverage, 2)});
+    };
+    addRow(caidaReport);
+    addRow(antReport);
+    addRow(yarrpReport);
+    std::cout << table.render();
+
+    printReport(antReport);
+
+    std::cout
+        << "\nPaper Table 1 vs measured (dataset sizes are scaled — the\n"
+        << "substrate has ~" << world.topo.asCount()
+        << " ASes vs the real Internet):\n"
+        << "  CAIDA:  paper 64.4% / 35.45% / 7.8%   measured "
+        << bench::pct(caidaReport.mobileAsnCoverage) << " / "
+        << bench::pct(caidaReport.nonMobileAsnCoverage) << " / "
+        << bench::pct(caidaReport.ixpCoverage) << "\n"
+        << "  ANT:    paper 96%   / 71.4%  / 23.5%  measured "
+        << bench::pct(antReport.mobileAsnCoverage) << " / "
+        << bench::pct(antReport.nonMobileAsnCoverage) << " / "
+        << bench::pct(antReport.ixpCoverage) << "\n"
+        << "  YARRP:  paper 56.1% / 27.2%  / 2.9%   measured "
+        << bench::pct(yarrpReport.mobileAsnCoverage) << " / "
+        << bench::pct(yarrpReport.nonMobileAsnCoverage) << " / "
+        << bench::pct(yarrpReport.ixpCoverage) << "\n"
+        << "  Shape: ANT > CAIDA > YARRP per column; mobile > non-mobile;\n"
+        << "  IXP coverage weakest everywhere (unadvertised LAN prefixes).\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Plans a month of measurements for a prepaid cellular probe in Ghana,
+// showing the §7.1 cost-consciousness machinery: packet-level accounting,
+// measurement reuse and tariff awareness.
+//
+//   ./build/examples/budget_planner
+
+#include <iostream>
+
+#include "core/budget.hpp"
+#include "netbase/error.hpp"
+#include "netbase/stats.hpp"
+
+using namespace aio;
+
+int main() try {
+    core::Probe probe;
+    probe.id = "obs-GH-accra-1";
+    probe.countryCode = "GH";
+    probe.cellular = true;
+    probe.monthlyBudgetUsd = 6.0;
+    probe.pricing.kind = core::PricingModel::Kind::PrepaidBundle;
+    probe.pricing.bundleMb = 350.0;
+    probe.pricing.bundleCostUsd = 3.0;
+
+    const std::vector<core::MeasurementTask> tasks = {
+        {.id = "traceroute-mesh", .kind = "traceroute",
+         .payloadBytesPerRun = 60e3, .utilityPerRun = 5.0,
+         .desiredRuns = 600, .sharedGroup = 0, .offPeakOk = true},
+        {.id = "ixp-detection", .kind = "traceroute",
+         .payloadBytesPerRun = 60e3, .utilityPerRun = 4.0,
+         .desiredRuns = 600, .sharedGroup = 0, .offPeakOk = true},
+        {.id = "dns-dependency", .kind = "dns", .payloadBytesPerRun = 2e3,
+         .utilityPerRun = 1.0, .desiredRuns = 2000, .sharedGroup = -1,
+         .offPeakOk = true},
+        {.id = "content-locality", .kind = "http",
+         .payloadBytesPerRun = 1.5e6, .utilityPerRun = 6.0,
+         .desiredRuns = 240, .sharedGroup = -1, .offPeakOk = false},
+        {.id = "throughput", .kind = "http", .payloadBytesPerRun = 8e6,
+         .utilityPerRun = 9.0, .desiredRuns = 80, .sharedGroup = -1,
+         .offPeakOk = true},
+    };
+
+    const core::BudgetScheduler scheduler;
+    const auto plan =
+        scheduler.plan(probe, tasks, probe.monthlyBudgetUsd);
+    std::cout << "Plan for " << probe.id << " (budget $"
+              << net::TextTable::num(probe.monthlyBudgetUsd, 2)
+              << ", prepaid "
+              << net::TextTable::num(probe.pricing.bundleMb, 0) << "MB/$"
+              << net::TextTable::num(probe.pricing.bundleCostUsd, 2)
+              << "):\n";
+    for (const auto& entry : plan.entries) {
+        std::cout << "  " << entry.runs << " runs of {";
+        for (std::size_t i = 0; i < entry.taskIndices.size(); ++i) {
+            std::cout << (i ? ", " : "") << tasks[entry.taskIndices[i]].id;
+        }
+        std::cout << "}  " << (entry.offPeak ? "off-peak" : "peak") << ", "
+                  << net::TextTable::num(entry.actualMbPerRun * 1000.0, 0)
+                  << " KB/run on the wire\n";
+    }
+    std::cout << "Planned cost: $"
+              << net::TextTable::num(plan.plannedCostUsd, 2)
+              << ", planned utility: "
+              << net::TextTable::num(plan.plannedUtility, 0) << "\n";
+
+    const auto result = core::BudgetScheduler::execute(
+        probe, plan, probe.monthlyBudgetUsd);
+    std::cout << "Executed: " << result.runsCompleted << " runs, $"
+              << net::TextTable::num(result.spentUsd, 2) << " spent, "
+              << result.runsAborted << " aborted, utility "
+              << net::TextTable::num(result.deliveredUtility, 0) << "\n";
+    return 0;
+} catch (const net::AioError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+}

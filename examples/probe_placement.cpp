@@ -1,0 +1,61 @@
+// Vantage-point planning for the Observatory: greedy set-cover over the
+// peering matrix (which ASNs must host probes so every African IXP is
+// visible), then a recruiting plan per country.
+//
+//   ./build/examples/probe_placement
+
+#include <iostream>
+#include <map>
+
+#include "core/probe.hpp"
+#include "core/setcover.hpp"
+#include "netbase/error.hpp"
+#include "topo/generator.hpp"
+
+using namespace aio;
+
+int main() try {
+    const topo::Topology topology =
+        topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
+
+    const core::VantageSelector selector{topology};
+    const auto cover = selector.minimalIxpCover();
+    std::cout << "Greedy set-cover: " << cover.chosenAses.size()
+              << " ASNs cover " << cover.coveredIxps << "/"
+              << cover.totalIxps << " African IXPs\n\n";
+
+    std::map<std::string, int> perCountry;
+    for (const auto as : cover.chosenAses) {
+        ++perCountry[topology.as(as).countryCode];
+    }
+    std::cout << "Recruiting plan (probes per country):\n";
+    for (const auto& [country, count] : perCountry) {
+        std::cout << "  " << country << ": " << count << "\n";
+    }
+
+    // Practical constraint: volunteers can only host devices in eyeball
+    // networks. How much coverage survives?
+    std::vector<topo::AsIndex> eyeballs;
+    for (const auto as : topology.africanAses()) {
+        const auto type = topology.as(as).type;
+        if (type == topo::AsType::MobileOperator ||
+            type == topo::AsType::AccessIsp) {
+            eyeballs.push_back(as);
+        }
+    }
+    const auto eyeballCover = selector.minimalIxpCover(eyeballs);
+    std::cout << "\nEyeball-only hosting: " << eyeballCover.chosenAses.size()
+              << " ASNs cover " << eyeballCover.coveredIxps << "/"
+              << eyeballCover.totalIxps
+              << (eyeballCover.complete ? "" : " (INCOMPLETE)") << "\n";
+
+    // The default fleet the Observatory would actually deploy.
+    net::Rng rng{11};
+    const auto fleet = core::ProbeFleet::observatory(topology, rng);
+    std::cout << "\nDefault observatory fleet: " << fleet.size()
+              << " probes across " << fleet.countryCount() << " countries\n";
+    return 0;
+} catch (const net::AioError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+}

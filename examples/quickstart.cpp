@@ -1,0 +1,67 @@
+// Quickstart: build the simulated African Internet, run a traceroute
+// between two countries, and inspect what the measurement layer sees.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "measure/traceroute.hpp"
+#include "netbase/error.hpp"
+#include "netbase/stats.hpp"
+#include "routing/detour.hpp"
+#include "topo/generator.hpp"
+
+using namespace aio;
+
+int main() try {
+    // 1. Generate the calibrated topology (ASes, IXPs, peering).
+    const topo::Topology topology =
+        topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
+    std::cout << "Topology: " << topology.asCount() << " ASes, "
+              << topology.links().size() << " adjacencies, "
+              << topology.africanIxps().size() << " African IXPs\n";
+
+    // 2. Compute Gao-Rexford policy routes for every destination.
+    const route::PathOracle oracle{topology};
+
+    // 3. Pick one eyeball in Rwanda and one in Nigeria. (The second
+    // Rwandan AS is an ordinary EU-homed stub, so the route usually
+    // shows the paper's hairpin through Europe; asesInCountry("RW")[0]
+    // is the IXP-rich AS36924 vantage of §7.3 — try it for contrast.)
+    const auto rwandans = topology.asesInCountry("RW");
+    const auto src = rwandans.size() > 1 ? rwandans[1] : rwandans[0];
+    const auto dst = topology.asesInCountry("NG").front();
+    std::cout << "\nTraceroute AS" << topology.as(src).asn << " (RW) -> AS"
+              << topology.as(dst).asn << " (NG)\n";
+
+    // 4. Simulate the traceroute a probe would run.
+    const measure::TracerouteEngine engine{topology, oracle};
+    net::Rng rng{42};
+    const auto trace = engine.traceToAs(src, dst, rng);
+    for (const auto& hop : trace.hops) {
+        std::cout << "  " << hop.address.toString();
+        if (hop.ixp) {
+            std::cout << "  [IXP: " << topology.ixp(*hop.ixp).name << "]";
+        } else if (hop.asIndex) {
+            const auto& info = topology.as(*hop.asIndex);
+            std::cout << "  AS" << info.asn << " (" << info.countryCode
+                      << ", " << topo::asTypeName(info.type) << ")";
+        }
+        std::cout << "  rtt=" << net::TextTable::num(hop.rttMs, 1) << "ms\n";
+    }
+
+    // 5. Ask the analysis layer why the route looks the way it does.
+    const route::DetourAnalyzer analyzer{topology};
+    const auto path = oracle.path(src, dst);
+    std::cout << "\nRoute leaves Africa: "
+              << (analyzer.leavesAfrica(path) ? "YES" : "no") << " ("
+              << route::detourClassName(analyzer.classify(path)) << ")\n"
+              << "End-to-end RTT: "
+              << net::TextTable::num(trace.lastRttMs(), 1) << " ms\n";
+    return 0;
+} catch (const net::AioError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+}

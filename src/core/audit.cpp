@@ -1,0 +1,111 @@
+#include "core/audit.hpp"
+
+#include <set>
+
+#include "netbase/error.hpp"
+
+namespace aio::core {
+
+PolicyAuditor::PolicyAuditor(const topo::Topology& topology,
+                             const phys::CableRegistry& registry,
+                             const dns::ResolverEcosystem& resolvers,
+                             const content::ContentCatalog& catalog,
+                             PolicyTargets targets)
+    : topo_(&topology), registry_(&registry), resolvers_(&resolvers),
+      catalog_(&catalog), targets_(targets) {}
+
+CountryAudit PolicyAuditor::audit(std::string_view iso2) const {
+    const net::Country& country = net::CountryTable::world().byCode(iso2);
+    AIO_EXPECTS(net::isAfrican(country.region),
+                "the auditor covers African countries");
+    CountryAudit audit;
+    audit.country = std::string{iso2};
+    audit.region = country.region;
+    audit.landlocked = !country.coastal;
+
+    // --- DNS localization ---
+    int clients = 0;
+    int african = 0;
+    int local = 0;
+    for (const topo::AsIndex as : topo_->asesInCountry(iso2)) {
+        const auto assignment = resolvers_->resolverOf(as);
+        if (!assignment) {
+            continue;
+        }
+        ++clients;
+        african += dns::isAfricanResolverClass(assignment->cls) ? 1 : 0;
+        local +=
+            assignment->cls == dns::ResolverClass::LocalInCountry ? 1 : 0;
+    }
+    if (clients > 0) {
+        audit.dnsAfricanShare = static_cast<double>(african) / clients;
+        audit.dnsLocalShare = static_cast<double>(local) / clients;
+    }
+    audit.dnsCompliant =
+        audit.dnsAfricanShare >= targets_.minDnsAfricanShare &&
+        audit.dnsLocalShare >= targets_.minDnsLocalShare;
+
+    // --- content localization ---
+    double localContent = 0.0;
+    double totalContent = 0.0;
+    for (const content::Website& site : catalog_->sitesFor(iso2)) {
+        totalContent += site.popularity;
+        if (content::isAfricanHosting(site.hosting)) {
+            localContent += site.popularity;
+        }
+    }
+    if (totalContent > 0.0) {
+        audit.contentLocalShare = localContent / totalContent;
+    }
+    audit.contentCompliant =
+        audit.contentLocalShare >= targets_.minContentLocalShare;
+
+    // --- physical-layer backup capacity & corridor diversity ---
+    const auto gateway = phys::PhysicalLinkMap::coastalGateway(iso2);
+    std::set<phys::CorridorId> corridors;
+    for (const phys::CableId id : registry_->cablesToEurope(gateway)) {
+        ++audit.internationalCables;
+        corridors.insert(registry_->cable(id).corridor);
+    }
+    audit.distinctCorridors = static_cast<int>(corridors.size());
+    audit.cableCountCompliant =
+        audit.internationalCables >= targets_.minInternationalCables;
+    audit.corridorDiversityCompliant =
+        !targets_.requireCorridorDiversity || audit.distinctCorridors >= 2;
+    return audit;
+}
+
+std::vector<CountryAudit> PolicyAuditor::auditAfrica() const {
+    std::vector<CountryAudit> out;
+    for (const auto* country : net::CountryTable::world().african()) {
+        out.push_back(audit(country->iso2));
+    }
+    return out;
+}
+
+std::vector<RegionalComplianceSummary>
+PolicyAuditor::regionalSummary() const {
+    std::vector<RegionalComplianceSummary> out;
+    for (const net::Region region : net::africanRegions()) {
+        RegionalComplianceSummary summary;
+        summary.region = region;
+        out.push_back(summary);
+    }
+    for (const CountryAudit& audit : auditAfrica()) {
+        for (RegionalComplianceSummary& summary : out) {
+            if (summary.region != audit.region) {
+                continue;
+            }
+            ++summary.countries;
+            summary.fullyCompliant += audit.fullyCompliant() ? 1 : 0;
+            summary.cableCountOnlyCompliant +=
+                (audit.cableCountCompliant &&
+                 !audit.corridorDiversityCompliant)
+                    ? 1
+                    : 0;
+        }
+    }
+    return out;
+}
+
+} // namespace aio::core

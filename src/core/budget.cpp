@@ -1,0 +1,216 @@
+#include "core/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "netbase/error.hpp"
+
+namespace aio::core {
+
+BudgetScheduler::BudgetScheduler(SchedulerOptions options)
+    : options_(options) {}
+
+namespace {
+
+double toMb(double bytes) { return bytes / 1e6; }
+
+/// Cumulative tariff meter: tracks peak/off-peak volume and answers the
+/// *marginal* cost of more bytes, which is what makes prepaid bundles
+/// behave correctly (a bundle is consumed across many runs).
+class TariffMeter {
+public:
+    explicit TariffMeter(const PricingModel& pricing) : pricing_(&pricing) {}
+
+    [[nodiscard]] double totalCost() const { return costOf(peakMb_, offMb_); }
+
+    [[nodiscard]] double marginalCost(double mb, bool offPeak) const {
+        const double peak = peakMb_ + (offPeak ? 0.0 : mb);
+        const double off = offMb_ + (offPeak ? mb : 0.0);
+        return costOf(peak, off) - totalCost();
+    }
+
+    void add(double mb, bool offPeak) {
+        (offPeak ? offMb_ : peakMb_) += mb;
+    }
+
+private:
+    [[nodiscard]] double costOf(double peakMb, double offMb) const {
+        switch (pricing_->kind) {
+        case PricingModel::Kind::FlatPerMb:
+            return (peakMb + offMb) * pricing_->perMbUsd;
+        case PricingModel::Kind::PrepaidBundle:
+            return std::ceil((peakMb + offMb) / pricing_->bundleMb) *
+                   pricing_->bundleCostUsd;
+        case PricingModel::Kind::TimeOfDayDiscount:
+            return peakMb * pricing_->perMbUsd +
+                   offMb * pricing_->perMbUsd * pricing_->offPeakFactor;
+        }
+        return (peakMb + offMb) * pricing_->perMbUsd;
+    }
+
+    const PricingModel* pricing_;
+    double peakMb_ = 0.0;
+    double offMb_ = 0.0;
+};
+
+struct Candidate {
+    std::vector<std::size_t> taskIndices;
+    int runs = 0;
+    bool offPeak = false;
+    double plannedMbPerRun = 0.0;
+    double actualMbPerRun = 0.0;
+    double utilityPerRun = 0.0;
+};
+
+} // namespace
+
+BudgetPlan BudgetScheduler::plan(const Probe& probe,
+                                 std::span<const MeasurementTask> tasks,
+                                 double budgetUsd) const {
+    AIO_EXPECTS(budgetUsd >= 0.0, "budget must be non-negative");
+    std::vector<Candidate> candidates;
+
+    if (options_.exploitReuse) {
+        // Group shared tasks; one raw measurement serves the group.
+        std::map<int, std::vector<std::size_t>> groups;
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (tasks[i].sharedGroup >= 0) {
+                groups[tasks[i].sharedGroup].push_back(i);
+            } else {
+                groups[-static_cast<int>(i) - 1] = {i};
+            }
+        }
+        for (const auto& [groupId, members] : groups) {
+            Candidate candidate;
+            candidate.taskIndices = members;
+            double maxPayload = 0.0;
+            int minRuns = tasks[members.front()].desiredRuns;
+            bool offPeakOk = true;
+            for (const std::size_t i : members) {
+                maxPayload =
+                    std::max(maxPayload, tasks[i].payloadBytesPerRun);
+                candidate.utilityPerRun += tasks[i].utilityPerRun;
+                minRuns = std::min(minRuns, tasks[i].desiredRuns);
+                offPeakOk = offPeakOk && tasks[i].offPeakOk;
+            }
+            candidate.runs = minRuns;
+            candidate.actualMbPerRun =
+                toMb(maxPayload) * kPacketOverheadFactor;
+            candidate.plannedMbPerRun =
+                options_.accountPacketOverhead ? candidate.actualMbPerRun
+                                               : toMb(maxPayload);
+            candidate.offPeak = options_.useOffPeak && offPeakOk;
+            candidates.push_back(std::move(candidate));
+            // Members wanting more runs than the group minimum schedule
+            // their remainder individually (reuse must never reduce what
+            // is achievable).
+            for (const std::size_t i : members) {
+                if (tasks[i].desiredRuns <= minRuns) {
+                    continue;
+                }
+                Candidate extra;
+                extra.taskIndices = {i};
+                extra.runs = tasks[i].desiredRuns - minRuns;
+                extra.utilityPerRun = tasks[i].utilityPerRun;
+                extra.actualMbPerRun = toMb(tasks[i].payloadBytesPerRun) *
+                                       kPacketOverheadFactor;
+                extra.plannedMbPerRun =
+                    options_.accountPacketOverhead
+                        ? extra.actualMbPerRun
+                        : toMb(tasks[i].payloadBytesPerRun);
+                extra.offPeak = options_.useOffPeak && tasks[i].offPeakOk;
+                candidates.push_back(std::move(extra));
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            Candidate candidate;
+            candidate.taskIndices = {i};
+            candidate.runs = tasks[i].desiredRuns;
+            candidate.utilityPerRun = tasks[i].utilityPerRun;
+            candidate.actualMbPerRun =
+                toMb(tasks[i].payloadBytesPerRun) * kPacketOverheadFactor;
+            candidate.plannedMbPerRun =
+                options_.accountPacketOverhead
+                    ? candidate.actualMbPerRun
+                    : toMb(tasks[i].payloadBytesPerRun);
+            candidate.offPeak = options_.useOffPeak && tasks[i].offPeakOk;
+            candidates.push_back(std::move(candidate));
+        }
+    }
+
+    // Greedy by utility per (effective) megabyte, the tariff-independent
+    // density; the meter then enforces the dollar budget.
+    std::ranges::sort(candidates,
+                      [&](const Candidate& a, const Candidate& b) {
+                          const double mbA = std::max(1e-9,
+                                                      a.plannedMbPerRun *
+                                                          (a.offPeak ? 0.6
+                                                                     : 1.0));
+                          const double mbB = std::max(1e-9,
+                                                      b.plannedMbPerRun *
+                                                          (b.offPeak ? 0.6
+                                                                     : 1.0));
+                          return a.utilityPerRun / mbA >
+                                 b.utilityPerRun / mbB;
+                      });
+
+    BudgetPlan plan;
+    TariffMeter meter{probe.pricing};
+    for (const Candidate& candidate : candidates) {
+        int scheduled = 0;
+        for (int run = 0; run < candidate.runs; ++run) {
+            const double marginal = meter.marginalCost(
+                candidate.plannedMbPerRun, candidate.offPeak);
+            if (meter.totalCost() + marginal > budgetUsd) {
+                break;
+            }
+            meter.add(candidate.plannedMbPerRun, candidate.offPeak);
+            ++scheduled;
+        }
+        if (scheduled == 0) {
+            continue;
+        }
+        BudgetPlan::Entry entry;
+        entry.taskIndices = candidate.taskIndices;
+        entry.runs = scheduled;
+        entry.offPeak = candidate.offPeak;
+        entry.plannedMbPerRun = candidate.plannedMbPerRun;
+        entry.actualMbPerRun = candidate.actualMbPerRun;
+        entry.utilityPerRun = candidate.utilityPerRun;
+        plan.plannedUtility += candidate.utilityPerRun * scheduled;
+        plan.entries.push_back(std::move(entry));
+    }
+    plan.plannedCostUsd = meter.totalCost();
+    return plan;
+}
+
+ExecutionResult BudgetScheduler::execute(const Probe& probe,
+                                         const BudgetPlan& plan,
+                                         double budgetUsd) {
+    ExecutionResult result;
+    TariffMeter meter{probe.pricing};
+    bool broke = false;
+    for (const BudgetPlan::Entry& entry : plan.entries) {
+        for (int run = 0; run < entry.runs; ++run) {
+            if (!broke) {
+                const double marginal =
+                    meter.marginalCost(entry.actualMbPerRun, entry.offPeak);
+                if (meter.totalCost() + marginal > budgetUsd) {
+                    broke = true; // prepaid balance exhausted mid-campaign
+                } else {
+                    meter.add(entry.actualMbPerRun, entry.offPeak);
+                    result.deliveredUtility += entry.utilityPerRun;
+                    ++result.runsCompleted;
+                    continue;
+                }
+            }
+            ++result.runsAborted;
+        }
+    }
+    result.spentUsd = meter.totalCost();
+    return result;
+}
+
+} // namespace aio::core

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/probe.hpp"
+
+namespace aio::core {
+
+/// One measurement task competing for a probe's data budget.
+struct MeasurementTask {
+    std::string id;
+    std::string kind;             ///< "ping", "traceroute", "dns", "http"...
+    double payloadBytesPerRun = 0.0; ///< application-level bytes
+    double utilityPerRun = 1.0;   ///< scientific value of one run
+    int desiredRuns = 1;
+    /// Tasks sharing a group can reuse one raw measurement (e.g. several
+    /// analyses over the same traceroute): the group costs one run's
+    /// bytes but yields every member's utility. -1 = not shared.
+    int sharedGroup = -1;
+    bool offPeakOk = true; ///< tolerates being scheduled off-peak
+};
+
+/// What the planner believes, and what is true. The ablation bench
+/// contrasts a naive planner (application-level accounting, no reuse,
+/// peak-time) with the budget-aware one (§7.1).
+struct SchedulerOptions {
+    /// Account packet-level bytes (headers + retransmissions) instead of
+    /// application payload when planning.
+    bool accountPacketOverhead = true;
+    /// Merge shared-group tasks onto one raw measurement.
+    bool exploitReuse = true;
+    /// Schedule tolerant tasks off-peak when the tariff rewards it.
+    bool useOffPeak = true;
+};
+
+/// Ratio of on-the-wire bytes to application payload (L3/L4 headers,
+/// retransmissions, DNS retries). Billing is per low-level byte (§7.1).
+inline constexpr double kPacketOverheadFactor = 1.22;
+
+/// A planned schedule: ordered (task-or-group, runs) entries.
+struct BudgetPlan {
+    struct Entry {
+        std::vector<std::size_t> taskIndices; ///< >1 when reused as group
+        int runs = 0;
+        bool offPeak = false;
+        double plannedMbPerRun = 0.0; ///< what the planner budgeted
+        double actualMbPerRun = 0.0;  ///< what the wire will carry
+        double utilityPerRun = 0.0;
+    };
+    std::vector<Entry> entries;
+    double plannedCostUsd = 0.0;
+    double plannedUtility = 0.0;
+};
+
+/// Outcome of actually running a plan against the real tariff.
+struct ExecutionResult {
+    double deliveredUtility = 0.0;
+    double spentUsd = 0.0;
+    int runsCompleted = 0;
+    int runsAborted = 0; ///< runs dropped when real money ran out
+};
+
+/// Greedy utility-per-dollar scheduler with task reuse, packet-level
+/// accounting and tariff awareness.
+class BudgetScheduler {
+public:
+    explicit BudgetScheduler(SchedulerOptions options = {});
+
+    /// Builds a schedule that the planner believes fits `budgetUsd`.
+    [[nodiscard]] BudgetPlan plan(const Probe& probe,
+                                  std::span<const MeasurementTask> tasks,
+                                  double budgetUsd) const;
+
+    /// Executes a plan against the true tariff and true wire bytes,
+    /// aborting once the budget is actually exhausted.
+    [[nodiscard]] static ExecutionResult execute(const Probe& probe,
+                                                 const BudgetPlan& plan,
+                                                 double budgetUsd);
+
+    [[nodiscard]] const SchedulerOptions& options() const {
+        return options_;
+    }
+
+private:
+    SchedulerOptions options_;
+};
+
+} // namespace aio::core

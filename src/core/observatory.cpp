@@ -1,0 +1,118 @@
+#include "core/observatory.hpp"
+
+#include <algorithm>
+
+#include "netbase/error.hpp"
+
+namespace aio::core {
+
+std::size_t
+CampaignResult::africanIxpCount(const topo::Topology& topology) const {
+    std::size_t count = 0;
+    for (const topo::IxpIndex ix : ixpsDetected) {
+        count += net::isAfrican(topology.ixp(ix).region) ? 1 : 0;
+    }
+    return count;
+}
+
+Observatory::Observatory(const topo::Topology& topology,
+                         const measure::TracerouteEngine& engine,
+                         const measure::IxpDetector& detector,
+                         ProbeFleet fleet, ObservatoryConfig config)
+    : topo_(&topology), engine_(&engine), detector_(&detector),
+      fleet_(std::move(fleet)), config_(config) {
+    AIO_EXPECTS(fleet_.size() > 0, "observatory needs probes");
+}
+
+void Observatory::traceAndRecord(topo::AsIndex src, net::Ipv4Address target,
+                                 net::Rng& rng,
+                                 CampaignResult& result) const {
+    ++result.tracesLaunched;
+    const auto trace = engine_->trace(src, target, rng);
+    if (trace.reachedTarget) {
+        ++result.tracesCompleted;
+    }
+    for (const auto as : trace.asPath()) {
+        result.asesObserved.insert(as);
+    }
+    for (const auto ix : detector_->detect(trace)) {
+        result.ixpsDetected.insert(ix);
+    }
+}
+
+CampaignResult Observatory::runIxpDiscoveryFrom(const Probe& probe,
+                                                net::Rng& rng) const {
+    CampaignResult result;
+    if (!rng.bernoulli(probe.availability)) {
+        return result; // probe offline (power/connectivity)
+    }
+    for (const topo::IxpIndex ix : topo_->africanIxps()) {
+        const auto& members = topo_->ixp(ix).members;
+        if (members.empty()) {
+            continue;
+        }
+        for (int t = 0; t < config_.targetsPerIxp; ++t) {
+            const topo::AsIndex member =
+                members[rng.uniformInt(members.size())];
+            // Target a customer of the member when one exists (a CDN or
+            // stub behind the exchange), else the member itself — §6.1's
+            // "targeted at a customer of the IX".
+            topo::AsIndex target = member;
+            const auto& customers = topo_->customersOf(member);
+            if (!customers.empty() && rng.bernoulli(0.7)) {
+                target = customers[rng.uniformInt(customers.size())];
+            }
+            traceAndRecord(probe.hostAs, topo_->routerAddress(target, 3),
+                           rng, result);
+        }
+    }
+    return result;
+}
+
+CampaignResult Observatory::runIxpDiscovery(net::Rng& rng) const {
+    CampaignResult total;
+    for (const Probe& probe : fleet_.probes()) {
+        const CampaignResult result = runIxpDiscoveryFrom(probe, rng);
+        total.tracesLaunched += result.tracesLaunched;
+        total.tracesCompleted += result.tracesCompleted;
+        total.ixpsDetected.insert(result.ixpsDetected.begin(),
+                                  result.ixpsDetected.end());
+        total.asesObserved.insert(result.asesObserved.begin(),
+                                  result.asesObserved.end());
+    }
+    return total;
+}
+
+CampaignResult Observatory::runMeshFrom(const Probe& probe,
+                                        net::Rng& rng) const {
+    CampaignResult result;
+    if (!rng.bernoulli(probe.availability)) {
+        return result;
+    }
+    const auto& probes = fleet_.probes();
+    for (int t = 0; t < config_.meshTracesPerProbe; ++t) {
+        const Probe& peer = probes[rng.uniformInt(probes.size())];
+        if (peer.hostAs == probe.hostAs) {
+            continue;
+        }
+        traceAndRecord(probe.hostAs, topo_->routerAddress(peer.hostAs, 4),
+                       rng, result);
+    }
+    return result;
+}
+
+CampaignResult Observatory::runMesh(net::Rng& rng) const {
+    CampaignResult total;
+    for (const Probe& probe : fleet_.probes()) {
+        const CampaignResult result = runMeshFrom(probe, rng);
+        total.tracesLaunched += result.tracesLaunched;
+        total.tracesCompleted += result.tracesCompleted;
+        total.ixpsDetected.insert(result.ixpsDetected.begin(),
+                                  result.ixpsDetected.end());
+        total.asesObserved.insert(result.asesObserved.begin(),
+                                  result.asesObserved.end());
+    }
+    return total;
+}
+
+} // namespace aio::core

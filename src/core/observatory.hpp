@@ -1,0 +1,70 @@
+#pragma once
+
+#include <set>
+
+#include "core/probe.hpp"
+#include "measure/ixp_detect.hpp"
+#include "measure/traceroute.hpp"
+#include "routing/path_oracle.hpp"
+
+namespace aio::core {
+
+/// What one measurement campaign observed.
+struct CampaignResult {
+    std::set<topo::IxpIndex> ixpsDetected;
+    std::set<topo::AsIndex> asesObserved;
+    int tracesLaunched = 0;
+    int tracesCompleted = 0;
+
+    [[nodiscard]] std::size_t africanIxpCount(
+        const topo::Topology& topology) const;
+};
+
+struct ObservatoryConfig {
+    /// Mesh traceroutes per probe in the Atlas-style campaign.
+    int meshTracesPerProbe = 30;
+    /// Extra targets per IXP in the targeted campaign (member + customer).
+    int targetsPerIxp = 2;
+};
+
+/// The measurement Observatory (§7): orchestrates campaigns over a probe
+/// fleet, honouring probe availability, and contrasts two targeting
+/// strategies:
+///
+///  * `runIxpDiscovery` — purpose-driven targeting per §6.1's
+///    implication: probes launch traceroutes *toward customers of IXP
+///    members*, forcing paths across the exchanges;
+///  * `runMesh` — the existing-platform strategy: probes traceroute each
+///    other (anchors), which rarely crosses African fabrics.
+class Observatory {
+public:
+    Observatory(const topo::Topology& topology,
+                const measure::TracerouteEngine& engine,
+                const measure::IxpDetector& detector, ProbeFleet fleet,
+                ObservatoryConfig config = {});
+
+    [[nodiscard]] CampaignResult runIxpDiscovery(net::Rng& rng) const;
+    [[nodiscard]] CampaignResult runMesh(net::Rng& rng) const;
+
+    /// Targeted campaign restricted to a single probe (the §7.3 Kigali
+    /// experiment).
+    [[nodiscard]] CampaignResult runIxpDiscoveryFrom(const Probe& probe,
+                                                     net::Rng& rng) const;
+    /// Mesh campaign from one probe toward the rest of the fleet.
+    [[nodiscard]] CampaignResult runMeshFrom(const Probe& probe,
+                                             net::Rng& rng) const;
+
+    [[nodiscard]] const ProbeFleet& fleet() const { return fleet_; }
+
+private:
+    void traceAndRecord(topo::AsIndex src, net::Ipv4Address target,
+                        net::Rng& rng, CampaignResult& result) const;
+
+    const topo::Topology* topo_;
+    const measure::TracerouteEngine* engine_;
+    const measure::IxpDetector* detector_;
+    ProbeFleet fleet_;
+    ObservatoryConfig config_;
+};
+
+} // namespace aio::core

@@ -1,0 +1,55 @@
+#include "core/setcover.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace aio::core {
+
+VantageSelector::VantageSelector(const topo::Topology& topology)
+    : topo_(&topology) {}
+
+SetCoverResult VantageSelector::minimalIxpCover() const {
+    std::vector<topo::AsIndex> all(topo_->asCount());
+    for (topo::AsIndex i = 0; i < topo_->asCount(); ++i) {
+        all[i] = i;
+    }
+    return minimalIxpCover(all);
+}
+
+SetCoverResult VantageSelector::minimalIxpCover(
+    const std::vector<topo::AsIndex>& candidates) const {
+    SetCoverResult result;
+    std::set<topo::IxpIndex> uncovered;
+    for (const topo::IxpIndex ix : topo_->africanIxps()) {
+        uncovered.insert(ix);
+    }
+    result.totalIxps = uncovered.size();
+
+    while (!uncovered.empty()) {
+        topo::AsIndex best = 0;
+        std::size_t bestGain = 0;
+        for (const topo::AsIndex as : candidates) {
+            std::size_t gain = 0;
+            for (const topo::IxpIndex ix : topo_->ixpsOf(as)) {
+                gain += uncovered.contains(ix) ? 1 : 0;
+            }
+            // Deterministic tie-break: keep the first (lowest index) AS.
+            if (gain > bestGain) {
+                bestGain = gain;
+                best = as;
+            }
+        }
+        if (bestGain == 0) {
+            break; // remaining IXPs unreachable from the candidate pool
+        }
+        result.chosenAses.push_back(best);
+        for (const topo::IxpIndex ix : topo_->ixpsOf(best)) {
+            uncovered.erase(ix);
+        }
+    }
+    result.coveredIxps = result.totalIxps - uncovered.size();
+    result.complete = uncovered.empty();
+    return result;
+}
+
+} // namespace aio::core

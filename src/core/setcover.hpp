@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/as_graph.hpp"
+
+namespace aio::core {
+
+/// Result of the §7 fn.1 analysis: a (near-)minimal set of ASNs whose IXP
+/// memberships jointly cover every African IXP, so that a probe inside
+/// each chosen ASN gives the Observatory full exchange visibility.
+struct SetCoverResult {
+    std::vector<topo::AsIndex> chosenAses;
+    std::size_t coveredIxps = 0;
+    std::size_t totalIxps = 0;
+    bool complete = false;
+};
+
+/// Greedy set cover over (AS -> African IXP membership). Greedy gives the
+/// classic ln(n) approximation; with the real peering data the paper
+/// reports 34 ASNs covering all 77 African IXPs.
+class VantageSelector {
+public:
+    explicit VantageSelector(const topo::Topology& topology);
+
+    [[nodiscard]] SetCoverResult minimalIxpCover() const;
+
+    /// Same greedy cover restricted to candidate ASes (e.g. only networks
+    /// where volunteers can realistically host hardware).
+    [[nodiscard]] SetCoverResult
+    minimalIxpCover(const std::vector<topo::AsIndex>& candidates) const;
+
+private:
+    const topo::Topology* topo_;
+};
+
+} // namespace aio::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+
+#include "netbase/rng.hpp"
+#include "routing/detour.hpp"
+
+namespace aio::core {
+
+/// Figure 2a: how often intra-African routes leave the continent, and why.
+struct DetourReport {
+    struct RegionRow {
+        net::Region region = net::Region::NorthernAfrica;
+        std::size_t pairs = 0;
+        double detourShare = 0.0;
+    };
+    std::vector<RegionRow> byRegion; ///< by source region
+    std::size_t totalPairs = 0;
+    double overallDetourShare = 0.0;
+    /// Among detoured routes, the share per detour cause.
+    std::map<route::DetourClass, double> attribution;
+    /// Share of detours attributable to EU Tier-1 or EU IXP peering —
+    /// the paper's "only 40%" headline.
+    [[nodiscard]] double euTier1OrIxpShare() const;
+};
+
+/// Figure 3: share of intra-region routes crossing at least one African
+/// IXP.
+struct IxpPrevalenceReport {
+    struct RegionRow {
+        net::Region region = net::Region::NorthernAfrica;
+        std::size_t pairs = 0;
+        double ixpShare = 0.0;
+    };
+    std::vector<RegionRow> byRegion;
+    double overallShare = 0.0;
+};
+
+/// Path-sample studies over the policy routes between African eyeball
+/// networks (the paper's RIPE-Atlas-derived analyses, run on the
+/// simulated substrate).
+class ConnectivityStudies {
+public:
+    ConnectivityStudies(const topo::Topology& topology,
+                        const route::PathOracle& oracle);
+
+    /// Samples intra-African eyeball pairs (source and destination in
+    /// different countries) and classifies their routes.
+    [[nodiscard]] DetourReport detourStudy(std::size_t samplePairs,
+                                           net::Rng& rng) const;
+
+    /// Samples intra-REGION pairs per African region and measures IXP
+    /// traversal.
+    [[nodiscard]] IxpPrevalenceReport
+    ixpPrevalence(std::size_t pairsPerRegion, net::Rng& rng) const;
+
+private:
+    [[nodiscard]] std::vector<topo::AsIndex>
+    eyeballsInRegion(net::Region region) const;
+
+    const topo::Topology* topo_;
+    const route::PathOracle* oracle_;
+    route::DetourAnalyzer analyzer_;
+};
+
+} // namespace aio::core

@@ -1,0 +1,93 @@
+#include "core/whatif.hpp"
+
+#include "netbase/error.hpp"
+
+namespace aio::core {
+
+WhatIfEngine::WhatIfEngine(const topo::Topology& topology,
+                           phys::CableRegistry registry,
+                           dns::DnsConfig dnsConfig,
+                           content::ContentConfig contentConfig,
+                           phys::LinkMapConfig linkConfig,
+                           std::uint64_t seed)
+    : topo_(&topology), registry_(std::move(registry)),
+      dnsConfig_(dnsConfig), contentConfig_(contentConfig),
+      linkConfig_(linkConfig), seed_(seed) {
+    rebuild();
+}
+
+void WhatIfEngine::rebuild() {
+    net::Rng mapRng{seed_};
+    linkMap_ = std::make_unique<phys::PhysicalLinkMap>(*topo_, registry_,
+                                                       mapRng, linkConfig_);
+    resolvers_ = std::make_unique<dns::ResolverEcosystem>(*topo_, dnsConfig_,
+                                                          seed_ + 1);
+    catalog_ = std::make_unique<content::ContentCatalog>(
+        *topo_, contentConfig_, seed_ + 2);
+    analyzer_ = std::make_unique<outage::ImpactAnalyzer>(
+        *topo_, *linkMap_, *resolvers_, *catalog_);
+}
+
+WhatIfEngine WhatIfEngine::withCable(phys::SubseaCable cable) const {
+    phys::CableRegistry registry = registry_;
+    registry.addCable(std::move(cable));
+    return WhatIfEngine{*topo_, std::move(registry), dnsConfig_,
+                        contentConfig_, linkConfig_, seed_};
+}
+
+WhatIfEngine WhatIfEngine::withDnsConfig(dns::DnsConfig config) const {
+    return WhatIfEngine{*topo_, registry_, config, contentConfig_,
+                        linkConfig_, seed_};
+}
+
+WhatIfEngine
+WhatIfEngine::withContentConfig(content::ContentConfig config) const {
+    return WhatIfEngine{*topo_, registry_, dnsConfig_, config, linkConfig_,
+                        seed_};
+}
+
+WhatIfEngine
+WhatIfEngine::withLinkMapConfig(phys::LinkMapConfig config) const {
+    return WhatIfEngine{*topo_, registry_, dnsConfig_, contentConfig_,
+                        config, seed_};
+}
+
+outage::OutageEvent
+WhatIfEngine::makeCutEvent(std::span<const std::string> cableNames,
+                           double repairDays) const {
+    AIO_EXPECTS(!cableNames.empty(), "a cut needs at least one cable");
+    outage::OutageEvent event;
+    event.type = outage::OutageType::CableCut;
+    event.macroRegion = net::MacroRegion::Africa;
+    event.durationDays = repairDays;
+    for (const std::string& name : cableNames) {
+        event.cutCables.push_back(registry_.byName(name));
+    }
+    return event;
+}
+
+outage::ImpactReport
+WhatIfEngine::assess(const outage::OutageEvent& event) const {
+    net::Rng rng{seed_ + 7};
+    return analyzer_->assess(event, rng);
+}
+
+double WhatIfEngine::contentLocalShare() const {
+    const content::LocalityAnalyzer locality{*catalog_};
+    return locality.overallLocalShare();
+}
+
+double
+WhatIfEngine::dnsFailureShare(std::string_view country,
+                              const outage::OutageEvent& event) const {
+    net::Rng rng{seed_ + 7};
+    const auto report = analyzer_->assess(event, rng);
+    for (const auto& impact : report.countries) {
+        if (impact.country == country) {
+            return impact.dnsFailureShare;
+        }
+    }
+    return 0.0;
+}
+
+} // namespace aio::core

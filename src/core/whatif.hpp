@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "outage/impact.hpp"
+#include "outage/radar.hpp"
+
+namespace aio::core {
+
+/// The "what-if" analysis engine the paper's conclusion calls for: apply
+/// a hypothetical intervention (a geographically diverse cable, resolver
+/// localization mandates, content localization) and re-evaluate outage
+/// impact / dependency metrics on the same substrate.
+///
+/// Value-style scenario composition: `withCable(...)`, `withDnsConfig(...)`
+/// etc. return a new engine sharing the topology but rebuilding the
+/// affected layers deterministically (same seeds), so before/after
+/// differences isolate the intervention.
+class WhatIfEngine {
+public:
+    WhatIfEngine(const topo::Topology& topology,
+                 phys::CableRegistry registry, dns::DnsConfig dnsConfig,
+                 content::ContentConfig contentConfig,
+                 phys::LinkMapConfig linkConfig = {},
+                 std::uint64_t seed = 99);
+
+    WhatIfEngine(WhatIfEngine&&) noexcept = default;
+    WhatIfEngine& operator=(WhatIfEngine&&) noexcept = default;
+
+    // ---- scenario builders ----
+    [[nodiscard]] WhatIfEngine withCable(phys::SubseaCable cable) const;
+    [[nodiscard]] WhatIfEngine withDnsConfig(dns::DnsConfig config) const;
+    [[nodiscard]] WhatIfEngine
+    withContentConfig(content::ContentConfig config) const;
+    [[nodiscard]] WhatIfEngine
+    withLinkMapConfig(phys::LinkMapConfig config) const;
+
+    // ---- evaluation ----
+    /// Builds a cable-cut event from cable names in THIS engine's
+    /// registry.
+    [[nodiscard]] outage::OutageEvent
+    makeCutEvent(std::span<const std::string> cableNames,
+                 double repairDays = 21.0) const;
+
+    /// Assesses an event deterministically (fixed impact-sampling seed).
+    [[nodiscard]] outage::ImpactReport
+    assess(const outage::OutageEvent& event) const;
+
+    /// Content locality (Fig. 2b metric) under this configuration.
+    [[nodiscard]] double contentLocalShare() const;
+
+    /// DNS failure share for one country under an event.
+    [[nodiscard]] double
+    dnsFailureShare(std::string_view country,
+                    const outage::OutageEvent& event) const;
+
+    [[nodiscard]] const phys::CableRegistry& registry() const {
+        return registry_;
+    }
+    [[nodiscard]] const dns::ResolverEcosystem& resolvers() const {
+        return *resolvers_;
+    }
+    [[nodiscard]] const outage::ImpactAnalyzer& analyzer() const {
+        return *analyzer_;
+    }
+
+private:
+    void rebuild();
+
+    const topo::Topology* topo_;
+    phys::CableRegistry registry_;
+    dns::DnsConfig dnsConfig_;
+    content::ContentConfig contentConfig_;
+    phys::LinkMapConfig linkConfig_;
+    std::uint64_t seed_;
+
+    std::unique_ptr<phys::PhysicalLinkMap> linkMap_;
+    std::unique_ptr<dns::ResolverEcosystem> resolvers_;
+    std::unique_ptr<content::ContentCatalog> catalog_;
+    std::unique_ptr<outage::ImpactAnalyzer> analyzer_;
+};
+
+} // namespace aio::core

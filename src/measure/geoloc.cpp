@@ -1,0 +1,56 @@
+#include "measure/geoloc.hpp"
+
+#include <cmath>
+
+#include "netbase/rng.hpp"
+
+namespace aio::measure {
+
+GeolocationModel::GeolocationModel(const topo::Topology& topology,
+                                   GeolocationConfig config,
+                                   std::uint64_t seed)
+    : topo_(&topology), config_(config), seed_(seed) {}
+
+net::GeoPoint
+GeolocationModel::trueLocation(net::Ipv4Address address) const {
+    if (const auto as = topo_->originOf(address)) {
+        return topo_->as(*as).location;
+    }
+    if (const auto ixp = topo_->ixpOfLanAddress(address)) {
+        return topo_->ixp(*ixp).location;
+    }
+    return net::GeoPoint{0.0, 0.0};
+}
+
+net::GeoPoint GeolocationModel::locate(net::Ipv4Address address) const {
+    const net::GeoPoint truth = trueLocation(address);
+    // Deterministic per-address error stream.
+    net::Rng rng{seed_ ^ (std::uint64_t{address.value()} * 0x9e3779b97f4a7c15ULL)};
+
+    bool african = false;
+    if (const auto as = topo_->originOf(address)) {
+        african = net::isAfrican(topo_->as(*as).region);
+    } else if (const auto ixp = topo_->ixpOfLanAddress(address)) {
+        african = net::isAfrican(topo_->ixp(*ixp).region);
+    }
+    const double errProb =
+        african ? config_.africanErrorProb : config_.otherErrorProb;
+    if (!rng.bernoulli(errProb)) {
+        return truth;
+    }
+    const double km = rng.exponential(
+        african ? config_.africanErrorKmMean : config_.otherErrorKmMean);
+    const double bearing = rng.uniformReal(0.0, 2.0 * 3.141592653589793);
+    // Small-angle displacement on the sphere (fine for <= a few 1000 km).
+    const double dLat = km / 111.0 * std::cos(bearing);
+    const double cosLat =
+        std::max(0.2, std::cos(truth.latitude * 3.141592653589793 / 180.0));
+    const double dLon = km / (111.0 * cosLat) * std::sin(bearing);
+    return net::GeoPoint{truth.latitude + dLat, truth.longitude + dLon};
+}
+
+double GeolocationModel::errorKm(net::Ipv4Address address) const {
+    return net::haversineKm(trueLocation(address), locate(address));
+}
+
+} // namespace aio::measure

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/geo.hpp"
+#include "netbase/ip.hpp"
+#include "topo/as_graph.hpp"
+
+namespace aio::measure {
+
+/// Configuration of the IP-geolocation error model. Commercial geolocation
+/// databases are substantially less accurate in Africa than elsewhere —
+/// the paper's §6.2 blames this for Nautilus' cable-mapping ambiguity.
+struct GeolocationConfig {
+    double africanErrorProb = 0.4;   ///< share of African IPs mislocated
+    double africanErrorKmMean = 900; ///< mean error magnitude (exponential)
+    double otherErrorProb = 0.12;
+    double otherErrorKmMean = 250;
+};
+
+/// Deterministic IP -> estimated-location oracle with region-dependent
+/// error. The same address always geolocates to the same (possibly wrong)
+/// point, like a database snapshot would.
+class GeolocationModel {
+public:
+    GeolocationModel(const topo::Topology& topology,
+                     GeolocationConfig config, std::uint64_t seed);
+
+    /// Estimated location. Falls back to the true location for addresses
+    /// the topology cannot attribute (IXP LANs use the IXP's location).
+    [[nodiscard]] net::GeoPoint locate(net::Ipv4Address address) const;
+
+    /// Ground-truth location (AS PoP or IXP site).
+    [[nodiscard]] net::GeoPoint trueLocation(net::Ipv4Address address) const;
+
+    /// Error distance applied to this specific address (0 when accurate).
+    [[nodiscard]] double errorKm(net::Ipv4Address address) const;
+
+private:
+    const topo::Topology* topo_;
+    GeolocationConfig config_;
+    std::uint64_t seed_;
+};
+
+} // namespace aio::measure

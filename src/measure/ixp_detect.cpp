@@ -1,0 +1,55 @@
+#include "measure/ixp_detect.hpp"
+
+#include <algorithm>
+
+namespace aio::measure {
+
+IxpKnowledgeBase IxpKnowledgeBase::build(const topo::Topology& topology,
+                                         double completeness,
+                                         net::Rng& rng) {
+    IxpKnowledgeBase kb;
+    for (topo::IxpIndex ix = 0; ix < topology.ixpCount(); ++ix) {
+        const bool registered = !net::isAfrican(topology.ixp(ix).region) ||
+                                rng.bernoulli(completeness);
+        if (registered) {
+            kb.known_.push_back(ix);
+            kb.trie_.insert(topology.ixp(ix).lanPrefix, ix);
+        }
+    }
+    return kb;
+}
+
+IxpKnowledgeBase IxpKnowledgeBase::full(const topo::Topology& topology) {
+    IxpKnowledgeBase kb;
+    for (topo::IxpIndex ix = 0; ix < topology.ixpCount(); ++ix) {
+        kb.known_.push_back(ix);
+        kb.trie_.insert(topology.ixp(ix).lanPrefix, ix);
+    }
+    return kb;
+}
+
+bool IxpKnowledgeBase::knows(topo::IxpIndex ixp) const {
+    return std::ranges::find(known_, ixp) != known_.end();
+}
+
+std::optional<topo::IxpIndex>
+IxpKnowledgeBase::match(net::Ipv4Address address) const {
+    return trie_.lookup(address);
+}
+
+IxpDetector::IxpDetector(const topo::Topology& topology, IxpKnowledgeBase kb)
+    : topo_(&topology), kb_(std::move(kb)) {}
+
+std::vector<topo::IxpIndex>
+IxpDetector::detect(const TracerouteResult& trace) const {
+    std::vector<topo::IxpIndex> out;
+    for (const Hop& hop : trace.hops) {
+        const auto ixp = kb_.match(hop.address);
+        if (ixp && std::ranges::find(out, *ixp) == out.end()) {
+            out.push_back(*ixp);
+        }
+    }
+    return out;
+}
+
+} // namespace aio::measure

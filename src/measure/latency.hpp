@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/traceroute.hpp"
+#include "routing/detour.hpp"
+
+namespace aio::measure {
+
+/// Latency statistics between one country pair.
+struct CountryPairLatency {
+    std::string a;
+    std::string b;
+    std::size_t samples = 0;
+    double meanRttMs = 0.0;
+    double p90RttMs = 0.0;
+    /// Share of sampled routes that left Africa.
+    double detourShare = 0.0;
+};
+
+/// One cell of the region-level latency matrix.
+struct RegionPairLatency {
+    net::Region from = net::Region::WesternAfrica;
+    net::Region to = net::Region::WesternAfrica;
+    std::size_t samples = 0;
+    double meanRttMs = 0.0;
+};
+
+/// Inter-country latency measurements over the simulated substrate — the
+/// Formoso et al. "inter-country latencies" style analysis the paper
+/// builds on. Quantifies the paper's performance argument: routes that
+/// hairpin through Europe pay a large RTT penalty over routes exchanged
+/// on the continent.
+class LatencyStudy {
+public:
+    LatencyStudy(const topo::Topology& topology,
+                 const route::PathOracle& oracle,
+                 const TracerouteEngine& engine);
+
+    /// Samples eyeball pairs between two countries. Throws NotFoundError
+    /// when either country hosts no eyeball AS.
+    [[nodiscard]] CountryPairLatency between(std::string_view countryA,
+                                             std::string_view countryB,
+                                             int samples,
+                                             net::Rng& rng) const;
+
+    /// Region x region mean-RTT matrix over African regions.
+    [[nodiscard]] std::vector<RegionPairLatency>
+    regionalMatrix(int samplesPerPair, net::Rng& rng) const;
+
+    /// Mean RTT split by whether the route stays in Africa: the detour
+    /// penalty in milliseconds (pair of means: {local, detoured}).
+    [[nodiscard]] std::pair<double, double>
+    detourPenalty(int samples, net::Rng& rng) const;
+
+private:
+    [[nodiscard]] std::vector<topo::AsIndex>
+    eyeballs(std::string_view country) const;
+
+    const topo::Topology* topo_;
+    const route::PathOracle* oracle_;
+    const TracerouteEngine* engine_;
+    route::DetourAnalyzer analyzer_;
+};
+
+} // namespace aio::measure

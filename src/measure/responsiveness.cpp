@@ -1,0 +1,105 @@
+#include "measure/responsiveness.hpp"
+
+#include <algorithm>
+
+#include "netbase/error.hpp"
+#include "netbase/rng.hpp"
+
+namespace aio::measure {
+
+const TypeResponsiveness&
+ResponsivenessModel::paramsFor(topo::AsType type) const {
+    switch (type) {
+    case topo::AsType::MobileOperator: return config_.mobile;
+    case topo::AsType::AccessIsp: return config_.access;
+    case topo::AsType::Enterprise: return config_.enterprise;
+    case topo::AsType::Education: return config_.education;
+    case topo::AsType::Tier1:
+    case topo::AsType::Tier2:
+    case topo::AsType::ContentProvider:
+    case topo::AsType::CloudProvider: return config_.transitOrContent;
+    }
+    return config_.access;
+}
+
+ResponsivenessModel::ResponsivenessModel(const topo::Topology& topology,
+                                         ResponsivenessConfig config,
+                                         std::uint64_t seed)
+    : topo_(&topology), config_(config), seed_(seed) {
+    AIO_EXPECTS(topology.finalized(), "topology must be finalized");
+    antVisible_.resize(topology.asCount());
+    density_.resize(topology.asCount());
+    borderResponds_.resize(topology.asCount());
+    for (topo::AsIndex i = 0; i < topology.asCount(); ++i) {
+        const TypeResponsiveness& params = paramsFor(topology.as(i).type);
+        net::Rng rng{seed ^ (topology.as(i).asn * 0x9e3779b97f4a7c15ULL)};
+        antVisible_[i] = rng.bernoulli(params.antVisibleProb) ? 1 : 0;
+        density_[i] = rng.bernoulli(params.icmpDarkProb)
+                          ? 0.0
+                          : std::min(0.35, rng.exponential(
+                                               params.icmpDensityMean));
+        borderResponds_[i] =
+            density_[i] > 0.0 && rng.bernoulli(params.borderRespondProb)
+                ? 1
+                : 0;
+    }
+}
+
+bool ResponsivenessModel::antVisible(topo::AsIndex as) const {
+    AIO_EXPECTS(as < antVisible_.size(), "AS index OOB");
+    return antVisible_[as] != 0;
+}
+
+double ResponsivenessModel::icmpDensity(topo::AsIndex as) const {
+    AIO_EXPECTS(as < density_.size(), "AS index OOB");
+    return density_[as];
+}
+
+bool ResponsivenessModel::respondsToPing(net::Ipv4Address address) const {
+    // Per-address deterministic draw.
+    net::Rng rng{seed_ ^
+                 (std::uint64_t{address.value()} * 0xbf58476d1ce4e5b9ULL)};
+    if (const auto ixp = topo_->ixpOfLanAddress(address)) {
+        (void)ixp;
+        return rng.bernoulli(config_.ixpLanRespondProb);
+    }
+    const auto as = topo_->originOf(address);
+    if (!as) {
+        return false;
+    }
+    return rng.bernoulli(density_[*as]);
+}
+
+bool ResponsivenessModel::respondsToCurated(net::Ipv4Address address) const {
+    net::Rng rng{seed_ ^
+                 (std::uint64_t{address.value()} * 0x2545f4914f6cdd1dULL)};
+    if (topo_->ixpOfLanAddress(address)) {
+        return rng.bernoulli(config_.ixpLanRespondProb);
+    }
+    if (!topo_->originOf(address)) {
+        return false;
+    }
+    return rng.bernoulli(config_.curatedRespondProb);
+}
+
+bool ResponsivenessModel::borderRespondsToTraceroute(topo::AsIndex as) const {
+    AIO_EXPECTS(as < borderResponds_.size(), "AS index OOB");
+    return borderResponds_[as] != 0;
+}
+
+bool ResponsivenessModel::respondsToYarrp(net::Ipv4Address address) const {
+    net::Rng rng{seed_ ^
+                 (std::uint64_t{address.value()} * 0x94d049bb133111ebULL)};
+    if (const auto ixp = topo_->ixpOfLanAddress(address)) {
+        (void)ixp;
+        return rng.bernoulli(config_.ixpLanRespondProb *
+                             config_.yarrpResponseScale);
+    }
+    const auto as = topo_->originOf(address);
+    if (!as) {
+        return false;
+    }
+    return rng.bernoulli(density_[*as] * config_.yarrpResponseScale);
+}
+
+} // namespace aio::measure

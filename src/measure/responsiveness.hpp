@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/ip.hpp"
+#include "topo/as_graph.hpp"
+
+namespace aio::measure {
+
+/// Per-AS-type responsiveness parameters.
+///
+/// Two distinct phenomena drive Table 1's coverage gaps and both are
+/// modelled separately:
+///  * `antVisibleProb` — whether the network has *any* address known
+///    responsive to the multi-protocol, history-based ANT methodology
+///    (mobile CGNAT gateways are famously visible to it);
+///  * `icmpDarkProb` / `icmpDensityMean` — whether, and how densely, the
+///    network answers one-shot ICMP probes to arbitrary addresses (the
+///    CAIDA routed-/24 and YARRP methodologies). African allocations are
+///    sparsely used, so densities are low.
+struct TypeResponsiveness {
+    double antVisibleProb = 0.8;
+    double icmpDarkProb = 0.3;
+    double icmpDensityMean = 0.06;
+    /// Probability the network's border routers answer TTL-expired for
+    /// transit traceroutes (how YARRP usually "sees" a stub AS).
+    double borderRespondProb = 0.4;
+};
+
+struct ResponsivenessConfig {
+    TypeResponsiveness mobile{.antVisibleProb = 0.96,
+                              .icmpDarkProb = 0.28,
+                              .icmpDensityMean = 0.10,
+                              .borderRespondProb = 0.75};
+    TypeResponsiveness access{.antVisibleProb = 0.85,
+                              .icmpDarkProb = 0.35,
+                              .icmpDensityMean = 0.06,
+                              .borderRespondProb = 0.35};
+    TypeResponsiveness enterprise{.antVisibleProb = 0.50,
+                                  .icmpDarkProb = 0.60,
+                                  .icmpDensityMean = 0.05,
+                                  .borderRespondProb = 0.10};
+    TypeResponsiveness education{.antVisibleProb = 0.62,
+                                 .icmpDarkProb = 0.50,
+                                 .icmpDensityMean = 0.06,
+                                 .borderRespondProb = 0.20};
+    TypeResponsiveness transitOrContent{.antVisibleProb = 0.95,
+                                        .icmpDarkProb = 0.10,
+                                        .icmpDensityMean = 0.15,
+                                        .borderRespondProb = 0.9};
+    /// Response probability of an address that is on a curated hitlist
+    /// (its responsiveness is the reason it was listed).
+    double curatedRespondProb = 0.9;
+    /// Probability an (advertised) IXP LAN address answers probes.
+    double ixpLanRespondProb = 0.85;
+    /// UDP traceroute (YARRP) to an arbitrary address rarely elicits an
+    /// answer from the target itself (CPE/CGNAT drop it).
+    double yarrpResponseScale = 0.15;
+};
+
+/// Deterministic responsiveness oracle over a topology.
+class ResponsivenessModel {
+public:
+    ResponsivenessModel(const topo::Topology& topology,
+                        ResponsivenessConfig config, std::uint64_t seed);
+
+    /// Whether the ANT methodology has responsive history for this AS.
+    [[nodiscard]] bool antVisible(topo::AsIndex as) const;
+
+    /// Density of ICMP-responsive addresses inside this AS (0 when the
+    /// network filters probes entirely).
+    [[nodiscard]] double icmpDensity(topo::AsIndex as) const;
+
+    /// Whether one specific address answers a one-shot ICMP probe.
+    [[nodiscard]] bool respondsToPing(net::Ipv4Address address) const;
+
+    /// Whether a *curated* hitlist entry answers (it was listed because it
+    /// responds; only a little churn since the list snapshot).
+    [[nodiscard]] bool respondsToCurated(net::Ipv4Address address) const;
+
+    /// Whether the address answers a YARRP-style UDP probe.
+    [[nodiscard]] bool respondsToYarrp(net::Ipv4Address address) const;
+
+    /// Whether the AS's border answers TTL-expired for traceroute transit
+    /// (per-AS property; deterministic).
+    [[nodiscard]] bool borderRespondsToTraceroute(topo::AsIndex as) const;
+
+    [[nodiscard]] const ResponsivenessConfig& config() const {
+        return config_;
+    }
+
+private:
+    [[nodiscard]] const TypeResponsiveness&
+    paramsFor(topo::AsType type) const;
+
+    const topo::Topology* topo_;
+    ResponsivenessConfig config_;
+    std::uint64_t seed_;
+    std::vector<std::uint8_t> antVisible_;
+    std::vector<double> density_;
+    std::vector<std::uint8_t> borderResponds_;
+};
+
+} // namespace aio::measure

@@ -1,0 +1,219 @@
+#include "measure/scanner.hpp"
+
+#include <algorithm>
+
+#include "netbase/error.hpp"
+
+namespace aio::measure {
+
+std::vector<net::Prefix> routedSlash24s(const topo::Topology& topology) {
+    std::vector<net::Prefix> out;
+    const auto addPrefix = [&](const net::Prefix& prefix) {
+        if (prefix.length() >= 24) {
+            out.push_back(prefix);
+            return;
+        }
+        const std::uint64_t count = std::uint64_t{1}
+                                    << (24 - prefix.length());
+        for (std::uint64_t i = 0; i < count; ++i) {
+            out.emplace_back(prefix.addressAt(i * 256), 24);
+        }
+    };
+    for (topo::AsIndex as = 0; as < topology.asCount(); ++as) {
+        for (const net::Prefix& prefix : topology.as(as).prefixes) {
+            addPrefix(prefix);
+        }
+    }
+    for (topo::IxpIndex ix = 0; ix < topology.ixpCount(); ++ix) {
+        if (topology.ixp(ix).lanInGlobalTable) {
+            addPrefix(topology.ixp(ix).lanPrefix);
+        }
+    }
+    return out;
+}
+
+HitlistBuilder::HitlistBuilder(const topo::Topology& topology,
+                               const ResponsivenessModel& model)
+    : topo_(&topology), model_(&model) {}
+
+Hitlist HitlistBuilder::buildAntStyle(net::Rng& rng,
+                                      double ixpHistoricProb) const {
+    Hitlist list;
+    list.name = "ANT-style hitlist";
+    list.curated = true;
+    for (topo::AsIndex as = 0; as < topo_->asCount(); ++as) {
+        if (!model_->antVisible(as)) {
+            continue;
+        }
+        // Roughly one historical responsive address per two /24s.
+        for (const net::Prefix& prefix : topo_->as(as).prefixes) {
+            const std::uint64_t slash24s =
+                std::max<std::uint64_t>(1, prefix.size() / 256);
+            const std::uint64_t samples =
+                std::max<std::uint64_t>(1, slash24s / 2);
+            for (std::uint64_t i = 0; i < samples; ++i) {
+                list.entries.push_back(
+                    prefix.addressAt(rng.uniformInt(prefix.size())));
+            }
+        }
+    }
+    // Historical traceroute-derived IXP LAN entries.
+    for (topo::IxpIndex ix = 0; ix < topo_->ixpCount(); ++ix) {
+        const auto& lan = topo_->ixp(ix).lanPrefix;
+        if (topo_->ixp(ix).lanInGlobalTable ||
+            rng.bernoulli(ixpHistoricProb)) {
+            list.entries.push_back(
+                lan.addressAt(1 + rng.uniformInt(lan.size() - 2)));
+        }
+    }
+    return list;
+}
+
+Hitlist HitlistBuilder::buildCaidaStyle(net::Rng& rng) const {
+    Hitlist list;
+    list.name = "CAIDA routed-/24";
+    for (const net::Prefix& slash24 : routedSlash24s(*topo_)) {
+        list.entries.push_back(
+            slash24.addressAt(rng.uniformInt(slash24.size())));
+    }
+    return list;
+}
+
+PingScanner::PingScanner(const topo::Topology& topology,
+                         const ResponsivenessModel& model)
+    : topo_(&topology), model_(&model) {}
+
+ScanOutcome PingScanner::scan(const Hitlist& hitlist) const {
+    ScanOutcome outcome;
+    outcome.dataset = hitlist.name;
+    for (const net::Ipv4Address address : hitlist.entries) {
+        ++outcome.probesSent;
+        const bool responds = hitlist.curated
+                                  ? model_->respondsToCurated(address)
+                                  : model_->respondsToPing(address);
+        if (!responds) {
+            continue;
+        }
+        ++outcome.responses;
+        if (const auto as = topo_->originOf(address)) {
+            outcome.observedAses.insert(*as);
+        } else if (const auto ixp = topo_->ixpOfLanAddress(address)) {
+            outcome.observedIxps.insert(*ixp);
+        }
+    }
+    return outcome;
+}
+
+YarrpScanner::YarrpScanner(const topo::Topology& topology,
+                           const TracerouteEngine& engine,
+                           const ResponsivenessModel& model)
+    : topo_(&topology), engine_(&engine), model_(&model) {}
+
+ScanOutcome YarrpScanner::scan(topo::AsIndex vantage, net::Rng& rng,
+                               double per24SampleRate) const {
+    AIO_EXPECTS(per24SampleRate > 0.0 && per24SampleRate <= 1.0,
+                "sample rate must be in (0,1]");
+    ScanOutcome outcome;
+    outcome.dataset = "YARRP";
+    for (const net::Prefix& slash24 : routedSlash24s(*topo_)) {
+        if (!rng.bernoulli(per24SampleRate)) {
+            continue;
+        }
+        const net::Ipv4Address target =
+            slash24.addressAt(rng.uniformInt(slash24.size()));
+        ++outcome.probesSent;
+        const bool responds = model_->respondsToYarrp(target);
+        const TracerouteResult trace =
+            engine_->trace(vantage, target, rng, responds);
+        if (trace.reachedTarget) {
+            ++outcome.responses;
+        }
+        for (const Hop& hop : trace.hops) {
+            if (hop.ixp) {
+                outcome.observedIxps.insert(*hop.ixp);
+                continue;
+            }
+            if (!hop.asIndex) {
+                continue;
+            }
+            // A hop in the destination AS of a non-responding target only
+            // materialises when that network's border answers
+            // TTL-expired; transit hops belong to networks that forward,
+            // so their borders are taken as responsive.
+            if (!trace.reachedTarget && trace.dstAs &&
+                *hop.asIndex == *trace.dstAs &&
+                !model_->borderRespondsToTraceroute(*hop.asIndex)) {
+                continue;
+            }
+            outcome.observedAses.insert(*hop.asIndex);
+        }
+    }
+    return outcome;
+}
+
+CoverageAnalyzer::CoverageAnalyzer(const topo::Topology& topology)
+    : topo_(&topology) {}
+
+CoverageReport CoverageAnalyzer::analyze(const ScanOutcome& outcome,
+                                         std::size_t entries) const {
+    CoverageReport report;
+    report.dataset = outcome.dataset;
+    report.entries = entries;
+
+    const auto regionOfAs = [&](topo::AsIndex as) {
+        return topo_->as(as).region;
+    };
+    struct Tally {
+        int expected = 0;
+        int observed = 0;
+        [[nodiscard]] double coverage() const {
+            return expected == 0
+                       ? 0.0
+                       : static_cast<double>(observed) / expected;
+        }
+    };
+    Tally mobile;
+    Tally nonMobile;
+    Tally ixps;
+    std::unordered_map<net::Region, Tally> mobileByRegion;
+    std::unordered_map<net::Region, Tally> nonMobileByRegion;
+    std::unordered_map<net::Region, Tally> ixpByRegion;
+
+    for (const topo::AsIndex as : topo_->africanAses()) {
+        const bool seen = outcome.observedAses.contains(as);
+        Tally& overall = topo_->as(as).mobileDominant ? mobile : nonMobile;
+        auto& regional = topo_->as(as).mobileDominant
+                             ? mobileByRegion[regionOfAs(as)]
+                             : nonMobileByRegion[regionOfAs(as)];
+        ++overall.expected;
+        ++regional.expected;
+        if (seen) {
+            ++overall.observed;
+            ++regional.observed;
+        }
+    }
+    for (const topo::IxpIndex ix : topo_->africanIxps()) {
+        const bool seen = outcome.observedIxps.contains(ix);
+        ++ixps.expected;
+        ++ixpByRegion[topo_->ixp(ix).region].expected;
+        if (seen) {
+            ++ixps.observed;
+            ++ixpByRegion[topo_->ixp(ix).region].observed;
+        }
+    }
+
+    report.mobileAsnCoverage = mobile.coverage();
+    report.nonMobileAsnCoverage = nonMobile.coverage();
+    report.ixpCoverage = ixps.coverage();
+    for (const net::Region region : net::africanRegions()) {
+        CoverageReport::Regional row;
+        row.region = region;
+        row.mobile = mobileByRegion[region].coverage();
+        row.nonMobile = nonMobileByRegion[region].coverage();
+        row.ixp = ixpByRegion[region].coverage();
+        report.regional.push_back(row);
+    }
+    return report;
+}
+
+} // namespace aio::measure

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "measure/responsiveness.hpp"
+#include "measure/traceroute.hpp"
+#include "netbase/region.hpp"
+
+namespace aio::measure {
+
+/// A target list for ping-based scanning. `curated` marks lists built from
+/// responsiveness history (ANT) as opposed to blind address selection
+/// (routed-/24): curated entries answer with high probability because
+/// answering is why they were listed.
+struct Hitlist {
+    std::string name;
+    bool curated = false;
+    std::vector<net::Ipv4Address> entries;
+};
+
+/// Builds the two hitlist families Table 1 evaluates.
+class HitlistBuilder {
+public:
+    HitlistBuilder(const topo::Topology& topology,
+                   const ResponsivenessModel& model);
+
+    /// ANT-style: history-curated responsive addresses. Large; includes
+    /// every AS the methodology has ever seen respond, plus a share of
+    /// IXP LAN addresses discovered in historical traceroutes.
+    [[nodiscard]] Hitlist buildAntStyle(net::Rng& rng,
+                                        double ixpHistoricProb = 0.17) const;
+
+    /// CAIDA routed-/24-style: one random address per /24 of every prefix
+    /// in the global BGP table. IXP LANs are only present when advertised
+    /// (most are not — §6.1).
+    [[nodiscard]] Hitlist buildCaidaStyle(net::Rng& rng) const;
+
+private:
+    const topo::Topology* topo_;
+    const ResponsivenessModel* model_;
+};
+
+/// What a scan campaign observed.
+struct ScanOutcome {
+    std::string dataset;
+    std::size_t probesSent = 0;
+    std::size_t responses = 0;
+    std::set<topo::AsIndex> observedAses;
+    std::set<topo::IxpIndex> observedIxps;
+};
+
+/// ICMP ping sweep over a hitlist.
+class PingScanner {
+public:
+    PingScanner(const topo::Topology& topology,
+                const ResponsivenessModel& model);
+
+    [[nodiscard]] ScanOutcome scan(const Hitlist& hitlist) const;
+
+private:
+    const topo::Topology* topo_;
+    const ResponsivenessModel* model_;
+};
+
+/// YARRP-style randomized traceroute scan from one vantage AS toward one
+/// random address per routed /24. Observes target origins *and* every AS /
+/// IXP LAN that shows up as an intermediate hop.
+class YarrpScanner {
+public:
+    YarrpScanner(const topo::Topology& topology,
+                 const TracerouteEngine& engine,
+                 const ResponsivenessModel& model);
+
+    [[nodiscard]] ScanOutcome scan(topo::AsIndex vantage, net::Rng& rng,
+                                   double per24SampleRate = 1.0) const;
+
+private:
+    const topo::Topology* topo_;
+    const TracerouteEngine* engine_;
+    const ResponsivenessModel* model_;
+};
+
+/// Coverage of one dataset over the African Internet (Table 1): fraction
+/// of expected mobile ASNs / non-mobile ASNs / IXPs observed, plus the
+/// per-region breakdown §6.1 discusses.
+struct CoverageReport {
+    std::string dataset;
+    std::size_t entries = 0;
+    double mobileAsnCoverage = 0.0;
+    double nonMobileAsnCoverage = 0.0;
+    double ixpCoverage = 0.0;
+    struct Regional {
+        net::Region region = net::Region::NorthernAfrica;
+        double mobile = 0.0;
+        double nonMobile = 0.0;
+        double ixp = 0.0;
+    };
+    std::vector<Regional> regional; ///< African regions, display order
+};
+
+class CoverageAnalyzer {
+public:
+    explicit CoverageAnalyzer(const topo::Topology& topology);
+
+    [[nodiscard]] CoverageReport analyze(const ScanOutcome& outcome,
+                                         std::size_t entries) const;
+
+private:
+    const topo::Topology* topo_;
+};
+
+/// Enumerates the /24s of every globally advertised prefix (AS prefixes +
+/// the minority of IXP LANs that are advertised). Shared by the CAIDA
+/// hitlist and the YARRP target generator.
+[[nodiscard]] std::vector<net::Prefix>
+routedSlash24s(const topo::Topology& topology);
+
+} // namespace aio::measure

@@ -1,0 +1,135 @@
+#include "measure/traceroute.hpp"
+
+#include <algorithm>
+
+#include "netbase/error.hpp"
+#include "netbase/geo.hpp"
+
+namespace aio::measure {
+
+std::vector<topo::AsIndex> TracerouteResult::asPath() const {
+    std::vector<topo::AsIndex> out;
+    for (const Hop& hop : hops) {
+        if (hop.asIndex && (out.empty() || out.back() != *hop.asIndex)) {
+            out.push_back(*hop.asIndex);
+        }
+    }
+    return out;
+}
+
+std::vector<topo::IxpIndex> TracerouteResult::ixpsCrossed() const {
+    std::vector<topo::IxpIndex> out;
+    for (const Hop& hop : hops) {
+        if (hop.ixp && std::ranges::find(out, *hop.ixp) == out.end()) {
+            out.push_back(*hop.ixp);
+        }
+    }
+    return out;
+}
+
+double TracerouteResult::lastRttMs() const {
+    return hops.empty() ? 0.0 : hops.back().rttMs;
+}
+
+TracerouteEngine::TracerouteEngine(const topo::Topology& topology,
+                                   const route::PathOracle& oracle,
+                                   TracerouteConfig config)
+    : topo_(&topology), oracle_(&oracle), config_(config) {
+    AIO_EXPECTS(topology.finalized(), "topology must be finalized");
+}
+
+TracerouteResult TracerouteEngine::trace(topo::AsIndex src,
+                                         net::Ipv4Address target,
+                                         net::Rng& rng,
+                                         bool targetResponds) const {
+    AIO_EXPECTS(src < topo_->asCount(), "source AS OOB");
+    TracerouteResult result;
+    result.srcAs = src;
+    result.target = target;
+    result.dstAs = topo_->originOf(target);
+    if (!result.dstAs) {
+        // Unrouted space (e.g. an unadvertised IXP LAN): packets die at
+        // the source's border. A single in-src hop is all we see.
+        Hop hop;
+        hop.address = topo_->routerAddress(src, 1);
+        hop.asIndex = src;
+        hop.rttMs = rng.exponential(1.0);
+        hop.trueLocation = topo_->as(src).location;
+        result.hops.push_back(hop);
+        return result;
+    }
+
+    const auto asPath = oracle_->path(src, *result.dstAs);
+    if (asPath.empty()) {
+        return result; // unreachable under current routing
+    }
+
+    double rtt = 0.0;
+    net::GeoPoint prev = topo_->as(src).location;
+    const std::uint64_t flowSalt =
+        (static_cast<std::uint64_t>(src) << 32) ^ target.value();
+    for (std::size_t i = 0; i < asPath.size(); ++i) {
+        const topo::AsIndex as = asPath[i];
+        const net::GeoPoint here = topo_->as(as).location;
+        rtt += 2.0 * net::fiberDelayMs(net::haversineKm(prev, here),
+                                       config_.pathStretch) +
+               rng.exponential(config_.perHopJitterMs);
+        prev = here;
+
+        const bool isLast = (i + 1 == asPath.size());
+        if (!isLast || !targetResponds) {
+            // Intermediate border-router hop (may be anonymous).
+            if (!rng.bernoulli(config_.hopLossProb)) {
+                Hop hop;
+                hop.address = topo_->routerAddress(as, flowSalt + i);
+                hop.asIndex = as;
+                hop.rttMs = rtt;
+                hop.trueLocation = here;
+                result.hops.push_back(hop);
+            }
+        } else {
+            // Final hop: the target answers from its own address.
+            Hop hop;
+            hop.address = target;
+            hop.asIndex = as;
+            hop.rttMs = rtt;
+            hop.trueLocation = here;
+            result.hops.push_back(hop);
+            result.reachedTarget = true;
+        }
+
+        // IXP LAN hop when the next adjacency is public peering.
+        if (!isLast) {
+            const auto ixp = topo_->ixpBetween(as, asPath[i + 1]);
+            if (ixp) {
+                const auto& fabric = topo_->ixp(*ixp);
+                const net::GeoPoint at = fabric.location;
+                rtt += 2.0 * net::fiberDelayMs(net::haversineKm(prev, at),
+                                               config_.pathStretch) +
+                       rng.exponential(config_.perHopJitterMs);
+                prev = at;
+                if (!rng.bernoulli(config_.hopLossProb)) {
+                    Hop hop;
+                    // The next AS's router port on the exchange fabric.
+                    hop.address = fabric.lanPrefix.addressAt(
+                        1 + (topo_->as(asPath[i + 1]).asn %
+                             (fabric.lanPrefix.size() - 2)));
+                    hop.ixp = *ixp;
+                    hop.rttMs = rtt;
+                    hop.trueLocation = at;
+                    result.hops.push_back(hop);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+TracerouteResult TracerouteEngine::traceToAs(topo::AsIndex src,
+                                             topo::AsIndex dst,
+                                             net::Rng& rng) const {
+    AIO_EXPECTS(dst < topo_->asCount(), "destination AS OOB");
+    return trace(src, topo_->routerAddress(dst, 0), rng);
+}
+
+} // namespace aio::measure

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "routing/path_oracle.hpp"
+
+namespace aio::measure {
+
+/// One traceroute hop as a measurement platform would record it.
+struct Hop {
+    net::Ipv4Address address;
+    std::optional<topo::AsIndex> asIndex; ///< origin AS; empty for IXP LANs
+    std::optional<topo::IxpIndex> ixp;    ///< set when this is an IXP LAN hop
+    double rttMs = 0.0;
+    net::GeoPoint trueLocation; ///< ground truth (geolocation services add
+                                ///< error on top, see GeolocationModel)
+};
+
+/// Result of one simulated traceroute.
+struct TracerouteResult {
+    topo::AsIndex srcAs = 0;
+    net::Ipv4Address target;
+    std::optional<topo::AsIndex> dstAs; ///< origin of target, if routed
+    bool reachedTarget = false;         ///< final hop responded
+    std::vector<Hop> hops;
+
+    /// Distinct ASes in hop order (IXP LAN hops skipped).
+    [[nodiscard]] std::vector<topo::AsIndex> asPath() const;
+    /// IXPs whose LAN appears among the hops.
+    [[nodiscard]] std::vector<topo::IxpIndex> ixpsCrossed() const;
+    /// End-to-end RTT of the last responding hop.
+    [[nodiscard]] double lastRttMs() const;
+};
+
+struct TracerouteConfig {
+    double perHopJitterMs = 0.4; ///< queueing noise added per hop
+    double hopLossProb = 0.03;   ///< probability a hop is anonymous (***)
+    double pathStretch = 1.3;    ///< fibre-vs-geodesic stretch factor
+};
+
+/// Simulates traceroute over the AS topology + policy routes.
+///
+/// Hop sequence: one border router per AS on the policy path, plus an IXP
+/// LAN hop wherever the crossed adjacency is public peering at an IXP —
+/// exactly the signal traIXroute-style detection keys on. RTTs accumulate
+/// great-circle fibre delay between consecutive hop locations, so routes
+/// that hairpin through Europe show the characteristic latency penalty.
+class TracerouteEngine {
+public:
+    TracerouteEngine(const topo::Topology& topology,
+                     const route::PathOracle& oracle,
+                     TracerouteConfig config = {});
+
+    /// Traceroute from an AS toward an arbitrary address. `targetResponds`
+    /// lets scanners overlay their responsiveness model for the final hop.
+    [[nodiscard]] TracerouteResult trace(topo::AsIndex src,
+                                         net::Ipv4Address target,
+                                         net::Rng& rng,
+                                         bool targetResponds = true) const;
+
+    /// Convenience: traceroute to a stable router address inside dst.
+    [[nodiscard]] TracerouteResult traceToAs(topo::AsIndex src,
+                                             topo::AsIndex dst,
+                                             net::Rng& rng) const;
+
+    [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+private:
+    const topo::Topology* topo_;
+    const route::PathOracle* oracle_;
+    TracerouteConfig config_;
+};
+
+} // namespace aio::measure

@@ -1,0 +1,125 @@
+#include "nautilus/inference.hpp"
+
+#include <algorithm>
+
+#include "netbase/geo.hpp"
+
+namespace aio::nautilus {
+
+std::vector<phys::CableId> PathInference::allCandidates() const {
+    std::vector<phys::CableId> out;
+    for (const SegmentInference& segment : segments) {
+        for (const phys::CableId id : segment.candidates) {
+            if (std::ranges::find(out, id) == out.end()) {
+                out.push_back(id);
+            }
+        }
+    }
+    return out;
+}
+
+CableInference::CableInference(const topo::Topology& topology,
+                               const phys::PhysicalLinkMap& linkMap,
+                               const measure::GeolocationModel& geoloc,
+                               InferenceConfig config)
+    : topo_(&topology), linkMap_(&linkMap), geoloc_(&geoloc),
+      config_(config) {}
+
+std::vector<phys::CableId>
+CableInference::candidatesFor(const net::GeoPoint& nearEst,
+                              const net::GeoPoint& farEst,
+                              double rttDeltaMs) const {
+    std::vector<phys::CableId> out;
+    const auto& registry = linkMap_->registry();
+    for (phys::CableId id = 0; id < registry.cableCount(); ++id) {
+        const phys::SubseaCable& cable = registry.cable(id);
+        double bestNear = 1e18;
+        double bestFar = 1e18;
+        net::GeoPoint nearLanding{};
+        net::GeoPoint farLanding{};
+        for (const phys::LandingStation& station : cable.landings) {
+            const double dNear = net::haversineKm(station.location, nearEst);
+            const double dFar = net::haversineKm(station.location, farEst);
+            if (dNear < bestNear) {
+                bestNear = dNear;
+                nearLanding = station.location;
+            }
+            if (dFar < bestFar) {
+                bestFar = dFar;
+                farLanding = station.location;
+            }
+        }
+        if (bestNear > config_.landingRadiusKm ||
+            bestFar > config_.landingRadiusKm) {
+            continue;
+        }
+        // Latency consistency: the wet segment between the two matched
+        // landings must fit inside the observed RTT delta (plus slack).
+        const double wetRtt = net::rttMs(nearLanding, farLanding, 1.1);
+        if (wetRtt > rttDeltaMs + config_.latencySlackMs) {
+            continue;
+        }
+        out.push_back(id);
+    }
+    return out;
+}
+
+PathInference
+CableInference::inferFromTrace(const measure::TracerouteResult& trace) const {
+    PathInference result;
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+        const measure::Hop& a = trace.hops[i];
+        const measure::Hop& b = trace.hops[i + 1];
+        const net::GeoPoint estA = geoloc_->locate(a.address);
+        const net::GeoPoint estB = geoloc_->locate(b.address);
+        if (net::haversineKm(estA, estB) < config_.minSegmentKm) {
+            continue; // looks metro/terrestrial to the inference
+        }
+        SegmentInference segment;
+        segment.nearHop = a.address;
+        segment.farHop = b.address;
+        segment.candidates =
+            candidatesFor(estA, estB, std::max(0.0, b.rttMs - a.rttMs));
+        // Ground truth from the physical layer, when the hop pair is an
+        // actual AS adjacency.
+        if (a.asIndex && b.asIndex && *a.asIndex != *b.asIndex &&
+            topo_->hasLink(*a.asIndex, *b.asIndex)) {
+            const auto& path = linkMap_->forLink(*a.asIndex, *b.asIndex);
+            segment.groundTruth = path.cables;
+        }
+        if (!segment.candidates.empty() || !segment.groundTruth.empty()) {
+            result.segments.push_back(std::move(segment));
+        }
+    }
+    return result;
+}
+
+AmbiguityAnalyzer::AmbiguityAnalyzer(const CableInference& inference)
+    : inference_(&inference) {}
+
+AmbiguityStats AmbiguityAnalyzer::analyze(
+    const std::vector<measure::TracerouteResult>& traces) const {
+    AmbiguityStats stats;
+    double candidateSum = 0.0;
+    for (const auto& trace : traces) {
+        const PathInference inference = inference_->inferFromTrace(trace);
+        const auto candidates = inference.allCandidates();
+        if (candidates.empty()) {
+            continue;
+        }
+        ++stats.pathsWithSubmarineSegments;
+        if (candidates.size() > 1) {
+            ++stats.ambiguousPaths;
+            candidateSum += static_cast<double>(candidates.size());
+        }
+        stats.maxCandidatesOnOnePath =
+            std::max(stats.maxCandidatesOnOnePath, candidates.size());
+    }
+    if (stats.ambiguousPaths > 0) {
+        stats.meanCandidatesPerAmbiguousPath =
+            candidateSum / static_cast<double>(stats.ambiguousPaths);
+    }
+    return stats;
+}
+
+} // namespace aio::nautilus

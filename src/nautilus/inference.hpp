@@ -1,0 +1,93 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "measure/geoloc.hpp"
+#include "measure/traceroute.hpp"
+#include "phys/linkmap.hpp"
+
+namespace aio::nautilus {
+
+/// Nautilus-style cross-layer cable inference (§6.2). Given a traceroute,
+/// find its submarine segments and, for each, the set of cables that are
+/// *consistent* with the observed endpoints: a candidate must have one
+/// landing near each endpoint's estimated location, with "near" widened
+/// by the geolocation error the continent suffers from, and its implied
+/// propagation delay must fit the observed RTT delta.
+struct InferenceConfig {
+    /// Matching radius around each estimated endpoint. Must be generous:
+    /// geolocation error plus inland PoPs far from their landing station.
+    double landingRadiusKm = 1000.0;
+    /// Latency-consistency slack (queueing, inland tails).
+    double latencySlackMs = 30.0;
+    /// Hops closer than this are not considered submarine segments.
+    double minSegmentKm = 400.0;
+};
+
+/// One submarine segment of a traceroute plus its candidate cables.
+struct SegmentInference {
+    net::Ipv4Address nearHop;
+    net::Ipv4Address farHop;
+    std::vector<phys::CableId> candidates;
+    /// Ground-truth carriers of the underlying AS adjacency (empty when
+    /// the segment is not actually subsea — a false positive).
+    std::vector<phys::CableId> groundTruth;
+};
+
+struct PathInference {
+    std::vector<SegmentInference> segments;
+    /// Union of candidates across all segments of the path.
+    [[nodiscard]] std::vector<phys::CableId> allCandidates() const;
+};
+
+class CableInference {
+public:
+    CableInference(const topo::Topology& topology,
+                   const phys::PhysicalLinkMap& linkMap,
+                   const measure::GeolocationModel& geoloc,
+                   InferenceConfig config = {});
+
+    [[nodiscard]] PathInference
+    inferFromTrace(const measure::TracerouteResult& trace) const;
+
+    /// Candidate cables for one segment given estimated endpoint
+    /// locations and the RTT delta between the hops.
+    [[nodiscard]] std::vector<phys::CableId>
+    candidatesFor(const net::GeoPoint& nearEst, const net::GeoPoint& farEst,
+                  double rttDeltaMs) const;
+
+private:
+    const topo::Topology* topo_;
+    const phys::PhysicalLinkMap* linkMap_;
+    const measure::GeolocationModel* geoloc_;
+    InferenceConfig config_;
+};
+
+/// §6.2 headline numbers over a traceroute corpus.
+struct AmbiguityStats {
+    std::size_t pathsWithSubmarineSegments = 0;
+    std::size_t ambiguousPaths = 0; ///< mapped to more than one cable
+    std::size_t maxCandidatesOnOnePath = 0;
+    double meanCandidatesPerAmbiguousPath = 0.0;
+    /// Share of ambiguous paths among paths with submarine segments.
+    [[nodiscard]] double ambiguousShare() const {
+        return pathsWithSubmarineSegments == 0
+                   ? 0.0
+                   : static_cast<double>(ambiguousPaths) /
+                         static_cast<double>(pathsWithSubmarineSegments);
+    }
+};
+
+class AmbiguityAnalyzer {
+public:
+    explicit AmbiguityAnalyzer(const CableInference& inference);
+
+    [[nodiscard]] AmbiguityStats
+    analyze(const std::vector<measure::TracerouteResult>& traces) const;
+
+private:
+    const CableInference* inference_;
+};
+
+} // namespace aio::nautilus

@@ -1,0 +1,15 @@
+#include "netbase/error.hpp"
+
+#include <sstream>
+
+namespace aio::net::detail {
+
+void throwPrecondition(const char* expr, const char* msg,
+                       const std::source_location& where) {
+    std::ostringstream out;
+    out << "precondition failed: " << msg << " [" << expr << "] at "
+        << where.file_name() << ':' << where.line();
+    throw PreconditionError{out.str()};
+}
+
+} // namespace aio::net::detail

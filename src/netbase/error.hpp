@@ -1,0 +1,54 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace aio::net {
+
+/// Base class for all errors raised by the observatory libraries.
+///
+/// Every precondition violation or invariant breach inside the library
+/// throws an exception derived from AioError so callers can catch one type
+/// at API boundaries (examples and benches catch `const aio::net::AioError&`).
+class AioError : public std::runtime_error {
+public:
+    explicit AioError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates a documented precondition.
+class PreconditionError : public AioError {
+public:
+    explicit PreconditionError(const std::string& what) : AioError(what) {}
+};
+
+/// Raised when input text (an address, a prefix, a country code) fails to
+/// parse.
+class ParseError : public AioError {
+public:
+    explicit ParseError(const std::string& what) : AioError(what) {}
+};
+
+/// Raised when a lookup misses (unknown ASN, unknown country, ...).
+class NotFoundError : public AioError {
+public:
+    explicit NotFoundError(const std::string& what) : AioError(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwPrecondition(const char* expr, const char* msg,
+                                    const std::source_location& where);
+} // namespace detail
+
+/// Precondition check: throws PreconditionError with file/line context.
+/// Used instead of assert() so violations are diagnosable in Release builds
+/// (all benches run in Release).
+#define AIO_EXPECTS(expr, msg)                                                \
+    do {                                                                      \
+        if (!(expr)) {                                                        \
+            ::aio::net::detail::throwPrecondition(                            \
+                #expr, (msg), std::source_location::current());               \
+        }                                                                     \
+    } while (false)
+
+} // namespace aio::net

@@ -1,0 +1,34 @@
+#include "netbase/geo.hpp"
+
+#include <cmath>
+
+namespace aio::net {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.141592653589793;
+constexpr double kFiberKmPerMs = 299792.458 / 1.52 / 1000.0; // ~197 km/ms
+
+double toRadians(double degrees) { return degrees * kPi / 180.0; }
+} // namespace
+
+double haversineKm(const GeoPoint& a, const GeoPoint& b) {
+    const double lat1 = toRadians(a.latitude);
+    const double lat2 = toRadians(b.latitude);
+    const double dLat = lat2 - lat1;
+    const double dLon = toRadians(b.longitude - a.longitude);
+    const double s = std::sin(dLat / 2) * std::sin(dLat / 2) +
+                     std::cos(lat1) * std::cos(lat2) * std::sin(dLon / 2) *
+                         std::sin(dLon / 2);
+    return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double fiberDelayMs(double km, double pathStretch) {
+    return km * pathStretch / kFiberKmPerMs;
+}
+
+double rttMs(const GeoPoint& a, const GeoPoint& b, double pathStretch) {
+    return 2.0 * fiberDelayMs(haversineKm(a, b), pathStretch);
+}
+
+} // namespace aio::net

@@ -1,0 +1,23 @@
+#pragma once
+
+namespace aio::net {
+
+/// A point on the globe (degrees).
+struct GeoPoint {
+    double latitude = 0.0;
+    double longitude = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine formula).
+[[nodiscard]] double haversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way fibre propagation delay in milliseconds for a geodesic path of
+/// `km` kilometres. Uses c / 1.52 (refractive index of fibre) plus a path
+/// stretch factor, the standard approximation in latency studies.
+[[nodiscard]] double fiberDelayMs(double km, double pathStretch = 1.3);
+
+/// Round-trip propagation delay between two points in milliseconds.
+[[nodiscard]] double rttMs(const GeoPoint& a, const GeoPoint& b,
+                           double pathStretch = 1.3);
+
+} // namespace aio::net

@@ -1,0 +1,120 @@
+#include "netbase/ip.hpp"
+
+#include <charconv>
+
+#include "netbase/error.hpp"
+
+namespace aio::net {
+
+namespace {
+
+int parseComponent(std::string_view text, std::string_view original,
+                   int maxValue) {
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size() || value < 0 ||
+        value > maxValue) {
+        throw ParseError{"malformed IPv4 text: '" + std::string{original} +
+                         "'"};
+    }
+    return value;
+}
+
+} // namespace
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+    std::uint32_t value = 0;
+    std::string_view rest = text;
+    for (int i = 0; i < 4; ++i) {
+        const auto dot = rest.find('.');
+        const bool last = (i == 3);
+        if (last != (dot == std::string_view::npos)) {
+            throw ParseError{"malformed IPv4 text: '" + std::string{text} +
+                             "'"};
+        }
+        const auto piece = last ? rest : rest.substr(0, dot);
+        if (piece.empty()) {
+            throw ParseError{"malformed IPv4 text: '" + std::string{text} +
+                             "'"};
+        }
+        value = (value << 8) |
+                static_cast<std::uint32_t>(parseComponent(piece, text, 255));
+        if (!last) {
+            rest = rest.substr(dot + 1);
+        }
+    }
+    return Ipv4Address{value};
+}
+
+std::string Ipv4Address::toString() const {
+    std::string out;
+    out.reserve(15);
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        out += std::to_string((value_ >> shift) & 0xffU);
+        if (shift != 0) {
+            out += '.';
+        }
+    }
+    return out;
+}
+
+Prefix::Prefix(Ipv4Address address, int length) : length_(length) {
+    AIO_EXPECTS(length >= 0 && length <= 32, "prefix length out of range");
+    const std::uint32_t m =
+        length == 0 ? 0U : (~std::uint32_t{0} << (32 - length));
+    address_ = Ipv4Address{address.value() & m};
+}
+
+Prefix Prefix::parse(std::string_view text) {
+    const auto slash = text.find('/');
+    if (slash == std::string_view::npos) {
+        throw ParseError{"prefix missing '/': '" + std::string{text} + "'"};
+    }
+    const auto addr = Ipv4Address::parse(text.substr(0, slash));
+    const auto lenText = text.substr(slash + 1);
+    int length = 0;
+    const auto [ptr, ec] = std::from_chars(
+        lenText.data(), lenText.data() + lenText.size(), length);
+    if (ec != std::errc{} || ptr != lenText.data() + lenText.size() ||
+        length < 0 || length > 32) {
+        throw ParseError{"malformed prefix length: '" + std::string{text} +
+                         "'"};
+    }
+    return Prefix{addr, length};
+}
+
+std::uint32_t Prefix::mask() const {
+    return length_ == 0 ? 0U : (~std::uint32_t{0} << (32 - length_));
+}
+
+std::uint64_t Prefix::size() const {
+    return std::uint64_t{1} << (32 - length_);
+}
+
+bool Prefix::contains(Ipv4Address addr) const {
+    return (addr.value() & mask()) == address_.value();
+}
+
+bool Prefix::contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.address_);
+}
+
+Ipv4Address Prefix::addressAt(std::uint64_t offset) const {
+    AIO_EXPECTS(offset < size(), "address offset outside prefix");
+    return Ipv4Address{address_.value() + static_cast<std::uint32_t>(offset)};
+}
+
+std::pair<Prefix, Prefix> Prefix::split() const {
+    AIO_EXPECTS(length_ < 32, "cannot split a /32");
+    const Prefix low{address_, length_ + 1};
+    const Prefix high{
+        Ipv4Address{address_.value() | (1U << (31 - length_))}, length_ + 1};
+    return {low, high};
+}
+
+std::string Prefix::toString() const {
+    return address_.toString() + '/' + std::to_string(length_);
+}
+
+} // namespace aio::net

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aio::net {
+
+/// An IPv4 address stored as a host-order 32-bit value.
+///
+/// The simulator works entirely in IPv4 because all of the paper's data
+/// sources (hitlists, routed /24 topology, IXP LAN prefixes) are IPv4
+/// datasets.
+class Ipv4Address {
+public:
+    constexpr Ipv4Address() = default;
+    constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+    constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                          std::uint8_t d)
+        : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                 (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+    /// Parse dotted-quad text ("196.223.14.1"). Throws ParseError on
+    /// malformed input.
+    static Ipv4Address parse(std::string_view text);
+
+    [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+    [[nodiscard]] std::string toString() const;
+
+    constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (address + length), always stored in canonical form with
+/// host bits cleared.
+class Prefix {
+public:
+    constexpr Prefix() = default;
+
+    /// Builds a canonical prefix; host bits in `address` are masked off.
+    /// Throws PreconditionError if length > 32.
+    Prefix(Ipv4Address address, int length);
+
+    /// Parse "a.b.c.d/len" text. Throws ParseError on malformed input.
+    static Prefix parse(std::string_view text);
+
+    [[nodiscard]] constexpr Ipv4Address address() const { return address_; }
+    [[nodiscard]] constexpr int length() const { return length_; }
+    [[nodiscard]] std::uint32_t mask() const;
+
+    /// Number of addresses covered (2^(32-length)).
+    [[nodiscard]] std::uint64_t size() const;
+
+    [[nodiscard]] bool contains(Ipv4Address addr) const;
+    [[nodiscard]] bool contains(const Prefix& other) const;
+
+    /// The i-th address inside the prefix. Requires offset < size().
+    [[nodiscard]] Ipv4Address addressAt(std::uint64_t offset) const;
+
+    /// Splits into the two child prefixes of length+1.
+    /// Requires length() < 32.
+    [[nodiscard]] std::pair<Prefix, Prefix> split() const;
+
+    [[nodiscard]] std::string toString() const;
+
+    auto operator<=>(const Prefix&) const = default;
+
+private:
+    Ipv4Address address_;
+    int length_ = 0;
+};
+
+} // namespace aio::net

@@ -1,0 +1,130 @@
+#include "netbase/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace aio::net {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) {
+        s = splitmix64(sm);
+    }
+}
+
+std::uint64_t Rng::next() {
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t bound) {
+    AIO_EXPECTS(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+std::int64_t Rng::uniformRange(std::int64_t lo, std::int64_t hi) {
+    AIO_EXPECTS(lo <= hi, "uniformRange requires lo <= hi");
+    const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(width));
+}
+
+double Rng::uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double lo, double hi) {
+    AIO_EXPECTS(lo <= hi, "uniformReal requires lo <= hi");
+    return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+    AIO_EXPECTS(mean > 0.0, "exponential mean must be positive");
+    double u = uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double Rng::pareto(double alpha, double xMin) {
+    AIO_EXPECTS(alpha > 0.0 && xMin > 0.0, "pareto needs positive params");
+    double u = uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return xMin / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+    AIO_EXPECTS(stddev >= 0.0, "gaussian stddev must be non-negative");
+    double u1 = uniform01();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.141592653589793 * u2);
+}
+
+int Rng::poisson(double lambda) {
+    AIO_EXPECTS(lambda >= 0.0, "poisson lambda must be non-negative");
+    if (lambda == 0.0) return 0;
+    const double limit = std::exp(-lambda);
+    double product = uniform01();
+    int count = 0;
+    while (product > limit) {
+        product *= uniform01();
+        ++count;
+    }
+    return count;
+}
+
+std::size_t Rng::weightedIndex(std::span<const double> weights) {
+    AIO_EXPECTS(!weights.empty(), "weightedIndex needs weights");
+    double total = 0.0;
+    for (const double w : weights) {
+        AIO_EXPECTS(w >= 0.0, "weights must be non-negative");
+        total += w;
+    }
+    AIO_EXPECTS(total > 0.0, "weights must have a positive sum");
+    double target = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target <= 0.0) {
+            return i;
+        }
+    }
+    return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+    return Rng{next() ^ (tag * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)};
+}
+
+} // namespace aio::net

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netbase/error.hpp"
+
+namespace aio::net {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// splitmix64).
+///
+/// Every stochastic component in the library receives an Rng explicitly —
+/// there is no global random state — so all experiments are reproducible
+/// from a single seed. The generator is cheap to copy; `fork(tag)` derives
+/// an independent child stream, which lets parallel subsystems draw from
+/// stable per-subsystem streams regardless of call order.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next();
+
+    /// Uniform integer in [0, bound). Requires bound > 0.
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform01();
+
+    /// Uniform double in [lo, hi).
+    double uniformReal(double lo, double hi);
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool bernoulli(double p);
+
+    /// Exponential variate with the given mean. Requires mean > 0.
+    double exponential(double mean);
+
+    /// Bounded Pareto-ish heavy-tail draw: shape alpha, minimum xMin.
+    /// Used for AS size and website popularity distributions.
+    double pareto(double alpha, double xMin);
+
+    /// Standard normal via Box-Muller.
+    double gaussian(double mean, double stddev);
+
+    /// Poisson variate (Knuth's method; fine for the small lambdas we use).
+    int poisson(double lambda);
+
+    /// Uniformly chosen element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> items) {
+        AIO_EXPECTS(!items.empty(), "pick() needs a non-empty range");
+        return items[static_cast<std::size_t>(uniformInt(items.size()))];
+    }
+
+    template <typename T>
+    const T& pick(const std::vector<T>& items) {
+        return pick(std::span<const T>{items});
+    }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(uniformInt(i));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /// Weighted index selection; weights must be non-negative with a
+    /// positive sum.
+    std::size_t weightedIndex(std::span<const double> weights);
+
+    /// Derive an independent child generator. Children with distinct tags
+    /// (or from generators in distinct states) produce unrelated streams.
+    Rng fork(std::uint64_t tag);
+
+private:
+    std::uint64_t state_[4];
+};
+
+} // namespace aio::net

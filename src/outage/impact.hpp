@@ -1,0 +1,87 @@
+#pragma once
+
+#include <map>
+
+#include "content/catalog.hpp"
+#include "dns/resolver.hpp"
+#include "outage/events.hpp"
+#include "routing/path_oracle.hpp"
+
+namespace aio::outage {
+
+/// Impact of one event on one country.
+struct CountryImpact {
+    std::string country;
+    /// Page-load failure share: 1 - success/baseline, where success needs
+    /// DNS *and* content reachability (§5.2's point: pages die with their
+    /// offshore resolvers even when content would have been reachable).
+    double pageLoadLoss = 0.0;
+    double dnsFailureShare = 0.0;
+    /// Days until this country recovers: repairs, or earlier via transit
+    /// re-negotiation (manual, slow — Ghana's March 2024 experience).
+    double effectiveOutageDays = 0.0;
+};
+
+struct ImpactReport {
+    OutageEvent event;
+    std::vector<CountryImpact> countries; ///< countries with loss > 0
+    /// Countries whose page-load loss exceeded the "impacted" threshold.
+    [[nodiscard]] std::vector<std::string> impactedCountries() const;
+    /// Longest country recovery — "time to resolve" as Radar would log it.
+    [[nodiscard]] double resolutionDays() const;
+};
+
+struct ImpactConfig {
+    double impactThreshold = 0.15;
+    /// Mean days to re-negotiate emergency transit after a cut.
+    double renegotiationMeanDays = 4.0;
+    /// Mean days to shift onto (oversubscribed) pre-arranged backups.
+    double degradedRecoveryMeanDays = 1.5;
+    /// Page-load loss above which a country counts as hard-down (needs
+    /// full re-negotiation rather than backup shuffling).
+    double hardDownThreshold = 0.6;
+    /// Share of a country's ASes knocked out by a power outage.
+    double powerOutageAsShare = 0.7;
+    /// Share of a country's links flapped by a routing incident.
+    double routingIncidentLinkShare = 0.3;
+    /// Top-site sample per eyeball AS when scoring page loads.
+    int siteSample = 30;
+};
+
+/// Scores ground-truth events into per-country impact, combining the
+/// routing, physical, DNS and content layers.
+class ImpactAnalyzer {
+public:
+    ImpactAnalyzer(const topo::Topology& topology,
+                   const phys::PhysicalLinkMap& linkMap,
+                   const dns::ResolverEcosystem& resolvers,
+                   const content::ContentCatalog& catalog,
+                   ImpactConfig config = {});
+
+    /// Routing filter describing the event's physical/administrative
+    /// damage (cable cuts -> failed subsea links; power/shutdown ->
+    /// disabled ASes; routing incident -> flapped links).
+    [[nodiscard]] route::LinkFilter filterFor(const OutageEvent& event,
+                                              net::Rng& rng) const;
+
+    /// Full impact assessment (computes a degraded PathOracle).
+    [[nodiscard]] ImpactReport assess(const OutageEvent& event,
+                                      net::Rng& rng) const;
+
+    /// Page-load success share for one country under a routing state.
+    [[nodiscard]] double pageLoadSuccess(std::string_view country,
+                                         const route::PathOracle& oracle) const;
+
+    [[nodiscard]] const ImpactConfig& config() const { return config_; }
+
+private:
+    const topo::Topology* topo_;
+    const phys::PhysicalLinkMap* linkMap_;
+    const dns::ResolverEcosystem* resolvers_;
+    const content::ContentCatalog* catalog_;
+    ImpactConfig config_;
+    route::PathOracle baselineOracle_;
+    std::map<std::string, double, std::less<>> baselineSuccess_;
+};
+
+} // namespace aio::outage

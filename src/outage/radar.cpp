@@ -1,0 +1,115 @@
+#include "outage/radar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netbase/error.hpp"
+#include "netbase/stats.hpp"
+
+namespace aio::outage {
+
+RadarMonitor::RadarMonitor(const topo::Topology& topology, RadarConfig config)
+    : topo_(&topology), config_(config) {
+    AIO_EXPECTS(config.samplesPerDay > 0.0, "samplesPerDay must be positive");
+    AIO_EXPECTS(config.dropThreshold > 0.0 && config.dropThreshold < 1.0,
+                "dropThreshold must be in (0,1)");
+}
+
+TrafficSeries
+RadarMonitor::seriesFor(std::string_view country, double windowDays,
+                        const std::vector<ImpactReport>& impacts,
+                        net::Rng& rng) const {
+    AIO_EXPECTS(windowDays > 0.0, "window must be positive");
+    TrafficSeries series;
+    series.country = std::string{country};
+    series.samplesPerDay = config_.samplesPerDay;
+
+    double base = 0.0;
+    for (const topo::AsIndex as : topo_->asesInCountry(country)) {
+        base += topo_->as(as).trafficWeight;
+    }
+    base = std::max(base, 0.1);
+
+    const auto samples =
+        static_cast<std::size_t>(windowDays * config_.samplesPerDay);
+    series.values.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double day =
+            static_cast<double>(i) / config_.samplesPerDay;
+        // Mild diurnal cycle plus sampling noise.
+        double value = base *
+                       (1.0 + 0.15 * std::sin(2.0 * 3.141592653589793 *
+                                              day)) *
+                       (1.0 + rng.gaussian(0.0, config_.noiseStddev));
+        for (const ImpactReport& report : impacts) {
+            for (const CountryImpact& impact : report.countries) {
+                if (impact.country != country ||
+                    impact.effectiveOutageDays <= 0.0) {
+                    continue;
+                }
+                const double start = report.event.startDay;
+                const double end = start + impact.effectiveOutageDays;
+                if (day >= start && day < end) {
+                    value *= (1.0 - impact.pageLoadLoss);
+                }
+            }
+        }
+        series.values.push_back(std::max(0.0, value));
+    }
+    return series;
+}
+
+std::vector<RadarDetection>
+RadarMonitor::detect(const TrafficSeries& series) const {
+    std::vector<RadarDetection> detections;
+    if (series.values.empty()) {
+        return detections;
+    }
+    const double baseline = net::median(series.values);
+    const double floor = baseline * (1.0 - config_.dropThreshold);
+
+    std::size_t runStart = 0;
+    int run = 0;
+    const auto flush = [&](std::size_t endExclusive) {
+        if (run >= config_.minConsecutiveSamples) {
+            RadarDetection detection;
+            detection.country = series.country;
+            detection.startDay =
+                static_cast<double>(runStart) / series.samplesPerDay;
+            detection.durationDays =
+                static_cast<double>(endExclusive - runStart) /
+                series.samplesPerDay;
+            detections.push_back(std::move(detection));
+        }
+        run = 0;
+    };
+    for (std::size_t i = 0; i < series.values.size(); ++i) {
+        if (series.values[i] < floor) {
+            if (run == 0) {
+                runStart = i;
+            }
+            ++run;
+        } else {
+            flush(i);
+        }
+    }
+    flush(series.values.size());
+    return detections;
+}
+
+std::vector<RadarDetection>
+RadarMonitor::detectAll(double windowDays,
+                        const std::vector<ImpactReport>& impacts,
+                        net::Rng& rng) const {
+    std::vector<RadarDetection> out;
+    for (const auto* country : net::CountryTable::world().african()) {
+        const auto series =
+            seriesFor(country->iso2, windowDays, impacts, rng);
+        for (auto& detection : detect(series)) {
+            out.push_back(std::move(detection));
+        }
+    }
+    return out;
+}
+
+} // namespace aio::outage

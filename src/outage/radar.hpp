@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+
+#include "outage/impact.hpp"
+
+namespace aio::outage {
+
+/// Per-country traffic series at daily resolution over the window.
+struct TrafficSeries {
+    std::string country;
+    double samplesPerDay = 4.0;
+    std::vector<double> values;
+};
+
+struct RadarConfig {
+    double samplesPerDay = 4.0;
+    double noiseStddev = 0.04;    ///< multiplicative sampling noise
+    double dropThreshold = 0.25;  ///< relative drop that counts as outage
+    int minConsecutiveSamples = 2;
+};
+
+/// One detection, as the Radar outage center would list it.
+struct RadarDetection {
+    std::string country;
+    double startDay = 0.0;
+    double durationDays = 0.0;
+};
+
+/// Cloudflare-Radar-style outage detection: build per-country traffic
+/// series from ground-truth events (traffic drops by each event's
+/// page-load loss for its effective duration), then recover outages by
+/// thresholding drops against the series baseline. Reproduces the
+/// paper's methodology of §3 on synthetic ground truth, which lets tests
+/// check precision/recall of the detector itself.
+class RadarMonitor {
+public:
+    RadarMonitor(const topo::Topology& topology, RadarConfig config = {});
+
+    /// Builds the traffic series for one country from scored impacts.
+    [[nodiscard]] TrafficSeries
+    seriesFor(std::string_view country, double windowDays,
+              const std::vector<ImpactReport>& impacts, net::Rng& rng) const;
+
+    /// Threshold detector over one series.
+    [[nodiscard]] std::vector<RadarDetection>
+    detect(const TrafficSeries& series) const;
+
+    /// Full pipeline over every African country.
+    [[nodiscard]] std::vector<RadarDetection>
+    detectAll(double windowDays, const std::vector<ImpactReport>& impacts,
+              net::Rng& rng) const;
+
+    [[nodiscard]] const RadarConfig& config() const { return config_; }
+
+private:
+    const topo::Topology* topo_;
+    RadarConfig config_;
+};
+
+} // namespace aio::outage

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/geo.hpp"
+#include "netbase/region.hpp"
+
+namespace aio::phys {
+
+using CableId = std::size_t;
+using CorridorId = std::size_t;
+
+/// A cable landing station.
+struct LandingStation {
+    std::string countryCode;
+    net::GeoPoint location;
+};
+
+/// One submarine cable system.
+struct SubseaCable {
+    std::string name;
+    std::vector<LandingStation> landings; ///< ordered along the route
+    CorridorId corridor = 0;
+    int readyForService = 2010;
+    double capacityTbps = 10.0;
+
+    [[nodiscard]] bool landsIn(std::string_view iso2) const;
+};
+
+/// A geographic corridor: cables laid along similar seabed paths whose
+/// failures are correlated (§5.1 — WACS/MainOne/SAT3/ACE were all cut by
+/// one rock slide near Abidjan; EIG/Seacom/AAE-1 by one East-coast event).
+struct Corridor {
+    std::string name;
+};
+
+/// Registry of subsea cables and their corridors. `africanDefaults()`
+/// provides a curated model of the cables serving Africa (names, landing
+/// sequences and corridors approximating the real systems the paper
+/// discusses, including the geographically diverse Equiano and 2Africa).
+class CableRegistry {
+public:
+    CorridorId addCorridor(std::string name);
+    CableId addCable(SubseaCable cable);
+
+    [[nodiscard]] std::size_t cableCount() const { return cables_.size(); }
+    [[nodiscard]] std::size_t corridorCount() const {
+        return corridors_.size();
+    }
+    [[nodiscard]] const SubseaCable& cable(CableId id) const;
+    [[nodiscard]] const Corridor& corridor(CorridorId id) const;
+
+    /// Cables with a landing in the given country.
+    [[nodiscard]] std::vector<CableId>
+    cablesLandingIn(std::string_view iso2) const;
+
+    /// Cables landing in both countries (candidate carriers for a link).
+    [[nodiscard]] std::vector<CableId>
+    cablesServing(std::string_view a, std::string_view b) const;
+
+    /// Cables landing in `iso2` and in any European country (transit to
+    /// the EU upstreams).
+    [[nodiscard]] std::vector<CableId>
+    cablesToEurope(std::string_view iso2) const;
+
+    [[nodiscard]] std::vector<CableId>
+    cablesInCorridor(CorridorId corridor) const;
+
+    /// Cable id by name; throws NotFoundError when unknown.
+    [[nodiscard]] CableId byName(std::string_view name) const;
+
+    static CableRegistry africanDefaults();
+
+private:
+    std::vector<SubseaCable> cables_;
+    std::vector<Corridor> corridors_;
+};
+
+} // namespace aio::phys

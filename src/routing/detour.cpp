@@ -1,0 +1,93 @@
+#include "routing/detour.hpp"
+
+namespace aio::route {
+
+std::string_view detourClassName(DetourClass cls) {
+    switch (cls) {
+    case DetourClass::NoDetour: return "stays in Africa";
+    case DetourClass::EuTier1: return "EU Tier-1 transit";
+    case DetourClass::EuIxp: return "EU IXP peering";
+    case DetourClass::EuTier2: return "EU Tier-2 transit";
+    case DetourClass::OtherForeign: return "other foreign detour";
+    }
+    return "?";
+}
+
+DetourAnalyzer::DetourAnalyzer(const topo::Topology& topology)
+    : topo_(&topology) {}
+
+bool DetourAnalyzer::leavesAfrica(
+    const std::vector<topo::AsIndex>& path) const {
+    for (const topo::AsIndex as : path) {
+        if (!net::isAfrican(topo_->as(as).region)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+DetourClass DetourAnalyzer::classify(
+    const std::vector<topo::AsIndex>& path) const {
+    bool sawEuTier1 = false;
+    bool sawEuTier2 = false;
+    bool sawEu = false;
+    bool sawOther = false;
+    for (const topo::AsIndex as : path) {
+        const auto& info = topo_->as(as);
+        if (net::isAfrican(info.region)) {
+            continue;
+        }
+        if (info.region == net::Region::Europe) {
+            sawEu = true;
+            sawEuTier1 |= (info.type == topo::AsType::Tier1);
+            sawEuTier2 |= (info.type == topo::AsType::Tier2);
+        } else {
+            sawOther = true;
+        }
+    }
+    // EU-IXP detour class: AFRICAN networks remote-peering across a
+    // European fabric (both sides of the crossing are African). European
+    // networks peering at their home exchange is ordinary EU Tier-2
+    // transit, not this class.
+    bool sawEuIxp = false;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto ixp = topo_->ixpBetween(path[i], path[i + 1]);
+        if (ixp && topo_->ixp(*ixp).region == net::Region::Europe &&
+            net::isAfrican(topo_->as(path[i]).region) &&
+            net::isAfrican(topo_->as(path[i + 1]).region)) {
+            sawEuIxp = true;
+        }
+    }
+    if (!sawEu && !sawOther && !sawEuIxp) {
+        return DetourClass::NoDetour;
+    }
+    if (sawEuTier1) return DetourClass::EuTier1;
+    if (sawEuIxp) return DetourClass::EuIxp;
+    if (sawEuTier2) return DetourClass::EuTier2;
+    if (sawEu) return DetourClass::EuTier2;
+    return DetourClass::OtherForeign;
+}
+
+std::vector<topo::IxpIndex> DetourAnalyzer::ixpsOnPath(
+    const std::vector<topo::AsIndex>& path) const {
+    std::vector<topo::IxpIndex> out;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto ixp = topo_->ixpBetween(path[i], path[i + 1]);
+        if (ixp) {
+            out.push_back(*ixp);
+        }
+    }
+    return out;
+}
+
+bool DetourAnalyzer::crossesAfricanIxp(
+    const std::vector<topo::AsIndex>& path) const {
+    for (const topo::IxpIndex ix : ixpsOnPath(path)) {
+        if (net::isAfrican(topo_->ixp(ix).region)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace aio::route

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "routing/path_oracle.hpp"
+
+namespace aio::route {
+
+/// Why an intra-African route left the continent (§4.1). Classification
+/// looks at the foreign ASes on the path:
+///  * EuTier1  — the path transits a European/global Tier-1;
+///  * EuIxp    — the path crosses a European IXP fabric (remote peering);
+///  * EuTier2  — the path transits a European Tier-2 (the "lack of African
+///               Tier-2" share the paper highlights);
+///  * OtherForeign — detour through N. America / Asia (rare; the paper
+///               defers analysis).
+enum class DetourClass {
+    NoDetour,
+    EuTier1,
+    EuIxp,
+    EuTier2,
+    OtherForeign,
+};
+
+[[nodiscard]] std::string_view detourClassName(DetourClass cls);
+
+/// Path-level analyses shared by the Fig. 2a and Fig. 3 reproductions.
+class DetourAnalyzer {
+public:
+    explicit DetourAnalyzer(const topo::Topology& topology);
+
+    /// True when any AS on the path sits outside Africa.
+    [[nodiscard]] bool leavesAfrica(
+        const std::vector<topo::AsIndex>& path) const;
+
+    /// Classifies a path (assumed intra-African endpoints).
+    [[nodiscard]] DetourClass classify(
+        const std::vector<topo::AsIndex>& path) const;
+
+    /// IXPs crossed by the path (fabric of each consecutive peering hop).
+    [[nodiscard]] std::vector<topo::IxpIndex> ixpsOnPath(
+        const std::vector<topo::AsIndex>& path) const;
+
+    /// True when the path crosses at least one *African* IXP.
+    [[nodiscard]] bool crossesAfricanIxp(
+        const std::vector<topo::AsIndex>& path) const;
+
+private:
+    const topo::Topology* topo_;
+};
+
+} // namespace aio::route

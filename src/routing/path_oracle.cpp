@@ -1,0 +1,225 @@
+#include "routing/path_oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netbase/error.hpp"
+
+namespace aio::route {
+
+void LinkFilter::disableLink(topo::AsIndex a, topo::AsIndex b) {
+    links_.insert(key(a, b));
+}
+
+void LinkFilter::disableAs(topo::AsIndex as) { ases_.insert(as); }
+
+bool LinkFilter::linkAllowed(topo::AsIndex a, topo::AsIndex b) const {
+    return !links_.contains(key(a, b));
+}
+
+bool LinkFilter::asAllowed(topo::AsIndex as) const {
+    return !ases_.contains(as);
+}
+
+namespace {
+constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+} // namespace
+
+PathOracle::PathOracle(const topo::Topology& topology,
+                       const LinkFilter& filter)
+    : topo_(&topology), n_(topology.asCount()) {
+    AIO_EXPECTS(topology.finalized(), "topology must be finalized");
+    nextHop_.assign(n_ * n_, -1);
+    klass_.assign(n_ * n_, static_cast<std::uint8_t>(RouteClass::None));
+    std::vector<std::uint16_t> dist(n_);
+    std::vector<topo::AsIndex> scratch;
+    scratch.reserve(n_);
+    for (topo::AsIndex dst = 0; dst < n_; ++dst) {
+        computeDestination(dst, filter, dist, scratch);
+    }
+}
+
+void PathOracle::computeDestination(topo::AsIndex dst,
+                                    const LinkFilter& filter,
+                                    std::vector<std::uint16_t>& dist,
+                                    std::vector<topo::AsIndex>& scratch) {
+    std::uint8_t* klass = &klass_[dst * n_];
+    std::int32_t* next = &nextHop_[dst * n_];
+    std::fill(dist.begin(), dist.end(), kUnreached);
+
+    if (!filter.asAllowed(dst)) {
+        return;
+    }
+    const auto byAsn = [this](topo::AsIndex a, topo::AsIndex b) {
+        return topo_->as(a).asn < topo_->as(b).asn;
+    };
+
+    // Phase 1: customer routes propagate up customer->provider edges.
+    // Level-synchronous BFS; each level is processed in ASN order so the
+    // lowest-ASN next hop wins ties deterministically.
+    dist[dst] = 0;
+    klass[dst] = static_cast<std::uint8_t>(RouteClass::Self);
+    next[dst] = static_cast<std::int32_t>(dst);
+    std::vector<topo::AsIndex> frontier{dst};
+    while (!frontier.empty()) {
+        std::ranges::sort(frontier, byAsn);
+        scratch.clear();
+        for (const topo::AsIndex x : frontier) {
+            for (const topo::AsIndex p : topo_->providersOf(x)) {
+                if (!filter.asAllowed(p) || !filter.linkAllowed(x, p)) {
+                    continue;
+                }
+                if (klass[p] ==
+                    static_cast<std::uint8_t>(RouteClass::None)) {
+                    dist[p] = static_cast<std::uint16_t>(dist[x] + 1);
+                    klass[p] = static_cast<std::uint8_t>(RouteClass::Customer);
+                    next[p] = static_cast<std::int32_t>(x);
+                    scratch.push_back(p);
+                }
+            }
+        }
+        frontier.swap(scratch);
+    }
+
+    // Phase 2: one optional peer hop off the customer cone. Peer routes
+    // never chain, so this is a single pass.
+    for (topo::AsIndex y = 0; y < n_; ++y) {
+        if (klass[y] != static_cast<std::uint8_t>(RouteClass::None) ||
+            !filter.asAllowed(y)) {
+            continue;
+        }
+        std::uint16_t bestDist = kUnreached;
+        std::int32_t bestVia = -1;
+        for (const topo::AsIndex z : topo_->peersOf(y)) {
+            if (!filter.linkAllowed(y, z)) {
+                continue;
+            }
+            const auto zk = klass[z];
+            if (zk != static_cast<std::uint8_t>(RouteClass::Customer) &&
+                zk != static_cast<std::uint8_t>(RouteClass::Self)) {
+                continue;
+            }
+            if (dist[z] + 1 < bestDist) { // peers sorted by ASN: first wins
+                bestDist = static_cast<std::uint16_t>(dist[z] + 1);
+                bestVia = static_cast<std::int32_t>(z);
+            }
+        }
+        if (bestVia >= 0) {
+            dist[y] = bestDist;
+            klass[y] = static_cast<std::uint8_t>(RouteClass::Peer);
+            next[y] = bestVia;
+        }
+    }
+
+    // Phase 3: provider routes propagate down provider->customer edges
+    // from every routed node. Bucket Dijkstra over small integer
+    // distances; buckets are processed in ASN order for deterministic
+    // tie-breaking.
+    std::vector<std::vector<topo::AsIndex>> buckets(n_ + 2);
+    for (topo::AsIndex x = 0; x < n_; ++x) {
+        if (klass[x] != static_cast<std::uint8_t>(RouteClass::None)) {
+            buckets[dist[x]].push_back(x);
+        }
+    }
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        auto& bucket = buckets[b];
+        std::ranges::sort(bucket, byAsn);
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const topo::AsIndex p = bucket[i];
+            for (const topo::AsIndex y : topo_->customersOf(p)) {
+                if (!filter.asAllowed(y) || !filter.linkAllowed(p, y)) {
+                    continue;
+                }
+                if (klass[y] ==
+                    static_cast<std::uint8_t>(RouteClass::None)) {
+                    dist[y] = static_cast<std::uint16_t>(b + 1);
+                    klass[y] = static_cast<std::uint8_t>(RouteClass::Provider);
+                    next[y] = static_cast<std::int32_t>(p);
+                    buckets[b + 1].push_back(y);
+                }
+            }
+        }
+        bucket.clear();
+    }
+}
+
+std::vector<topo::AsIndex> PathOracle::path(topo::AsIndex src,
+                                            topo::AsIndex dst) const {
+    AIO_EXPECTS(src < n_ && dst < n_, "AS index OOB");
+    std::vector<topo::AsIndex> out;
+    if (klass_[dst * n_ + src] ==
+        static_cast<std::uint8_t>(RouteClass::None)) {
+        return out;
+    }
+    topo::AsIndex cur = src;
+    out.push_back(cur);
+    while (cur != dst) {
+        const std::int32_t nh = nextHopOf(cur, dst);
+        AIO_EXPECTS(nh >= 0, "broken next-hop chain");
+        cur = static_cast<topo::AsIndex>(nh);
+        out.push_back(cur);
+        AIO_EXPECTS(out.size() <= n_ + 1, "routing loop detected");
+    }
+    return out;
+}
+
+bool PathOracle::reachable(topo::AsIndex src, topo::AsIndex dst) const {
+    AIO_EXPECTS(src < n_ && dst < n_, "AS index OOB");
+    return klass_[dst * n_ + src] !=
+           static_cast<std::uint8_t>(RouteClass::None);
+}
+
+RouteClass PathOracle::routeClass(topo::AsIndex src,
+                                  topo::AsIndex dst) const {
+    AIO_EXPECTS(src < n_ && dst < n_, "AS index OOB");
+    return static_cast<RouteClass>(klass_[dst * n_ + src]);
+}
+
+int PathOracle::pathLength(topo::AsIndex src, topo::AsIndex dst) const {
+    if (!reachable(src, dst)) {
+        return -1;
+    }
+    return static_cast<int>(path(src, dst).size()) - 1;
+}
+
+bool isValleyFree(const topo::Topology& topology,
+                  const std::vector<topo::AsIndex>& path) {
+    if (path.size() < 2) {
+        return true;
+    }
+    enum class Edge { Up, Peer, Down };
+    // Pattern: Up* Peer? Down*
+    int state = 0; // 0 = climbing, 1 = after peer, 2 = descending
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const topo::AsIndex a = path[i];
+        const topo::AsIndex b = path[i + 1];
+        Edge edge{};
+        const auto& providers = topology.providersOf(a);
+        const auto& customers = topology.customersOf(a);
+        const auto& peers = topology.peersOf(a);
+        if (std::ranges::find(providers, b) != providers.end()) {
+            edge = Edge::Up;
+        } else if (std::ranges::find(customers, b) != customers.end()) {
+            edge = Edge::Down;
+        } else if (std::ranges::find(peers, b) != peers.end()) {
+            edge = Edge::Peer;
+        } else {
+            return false; // not an adjacency at all
+        }
+        switch (edge) {
+        case Edge::Up:
+            if (state != 0) return false;
+            break;
+        case Edge::Peer:
+            if (state != 0) return false;
+            state = 1;
+            break;
+        case Edge::Down:
+            state = 2;
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace aio::route

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "topo/as_graph.hpp"
+
+namespace aio::route {
+
+/// Set of disabled links/ASes used for failure analysis. A link is
+/// identified by its unordered endpoint pair.
+class LinkFilter {
+public:
+    void disableLink(topo::AsIndex a, topo::AsIndex b);
+    void disableAs(topo::AsIndex as);
+
+    [[nodiscard]] bool linkAllowed(topo::AsIndex a, topo::AsIndex b) const;
+    [[nodiscard]] bool asAllowed(topo::AsIndex as) const;
+    [[nodiscard]] bool empty() const {
+        return links_.empty() && ases_.empty();
+    }
+    [[nodiscard]] std::size_t disabledLinkCount() const {
+        return links_.size();
+    }
+
+private:
+    static std::uint64_t key(topo::AsIndex a, topo::AsIndex b) {
+        const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+        const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+        return (hi << 32) | lo;
+    }
+    std::unordered_set<std::uint64_t> links_;
+    std::unordered_set<topo::AsIndex> ases_;
+};
+
+/// Gao-Rexford route preference class of the best route (order matters:
+/// higher enum value = less preferred).
+enum class RouteClass : std::uint8_t {
+    Self = 0,
+    Customer = 1,
+    Peer = 2,
+    Provider = 3,
+    None = 255,
+};
+
+/// All-pairs stable policy routes under the standard Gao-Rexford model:
+///
+///  * preference: customer > peer > provider, then shortest AS path,
+///    then lowest next-hop ASN;
+///  * export: customer-learned routes go to everyone, peer/provider-learned
+///    routes go to customers only.
+///
+/// Computed with the classic three-phase per-destination BFS (customer
+/// routes propagate up provider links, one optional peer hop, provider
+/// routes propagate down customer links), which yields exactly the
+/// valley-free paths. Construction cost is O(D * (V + E)); the result is
+/// a dense next-hop matrix, so path queries are O(path length).
+class PathOracle {
+public:
+    explicit PathOracle(const topo::Topology& topology,
+                        const LinkFilter& filter = {});
+
+    /// AS-level route from src to dst, inclusive of both endpoints.
+    /// Empty when dst is unreachable; {src} when src == dst.
+    [[nodiscard]] std::vector<topo::AsIndex> path(topo::AsIndex src,
+                                                  topo::AsIndex dst) const;
+
+    [[nodiscard]] bool reachable(topo::AsIndex src, topo::AsIndex dst) const;
+
+    /// Preference class of src's best route towards dst.
+    [[nodiscard]] RouteClass routeClass(topo::AsIndex src,
+                                        topo::AsIndex dst) const;
+
+    /// AS-path length in hops (edges); 0 when src==dst, -1 if unreachable.
+    [[nodiscard]] int pathLength(topo::AsIndex src, topo::AsIndex dst) const;
+
+    [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+private:
+    void computeDestination(topo::AsIndex dst, const LinkFilter& filter,
+                            std::vector<std::uint16_t>& dist,
+                            std::vector<topo::AsIndex>& scratch);
+
+    [[nodiscard]] std::int32_t& nextHopRef(topo::AsIndex src,
+                                           topo::AsIndex dst) {
+        return nextHop_[dst * n_ + src];
+    }
+    [[nodiscard]] std::int32_t nextHopOf(topo::AsIndex src,
+                                         topo::AsIndex dst) const {
+        return nextHop_[dst * n_ + src];
+    }
+
+    const topo::Topology* topo_;
+    std::size_t n_ = 0;
+    std::vector<std::int32_t> nextHop_;  ///< [dst*n + src], -1 = none
+    std::vector<std::uint8_t> klass_;    ///< RouteClass per (dst,src)
+};
+
+/// True when an AS-level path is valley-free under the topology's business
+/// relationships (used by property tests and by sanity checks in the
+/// what-if engine).
+[[nodiscard]] bool isValleyFree(const topo::Topology& topology,
+                                const std::vector<topo::AsIndex>& path);
+
+} // namespace aio::route

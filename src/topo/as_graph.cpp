@@ -1,0 +1,240 @@
+#include "topo/as_graph.hpp"
+
+#include <algorithm>
+
+#include "netbase/error.hpp"
+
+namespace aio::topo {
+
+std::string_view asTypeName(AsType type) {
+    switch (type) {
+    case AsType::Tier1: return "Tier1";
+    case AsType::Tier2: return "Tier2";
+    case AsType::AccessIsp: return "AccessISP";
+    case AsType::MobileOperator: return "Mobile";
+    case AsType::ContentProvider: return "Content";
+    case AsType::CloudProvider: return "Cloud";
+    case AsType::Enterprise: return "Enterprise";
+    case AsType::Education: return "Education";
+    }
+    return "?";
+}
+
+void Topology::requireFinalized() const {
+    AIO_EXPECTS(finalized_, "topology must be finalize()d before queries");
+}
+
+void Topology::requireNotFinalized() const {
+    AIO_EXPECTS(!finalized_, "topology is already finalized");
+}
+
+AsIndex Topology::addAs(AsInfo info) {
+    requireNotFinalized();
+    AIO_EXPECTS(info.asn != 0, "ASN 0 is reserved");
+    ases_.push_back(std::move(info));
+    return ases_.size() - 1;
+}
+
+IxpIndex Topology::addIxp(Ixp ixp) {
+    requireNotFinalized();
+    ixps_.push_back(std::move(ixp));
+    return ixps_.size() - 1;
+}
+
+void Topology::addLink(AsIndex a, AsIndex b, LinkKind kind,
+                       std::optional<IxpIndex> ixp) {
+    requireNotFinalized();
+    AIO_EXPECTS(a < ases_.size() && b < ases_.size(), "link endpoint OOB");
+    AIO_EXPECTS(a != b, "self-links are not allowed");
+    AIO_EXPECTS(!ixp || *ixp < ixps_.size(), "link IXP index OOB");
+    const auto [it, inserted] = linkKeys_.insert(linkKey(a, b));
+    AIO_EXPECTS(inserted, "duplicate adjacency");
+    links_.push_back(AsLink{a, b, kind, ixp});
+}
+
+void Topology::addIxpMember(IxpIndex ixp, AsIndex member) {
+    requireNotFinalized();
+    AIO_EXPECTS(ixp < ixps_.size(), "IXP index OOB");
+    AIO_EXPECTS(member < ases_.size(), "member index OOB");
+    auto& members = ixps_[ixp].members;
+    if (std::ranges::find(members, member) == members.end()) {
+        members.push_back(member);
+    }
+}
+
+void Topology::finalize() {
+    requireNotFinalized();
+    finalized_ = true;
+
+    providers_.assign(ases_.size(), {});
+    customers_.assign(ases_.size(), {});
+    peers_.assign(ases_.size(), {});
+    memberIxps_.assign(ases_.size(), {});
+
+    for (const AsLink& link : links_) {
+        if (link.kind == LinkKind::CustomerToProvider) {
+            providers_[link.a].push_back(link.b);
+            customers_[link.b].push_back(link.a);
+        } else {
+            peers_[link.a].push_back(link.b);
+            peers_[link.b].push_back(link.a);
+        }
+    }
+    // Deterministic neighbor order (by ASN) so routing tie-breaks are
+    // stable across runs regardless of construction order.
+    const auto byAsn = [this](AsIndex lhs, AsIndex rhs) {
+        return ases_[lhs].asn < ases_[rhs].asn;
+    };
+    for (std::size_t i = 0; i < ases_.size(); ++i) {
+        std::ranges::sort(providers_[i], byAsn);
+        std::ranges::sort(customers_[i], byAsn);
+        std::ranges::sort(peers_[i], byAsn);
+    }
+
+    for (const AsLink& link : links_) {
+        if (link.ixp) {
+            linkIxp_.emplace(linkKey(link.a, link.b), *link.ixp);
+        }
+    }
+
+    for (std::size_t i = 0; i < ixps_.size(); ++i) {
+        std::ranges::sort(ixps_[i].members, byAsn);
+        for (const AsIndex member : ixps_[i].members) {
+            memberIxps_[member].push_back(i);
+        }
+        ixpLanTrie_.insert(ixps_[i].lanPrefix, i);
+    }
+
+    for (std::size_t i = 0; i < ases_.size(); ++i) {
+        for (const net::Prefix& prefix : ases_[i].prefixes) {
+            originTrie_.insert(prefix, i);
+        }
+        asnIndex_.emplace_back(ases_[i].asn, i);
+    }
+    std::ranges::sort(asnIndex_);
+    for (std::size_t i = 1; i < asnIndex_.size(); ++i) {
+        AIO_EXPECTS(asnIndex_[i - 1].first != asnIndex_[i].first,
+                    "duplicate ASN in topology");
+    }
+}
+
+const AsInfo& Topology::as(AsIndex index) const {
+    AIO_EXPECTS(index < ases_.size(), "AS index OOB");
+    return ases_[index];
+}
+
+std::optional<AsIndex> Topology::indexOfAsn(Asn asn) const {
+    requireFinalized();
+    const auto it = std::ranges::lower_bound(
+        asnIndex_, asn, {}, [](const auto& entry) { return entry.first; });
+    if (it == asnIndex_.end() || it->first != asn) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+const std::vector<AsIndex>& Topology::providersOf(AsIndex idx) const {
+    requireFinalized();
+    AIO_EXPECTS(idx < ases_.size(), "AS index OOB");
+    return providers_[idx];
+}
+
+const std::vector<AsIndex>& Topology::customersOf(AsIndex idx) const {
+    requireFinalized();
+    AIO_EXPECTS(idx < ases_.size(), "AS index OOB");
+    return customers_[idx];
+}
+
+const std::vector<AsIndex>& Topology::peersOf(AsIndex idx) const {
+    requireFinalized();
+    AIO_EXPECTS(idx < ases_.size(), "AS index OOB");
+    return peers_[idx];
+}
+
+const std::vector<IxpIndex>& Topology::ixpsOf(AsIndex idx) const {
+    requireFinalized();
+    AIO_EXPECTS(idx < ases_.size(), "AS index OOB");
+    return memberIxps_[idx];
+}
+
+std::vector<AsIndex> Topology::asesInCountry(std::string_view iso2) const {
+    std::vector<AsIndex> out;
+    for (std::size_t i = 0; i < ases_.size(); ++i) {
+        if (ases_[i].countryCode == iso2) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+std::vector<AsIndex> Topology::asesInRegion(net::Region region) const {
+    std::vector<AsIndex> out;
+    for (std::size_t i = 0; i < ases_.size(); ++i) {
+        if (ases_[i].region == region) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+std::vector<AsIndex> Topology::africanAses() const {
+    std::vector<AsIndex> out;
+    for (std::size_t i = 0; i < ases_.size(); ++i) {
+        if (net::isAfrican(ases_[i].region)) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+std::optional<IxpIndex> Topology::ixpBetween(AsIndex a, AsIndex b) const {
+    requireFinalized();
+    const auto it = linkIxp_.find(linkKey(a, b));
+    if (it == linkIxp_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+const Ixp& Topology::ixp(IxpIndex index) const {
+    AIO_EXPECTS(index < ixps_.size(), "IXP index OOB");
+    return ixps_[index];
+}
+
+std::vector<IxpIndex> Topology::africanIxps() const {
+    std::vector<IxpIndex> out;
+    for (std::size_t i = 0; i < ixps_.size(); ++i) {
+        if (net::isAfrican(ixps_[i].region)) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+std::optional<AsIndex> Topology::originOf(net::Ipv4Address address) const {
+    requireFinalized();
+    return originTrie_.lookup(address);
+}
+
+std::optional<IxpIndex>
+Topology::ixpOfLanAddress(net::Ipv4Address address) const {
+    requireFinalized();
+    return ixpLanTrie_.lookup(address);
+}
+
+net::Ipv4Address Topology::routerAddress(AsIndex idx,
+                                         std::uint64_t salt) const {
+    requireFinalized();
+    AIO_EXPECTS(idx < ases_.size(), "AS index OOB");
+    const auto& prefixes = ases_[idx].prefixes;
+    AIO_EXPECTS(!prefixes.empty(), "AS announces no prefixes");
+    // Deterministic hash spread over the AS's address space.
+    std::uint64_t h = salt * 0x9e3779b97f4a7c15ULL + ases_[idx].asn;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    const net::Prefix& prefix = prefixes[h % prefixes.size()];
+    return prefix.addressAt((h >> 8) % prefix.size());
+}
+
+} // namespace aio::topo

@@ -1,0 +1,628 @@
+#include "topo/generator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "netbase/error.hpp"
+#include "topo/prefix_alloc.hpp"
+
+namespace aio::topo {
+
+GeneratorConfig GeneratorConfig::defaults() {
+    GeneratorConfig cfg;
+    using R = net::Region;
+    // IXP counts sum to 77 — the paper's African IXP census (§7 fn.1).
+    cfg.africa[0] = RegionProfile{.region = R::NorthernAfrica,
+                                  .asPerMillionPeople = 0.5,
+                                  .minAsesPerCountry = 3,
+                                  .mobileShare = 0.55,
+                                  .tier2Count = 1,
+                                  .ixpCount = 6,
+                                  .ixpJoinProb = 0.12,
+                                  .ixpRemotePeerProb = 0.005,
+                                  .ixpMeshDensity = 0.6,
+                                  .localTransitProb = 0.25,
+                                  .secondTransitProb = 0.3,
+                                  .domesticPeerProb = 0.10,
+                                  .contentCacheProb = 0.15};
+    cfg.africa[1] = RegionProfile{.region = R::WesternAfrica,
+                                  .asPerMillionPeople = 0.55,
+                                  .minAsesPerCountry = 2,
+                                  .mobileShare = 0.65,
+                                  .tier2Count = 1,
+                                  .ixpCount = 22,
+                                  .ixpJoinProb = 0.25,
+                                  .ixpRemotePeerProb = 0.01,
+                                  .ixpMeshDensity = 0.65,
+                                  .localTransitProb = 0.18,
+                                  .secondTransitProb = 0.3,
+                                  .domesticPeerProb = 0.08,
+                                  .contentCacheProb = 0.25};
+    cfg.africa[2] = RegionProfile{.region = R::EasternAfrica,
+                                  .asPerMillionPeople = 0.65,
+                                  .minAsesPerCountry = 2,
+                                  .mobileShare = 0.60,
+                                  .tier2Count = 2,
+                                  .ixpCount = 24,
+                                  .ixpJoinProb = 0.35,
+                                  .ixpRemotePeerProb = 0.02,
+                                  .ixpMeshDensity = 0.7,
+                                  .localTransitProb = 0.35,
+                                  .secondTransitProb = 0.35,
+                                  .domesticPeerProb = 0.12,
+                                  .contentCacheProb = 0.35};
+    cfg.africa[3] = RegionProfile{.region = R::CentralAfrica,
+                                  .asPerMillionPeople = 0.45,
+                                  .minAsesPerCountry = 2,
+                                  .mobileShare = 0.70,
+                                  .tier2Count = 1,
+                                  .ixpCount = 8,
+                                  .ixpJoinProb = 0.9,
+                                  .ixpRemotePeerProb = 0.12,
+                                  .ixpMeshDensity = 0.9,
+                                  .localTransitProb = 0.30,
+                                  .secondTransitProb = 0.25,
+                                  .domesticPeerProb = 0.05,
+                                  .contentCacheProb = 0.2};
+    cfg.africa[4] = RegionProfile{.region = R::SouthernAfrica,
+                                  .asPerMillionPeople = 2.2,
+                                  .minAsesPerCountry = 2,
+                                  .mobileShare = 0.50,
+                                  .tier2Count = 3,
+                                  .ixpCount = 17,
+                                  .ixpJoinProb = 0.45,
+                                  .ixpRemotePeerProb = 0.025,
+                                  .ixpMeshDensity = 0.75,
+                                  .localTransitProb = 0.55,
+                                  .secondTransitProb = 0.45,
+                                  .domesticPeerProb = 0.6,
+                                  .contentCacheProb = 0.5};
+    return cfg;
+}
+
+namespace {
+
+constexpr int kMaxAsesPerCountry = 35;
+
+/// Anchor countries where regional Tier-2s headquarter (the paper's
+/// observation that infrastructure anchors in South Africa and Kenya).
+std::string_view tier2Anchor(net::Region region) {
+    switch (region) {
+    case net::Region::NorthernAfrica: return "EG";
+    case net::Region::WesternAfrica: return "NG";
+    case net::Region::EasternAfrica: return "KE";
+    case net::Region::CentralAfrica: return "CM";
+    case net::Region::SouthernAfrica: return "ZA";
+    default: return "ZA";
+    }
+}
+
+class Builder {
+public:
+    explicit Builder(const GeneratorConfig& cfg)
+        : cfg_(cfg), rng_(cfg.seed) {}
+
+    Topology build() {
+        createGlobalTier1s();
+        createOtherRegions();
+        createContentAndCloud();
+        createAfricanTier2sAndCarriers();
+        createAfricanEyeballs();
+        createAfricanIxps();
+        createEuropeanIxps();
+        topo_.finalize();
+        return std::move(topo_);
+    }
+
+private:
+    // ---------- helpers ----------
+
+    net::GeoPoint jittered(const net::Country& country) {
+        return net::GeoPoint{
+            country.centroid.latitude + rng_.gaussian(0.0, 1.0),
+            country.centroid.longitude + rng_.gaussian(0.0, 1.0)};
+    }
+
+    AsIndex makeAs(AsType type, const net::Country& country, Asn asn,
+                   bool mobileDominant, int prefixCount, int prefixLength,
+                   double trafficWeight) {
+        AsInfo info;
+        info.asn = asn;
+        info.type = type;
+        info.countryCode = std::string{country.iso2};
+        info.region = country.region;
+        info.location = jittered(country);
+        info.mobileDominant = mobileDominant;
+        info.trafficWeight = trafficWeight;
+        const auto macro = net::macroOf(country.region);
+        for (int i = 0; i < prefixCount; ++i) {
+            info.prefixes.push_back(alloc_.allocate(macro, prefixLength));
+        }
+        return topo_.addAs(std::move(info));
+    }
+
+    void linkTransit(AsIndex customer, AsIndex provider) {
+        if (customer != provider && !topo_.hasLink(customer, provider)) {
+            topo_.addLink(customer, provider, LinkKind::CustomerToProvider);
+        }
+    }
+
+    void linkPeer(AsIndex a, AsIndex b,
+                  std::optional<IxpIndex> ixp = std::nullopt) {
+        if (a != b && !topo_.hasLink(a, b)) {
+            topo_.addLink(a, b, LinkKind::PeerToPeer, ixp);
+        }
+    }
+
+    const net::Country& country(std::string_view iso2) const {
+        return net::CountryTable::world().byCode(iso2);
+    }
+
+    /// Picks an EU upstream: Tier-1 with cfg.euTier1UpstreamShare
+    /// probability, EU Tier-2 otherwise.
+    AsIndex pickEuUpstream() {
+        if (!euTier2s_.empty() &&
+            !rng_.bernoulli(cfg_.euTier1UpstreamShare)) {
+            return rng_.pick(euTier2s_);
+        }
+        return rng_.pick(euTier1s_);
+    }
+
+    // ---------- stages ----------
+
+    void createGlobalTier1s() {
+        const char* euCodes[] = {"DE", "GB", "FR", "NL", "IT", "ES", "PT"};
+        Asn asn = 1200;
+        for (int i = 0; i < cfg_.europe.tier1Count; ++i) {
+            const AsIndex idx =
+                makeAs(AsType::Tier1, country(euCodes[i % 7]), asn++, false,
+                       3, 16, 4.0);
+            euTier1s_.push_back(idx);
+            tier1s_.push_back(idx);
+        }
+        const char* naCodes[] = {"US", "US", "CA"};
+        for (int i = 0; i < cfg_.northAmerica.tier1Count; ++i) {
+            const AsIndex idx = makeAs(AsType::Tier1, country(naCodes[i % 3]),
+                                       asn++, false, 3, 16, 4.0);
+            tier1s_.push_back(idx);
+        }
+        // Tier-1 clique: settlement-free full mesh.
+        for (std::size_t i = 0; i < tier1s_.size(); ++i) {
+            for (std::size_t j = i + 1; j < tier1s_.size(); ++j) {
+                linkPeer(tier1s_[i], tier1s_[j]);
+            }
+        }
+    }
+
+    void buildRegion(net::MacroRegion macro, const OtherRegionProfile& prof,
+                     Asn tier2Base, std::vector<AsIndex>* tier2Sink) {
+        const auto countries =
+            net::CountryTable::world().inMacroRegion(macro);
+        std::vector<AsIndex> tier2s;
+        Asn asn = tier2Base;
+        for (int i = 0; i < prof.tier2Count; ++i) {
+            const net::Country& c =
+                *countries[static_cast<std::size_t>(i) % countries.size()];
+            const AsIndex idx =
+                makeAs(AsType::Tier2, c, asn++, false, 2, 18, 2.0);
+            // Two Tier-1 upstreams.
+            linkTransit(idx, rng_.pick(tier1s_));
+            linkTransit(idx, rng_.pick(tier1s_));
+            const double peerProb = macro == net::MacroRegion::Europe
+                                        ? cfg_.euTier2PeerProb
+                                        : 0.5;
+            for (const AsIndex other : tier2s) {
+                if (rng_.bernoulli(peerProb)) {
+                    linkPeer(idx, other);
+                }
+            }
+            tier2s.push_back(idx);
+        }
+        for (const auto* c : countries) {
+            for (int i = 0; i < prof.accessPerCountry; ++i) {
+                const bool mobile = rng_.bernoulli(0.35);
+                const AsIndex idx = makeAs(
+                    mobile ? AsType::MobileOperator : AsType::AccessIsp, *c,
+                    asn++, mobile, 2, 19,
+                    rng_.pareto(1.2, 1.0) * (c->populationMillions / 50.0));
+                if (!tier2s.empty() && rng_.bernoulli(0.8)) {
+                    linkTransit(idx, rng_.pick(tier2s));
+                } else {
+                    linkTransit(idx, rng_.pick(tier1s_));
+                }
+                if (rng_.bernoulli(0.4)) {
+                    linkTransit(idx, !tier2s.empty() ? rng_.pick(tier2s)
+                                                     : rng_.pick(tier1s_));
+                }
+                regionEyeballs_[macro].push_back(idx);
+            }
+        }
+        if (tier2Sink != nullptr) {
+            *tier2Sink = tier2s;
+        }
+        // Regional IXPs for the comparison regions.
+        for (int i = 0; i < prof.ixpCount; ++i) {
+            const net::Country& c =
+                *countries[static_cast<std::size_t>(i) % countries.size()];
+            Ixp ixp;
+            ixp.name = std::string{macroRegionName(macro)} + "-IX-" +
+                       std::to_string(i + 1);
+            ixp.countryCode = std::string{c.iso2};
+            ixp.region = c.region;
+            ixp.location = c.centroid;
+            ixp.lanPrefix = alloc_.allocateIxpLan();
+            ixp.lanInGlobalTable = rng_.bernoulli(0.1);
+            ixp.yearEstablished = static_cast<int>(rng_.uniformRange(
+                2000, 2015));
+            const IxpIndex ixpIdx = topo_.addIxp(std::move(ixp));
+            for (const AsIndex member : regionEyeballs_[macro]) {
+                if (rng_.bernoulli(0.4)) {
+                    topo_.addIxpMember(ixpIdx, member);
+                }
+            }
+            for (const AsIndex member : tier2s) {
+                topo_.addIxpMember(ixpIdx, member);
+            }
+            meshIxp(ixpIdx, 0.6);
+        }
+    }
+
+    void createOtherRegions() {
+        buildRegion(net::MacroRegion::Europe, cfg_.europe, 6800, &euTier2s_);
+        buildRegion(net::MacroRegion::NorthAmerica, cfg_.northAmerica, 7000,
+                    nullptr);
+        buildRegion(net::MacroRegion::SouthAmerica, cfg_.southAmerica, 27700,
+                    nullptr);
+        buildRegion(net::MacroRegion::AsiaPacific, cfg_.asiaPacific, 4800,
+                    nullptr);
+    }
+
+    void createContentAndCloud() {
+        Asn asn = 15100;
+        const char* euCodes[] = {"NL", "DE", "GB", "FR"};
+        for (int i = 0; i < cfg_.euContentProviders; ++i) {
+            const AsIndex idx = makeAs(AsType::ContentProvider,
+                                       country(euCodes[i % 4]), asn++, false,
+                                       3, 18, 3.0);
+            linkTransit(idx, rng_.pick(euTier1s_));
+            linkTransit(idx, rng_.pick(tier1s_));
+            for (const AsIndex t2 : euTier2s_) {
+                if (rng_.bernoulli(0.7)) {
+                    linkPeer(idx, t2);
+                }
+            }
+            contentProviders_.push_back(idx);
+        }
+        for (int i = 0; i < cfg_.euCloudProviders; ++i) {
+            const AsIndex idx = makeAs(AsType::CloudProvider,
+                                       country(euCodes[(i + 1) % 4]), asn++,
+                                       false, 3, 17, 3.0);
+            linkTransit(idx, rng_.pick(euTier1s_));
+            linkTransit(idx, rng_.pick(tier1s_));
+            euClouds_.push_back(idx);
+        }
+        for (int i = 0; i < cfg_.usCloudProviders; ++i) {
+            const AsIndex idx = makeAs(AsType::CloudProvider, country("US"),
+                                       asn++, false, 3, 17, 3.0);
+            linkTransit(idx, rng_.pick(tier1s_));
+            linkTransit(idx, rng_.pick(tier1s_));
+            usClouds_.push_back(idx);
+        }
+        for (int i = 0; i < cfg_.zaCloudProviders; ++i) {
+            // "Few large public clouds exist in Africa ... generally
+            // centralized in South Africa" (§5.2).
+            const AsIndex idx = makeAs(AsType::CloudProvider, country("ZA"),
+                                       asn++, false, 2, 18, 2.0);
+            linkTransit(idx, pickEuUpstream());
+            zaClouds_.push_back(idx);
+        }
+    }
+
+    void createAfricanTier2sAndCarriers() {
+        Asn asn = 30800;
+        for (const RegionProfile& prof : cfg_.africa) {
+            auto& sink = africanTier2ByRegion_[prof.region];
+            for (int i = 0; i < prof.tier2Count; ++i) {
+                const AsIndex idx =
+                    makeAs(AsType::Tier2, country(tier2Anchor(prof.region)),
+                           asn++, false, 2, 18, 2.0);
+                // African Tier-2s themselves depend on Europe for transit —
+                // the structural root of the detour problem (§2, §4.1).
+                linkTransit(idx, pickEuUpstream());
+                if (rng_.bernoulli(0.5)) {
+                    linkTransit(idx, pickEuUpstream());
+                }
+                sink.push_back(idx);
+                africanTier2s_.push_back(idx);
+            }
+        }
+        const char* carrierHomes[] = {"ZA", "KE", "NG", "EG", "MU", "DJ"};
+        for (int i = 0; i < cfg_.continentalCarriers; ++i) {
+            const AsIndex idx =
+                makeAs(AsType::Tier2, country(carrierHomes[i % 6]), asn++,
+                       false, 2, 18, 2.0);
+            linkTransit(idx, pickEuUpstream());
+            if (rng_.bernoulli(0.6)) {
+                linkTransit(idx, pickEuUpstream());
+            }
+            carriers_.push_back(idx);
+            africanTier2s_.push_back(idx);
+            africanTier2ByRegion_[country(carrierHomes[i % 6]).region]
+                .push_back(idx);
+        }
+        // Sparse peering among the African transit layer (often at EU
+        // exchanges, which is why even "peered" paths hairpin in Europe).
+        for (std::size_t i = 0; i < africanTier2s_.size(); ++i) {
+            for (std::size_t j = i + 1; j < africanTier2s_.size(); ++j) {
+                if (rng_.bernoulli(0.4)) {
+                    linkPeer(africanTier2s_[i], africanTier2s_[j]);
+                }
+            }
+        }
+    }
+
+    const RegionProfile& profileOf(net::Region region) const {
+        for (const RegionProfile& prof : cfg_.africa) {
+            if (prof.region == region) {
+                return prof;
+            }
+        }
+        throw net::PreconditionError{"no profile for region"};
+    }
+
+    void createAfricanEyeballs() {
+        Asn asn = 37001;
+        for (const auto* c : net::CountryTable::world().african()) {
+            const RegionProfile& prof = profileOf(c->region);
+            const int count = std::clamp(
+                static_cast<int>(c->populationMillions *
+                                 prof.asPerMillionPeople),
+                prof.minAsesPerCountry, kMaxAsesPerCountry);
+            std::vector<AsIndex> domestic;
+            for (int i = 0; i < count; ++i) {
+                Asn thisAsn = asn++;
+                if (c->iso2 == "RW" && i == 0) {
+                    // Reserve the paper's Kigali vantage ASN (§7.3).
+                    thisAsn = TopologyGenerator::kKigaliProbeAsn;
+                }
+                const bool mobile = rng_.bernoulli(prof.mobileShare);
+                AsType type = AsType::MobileOperator;
+                int prefixCount = 2;
+                int prefixLength = 18;
+                if (!mobile) {
+                    const double roll = rng_.uniform01();
+                    if (roll < 0.55) {
+                        type = AsType::AccessIsp;
+                        prefixCount = 2;
+                        prefixLength = 20;
+                    } else if (roll < 0.82) {
+                        type = AsType::Enterprise;
+                        prefixCount = 1;
+                        prefixLength = 23;
+                    } else {
+                        type = AsType::Education;
+                        prefixCount = 1;
+                        prefixLength = 22;
+                    }
+                }
+                const double weight =
+                    rng_.pareto(1.1, 1.0) * (c->populationMillions / 30.0);
+                const AsIndex idx = makeAs(type, *c, thisAsn, mobile,
+                                           prefixCount, prefixLength, weight);
+
+                // Transit selection: the maturity-dependent choice between
+                // an African Tier-2 and a European upstream.
+                const auto& regionalTier2 =
+                    africanTier2ByRegion_[c->region];
+                if (thisAsn == TopologyGenerator::kKigaliProbeAsn) {
+                    // §7.3's vantage: its providers are IXP-rich African
+                    // carriers, which is what made the Kigali probe see
+                    // exchanges Atlas-style deployments miss.
+                    if (!regionalTier2.empty()) {
+                        linkTransit(idx, regionalTier2.front());
+                    }
+                    for (int k = 0;
+                         k < 2 && k < static_cast<int>(carriers_.size());
+                         ++k) {
+                        linkTransit(idx, carriers_[static_cast<std::size_t>(
+                                             k)]);
+                    }
+                    domestic.push_back(idx);
+                    continue;
+                }
+                const bool smallAs = (type == AsType::Enterprise ||
+                                      type == AsType::Education);
+                if (smallAs && !domestic.empty() && rng_.bernoulli(0.45)) {
+                    // National incumbent resells transit to small networks.
+                    linkTransit(idx, rng_.pick(domestic));
+                } else if (!regionalTier2.empty() &&
+                           rng_.bernoulli(prof.localTransitProb)) {
+                    linkTransit(idx, rng_.pick(regionalTier2));
+                } else {
+                    linkTransit(idx, pickEuUpstream());
+                }
+                if (rng_.bernoulli(prof.secondTransitProb)) {
+                    if (!regionalTier2.empty() &&
+                        rng_.bernoulli(prof.localTransitProb)) {
+                        linkTransit(idx, rng_.pick(regionalTier2));
+                    } else {
+                        linkTransit(idx, pickEuUpstream());
+                    }
+                }
+                for (const AsIndex other : domestic) {
+                    if (rng_.bernoulli(prof.domesticPeerProb)) {
+                        linkPeer(idx, other);
+                    }
+                }
+                domestic.push_back(idx);
+            }
+            africanEyeballsByCountry_[std::string{c->iso2}] =
+                std::move(domestic);
+        }
+    }
+
+    void meshIxp(IxpIndex ixpIdx, double density) {
+        const auto& members = topo_.ixp(ixpIdx).members;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            for (std::size_t j = i + 1; j < members.size(); ++j) {
+                if (rng_.bernoulli(density)) {
+                    linkPeer(members[i], members[j], ixpIdx);
+                }
+            }
+        }
+    }
+
+    void createAfricanIxps() {
+        for (const RegionProfile& prof : cfg_.africa) {
+            const auto countries =
+                net::CountryTable::world().inRegion(prof.region);
+            // Host countries weighted by AS count; first pass gives each
+            // country at most one IXP, extras go to the biggest markets.
+            std::vector<const net::Country*> hosts;
+            {
+                std::vector<const net::Country*> pool(countries.begin(),
+                                                      countries.end());
+                std::ranges::sort(pool, [&](const auto* a, const auto* b) {
+                    return a->populationMillions > b->populationMillions;
+                });
+                for (int i = 0; i < prof.ixpCount; ++i) {
+                    hosts.push_back(
+                        pool[static_cast<std::size_t>(i) % pool.size()]);
+                }
+            }
+            int serial = 0;
+            for (const auto* host : hosts) {
+                Ixp ixp;
+                ixp.name = std::string{host->iso2} + "-IX" +
+                           std::to_string(++serial);
+                ixp.countryCode = std::string{host->iso2};
+                ixp.region = host->region;
+                ixp.location = host->centroid;
+                ixp.lanPrefix = alloc_.allocateIxpLan();
+                // Most IXP LANs stay out of the global table (§6.1).
+                ixp.lanInGlobalTable = rng_.bernoulli(0.08);
+                ixp.yearEstablished =
+                    static_cast<int>(rng_.uniformRange(2012, 2024));
+                ixp.hasContentCache = rng_.bernoulli(prof.contentCacheProb);
+                const IxpIndex ixpIdx = topo_.addIxp(std::move(ixp));
+
+                // In-country members.
+                const auto it = africanEyeballsByCountry_.find(
+                    std::string{host->iso2});
+                if (it != africanEyeballsByCountry_.end()) {
+                    for (const AsIndex member : it->second) {
+                        if (rng_.bernoulli(prof.ixpJoinProb)) {
+                            topo_.addIxpMember(ixpIdx, member);
+                        }
+                    }
+                }
+                // Same-region remote peers.
+                for (const auto* other : countries) {
+                    if (other->iso2 == host->iso2) continue;
+                    const auto oit = africanEyeballsByCountry_.find(
+                        std::string{other->iso2});
+                    if (oit == africanEyeballsByCountry_.end()) continue;
+                    for (const AsIndex member : oit->second) {
+                        if (rng_.bernoulli(prof.ixpRemotePeerProb)) {
+                            topo_.addIxpMember(ixpIdx, member);
+                        }
+                    }
+                }
+                // Regional Tier-2s and continental carriers.
+                for (const AsIndex t2 :
+                     africanTier2ByRegion_[prof.region]) {
+                    if (rng_.bernoulli(cfg_.tier2IxpJoinProb)) {
+                        topo_.addIxpMember(ixpIdx, t2);
+                    }
+                }
+                for (const AsIndex carrier : carriers_) {
+                    if (rng_.bernoulli(cfg_.carrierIxpJoinProb)) {
+                        topo_.addIxpMember(ixpIdx, carrier);
+                    }
+                }
+                // Off-net cache: the content provider joins the exchange.
+                if (topo_.ixp(ixpIdx).hasContentCache &&
+                    !contentProviders_.empty()) {
+                    topo_.addIxpMember(ixpIdx, rng_.pick(contentProviders_));
+                }
+                // An exchange with no members would be dead fabric; the
+                // founding members in reality are the local incumbents.
+                if (topo_.ixp(ixpIdx).members.empty() &&
+                    it != africanEyeballsByCountry_.end() &&
+                    !it->second.empty()) {
+                    topo_.addIxpMember(ixpIdx, it->second.front());
+                    if (it->second.size() > 1) {
+                        topo_.addIxpMember(ixpIdx, it->second.back());
+                    }
+                }
+                meshIxp(ixpIdx, prof.ixpMeshDensity);
+            }
+        }
+    }
+
+    void createEuropeanIxps() {
+        // The big EU exchanges where African transit networks remote-peer;
+        // crossing them is the "detour via EU IXP" class of §4.1.
+        const char* homes[] = {"DE", "NL", "GB"};
+        for (int i = 0; i < 3; ++i) {
+            const net::Country& c = country(homes[i]);
+            Ixp ixp;
+            ixp.name = std::string{"EU-MEGA-IX-"} + std::string{c.iso2};
+            ixp.countryCode = std::string{c.iso2};
+            ixp.region = c.region;
+            ixp.location = c.centroid;
+            ixp.lanPrefix = alloc_.allocateIxpLan();
+            ixp.lanInGlobalTable = rng_.bernoulli(0.3);
+            ixp.yearEstablished = 1996 + i;
+            const IxpIndex ixpIdx = topo_.addIxp(std::move(ixp));
+            for (const AsIndex t2 : euTier2s_) {
+                topo_.addIxpMember(ixpIdx, t2);
+            }
+            for (const AsIndex cp : contentProviders_) {
+                topo_.addIxpMember(ixpIdx, cp);
+            }
+            for (const AsIndex cloud : euClouds_) {
+                topo_.addIxpMember(ixpIdx, cloud);
+            }
+            for (const AsIndex t2 : africanTier2s_) {
+                if (rng_.bernoulli(0.5)) {
+                    topo_.addIxpMember(ixpIdx, t2);
+                }
+            }
+            meshIxp(ixpIdx, 0.6);
+        }
+    }
+
+    const GeneratorConfig& cfg_;
+    net::Rng rng_;
+    Topology topo_;
+    PrefixAllocator alloc_;
+
+    std::vector<AsIndex> tier1s_;
+    std::vector<AsIndex> euTier1s_;
+    std::vector<AsIndex> euTier2s_;
+    std::vector<AsIndex> africanTier2s_;
+    std::vector<AsIndex> carriers_;
+    std::vector<AsIndex> contentProviders_;
+    std::vector<AsIndex> euClouds_;
+    std::vector<AsIndex> usClouds_;
+    std::vector<AsIndex> zaClouds_;
+    std::unordered_map<net::Region, std::vector<AsIndex>>
+        africanTier2ByRegion_;
+    std::unordered_map<net::MacroRegion, std::vector<AsIndex>>
+        regionEyeballs_;
+    std::unordered_map<std::string, std::vector<AsIndex>>
+        africanEyeballsByCountry_;
+};
+
+} // namespace
+
+TopologyGenerator::TopologyGenerator(GeneratorConfig config)
+    : config_(std::move(config)) {}
+
+Topology TopologyGenerator::generate() const {
+    Builder builder{config_};
+    return builder.build();
+}
+
+} // namespace aio::topo

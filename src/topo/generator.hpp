@@ -1,0 +1,127 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netbase/region.hpp"
+#include "netbase/rng.hpp"
+#include "topo/as_graph.hpp"
+
+namespace aio::topo {
+
+/// Per-African-region generation parameters. Defaults (see
+/// GeneratorConfig::defaults()) are calibrated to the ecosystem the paper
+/// describes: no African Tier-1, scarce Tier-2, mobile-dominated access,
+/// IXP density and transit localization highest in Southern Africa and
+/// lowest in Western/Central Africa.
+struct RegionProfile {
+    net::Region region = net::Region::WesternAfrica;
+
+    /// AS density: ASes per million inhabitants (maturity proxy).
+    double asPerMillionPeople = 0.5;
+    /// Lower bound of ASes per country.
+    int minAsesPerCountry = 2;
+    /// Fraction of eyeball ASes that are mobile operators.
+    double mobileShare = 0.6;
+    /// Regional transit providers (the scarce African "Tier-2").
+    int tier2Count = 1;
+    /// IXPs in the region (2025). African totals sum to 77 (paper §7 fn.1).
+    int ixpCount = 10;
+    /// Probability an in-country AS joins a local IXP.
+    double ixpJoinProb = 0.4;
+    /// Probability a same-region, other-country AS remote-peers at an IXP.
+    double ixpRemotePeerProb = 0.03;
+    /// Probability two IXP members actually exchange routes (route-server
+    /// multilateral peering density).
+    double ixpMeshDensity = 0.7;
+    /// Probability an access AS buys transit from an African Tier-2
+    /// (otherwise it homes to Europe — the paper's detour mechanism).
+    double localTransitProb = 0.3;
+    /// Probability of a second (backup) transit provider.
+    double secondTransitProb = 0.35;
+    /// Probability two ASes in the same country peer privately.
+    double domesticPeerProb = 0.12;
+    /// Probability an IXP hosts an off-net content cache.
+    double contentCacheProb = 0.3;
+};
+
+/// Generation parameters for the comparison regions (kept coarse; they
+/// exist to provide transit, hosting and Figure-1 contrast).
+struct OtherRegionProfile {
+    int tier1Count = 0;
+    int tier2Count = 4;
+    int accessPerCountry = 3;
+    int ixpCount = 2;
+};
+
+/// Full generator configuration. All knobs are plain data so experiments
+/// (and what-if analyses) can copy + tweak a config.
+struct GeneratorConfig {
+    std::uint64_t seed = 20250704;
+
+    std::array<RegionProfile, 5> africa; ///< order: africanRegions()
+
+    OtherRegionProfile europe{.tier1Count = 5,
+                              .tier2Count = 10,
+                              .accessPerCountry = 4,
+                              .ixpCount = 3};
+    OtherRegionProfile northAmerica{.tier1Count = 3,
+                                    .tier2Count = 5,
+                                    .accessPerCountry = 5,
+                                    .ixpCount = 2};
+    OtherRegionProfile southAmerica{.tier1Count = 0,
+                                    .tier2Count = 4,
+                                    .accessPerCountry = 4,
+                                    .ixpCount = 3};
+    OtherRegionProfile asiaPacific{.tier1Count = 0,
+                                   .tier2Count = 5,
+                                   .accessPerCountry = 4,
+                                   .ixpCount = 3};
+
+    /// Number of pan-African carriers: single-ASN networks present at many
+    /// IXPs continent-wide (the SEACOM/Liquid pattern). These drive the
+    /// greedy set-cover result of §7 fn.1.
+    int continentalCarriers = 6;
+    /// Probability a continental carrier is a member of any given African
+    /// IXP.
+    double carrierIxpJoinProb = 0.06;
+    /// Probability a regional Tier-2 joins each IXP of its home region.
+    double tier2IxpJoinProb = 0.2;
+
+    /// Content/cloud providers.
+    int euContentProviders = 4;
+    int euCloudProviders = 3;
+    int usCloudProviders = 2;
+    int zaCloudProviders = 1; ///< "few large public clouds ... centralized
+                              ///< in South Africa" (§5.2)
+
+    /// Fraction of African networks whose EU upstream is a Tier-1 (the
+    /// rest buy from EU Tier-2s — §4.1: only ~40% of detours attributable
+    /// to EU Tier-1/IXP; the majority ride EU Tier-2 transit).
+    double euTier1UpstreamShare = 0.25;
+    /// Probability two EU Tier-2s interconnect (the dense European
+    /// peering fabric that keeps most EU-transit paths off the Tier-1s).
+    double euTier2PeerProb = 0.9;
+
+    /// Calibrated defaults reproducing the paper's qualitative structure.
+    static GeneratorConfig defaults();
+};
+
+/// Generates a Topology from a GeneratorConfig. Deterministic for a given
+/// config (including seed).
+class TopologyGenerator {
+public:
+    explicit TopologyGenerator(GeneratorConfig config);
+
+    [[nodiscard]] Topology generate() const;
+
+    [[nodiscard]] const GeneratorConfig& config() const { return config_; }
+
+    /// ASN reserved for the paper's Kigali vantage point (§7.3).
+    static constexpr Asn kKigaliProbeAsn = 36924;
+
+private:
+    GeneratorConfig config_;
+};
+
+} // namespace aio::topo

@@ -1,0 +1,109 @@
+#include "topo/growth.hpp"
+
+#include <cmath>
+
+#include "netbase/error.hpp"
+
+namespace aio::topo {
+
+std::string_view infraMetricName(InfraMetric metric) {
+    switch (metric) {
+    case InfraMetric::SubseaCables: return "Subsea cables";
+    case InfraMetric::Ixps: return "IXPs";
+    case InfraMetric::Asns: return "ASNs";
+    }
+    return "?";
+}
+
+namespace {
+std::size_t macroIdx(net::MacroRegion macro) {
+    return static_cast<std::size_t>(macro);
+}
+std::size_t metricIdx(InfraMetric metric) {
+    return static_cast<std::size_t>(metric);
+}
+
+/// Approximate macro-region populations (millions, 2024) for per-capita
+/// maturity normalization.
+double populationMillions(net::MacroRegion macro) {
+    switch (macro) {
+    case net::MacroRegion::Africa: return 1450.0;
+    case net::MacroRegion::Europe: return 745.0;
+    case net::MacroRegion::NorthAmerica: return 610.0;
+    case net::MacroRegion::SouthAmerica: return 440.0;
+    case net::MacroRegion::AsiaPacific: return 4300.0;
+    }
+    return 1.0;
+}
+} // namespace
+
+GrowthTimeline::GrowthTimeline(int firstYear, int lastYear)
+    : firstYear_(firstYear), lastYear_(lastYear) {
+    AIO_EXPECTS(firstYear < lastYear, "growth window must be non-empty");
+    using M = net::MacroRegion;
+    using I = InfraMetric;
+    const auto set = [this](M m, I i, double start, double end) {
+        anchors_[macroIdx(m)][metricIdx(i)] = Anchor{start, end};
+    };
+    // Census-inspired anchors (2015 -> 2025). Africa's deltas are the
+    // paper's: cables +45%, IXPs +600% (11 -> 77), ASNs roughly x2.4.
+    set(M::Africa, I::SubseaCables, 16, 23.2);
+    set(M::Africa, I::Ixps, 11, 77);
+    set(M::Africa, I::Asns, 700, 1700);
+
+    set(M::Europe, I::SubseaCables, 50, 60);
+    set(M::Europe, I::Ixps, 200, 250);
+    set(M::Europe, I::Asns, 20000, 27000);
+
+    set(M::NorthAmerica, I::SubseaCables, 40, 48);
+    set(M::NorthAmerica, I::Ixps, 90, 130);
+    set(M::NorthAmerica, I::Asns, 17000, 21000);
+
+    set(M::SouthAmerica, I::SubseaCables, 12, 21);
+    set(M::SouthAmerica, I::Ixps, 40, 170);
+    set(M::SouthAmerica, I::Asns, 3500, 10500);
+
+    set(M::AsiaPacific, I::SubseaCables, 90, 150);
+    set(M::AsiaPacific, I::Ixps, 110, 330);
+    set(M::AsiaPacific, I::Asns, 9000, 26000);
+}
+
+const GrowthTimeline::Anchor&
+GrowthTimeline::anchor(net::MacroRegion region, InfraMetric metric) const {
+    return anchors_[macroIdx(region)][metricIdx(metric)];
+}
+
+double GrowthTimeline::count(net::MacroRegion region, InfraMetric metric,
+                             int year) const {
+    AIO_EXPECTS(year >= firstYear_ && year <= lastYear_,
+                "year outside growth window");
+    const Anchor& a = anchor(region, metric);
+    const double t = static_cast<double>(year - firstYear_) /
+                     static_cast<double>(lastYear_ - firstYear_);
+    // Geometric interpolation: infrastructure counts compound.
+    return a.start * std::pow(a.end / a.start, t);
+}
+
+GrowthSeries GrowthTimeline::series(net::MacroRegion region,
+                                    InfraMetric metric) const {
+    GrowthSeries out;
+    out.region = region;
+    out.metric = metric;
+    for (int year = firstYear_; year <= lastYear_; ++year) {
+        out.points.emplace_back(year, count(region, metric, year));
+    }
+    return out;
+}
+
+double GrowthTimeline::relativeGrowth(net::MacroRegion region,
+                                      InfraMetric metric) const {
+    const Anchor& a = anchor(region, metric);
+    return a.end / a.start - 1.0;
+}
+
+double GrowthTimeline::perCapitaMaturity(net::MacroRegion region,
+                                         InfraMetric metric) const {
+    return anchor(region, metric).end / populationMillions(region) * 100.0;
+}
+
+} // namespace aio::topo

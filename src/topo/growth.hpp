@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "netbase/region.hpp"
+
+namespace aio::topo {
+
+/// One metric tracked by the Figure-1 analysis.
+enum class InfraMetric {
+    SubseaCables,
+    Ixps,
+    Asns,
+};
+
+[[nodiscard]] std::string_view infraMetricName(InfraMetric metric);
+
+/// A (year, count) series for one macro region and metric.
+struct GrowthSeries {
+    net::MacroRegion region = net::MacroRegion::Africa;
+    InfraMetric metric = InfraMetric::Ixps;
+    std::vector<std::pair<int, double>> points; ///< year -> count
+};
+
+/// Parametric model of critical-infrastructure growth 2015-2025 (Figure 1).
+///
+/// Anchored on public census figures (cable/IXP/ASN counts per macro
+/// region) and interpolated geometrically between the 2015 and 2025
+/// anchors. The paper's headline deltas hold by construction and are
+/// asserted by tests: African cables +45%, African IXPs +600%, and Africa
+/// growing slower than the other Global-South regions in absolute and
+/// per-capita terms despite larger relative growth.
+class GrowthTimeline {
+public:
+    GrowthTimeline(int firstYear = 2015, int lastYear = 2025);
+
+    [[nodiscard]] int firstYear() const { return firstYear_; }
+    [[nodiscard]] int lastYear() const { return lastYear_; }
+
+    /// Interpolated count of `metric` in `region` at `year`.
+    [[nodiscard]] double count(net::MacroRegion region, InfraMetric metric,
+                               int year) const;
+
+    /// Full series for one region/metric.
+    [[nodiscard]] GrowthSeries series(net::MacroRegion region,
+                                      InfraMetric metric) const;
+
+    /// Relative growth over the window: count(last)/count(first) - 1.
+    [[nodiscard]] double relativeGrowth(net::MacroRegion region,
+                                        InfraMetric metric) const;
+
+    /// Count at lastYear per 100 million inhabitants — the maturity
+    /// normalization showing Africa trails other Global-South regions.
+    [[nodiscard]] double perCapitaMaturity(net::MacroRegion region,
+                                           InfraMetric metric) const;
+
+private:
+    struct Anchor {
+        double start = 0.0; ///< count at firstYear
+        double end = 0.0;   ///< count at lastYear
+    };
+    [[nodiscard]] const Anchor& anchor(net::MacroRegion region,
+                                       InfraMetric metric) const;
+
+    int firstYear_;
+    int lastYear_;
+    // anchors_[macro][metric]
+    Anchor anchors_[5][3];
+};
+
+} // namespace aio::topo

@@ -1,0 +1,66 @@
+#include "topo/prefix_alloc.hpp"
+
+#include "netbase/error.hpp"
+
+namespace aio::topo {
+
+namespace {
+std::size_t poolIndex(net::MacroRegion macro) {
+    return static_cast<std::size_t>(macro);
+}
+} // namespace
+
+PrefixAllocator::PrefixAllocator() {
+    using net::Prefix;
+    // AfriNIC-delegated space (196.60.0.0/16 is reserved for IXP LANs below).
+    pools_[poolIndex(net::MacroRegion::Africa)].blocks = {
+        Prefix::parse("41.0.0.0/8"), Prefix::parse("102.0.0.0/8"),
+        Prefix::parse("105.0.0.0/8"), Prefix::parse("154.0.0.0/8"),
+        Prefix::parse("197.0.0.0/8")};
+    pools_[poolIndex(net::MacroRegion::Europe)].blocks = {
+        Prefix::parse("62.0.0.0/8"), Prefix::parse("80.0.0.0/8"),
+        Prefix::parse("91.0.0.0/8")};
+    pools_[poolIndex(net::MacroRegion::NorthAmerica)].blocks = {
+        Prefix::parse("12.0.0.0/8"), Prefix::parse("64.0.0.0/8")};
+    pools_[poolIndex(net::MacroRegion::SouthAmerica)].blocks = {
+        Prefix::parse("177.0.0.0/8"), Prefix::parse("186.0.0.0/8")};
+    pools_[poolIndex(net::MacroRegion::AsiaPacific)].blocks = {
+        Prefix::parse("27.0.0.0/8"), Prefix::parse("110.0.0.0/8"),
+        Prefix::parse("1.0.0.0/8")};
+    ixpLanPool_.blocks = {Prefix::parse("196.60.0.0/16")};
+}
+
+net::Prefix PrefixAllocator::allocateFrom(Pool& pool, int length) {
+    AIO_EXPECTS(length >= 16 && length <= 24, "prefix length must be 16..24");
+    const std::uint64_t size = std::uint64_t{1} << (32 - length);
+    for (;;) {
+        AIO_EXPECTS(pool.blockIndex < pool.blocks.size(),
+                    "address pool exhausted");
+        const net::Prefix& block = pool.blocks[pool.blockIndex];
+        // Align the offset to the allocation size.
+        const std::uint64_t aligned =
+            (pool.offset + size - 1) / size * size;
+        if (aligned + size <= block.size()) {
+            pool.offset = aligned + size;
+            pool.allocated += size;
+            return net::Prefix{block.addressAt(aligned), length};
+        }
+        ++pool.blockIndex;
+        pool.offset = 0;
+    }
+}
+
+net::Prefix PrefixAllocator::allocate(net::MacroRegion macro, int length) {
+    return allocateFrom(pools_[poolIndex(macro)], length);
+}
+
+net::Prefix PrefixAllocator::allocateIxpLan() {
+    return allocateFrom(ixpLanPool_, 24);
+}
+
+std::uint64_t
+PrefixAllocator::allocatedAddresses(net::MacroRegion macro) const {
+    return pools_[poolIndex(macro)].allocated;
+}
+
+} // namespace aio::topo

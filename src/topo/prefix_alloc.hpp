@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "netbase/ip.hpp"
+#include "netbase/region.hpp"
+
+namespace aio::topo {
+
+/// Carves prefixes for ASes out of macro-region address pools, mimicking
+/// RIR delegations (AfriNIC blocks for Africa, RIPE for Europe, ...).
+///
+/// Allocation is strictly sequential inside each pool, so a given request
+/// sequence always yields the same addressing plan. IXP LAN /24s come from
+/// a dedicated slice of the African pool (real African IXP LANs live in
+/// AfriNIC space).
+class PrefixAllocator {
+public:
+    PrefixAllocator();
+
+    /// Allocates one prefix of `length` (16..24) for the macro region.
+    /// Throws AioError when a pool is exhausted (does not spill over,
+    /// so regional attribution of addresses stays exact).
+    net::Prefix allocate(net::MacroRegion macro, int length);
+
+    /// Allocates an IXP LAN /24.
+    net::Prefix allocateIxpLan();
+
+    /// Total addresses handed out for a macro region so far.
+    [[nodiscard]] std::uint64_t allocatedAddresses(net::MacroRegion m) const;
+
+private:
+    struct Pool {
+        std::vector<net::Prefix> blocks; ///< /8-ish superblocks
+        std::size_t blockIndex = 0;
+        std::uint64_t offset = 0; ///< next free address within block
+        std::uint64_t allocated = 0;
+    };
+
+    net::Prefix allocateFrom(Pool& pool, int length);
+
+    Pool pools_[5]; ///< indexed by MacroRegion
+    Pool ixpLanPool_;
+};
+
+} // namespace aio::topo

@@ -1,0 +1,89 @@
+// Parameterized sweeps over the dependency layers: the regional shape
+// results (Fig. 2b/2c) must be properties of the configuration, not of
+// one lucky assignment seed.
+
+#include <gtest/gtest.h>
+
+#include "content/catalog.hpp"
+#include "dns/resolver.hpp"
+#include "topo/generator.hpp"
+
+namespace aio {
+namespace {
+
+const topo::Topology& topology() {
+    static const topo::Topology topo =
+        topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
+    return topo;
+}
+
+class DependencySeedSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DependencySeedSweep, ResolverSharesMatchConfiguredProfiles) {
+    const dns::ResolverEcosystem ecosystem{
+        topology(), dns::DnsConfig::defaults(), GetParam()};
+    const auto cfg = dns::DnsConfig::defaults();
+    const auto regions = net::africanRegions();
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        const auto shares = ecosystem.classShares(regions[i]);
+        const auto localIt =
+            shares.find(dns::ResolverClass::LocalInCountry);
+        const double local =
+            localIt == shares.end() ? 0.0 : localIt->second;
+        // Empirical share near the configured profile (sampling noise on
+        // ~100 ASes per region plus the other-country fallback allows a
+        // generous band).
+        EXPECT_NEAR(local, cfg.africa[i].localInCountry, 0.16)
+            << net::regionName(regions[i]) << " seed " << GetParam();
+    }
+}
+
+TEST_P(DependencySeedSweep, SouthernContentLocalityLeadsWesternTrails) {
+    const content::ContentCatalog catalog{
+        topology(), content::ContentConfig::defaults(), GetParam()};
+    const content::LocalityAnalyzer analyzer{catalog};
+    const double southern =
+        analyzer.localShare(net::Region::SouthernAfrica);
+    const double western = analyzer.localShare(net::Region::WesternAfrica);
+    EXPECT_GT(southern, western) << "seed " << GetParam();
+    const double overall = analyzer.overallLocalShare();
+    EXPECT_GT(overall, 0.15);
+    EXPECT_LT(overall, 0.45);
+}
+
+TEST_P(DependencySeedSweep, ResolverAssignmentsAreInternallyConsistent) {
+    const dns::ResolverEcosystem ecosystem{
+        topology(), dns::DnsConfig::defaults(), GetParam()};
+    const auto& topo = topology();
+    for (topo::AsIndex i = 0; i < topo.asCount(); ++i) {
+        const auto assignment = ecosystem.resolverOf(i);
+        if (!assignment) continue;
+        // African classes must resolve inside Africa, offshore outside.
+        const bool resolverAfrican =
+            net::isAfrican(topo.as(assignment->resolverAs).region);
+        EXPECT_EQ(resolverAfrican,
+                  dns::isAfricanResolverClass(assignment->cls))
+            << "AS" << topo.as(i).asn << " seed " << GetParam();
+    }
+}
+
+TEST_P(DependencySeedSweep, CacheSitesAlwaysPointAtCacheIxps) {
+    const content::ContentCatalog catalog{
+        topology(), content::ContentConfig::defaults(), GetParam()};
+    for (const auto* country : net::CountryTable::world().african()) {
+        for (const auto& site : catalog.sitesFor(country->iso2)) {
+            if (site.hosting != content::HostingClass::IxpOffnetCache) {
+                continue;
+            }
+            ASSERT_TRUE(site.cacheIxp.has_value());
+            EXPECT_TRUE(topology().ixp(*site.cacheIxp).hasContentCache);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DependencySeedSweep,
+                         ::testing::Values(31, 47, 1001, 424242));
+
+} // namespace
+} // namespace aio

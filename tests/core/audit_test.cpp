@@ -1,0 +1,124 @@
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/error.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::core {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    phys::CableRegistry registry;
+    dns::ResolverEcosystem resolvers;
+    content::ContentCatalog catalog;
+    PolicyAuditor auditor;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          registry(phys::CableRegistry::africanDefaults()),
+          resolvers(topo, dns::DnsConfig::defaults(), 31),
+          catalog(topo, content::ContentConfig::defaults(), 47),
+          auditor(topo, registry, resolvers, catalog) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+TEST(PolicyAuditor, AuditsEveryAfricanCountry) {
+    auto& w = world();
+    const auto audits = w.auditor.auditAfrica();
+    EXPECT_EQ(audits.size(), 54U);
+    for (const auto& audit : audits) {
+        EXPECT_GE(audit.dnsAfricanShare, 0.0);
+        EXPECT_LE(audit.dnsAfricanShare, 1.0);
+        EXPECT_GE(audit.dnsLocalShare, 0.0);
+        EXPECT_LE(audit.dnsLocalShare, audit.dnsAfricanShare + 1e-9);
+        EXPECT_GE(audit.contentLocalShare, 0.0);
+        EXPECT_LE(audit.contentLocalShare, 1.0);
+        EXPECT_LE(audit.distinctCorridors, audit.internationalCables);
+    }
+}
+
+TEST(PolicyAuditor, RejectsNonAfricanCountries) {
+    auto& w = world();
+    EXPECT_THROW(w.auditor.audit("DE"), net::PreconditionError);
+    EXPECT_THROW(w.auditor.audit("XX"), net::NotFoundError);
+}
+
+TEST(PolicyAuditor, LandlockedCountriesAuditViaGateway) {
+    auto& w = world();
+    const auto rwanda = w.auditor.audit("RW");
+    EXPECT_TRUE(rwanda.landlocked);
+    const auto tanzania = w.auditor.audit("TZ");
+    // Rwanda's subsea exposure equals its gateway's (Tanzania).
+    EXPECT_EQ(rwanda.internationalCables, tanzania.internationalCables);
+    EXPECT_EQ(rwanda.distinctCorridors, tanzania.distinctCorridors);
+}
+
+TEST(PolicyAuditor, TheDiversityGapExists) {
+    // The paper's §5.1 point: some countries pass count-based backup
+    // legislation while every cable shares one corridor.
+    auto& w = world();
+    int gapCountries = 0;
+    for (const auto& audit : w.auditor.auditAfrica()) {
+        if (audit.cableCountCompliant &&
+            !audit.corridorDiversityCompliant) {
+            ++gapCountries;
+        }
+    }
+    EXPECT_GT(gapCountries, 0);
+}
+
+TEST(PolicyAuditor, SouthernAfricaMostCompliant) {
+    auto& w = world();
+    const auto summary = w.auditor.regionalSummary();
+    double southern = 0.0;
+    double western = 0.0;
+    for (const auto& row : summary) {
+        const double rate =
+            row.countries == 0
+                ? 0.0
+                : static_cast<double>(row.fullyCompliant) / row.countries;
+        if (row.region == net::Region::SouthernAfrica) southern = rate;
+        if (row.region == net::Region::WesternAfrica) western = rate;
+    }
+    EXPECT_GE(southern, western);
+}
+
+TEST(PolicyAuditor, StricterTargetsShrinkCompliance) {
+    auto& w = world();
+    PolicyTargets strict;
+    strict.minDnsAfricanShare = 0.95;
+    strict.minContentLocalShare = 0.8;
+    strict.minInternationalCables = 4;
+    const PolicyAuditor strictAuditor{w.topo, w.registry, w.resolvers,
+                                      w.catalog, strict};
+    int lax = 0;
+    int strictCount = 0;
+    for (const auto& audit : w.auditor.auditAfrica()) {
+        lax += audit.fullyCompliant() ? 1 : 0;
+    }
+    for (const auto& audit : strictAuditor.auditAfrica()) {
+        strictCount += audit.fullyCompliant() ? 1 : 0;
+    }
+    EXPECT_LE(strictCount, lax);
+}
+
+TEST(PolicyAuditor, DiversityRequirementCanBeDisabled) {
+    auto& w = world();
+    PolicyTargets countOnly;
+    countOnly.requireCorridorDiversity = false;
+    const PolicyAuditor auditor{w.topo, w.registry, w.resolvers, w.catalog,
+                                countOnly};
+    for (const auto& audit : auditor.auditAfrica()) {
+        EXPECT_TRUE(audit.corridorDiversityCompliant);
+    }
+}
+
+} // namespace
+} // namespace aio::core

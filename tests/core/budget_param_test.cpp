@@ -1,0 +1,129 @@
+// Parameterized sweep over the budget scheduler: core invariants must
+// hold for every tariff x budget x planner combination.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/budget.hpp"
+
+namespace aio::core {
+namespace {
+
+PricingModel tariffByIndex(int index) {
+    PricingModel pricing;
+    switch (index) {
+    case 0:
+        pricing.kind = PricingModel::Kind::FlatPerMb;
+        pricing.perMbUsd = 0.008;
+        break;
+    case 1:
+        pricing.kind = PricingModel::Kind::PrepaidBundle;
+        pricing.bundleMb = 250.0;
+        pricing.bundleCostUsd = 2.0;
+        break;
+    default:
+        pricing.kind = PricingModel::Kind::TimeOfDayDiscount;
+        pricing.perMbUsd = 0.01;
+        pricing.offPeakFactor = 0.45;
+        break;
+    }
+    return pricing;
+}
+
+std::vector<MeasurementTask> sweepTasks() {
+    std::vector<MeasurementTask> tasks;
+    for (int i = 0; i < 12; ++i) {
+        tasks.push_back({.id = "t" + std::to_string(i),
+                         .kind = i % 2 ? "traceroute" : "http",
+                         .payloadBytesPerRun = 2e4 * (1 + i % 5),
+                         .utilityPerRun = 1.0 + i % 4,
+                         .desiredRuns = 100 + 40 * (i % 3),
+                         .sharedGroup = i < 6 ? i / 3 : -1,
+                         .offPeakOk = (i % 3) != 0});
+    }
+    return tasks;
+}
+
+/// (tariff index, budget USD)
+class BudgetSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BudgetSweep, ExecutionNeverOverspends) {
+    const auto [tariff, budget] = GetParam();
+    Probe probe;
+    probe.id = "sweep";
+    probe.countryCode = "KE";
+    probe.pricing = tariffByIndex(tariff);
+    const auto tasks = sweepTasks();
+    for (const bool reuse : {true, false}) {
+        for (const bool overhead : {true, false}) {
+            SchedulerOptions opts;
+            opts.exploitReuse = reuse;
+            opts.accountPacketOverhead = overhead;
+            const BudgetScheduler scheduler{opts};
+            const auto plan = scheduler.plan(probe, tasks, budget);
+            EXPECT_LE(plan.plannedCostUsd, budget + 1e-9);
+            const auto result =
+                BudgetScheduler::execute(probe, plan, budget);
+            EXPECT_LE(result.spentUsd, budget + 1e-9);
+            EXPECT_GE(result.deliveredUtility, 0.0);
+        }
+    }
+}
+
+TEST_P(BudgetSweep, AwarePlannerNeverAborts) {
+    const auto [tariff, budget] = GetParam();
+    Probe probe;
+    probe.id = "sweep";
+    probe.countryCode = "KE";
+    probe.pricing = tariffByIndex(tariff);
+    const auto tasks = sweepTasks();
+    const BudgetScheduler scheduler; // fully aware defaults
+    const auto plan = scheduler.plan(probe, tasks, budget);
+    const auto result = BudgetScheduler::execute(probe, plan, budget);
+    // Packet-level accounting means the plan is executable as planned.
+    EXPECT_EQ(result.runsAborted, 0);
+}
+
+TEST_P(BudgetSweep, AwareBeatsOrMatchesNaive) {
+    const auto [tariff, budget] = GetParam();
+    Probe probe;
+    probe.id = "sweep";
+    probe.countryCode = "KE";
+    probe.pricing = tariffByIndex(tariff);
+    const auto tasks = sweepTasks();
+    SchedulerOptions naiveOpts;
+    naiveOpts.accountPacketOverhead = false;
+    naiveOpts.exploitReuse = false;
+    naiveOpts.useOffPeak = false;
+    const auto aware = BudgetScheduler::execute(
+        probe, BudgetScheduler{}.plan(probe, tasks, budget), budget);
+    const auto naive = BudgetScheduler::execute(
+        probe, BudgetScheduler{naiveOpts}.plan(probe, tasks, budget),
+        budget);
+    EXPECT_GE(aware.deliveredUtility, naive.deliveredUtility * 0.999);
+}
+
+TEST_P(BudgetSweep, MoreBudgetNeverHurts) {
+    const auto [tariff, budget] = GetParam();
+    Probe probe;
+    probe.id = "sweep";
+    probe.countryCode = "KE";
+    probe.pricing = tariffByIndex(tariff);
+    const auto tasks = sweepTasks();
+    const BudgetScheduler scheduler;
+    const auto small = BudgetScheduler::execute(
+        probe, scheduler.plan(probe, tasks, budget), budget);
+    const auto large = BudgetScheduler::execute(
+        probe, scheduler.plan(probe, tasks, budget * 2.0), budget * 2.0);
+    EXPECT_GE(large.deliveredUtility, small.deliveredUtility - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TariffsAndBudgets, BudgetSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0.5, 2.0, 8.0, 50.0)));
+
+} // namespace
+} // namespace aio::core

@@ -1,0 +1,157 @@
+#include "core/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netbase/error.hpp"
+
+namespace aio::core {
+namespace {
+
+Probe makeProbe(PricingModel pricing) {
+    Probe probe;
+    probe.id = "test-probe";
+    probe.countryCode = "RW";
+    probe.pricing = pricing;
+    return probe;
+}
+
+std::vector<MeasurementTask> taskMix() {
+    return {
+        // Two analyses over the same traceroute corpus (shared group 0).
+        {.id = "topo-map", .kind = "traceroute",
+         .payloadBytesPerRun = 60e3, .utilityPerRun = 5.0,
+         .desiredRuns = 200, .sharedGroup = 0, .offPeakOk = true},
+        {.id = "ixp-detect", .kind = "traceroute",
+         .payloadBytesPerRun = 60e3, .utilityPerRun = 4.0,
+         .desiredRuns = 200, .sharedGroup = 0, .offPeakOk = true},
+        {.id = "dns-check", .kind = "dns", .payloadBytesPerRun = 2e3,
+         .utilityPerRun = 1.0, .desiredRuns = 500, .sharedGroup = -1,
+         .offPeakOk = true},
+        {.id = "pageload", .kind = "http", .payloadBytesPerRun = 2e6,
+         .utilityPerRun = 8.0, .desiredRuns = 100, .sharedGroup = -1,
+         .offPeakOk = false},
+    };
+}
+
+TEST(PricingModel, FlatPerMbIsLinear) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::FlatPerMb;
+    pricing.perMbUsd = 0.01;
+    EXPECT_DOUBLE_EQ(pricing.costUsd(100.0, false), 1.0);
+    EXPECT_DOUBLE_EQ(pricing.costUsd(100.0, true), 1.0);
+    EXPECT_THROW(pricing.costUsd(-1.0, false), net::PreconditionError);
+}
+
+TEST(PricingModel, PrepaidChargesWholeBundles) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::PrepaidBundle;
+    pricing.bundleMb = 500.0;
+    pricing.bundleCostUsd = 4.0;
+    EXPECT_DOUBLE_EQ(pricing.costUsd(1.0, false), 4.0);
+    EXPECT_DOUBLE_EQ(pricing.costUsd(500.0, false), 4.0);
+    EXPECT_DOUBLE_EQ(pricing.costUsd(501.0, false), 8.0);
+}
+
+TEST(PricingModel, OffPeakDiscountApplies) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::TimeOfDayDiscount;
+    pricing.perMbUsd = 0.01;
+    pricing.offPeakFactor = 0.5;
+    EXPECT_DOUBLE_EQ(pricing.costUsd(100.0, true), 0.5);
+    EXPECT_DOUBLE_EQ(pricing.costUsd(100.0, false), 1.0);
+}
+
+TEST(BudgetScheduler, PlanRespectsBudget) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::FlatPerMb;
+    pricing.perMbUsd = 0.01;
+    const Probe probe = makeProbe(pricing);
+    const BudgetScheduler scheduler;
+    const auto tasks = taskMix();
+    const auto plan = scheduler.plan(probe, tasks, 2.0);
+    EXPECT_LE(plan.plannedCostUsd, 2.0 + 1e-9);
+    EXPECT_GT(plan.plannedUtility, 0.0);
+    // Execution under the true tariff also stays within budget.
+    const auto result = BudgetScheduler::execute(probe, plan, 2.0);
+    EXPECT_LE(result.spentUsd, 2.0 + 1e-9);
+    EXPECT_EQ(result.runsAborted, 0);
+}
+
+TEST(BudgetScheduler, ReuseBeatsNoReuse) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::FlatPerMb;
+    pricing.perMbUsd = 0.01;
+    const Probe probe = makeProbe(pricing);
+    const auto tasks = taskMix();
+    SchedulerOptions smart;
+    SchedulerOptions naive;
+    naive.exploitReuse = false;
+    const auto smartPlan = BudgetScheduler{smart}.plan(probe, tasks, 1.0);
+    const auto naivePlan = BudgetScheduler{naive}.plan(probe, tasks, 1.0);
+    const auto smartResult = BudgetScheduler::execute(probe, smartPlan, 1.0);
+    const auto naiveResult = BudgetScheduler::execute(probe, naivePlan, 1.0);
+    EXPECT_GT(smartResult.deliveredUtility, naiveResult.deliveredUtility);
+}
+
+TEST(BudgetScheduler, PayloadOnlyAccountingOverspendsAndAborts) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::FlatPerMb;
+    pricing.perMbUsd = 0.01;
+    const Probe probe = makeProbe(pricing);
+    const auto tasks = taskMix();
+    SchedulerOptions naive;
+    naive.accountPacketOverhead = false; // app-level accounting (§7.1)
+    const auto plan = BudgetScheduler{naive}.plan(probe, tasks, 1.0);
+    const auto result = BudgetScheduler::execute(probe, plan, 1.0);
+    // The naive planner schedules more than the wire allows: runs abort.
+    EXPECT_GT(result.runsAborted, 0);
+    EXPECT_LE(result.spentUsd, 1.0 + 1e-9);
+}
+
+TEST(BudgetScheduler, OffPeakSchedulingStretchesTheBudget) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::TimeOfDayDiscount;
+    pricing.perMbUsd = 0.01;
+    pricing.offPeakFactor = 0.4;
+    const Probe probe = makeProbe(pricing);
+    const auto tasks = taskMix();
+    SchedulerOptions smart;
+    SchedulerOptions peakOnly;
+    peakOnly.useOffPeak = false;
+    const auto smartResult = BudgetScheduler::execute(
+        probe, BudgetScheduler{smart}.plan(probe, tasks, 1.0), 1.0);
+    const auto peakResult = BudgetScheduler::execute(
+        probe, BudgetScheduler{peakOnly}.plan(probe, tasks, 1.0), 1.0);
+    EXPECT_GE(smartResult.deliveredUtility, peakResult.deliveredUtility);
+}
+
+TEST(BudgetScheduler, PrepaidBundlesQuantizeSpend) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::PrepaidBundle;
+    pricing.bundleMb = 100.0;
+    pricing.bundleCostUsd = 1.0;
+    const Probe probe = makeProbe(pricing);
+    const auto tasks = taskMix();
+    const auto plan = BudgetScheduler{}.plan(probe, tasks, 3.0);
+    const auto result = BudgetScheduler::execute(probe, plan, 3.0);
+    // Spend is a whole number of bundles.
+    EXPECT_DOUBLE_EQ(result.spentUsd,
+                     std::round(result.spentUsd));
+    EXPECT_LE(result.spentUsd, 3.0 + 1e-9);
+}
+
+TEST(BudgetScheduler, ZeroBudgetSchedulesNothing) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::FlatPerMb;
+    pricing.perMbUsd = 0.01;
+    const Probe probe = makeProbe(pricing);
+    const auto tasks = taskMix();
+    const auto plan = BudgetScheduler{}.plan(probe, tasks, 0.0);
+    EXPECT_TRUE(plan.entries.empty());
+    EXPECT_DOUBLE_EQ(plan.plannedUtility, 0.0);
+}
+
+} // namespace
+} // namespace aio::core

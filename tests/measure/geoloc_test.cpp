@@ -1,0 +1,72 @@
+#include "measure/geoloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/geo.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::measure {
+namespace {
+
+const topo::Topology& topology() {
+    static const topo::Topology topo =
+        topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
+    return topo;
+}
+
+TEST(Geolocation, DeterministicPerAddress) {
+    const GeolocationModel model{topology(), GeolocationConfig{}, 9};
+    const auto addr = topology().routerAddress(5, 3);
+    const auto p1 = model.locate(addr);
+    const auto p2 = model.locate(addr);
+    EXPECT_DOUBLE_EQ(p1.latitude, p2.latitude);
+    EXPECT_DOUBLE_EQ(p1.longitude, p2.longitude);
+}
+
+TEST(Geolocation, AfricanAddressesHaveLargerErrors) {
+    const auto& topo = topology();
+    const GeolocationModel model{topo, GeolocationConfig{}, 9};
+    std::vector<double> africanErr;
+    std::vector<double> otherErr;
+    for (topo::AsIndex as = 0; as < topo.asCount(); ++as) {
+        for (std::uint64_t salt = 0; salt < 4; ++salt) {
+            const auto addr = topo.routerAddress(as, salt);
+            const double err = model.errorKm(addr);
+            (net::isAfrican(topo.as(as).region) ? africanErr : otherErr)
+                .push_back(err);
+        }
+    }
+    ASSERT_GT(africanErr.size(), 100U);
+    ASSERT_GT(otherErr.size(), 50U);
+    const auto meanOf = [](const std::vector<double>& v) {
+        double s = 0;
+        for (const double x : v) s += x;
+        return s / static_cast<double>(v.size());
+    };
+    EXPECT_GT(meanOf(africanErr), 2.0 * meanOf(otherErr));
+}
+
+TEST(Geolocation, AccurateAddressesMatchTruth) {
+    const auto& topo = topology();
+    GeolocationConfig cfg;
+    cfg.africanErrorProb = 0.0;
+    cfg.otherErrorProb = 0.0;
+    const GeolocationModel model{topo, cfg, 9};
+    const auto addr = topo.routerAddress(3, 1);
+    EXPECT_NEAR(model.errorKm(addr), 0.0, 1e-9);
+}
+
+TEST(Geolocation, IxpLanAddressesLocateToIxpSite) {
+    const auto& topo = topology();
+    GeolocationConfig cfg;
+    cfg.africanErrorProb = 0.0;
+    cfg.otherErrorProb = 0.0;
+    const GeolocationModel model{topo, cfg, 9};
+    const auto ix = topo.africanIxps().front();
+    const auto addr = topo.ixp(ix).lanPrefix.addressAt(3);
+    const auto loc = model.locate(addr);
+    EXPECT_NEAR(net::haversineKm(loc, topo.ixp(ix).location), 0.0, 1e-6);
+}
+
+} // namespace
+} // namespace aio::measure

@@ -1,0 +1,95 @@
+#include "measure/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/error.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::measure {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    route::PathOracle oracle;
+    TracerouteEngine engine;
+    LatencyStudy study;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          oracle(topo), engine(topo, oracle), study(topo, oracle, engine) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+TEST(LatencyStudy, CountryPairStatsAreSane) {
+    auto& w = world();
+    net::Rng rng{1};
+    const auto pair = w.study.between("KE", "NG", 60, rng);
+    EXPECT_GT(pair.samples, 20U);
+    EXPECT_GT(pair.meanRttMs, 10.0);
+    EXPECT_LT(pair.meanRttMs, 1000.0);
+    EXPECT_GE(pair.p90RttMs, pair.meanRttMs * 0.5);
+    EXPECT_GE(pair.detourShare, 0.0);
+    EXPECT_LE(pair.detourShare, 1.0);
+}
+
+TEST(LatencyStudy, UnknownCountryThrows) {
+    auto& w = world();
+    net::Rng rng{2};
+    EXPECT_THROW(w.study.between("XX", "KE", 10, rng), net::NotFoundError);
+    EXPECT_THROW(w.study.between("KE", "NG", 0, rng),
+                 net::PreconditionError);
+}
+
+TEST(LatencyStudy, DetouredRoutesPayLatencyPenalty) {
+    auto& w = world();
+    net::Rng rng{3};
+    const auto [local, detoured] = w.study.detourPenalty(2500, rng);
+    ASSERT_GT(local, 0.0);
+    ASSERT_GT(detoured, 0.0);
+    // The hairpin through Europe costs well over 50% extra RTT.
+    EXPECT_GT(detoured, local * 1.5);
+}
+
+TEST(LatencyStudy, RegionalMatrixIsCompleteAndDiagonalFriendly) {
+    auto& w = world();
+    net::Rng rng{4};
+    const auto matrix = w.study.regionalMatrix(40, rng);
+    ASSERT_EQ(matrix.size(), 25U);
+    double diagSum = 0.0;
+    int diagCount = 0;
+    double offSum = 0.0;
+    int offCount = 0;
+    for (const auto& cell : matrix) {
+        if (cell.samples == 0) continue;
+        EXPECT_GT(cell.meanRttMs, 0.0);
+        if (cell.from == cell.to) {
+            diagSum += cell.meanRttMs;
+            ++diagCount;
+        } else {
+            offSum += cell.meanRttMs;
+            ++offCount;
+        }
+    }
+    ASSERT_GT(diagCount, 0);
+    ASSERT_GT(offCount, 0);
+    // Intra-region latency beats inter-region latency on average.
+    EXPECT_LT(diagSum / diagCount, offSum / offCount);
+}
+
+TEST(LatencyStudy, NeighborPairsFasterThanCrossContinentPairs) {
+    auto& w = world();
+    net::Rng rng{5};
+    const auto nearPair = w.study.between("KE", "TZ", 60, rng);
+    const auto farPair = w.study.between("SN", "MG", 60, rng);
+    ASSERT_GT(nearPair.samples, 10U);
+    ASSERT_GT(farPair.samples, 10U);
+    EXPECT_LT(nearPair.meanRttMs, farPair.meanRttMs);
+}
+
+} // namespace
+} // namespace aio::measure

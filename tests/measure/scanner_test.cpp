@@ -1,0 +1,181 @@
+#include "measure/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "measure/ixp_detect.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::measure {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    route::PathOracle oracle;
+    TracerouteEngine engine;
+    ResponsivenessModel model;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          oracle(topo), engine(topo, oracle),
+          model(topo, ResponsivenessConfig{}, 77) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+TEST(Responsiveness, DeterministicPerAsAndAddress) {
+    auto& w = world();
+    const ResponsivenessModel again{w.topo, ResponsivenessConfig{}, 77};
+    for (topo::AsIndex as = 0; as < w.topo.asCount(); as += 13) {
+        EXPECT_EQ(w.model.antVisible(as), again.antVisible(as));
+        EXPECT_DOUBLE_EQ(w.model.icmpDensity(as), again.icmpDensity(as));
+    }
+    const auto addr = w.topo.routerAddress(0, 5);
+    EXPECT_EQ(w.model.respondsToPing(addr), again.respondsToPing(addr));
+}
+
+TEST(Responsiveness, MobileNetworksMostAntVisible) {
+    auto& w = world();
+    int mobileVisible = 0, mobileTotal = 0;
+    int entVisible = 0, entTotal = 0;
+    for (const auto as : w.topo.africanAses()) {
+        if (w.topo.as(as).type == topo::AsType::MobileOperator) {
+            ++mobileTotal;
+            mobileVisible += w.model.antVisible(as) ? 1 : 0;
+        } else if (w.topo.as(as).type == topo::AsType::Enterprise) {
+            ++entTotal;
+            entVisible += w.model.antVisible(as) ? 1 : 0;
+        }
+    }
+    ASSERT_GT(mobileTotal, 50);
+    ASSERT_GT(entTotal, 20);
+    EXPECT_GT(static_cast<double>(mobileVisible) / mobileTotal,
+              static_cast<double>(entVisible) / entTotal);
+}
+
+TEST(Hitlists, AntIsLargerAndRicherThanCaida) {
+    auto& w = world();
+    net::Rng rng{1};
+    const HitlistBuilder builder{w.topo, w.model};
+    const auto ant = builder.buildAntStyle(rng);
+    const auto caida = builder.buildCaidaStyle(rng);
+    EXPECT_GT(ant.entries.size(), 1000U);
+    EXPECT_GT(caida.entries.size(), 1000U);
+    // CAIDA covers exactly the routed /24s.
+    EXPECT_EQ(caida.entries.size(), routedSlash24s(w.topo).size());
+}
+
+TEST(Hitlists, CaidaExcludesUnadvertisedIxpLans) {
+    auto& w = world();
+    net::Rng rng{2};
+    const HitlistBuilder builder{w.topo, w.model};
+    const auto caida = builder.buildCaidaStyle(rng);
+    for (const auto addr : caida.entries) {
+        const auto ixp = w.topo.ixpOfLanAddress(addr);
+        if (ixp) {
+            EXPECT_TRUE(w.topo.ixp(*ixp).lanInGlobalTable);
+        }
+    }
+}
+
+TEST(CoverageShape, Table1OrderingHolds) {
+    // The paper's Table 1 shape: ANT > CAIDA > YARRP on every dimension,
+    // mobile coverage > non-mobile coverage, and IXP coverage worst.
+    auto& w = world();
+    net::Rng rng{3};
+    const HitlistBuilder builder{w.topo, w.model};
+    const PingScanner ping{w.topo, w.model};
+    const CoverageAnalyzer analyzer{w.topo};
+
+    const auto ant = builder.buildAntStyle(rng);
+    const auto caida = builder.buildCaidaStyle(rng);
+    const auto antReport =
+        analyzer.analyze(ping.scan(ant), ant.entries.size());
+    const auto caidaReport =
+        analyzer.analyze(ping.scan(caida), caida.entries.size());
+
+    const YarrpScanner yarrp{w.topo, w.engine, w.model};
+    // The paper's YARRP run used Rwandan residential/campus networks
+    // behind international transit — NOT the IXP-rich AS36924 vantage of
+    // §7.3. Pick an RW stub whose providers are all European.
+    std::optional<topo::AsIndex> vantage;
+    for (const auto as : w.topo.asesInCountry("RW")) {
+        if (w.topo.as(as).asn == topo::TopologyGenerator::kKigaliProbeAsn) {
+            continue;
+        }
+        const bool euOnly = std::ranges::all_of(
+            w.topo.providersOf(as), [&](topo::AsIndex p) {
+                return !net::isAfrican(w.topo.as(p).region);
+            });
+        if (euOnly) {
+            vantage = as;
+            break;
+        }
+    }
+    ASSERT_TRUE(vantage.has_value());
+    const auto yarrpOutcome = yarrp.scan(*vantage, rng, 0.35);
+    const auto yarrpReport =
+        analyzer.analyze(yarrpOutcome, yarrpOutcome.probesSent);
+
+    // Mobile > non-mobile within each dataset.
+    EXPECT_GT(antReport.mobileAsnCoverage, antReport.nonMobileAsnCoverage);
+    EXPECT_GT(caidaReport.mobileAsnCoverage,
+              caidaReport.nonMobileAsnCoverage);
+    // IXP coverage is the weakest dimension everywhere.
+    EXPECT_LT(antReport.ixpCoverage, antReport.nonMobileAsnCoverage);
+    EXPECT_LT(caidaReport.ixpCoverage, caidaReport.nonMobileAsnCoverage);
+    EXPECT_LT(yarrpReport.ixpCoverage, 0.2);
+    // ANT dominates CAIDA; CAIDA dominates YARRP on mobile.
+    EXPECT_GT(antReport.mobileAsnCoverage, caidaReport.mobileAsnCoverage);
+    EXPECT_GT(antReport.nonMobileAsnCoverage,
+              caidaReport.nonMobileAsnCoverage);
+    EXPECT_GT(antReport.ixpCoverage, caidaReport.ixpCoverage);
+    EXPECT_GT(caidaReport.mobileAsnCoverage, yarrpReport.mobileAsnCoverage);
+    // Regional breakdown is present for all five regions.
+    EXPECT_EQ(antReport.regional.size(), 5U);
+}
+
+TEST(IxpDetection, KnowledgeBaseLimitsDetection) {
+    auto& w = world();
+    net::Rng rng{5};
+    const auto partial = IxpKnowledgeBase::build(w.topo, 0.4, rng);
+    const auto full = IxpKnowledgeBase::full(w.topo);
+    EXPECT_LT(partial.knownCount(), full.knownCount());
+    EXPECT_EQ(full.knownCount(), w.topo.ixpCount());
+    // Partial KB never detects an unknown IXP.
+    int detectedUnknown = 0;
+    const IxpDetector detector{w.topo, partial};
+    const auto african = w.topo.africanAses();
+    for (std::size_t i = 0; i < 200; ++i) {
+        const auto src = african[rng.uniformInt(african.size())];
+        const auto dst = african[rng.uniformInt(african.size())];
+        const auto trace = w.engine.traceToAs(src, dst, rng);
+        for (const auto ix : detector.detect(trace)) {
+            if (!partial.knows(ix)) {
+                ++detectedUnknown;
+            }
+        }
+    }
+    EXPECT_EQ(detectedUnknown, 0);
+}
+
+TEST(IxpDetection, FullKbMatchesGroundTruthHops) {
+    auto& w = world();
+    net::Rng rng{6};
+    const IxpDetector detector{w.topo, IxpKnowledgeBase::full(w.topo)};
+    const auto african = w.topo.africanAses();
+    for (std::size_t i = 0; i < 200; ++i) {
+        const auto src = african[rng.uniformInt(african.size())];
+        const auto dst = african[rng.uniformInt(african.size())];
+        const auto trace = w.engine.traceToAs(src, dst, rng);
+        EXPECT_EQ(detector.detect(trace), trace.ixpsCrossed());
+    }
+}
+
+} // namespace
+} // namespace aio::measure

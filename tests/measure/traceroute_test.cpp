@@ -1,0 +1,149 @@
+#include "measure/traceroute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/stats.hpp"
+#include "routing/detour.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::measure {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    route::PathOracle oracle;
+    TracerouteEngine engine;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          oracle(topo), engine(topo, oracle) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+TEST(Traceroute, ReachesRoutedTargetWithSensibleHops) {
+    auto& w = world();
+    net::Rng rng{1};
+    const auto african = w.topo.africanAses();
+    const topo::AsIndex src = african[3];
+    const topo::AsIndex dst = african[african.size() / 2];
+    const auto trace = w.engine.traceToAs(src, dst, rng);
+    ASSERT_TRUE(trace.reachedTarget);
+    ASSERT_FALSE(trace.hops.empty());
+    EXPECT_EQ(trace.dstAs, dst);
+    // First hop (if not lost) belongs to the source AS.
+    EXPECT_EQ(trace.hops.front().asIndex.value_or(src), src);
+    // RTTs are non-decreasing.
+    for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+        EXPECT_GE(trace.hops[i].rttMs, trace.hops[i - 1].rttMs);
+    }
+    // The AS path in the trace is a subsequence of the policy path.
+    const auto policy = w.oracle.path(src, dst);
+    const auto seen = trace.asPath();
+    std::size_t cursor = 0;
+    for (const auto as : seen) {
+        while (cursor < policy.size() && policy[cursor] != as) {
+            ++cursor;
+        }
+        EXPECT_LT(cursor, policy.size()) << "hop AS not on policy path";
+    }
+}
+
+TEST(Traceroute, UnroutedTargetDiesAtSourceBorder) {
+    auto& w = world();
+    net::Rng rng{2};
+    // Find an unadvertised IXP LAN.
+    std::optional<net::Ipv4Address> lanAddr;
+    for (const auto ix : w.topo.africanIxps()) {
+        if (!w.topo.ixp(ix).lanInGlobalTable) {
+            lanAddr = w.topo.ixp(ix).lanPrefix.addressAt(5);
+            break;
+        }
+    }
+    ASSERT_TRUE(lanAddr.has_value());
+    const auto trace = w.engine.trace(w.topo.africanAses()[0], *lanAddr, rng);
+    EXPECT_FALSE(trace.reachedTarget);
+    EXPECT_LE(trace.hops.size(), 1U);
+}
+
+TEST(Traceroute, NonRespondingTargetYieldsIncompleteTrace) {
+    auto& w = world();
+    net::Rng rng{3};
+    const auto african = w.topo.africanAses();
+    const auto target = w.topo.routerAddress(african[10], 0);
+    const auto trace =
+        w.engine.trace(african[4], target, rng, /*targetResponds=*/false);
+    EXPECT_FALSE(trace.reachedTarget);
+    // We still learn intermediate hops.
+    EXPECT_GE(trace.hops.size(), 1U);
+}
+
+TEST(Traceroute, IxpHopsAppearWhenPeeringAtIxp) {
+    auto& w = world();
+    net::Rng rng{4};
+    // Find a peer link across an African IXP and trace between endpoints.
+    for (const auto& link : w.topo.links()) {
+        if (!link.ixp || !net::isAfrican(w.topo.ixp(*link.ixp).region)) {
+            continue;
+        }
+        // Only meaningful if policy routing actually uses the direct link.
+        const auto path = w.oracle.path(link.a, link.b);
+        if (path.size() != 2) {
+            continue;
+        }
+        TracerouteConfig cfg;
+        cfg.hopLossProb = 0.0; // make the IXP hop deterministic
+        const TracerouteEngine engine{w.topo, w.oracle, cfg};
+        const auto trace = engine.traceToAs(link.a, link.b, rng);
+        const auto crossed = trace.ixpsCrossed();
+        ASSERT_EQ(crossed.size(), 1U);
+        EXPECT_EQ(crossed.front(), *link.ixp);
+        return;
+    }
+    FAIL() << "no direct African IXP peering path found";
+}
+
+TEST(Traceroute, DetourThroughEuropeInflatesRtt) {
+    auto& w = world();
+    net::Rng rng{5};
+    const route::DetourAnalyzer analyzer{w.topo};
+    const auto african = w.topo.africanAses();
+    std::vector<double> local;
+    std::vector<double> detoured;
+    for (std::size_t i = 0; i < african.size(); i += 9) {
+        for (std::size_t j = 1; j < african.size(); j += 31) {
+            if (i == j) continue;
+            const auto path = w.oracle.path(african[i], african[j]);
+            if (path.empty()) continue;
+            const auto trace =
+                w.engine.traceToAs(african[i], african[j], rng);
+            if (!trace.reachedTarget) continue;
+            (analyzer.leavesAfrica(path) ? detoured : local)
+                .push_back(trace.lastRttMs());
+        }
+    }
+    ASSERT_GT(local.size(), 10U);
+    ASSERT_GT(detoured.size(), 10U);
+    EXPECT_GT(net::mean(detoured), net::mean(local) * 1.5);
+}
+
+TEST(Traceroute, DeterministicGivenSameRngSeed) {
+    auto& w = world();
+    const auto african = w.topo.africanAses();
+    net::Rng rng1{42};
+    net::Rng rng2{42};
+    const auto t1 = w.engine.traceToAs(african[0], african[20], rng1);
+    const auto t2 = w.engine.traceToAs(african[0], african[20], rng2);
+    ASSERT_EQ(t1.hops.size(), t2.hops.size());
+    for (std::size_t i = 0; i < t1.hops.size(); ++i) {
+        EXPECT_EQ(t1.hops[i].address, t2.hops[i].address);
+        EXPECT_DOUBLE_EQ(t1.hops[i].rttMs, t2.hops[i].rttMs);
+    }
+}
+
+} // namespace
+} // namespace aio::measure

@@ -1,0 +1,111 @@
+// Parameterized sweep: Nautilus-style ambiguity must grow monotonically
+// with the matching radius, and ground-truth recall must degrade with
+// geolocation error — the mechanism behind §6.2 — across error seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nautilus/inference.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::nautilus {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    route::PathOracle oracle;
+    measure::TracerouteEngine engine;
+    phys::CableRegistry registry;
+    net::Rng mapRng;
+    phys::PhysicalLinkMap linkMap;
+    std::vector<measure::TracerouteResult> corpus;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          oracle(topo), engine(topo, oracle),
+          registry(phys::CableRegistry::africanDefaults()), mapRng(5),
+          linkMap(topo, registry, mapRng) {
+        net::Rng rng{99};
+        const auto african = topo.africanAses();
+        while (corpus.size() < 250) {
+            const auto src = african[rng.uniformInt(african.size())];
+            const auto dst = african[rng.uniformInt(african.size())];
+            if (src == dst) continue;
+            auto trace = engine.traceToAs(src, dst, rng);
+            if (trace.hops.size() >= 2) {
+                corpus.push_back(std::move(trace));
+            }
+        }
+    }
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+class GeolocSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeolocSeedSweep, AmbiguityGrowsWithMatchingRadius) {
+    auto& w = world();
+    const measure::GeolocationModel geoloc{
+        w.topo, measure::GeolocationConfig{}, GetParam()};
+    double prevShare = -1.0;
+    for (const double radius : {300.0, 600.0, 1000.0, 1500.0}) {
+        InferenceConfig cfg;
+        cfg.landingRadiusKm = radius;
+        const CableInference inference{w.topo, w.linkMap, geoloc, cfg};
+        const auto stats = AmbiguityAnalyzer{inference}.analyze(w.corpus);
+        EXPECT_GE(stats.ambiguousShare(), prevShare - 0.03)
+            << "radius " << radius << " seed " << GetParam();
+        prevShare = stats.ambiguousShare();
+    }
+}
+
+TEST_P(GeolocSeedSweep, WorseGeolocationDegradesGroundTruthRecall) {
+    auto& w = world();
+    const InferenceConfig cfg; // same generous radius for both models
+    measure::GeolocationConfig noisy;
+    noisy.africanErrorProb = 0.8;
+    noisy.africanErrorKmMean = 1800.0;
+    measure::GeolocationConfig mild;
+    mild.africanErrorProb = 0.1;
+    mild.africanErrorKmMean = 200.0;
+    const measure::GeolocationModel noisyGeo{w.topo, noisy, GetParam()};
+    const measure::GeolocationModel mildGeo{w.topo, mild, GetParam()};
+
+    const auto recall = [&](const measure::GeolocationModel& geoloc) {
+        const CableInference inference{w.topo, w.linkMap, geoloc, cfg};
+        int withTruth = 0;
+        int covered = 0;
+        for (const auto& trace : w.corpus) {
+            for (const auto& segment :
+                 inference.inferFromTrace(trace).segments) {
+                if (segment.groundTruth.empty()) continue;
+                ++withTruth;
+                for (const auto truth : segment.groundTruth) {
+                    if (std::find(segment.candidates.begin(),
+                                  segment.candidates.end(),
+                                  truth) != segment.candidates.end()) {
+                        ++covered;
+                        break;
+                    }
+                }
+            }
+        }
+        return withTruth == 0 ? 0.0
+                              : static_cast<double>(covered) / withTruth;
+    };
+    // Larger errors move endpoints away from the true landings: the real
+    // carrier falls out of the candidate set more often.
+    EXPECT_GE(recall(mildGeo), recall(noisyGeo) - 0.02)
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeolocSeedSweep,
+                         ::testing::Values(13, 77, 555));
+
+} // namespace
+} // namespace aio::nautilus

@@ -1,0 +1,139 @@
+#include "nautilus/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/detour.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::nautilus {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    route::PathOracle oracle;
+    measure::TracerouteEngine engine;
+    phys::CableRegistry registry;
+    net::Rng mapRng;
+    phys::PhysicalLinkMap linkMap;
+    measure::GeolocationModel geoloc;
+    CableInference inference;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          oracle(topo), engine(topo, oracle),
+          registry(phys::CableRegistry::africanDefaults()), mapRng(5),
+          linkMap(topo, registry, mapRng),
+          geoloc(topo, measure::GeolocationConfig{}, 13),
+          inference(topo, linkMap, geoloc) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+std::vector<measure::TracerouteResult> corpus(World& w, int count,
+                                              std::uint64_t seed) {
+    net::Rng rng{seed};
+    std::vector<measure::TracerouteResult> traces;
+    const auto african = w.topo.africanAses();
+    while (static_cast<int>(traces.size()) < count) {
+        const auto src = african[rng.uniformInt(african.size())];
+        const auto dst = african[rng.uniformInt(african.size())];
+        if (src == dst) continue;
+        auto trace = w.engine.traceToAs(src, dst, rng);
+        if (trace.hops.size() >= 2) {
+            traces.push_back(std::move(trace));
+        }
+    }
+    return traces;
+}
+
+TEST(CableInference, CandidatesRequireNearbyLandings) {
+    auto& w = world();
+    // Accra <-> Lisbon: west-coast cables qualify, east-coast must not.
+    const net::GeoPoint accra{5.6, -0.2};
+    const net::GeoPoint lisbon{38.7, -9.1};
+    const auto candidates = w.inference.candidatesFor(accra, lisbon, 400.0);
+    ASSERT_FALSE(candidates.empty());
+    for (const auto id : candidates) {
+        EXPECT_NE(w.registry.cable(id).name, "SEACOM");
+        EXPECT_NE(w.registry.cable(id).name, "EASSy");
+    }
+}
+
+TEST(CableInference, TightLatencyBudgetPrunesCandidates) {
+    auto& w = world();
+    const net::GeoPoint accra{5.6, -0.2};
+    const net::GeoPoint lisbon{38.7, -9.1};
+    const auto loose = w.inference.candidatesFor(accra, lisbon, 400.0);
+    const auto tight = w.inference.candidatesFor(accra, lisbon, 1.0);
+    EXPECT_LE(tight.size(), loose.size());
+}
+
+TEST(CableInference, GroundTruthIsAmongCandidatesMostOfTheTime) {
+    auto& w = world();
+    const auto traces = corpus(w, 300, 21);
+    int withTruth = 0;
+    int truthCovered = 0;
+    for (const auto& trace : traces) {
+        const auto inference = w.inference.inferFromTrace(trace);
+        for (const auto& segment : inference.segments) {
+            if (segment.groundTruth.empty()) continue;
+            ++withTruth;
+            const auto& c = segment.candidates;
+            const bool covered = std::ranges::any_of(
+                segment.groundTruth, [&](phys::CableId id) {
+                    return std::ranges::find(c, id) != c.end();
+                });
+            truthCovered += covered ? 1 : 0;
+        }
+    }
+    ASSERT_GT(withTruth, 30);
+    // Recall is decent but NOT perfect — geolocation error moves some
+    // endpoints outside the matching radius (the paper's point).
+    EXPECT_GT(static_cast<double>(truthCovered) / withTruth, 0.5);
+}
+
+TEST(AmbiguityAnalyzer, PaperShapeHolds) {
+    auto& w = world();
+    const auto traces = corpus(w, 400, 22);
+    const AmbiguityAnalyzer analyzer{w.inference};
+    const auto stats = analyzer.analyze(traces);
+    ASSERT_GT(stats.pathsWithSubmarineSegments, 50U);
+    // §6.2: over 40% of mapped paths are ambiguous (>1 candidate cable).
+    EXPECT_GT(stats.ambiguousShare(), 0.4);
+    // Ambiguity can reach a large fraction of the registry.
+    EXPECT_GE(stats.maxCandidatesOnOnePath, 6U);
+    EXPECT_GT(stats.meanCandidatesPerAmbiguousPath, 2.0);
+}
+
+TEST(AmbiguityAnalyzer, PerfectGeolocationReducesAmbiguity) {
+    auto& w = world();
+    measure::GeolocationConfig perfectCfg;
+    perfectCfg.africanErrorProb = 0.0;
+    perfectCfg.otherErrorProb = 0.0;
+    const measure::GeolocationModel perfect{w.topo, perfectCfg, 13};
+    InferenceConfig tight;
+    tight.landingRadiusKm = 300.0;
+    const CableInference preciseInference{w.topo, w.linkMap, perfect, tight};
+
+    const auto traces = corpus(w, 300, 23);
+    const auto noisy = AmbiguityAnalyzer{w.inference}.analyze(traces);
+    const auto precise = AmbiguityAnalyzer{preciseInference}.analyze(traces);
+    EXPECT_LT(precise.ambiguousShare(), noisy.ambiguousShare());
+}
+
+TEST(AmbiguityAnalyzer, EmptyCorpusYieldsZeroStats) {
+    auto& w = world();
+    const AmbiguityAnalyzer analyzer{w.inference};
+    const auto stats = analyzer.analyze({});
+    EXPECT_EQ(stats.pathsWithSubmarineSegments, 0U);
+    EXPECT_DOUBLE_EQ(stats.ambiguousShare(), 0.0);
+}
+
+} // namespace
+} // namespace aio::nautilus

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "netbase/error.hpp"
+#include "netbase/geo.hpp"
+#include "netbase/region.hpp"
+#include "netbase/stats.hpp"
+
+namespace aio::net {
+namespace {
+
+TEST(Geo, HaversineKnownDistances) {
+    // Kigali -> Cape Town is roughly 3,700 km.
+    const GeoPoint kigali{-1.94, 30.06};
+    const GeoPoint capeTown{-33.92, 18.42};
+    const double km = haversineKm(kigali, capeTown);
+    EXPECT_NEAR(km, 3700.0, 200.0);
+    // Symmetric and zero on identical points.
+    EXPECT_DOUBLE_EQ(haversineKm(kigali, capeTown),
+                     haversineKm(capeTown, kigali));
+    EXPECT_NEAR(haversineKm(kigali, kigali), 0.0, 1e-9);
+}
+
+TEST(Geo, FiberDelayScalesWithDistance) {
+    EXPECT_NEAR(fiberDelayMs(197.2, 1.0), 1.0, 0.01);
+    EXPECT_GT(fiberDelayMs(1000.0, 1.5), fiberDelayMs(1000.0, 1.0));
+    // Lagos <-> London RTT should be tens of milliseconds.
+    const GeoPoint lagos{6.52, 3.37};
+    const GeoPoint london{51.5, -0.12};
+    const double rtt = rttMs(lagos, london);
+    EXPECT_GT(rtt, 45.0);
+    EXPECT_LT(rtt, 110.0);
+}
+
+TEST(Region, MacroMappingIsConsistent) {
+    for (const Region r : africanRegions()) {
+        EXPECT_TRUE(isAfrican(r));
+        EXPECT_EQ(macroOf(r), MacroRegion::Africa);
+    }
+    EXPECT_FALSE(isAfrican(Region::Europe));
+    EXPECT_EQ(macroOf(Region::NorthAmerica), MacroRegion::NorthAmerica);
+    EXPECT_EQ(africanRegions().size(), 5U);
+    EXPECT_EQ(allRegions().size(), 9U);
+    EXPECT_EQ(allMacroRegions().size(), 5U);
+}
+
+TEST(CountryTable, ContainsWholeOfAfrica) {
+    const auto& world = CountryTable::world();
+    EXPECT_EQ(world.african().size(), 54U);
+    EXPECT_TRUE(world.contains("RW"));
+    EXPECT_TRUE(world.contains("ZA"));
+    EXPECT_TRUE(world.contains("NG"));
+    EXPECT_FALSE(world.contains("XX"));
+    EXPECT_THROW(world.byCode("XX"), NotFoundError);
+}
+
+TEST(CountryTable, RegionLookupsArePartition) {
+    const auto& world = CountryTable::world();
+    std::size_t total = 0;
+    for (const Region r : allRegions()) {
+        total += world.inRegion(r).size();
+    }
+    EXPECT_EQ(total, world.all().size());
+}
+
+TEST(CountryTable, KnownFacts) {
+    const auto& world = CountryTable::world();
+    const auto& rwanda = world.byCode("RW");
+    EXPECT_EQ(rwanda.region, Region::EasternAfrica);
+    EXPECT_FALSE(rwanda.coastal);
+    const auto& ghana = world.byCode("GH");
+    EXPECT_EQ(ghana.region, Region::WesternAfrica);
+    EXPECT_TRUE(ghana.coastal);
+    const auto& za = world.byCode("ZA");
+    EXPECT_EQ(za.region, Region::SouthernAfrica);
+}
+
+TEST(Stats, BasicMoments) {
+    const std::vector<double> v = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+    EXPECT_DOUBLE_EQ(minOf(v), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 5.0);
+    EXPECT_NEAR(stddev(v), 1.4142, 1e-3);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    const std::vector<double> v = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+    const std::vector<double> one = {7.0};
+    EXPECT_DOUBLE_EQ(percentile(one, 90), 7.0);
+    const std::vector<double> empty;
+    EXPECT_THROW(percentile(empty, 50), PreconditionError);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+    const std::vector<double> v = {5, 1, 3, 2, 4};
+    const auto cdf = empiricalCdf(v);
+    ASSERT_EQ(cdf.size(), 5U);
+    EXPECT_DOUBLE_EQ(cdf.front().first, 1.0);
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+}
+
+TEST(Stats, TextTableRendersAligned) {
+    TextTable table({"Region", "Share"});
+    table.addRow({"Western Africa", TextTable::pct(0.123)});
+    table.addRow({"East", TextTable::num(4.5, 2)});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Region"), std::string::npos);
+    EXPECT_NE(out.find("12.3%"), std::string::npos);
+    EXPECT_NE(out.find("4.50"), std::string::npos);
+    EXPECT_THROW(table.addRow({"too-few"}), PreconditionError);
+}
+
+} // namespace
+} // namespace aio::net

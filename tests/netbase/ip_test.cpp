@@ -1,0 +1,90 @@
+#include "netbase/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/error.hpp"
+
+namespace aio::net {
+namespace {
+
+TEST(Ipv4Address, ParsesAndFormatsRoundTrip) {
+    const auto addr = Ipv4Address::parse("196.223.14.1");
+    EXPECT_EQ(addr.toString(), "196.223.14.1");
+    EXPECT_EQ(addr.value(), 0xC4DF0E01U);
+}
+
+TEST(Ipv4Address, ParsesBoundaryAddresses) {
+    EXPECT_EQ(Ipv4Address::parse("0.0.0.0").value(), 0U);
+    EXPECT_EQ(Ipv4Address::parse("255.255.255.255").value(), 0xFFFFFFFFU);
+}
+
+TEST(Ipv4Address, RejectsMalformedText) {
+    EXPECT_THROW(Ipv4Address::parse(""), ParseError);
+    EXPECT_THROW(Ipv4Address::parse("1.2.3"), ParseError);
+    EXPECT_THROW(Ipv4Address::parse("1.2.3.4.5"), ParseError);
+    EXPECT_THROW(Ipv4Address::parse("256.0.0.1"), ParseError);
+    EXPECT_THROW(Ipv4Address::parse("1.2.3.x"), ParseError);
+    EXPECT_THROW(Ipv4Address::parse("1..3.4"), ParseError);
+    EXPECT_THROW(Ipv4Address::parse("-1.2.3.4"), ParseError);
+}
+
+TEST(Ipv4Address, OrdersNumerically) {
+    EXPECT_LT(Ipv4Address::parse("9.0.0.0"), Ipv4Address::parse("10.0.0.0"));
+    EXPECT_LT(Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("10.0.1.0"));
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+    const Prefix p{Ipv4Address::parse("10.1.2.3"), 16};
+    EXPECT_EQ(p.toString(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ParsesText) {
+    const auto p = Prefix::parse("196.223.0.0/20");
+    EXPECT_EQ(p.address().toString(), "196.223.0.0");
+    EXPECT_EQ(p.length(), 20);
+    EXPECT_THROW(Prefix::parse("10.0.0.0"), ParseError);
+    EXPECT_THROW(Prefix::parse("10.0.0.0/33"), ParseError);
+    EXPECT_THROW(Prefix::parse("10.0.0.0/-1"), ParseError);
+    EXPECT_THROW(Prefix::parse("10.0.0.0/"), ParseError);
+}
+
+TEST(Prefix, ContainsAddresses) {
+    const auto p = Prefix::parse("41.186.0.0/16");
+    EXPECT_TRUE(p.contains(Ipv4Address::parse("41.186.255.255")));
+    EXPECT_TRUE(p.contains(Ipv4Address::parse("41.186.0.0")));
+    EXPECT_FALSE(p.contains(Ipv4Address::parse("41.187.0.0")));
+    EXPECT_FALSE(p.contains(Ipv4Address::parse("42.186.0.0")));
+}
+
+TEST(Prefix, ContainsSubPrefixes) {
+    const auto outer = Prefix::parse("10.0.0.0/8");
+    EXPECT_TRUE(outer.contains(Prefix::parse("10.20.0.0/16")));
+    EXPECT_TRUE(outer.contains(outer));
+    EXPECT_FALSE(outer.contains(Prefix::parse("11.0.0.0/8")));
+    EXPECT_FALSE(Prefix::parse("10.20.0.0/16").contains(outer));
+}
+
+TEST(Prefix, SizeAndAddressAt) {
+    const auto p = Prefix::parse("192.0.2.0/24");
+    EXPECT_EQ(p.size(), 256U);
+    EXPECT_EQ(p.addressAt(0).toString(), "192.0.2.0");
+    EXPECT_EQ(p.addressAt(255).toString(), "192.0.2.255");
+    EXPECT_THROW(p.addressAt(256), PreconditionError);
+}
+
+TEST(Prefix, DefaultRouteCoversEverything) {
+    const Prefix all{Ipv4Address{0}, 0};
+    EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+    EXPECT_TRUE(all.contains(Ipv4Address::parse("255.255.255.255")));
+}
+
+TEST(Prefix, SplitsIntoChildren) {
+    const auto p = Prefix::parse("10.0.0.0/8");
+    const auto [low, high] = p.split();
+    EXPECT_EQ(low.toString(), "10.0.0.0/9");
+    EXPECT_EQ(high.toString(), "10.128.0.0/9");
+    EXPECT_THROW(Prefix::parse("1.2.3.4/32").split(), PreconditionError);
+}
+
+} // namespace
+} // namespace aio::net

@@ -1,0 +1,106 @@
+#include "netbase/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+
+namespace aio::net {
+namespace {
+
+TEST(PrefixTrie, EmptyTrieMatchesNothing) {
+    PrefixTrie<int> trie;
+    EXPECT_TRUE(trie.empty());
+    EXPECT_FALSE(trie.lookup(Ipv4Address::parse("10.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, LongestPrefixWins) {
+    PrefixTrie<int> trie;
+    trie.insert(Prefix::parse("10.0.0.0/8"), 8);
+    trie.insert(Prefix::parse("10.1.0.0/16"), 16);
+    trie.insert(Prefix::parse("10.1.2.0/24"), 24);
+
+    EXPECT_EQ(trie.lookup(Ipv4Address::parse("10.1.2.3")).value(), 24);
+    EXPECT_EQ(trie.lookup(Ipv4Address::parse("10.1.3.1")).value(), 16);
+    EXPECT_EQ(trie.lookup(Ipv4Address::parse("10.2.0.1")).value(), 8);
+    EXPECT_FALSE(trie.lookup(Ipv4Address::parse("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteActsAsFallback) {
+    PrefixTrie<int> trie;
+    trie.insert(Prefix{Ipv4Address{0}, 0}, -1);
+    trie.insert(Prefix::parse("196.0.0.0/8"), 196);
+    EXPECT_EQ(trie.lookup(Ipv4Address::parse("1.1.1.1")).value(), -1);
+    EXPECT_EQ(trie.lookup(Ipv4Address::parse("196.1.1.1")).value(), 196);
+}
+
+TEST(PrefixTrie, InsertOverwritesExisting) {
+    PrefixTrie<int> trie;
+    trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+    trie.insert(Prefix::parse("10.0.0.0/8"), 2);
+    EXPECT_EQ(trie.size(), 1U);
+    EXPECT_EQ(trie.lookup(Ipv4Address::parse("10.0.0.1")).value(), 2);
+}
+
+TEST(PrefixTrie, ExactMatchDistinguishesLengths) {
+    PrefixTrie<int> trie;
+    trie.insert(Prefix::parse("10.0.0.0/8"), 8);
+    EXPECT_TRUE(trie.exact(Prefix::parse("10.0.0.0/8")).has_value());
+    EXPECT_FALSE(trie.exact(Prefix::parse("10.0.0.0/9")).has_value());
+    EXPECT_FALSE(trie.exact(Prefix::parse("10.0.0.0/7")).has_value());
+}
+
+TEST(PrefixTrie, HandlesHostRoutes) {
+    PrefixTrie<int> trie;
+    trie.insert(Prefix::parse("41.186.10.5/32"), 42);
+    EXPECT_EQ(trie.lookup(Ipv4Address::parse("41.186.10.5")).value(), 42);
+    EXPECT_FALSE(trie.lookup(Ipv4Address::parse("41.186.10.6")).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInAddressOrder) {
+    PrefixTrie<int> trie;
+    trie.insert(Prefix::parse("41.0.0.0/8"), 1);
+    trie.insert(Prefix::parse("10.0.0.0/8"), 2);
+    trie.insert(Prefix::parse("10.1.0.0/16"), 3);
+    std::vector<std::string> seen;
+    trie.forEach([&](const Prefix& p, int) { seen.push_back(p.toString()); });
+    ASSERT_EQ(seen.size(), 3U);
+    EXPECT_EQ(seen[0], "10.0.0.0/8");
+    EXPECT_EQ(seen[1], "10.1.0.0/16");
+    EXPECT_EQ(seen[2], "41.0.0.0/8");
+}
+
+// Property test: the trie must agree with a brute-force linear scan of the
+// stored prefixes for random address queries.
+TEST(PrefixTrie, MatchesBruteForceOnRandomWorkload) {
+    Rng rng{20250704};
+    PrefixTrie<std::size_t> trie;
+    std::vector<Prefix> prefixes;
+    for (std::size_t i = 0; i < 300; ++i) {
+        const int length = static_cast<int>(rng.uniformRange(4, 28));
+        const Prefix p{Ipv4Address{static_cast<std::uint32_t>(rng.next())},
+                       length};
+        if (trie.exact(p).has_value()) {
+            continue; // duplicate prefix: keep first mapping
+        }
+        prefixes.push_back(p);
+        trie.insert(p, prefixes.size() - 1);
+    }
+    for (int q = 0; q < 2000; ++q) {
+        const Ipv4Address addr{static_cast<std::uint32_t>(rng.next())};
+        // Brute force: longest matching prefix, last-inserted wins on ties
+        // (insert overwrites, and duplicates were filtered above).
+        int bestLen = -1;
+        std::optional<std::size_t> expected;
+        for (std::size_t i = 0; i < prefixes.size(); ++i) {
+            if (prefixes[i].contains(addr) && prefixes[i].length() > bestLen) {
+                bestLen = prefixes[i].length();
+                expected = i;
+            }
+        }
+        EXPECT_EQ(trie.lookup(addr), expected)
+            << "query " << addr.toString();
+    }
+}
+
+} // namespace
+} // namespace aio::net

@@ -1,0 +1,173 @@
+#include "netbase/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "netbase/error.hpp"
+
+namespace aio::net {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a{42};
+    Rng b{42};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a{1};
+    Rng b{2};
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInBounds) {
+    Rng rng{7};
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.uniformInt(17), 17U);
+    }
+    EXPECT_THROW(rng.uniformInt(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+    Rng rng{7};
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        seen.insert(rng.uniformInt(10));
+    }
+    EXPECT_EQ(seen.size(), 10U);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+    Rng rng{11};
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= (v == -3);
+        sawHi |= (v == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+    Rng rng{13};
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng{17};
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+    Rng rng{19};
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.exponential(5.0);
+    }
+    EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+    Rng rng{23};
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_GE(rng.pareto(2.0, 3.0), 3.0);
+    }
+}
+
+TEST(Rng, PoissonMeanConverges) {
+    Rng rng{29};
+    long total = 0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        total += rng.poisson(2.5);
+    }
+    EXPECT_NEAR(static_cast<double>(total) / n, 2.5, 0.1);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng{31};
+    double sum = 0.0;
+    double sumSq = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.gaussian(10.0, 2.0);
+        sum += x;
+        sumSq += x * x;
+    }
+    const double m = sum / n;
+    EXPECT_NEAR(m, 10.0, 0.1);
+    EXPECT_NEAR(sumSq / n - m * m, 4.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+    Rng rng{37};
+    const std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    constexpr int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[rng.weightedIndex(weights)];
+    }
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+    const std::vector<double> zero = {0.0, 0.0};
+    EXPECT_THROW(rng.weightedIndex(zero), PreconditionError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng{41};
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    std::ranges::sort(shuffled);
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+    Rng parent{99};
+    Rng childA = parent.fork(1);
+    Rng childB = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (childA.next() == childB.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+    Rng rng{43};
+    const std::vector<int> empty;
+    EXPECT_THROW(rng.pick(empty), PreconditionError);
+}
+
+} // namespace
+} // namespace aio::net

@@ -1,0 +1,108 @@
+// Parameterized sweep over the outage engine: frequency, correlation and
+// duration invariants must hold across RNG seeds (not just one draw).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "outage/events.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::outage {
+namespace {
+
+const topo::Topology& topology() {
+    static const topo::Topology topo =
+        topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
+    return topo;
+}
+
+const phys::CableRegistry& registry() {
+    static const phys::CableRegistry reg =
+        phys::CableRegistry::africanDefaults();
+    return reg;
+}
+
+class OutageSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OutageSweep, AfricaDominatesEventCounts) {
+    const OutageEngine engine{topology(), registry(), OutageConfig{}};
+    net::Rng rng{GetParam()};
+    std::map<net::MacroRegion, int> counts;
+    for (int trial = 0; trial < 8; ++trial) {
+        for (const auto& event : engine.generateWindow(rng)) {
+            ++counts[event.macroRegion];
+        }
+    }
+    EXPECT_GT(counts[net::MacroRegion::Africa],
+              2 * counts[net::MacroRegion::Europe]);
+    EXPECT_GT(counts[net::MacroRegion::Africa],
+              2 * counts[net::MacroRegion::NorthAmerica]);
+}
+
+TEST_P(OutageSweep, CutCablesAlwaysShareACorridor) {
+    const OutageEngine engine{topology(), registry(), OutageConfig{}};
+    net::Rng rng{GetParam() ^ 0x77};
+    for (int trial = 0; trial < 10; ++trial) {
+        for (const auto& event : engine.generateWindow(rng)) {
+            if (event.type != OutageType::CableCut ||
+                event.cutCables.empty()) {
+                continue;
+            }
+            const auto corridor =
+                registry().cable(event.cutCables.front()).corridor;
+            for (const auto id : event.cutCables) {
+                ASSERT_EQ(registry().cable(id).corridor, corridor);
+            }
+        }
+    }
+}
+
+TEST_P(OutageSweep, DurationsArePositiveAndCableCutsLongestOnAverage) {
+    const OutageEngine engine{topology(), registry(), OutageConfig{}};
+    net::Rng rng{GetParam() ^ 0x99};
+    std::map<OutageType, std::pair<double, int>> sums;
+    for (int trial = 0; trial < 20; ++trial) {
+        for (const auto& event : engine.generateWindow(rng)) {
+            ASSERT_GT(event.durationDays, 0.0);
+            auto& [sum, count] = sums[event.type];
+            sum += event.durationDays;
+            ++count;
+        }
+    }
+    const auto meanOf = [&](OutageType type) {
+        const auto& [sum, count] = sums[type];
+        return count == 0 ? 0.0 : sum / count;
+    };
+    // Ground-truth repair times: cable cuts are the long pole.
+    EXPECT_GT(meanOf(OutageType::CableCut),
+              meanOf(OutageType::PowerOutage));
+    EXPECT_GT(meanOf(OutageType::CableCut),
+              meanOf(OutageType::GovernmentShutdown));
+    EXPECT_GT(meanOf(OutageType::CableCut),
+              meanOf(OutageType::RoutingIncident));
+}
+
+TEST_P(OutageSweep, NonCableEventsNameAffectedCountries) {
+    const OutageEngine engine{topology(), registry(), OutageConfig{}};
+    net::Rng rng{GetParam() ^ 0xAB};
+    for (const auto& event : engine.generateWindow(rng)) {
+        if (event.type == OutageType::CableCut) {
+            continue;
+        }
+        ASSERT_FALSE(event.countries.empty());
+        for (const auto& country : event.countries) {
+            ASSERT_TRUE(net::CountryTable::world().contains(country));
+            ASSERT_EQ(net::macroOf(net::CountryTable::world()
+                                       .byCode(country)
+                                       .region),
+                      event.macroRegion);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, OutageSweep,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+} // namespace
+} // namespace aio::outage

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "outage/events.hpp"
+#include "outage/impact.hpp"
+#include "outage/radar.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::outage {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    phys::CableRegistry registry;
+    net::Rng mapRng;
+    phys::PhysicalLinkMap linkMap;
+    dns::ResolverEcosystem resolvers;
+    content::ContentCatalog catalog;
+    ImpactAnalyzer analyzer;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          registry(phys::CableRegistry::africanDefaults()), mapRng(5),
+          linkMap(topo, registry, mapRng),
+          resolvers(topo, dns::DnsConfig::defaults(), 31),
+          catalog(topo, content::ContentConfig::defaults(), 47),
+          analyzer(topo, linkMap, resolvers, catalog) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+TEST(OutageEngine, AfricaHasRoughly4xMoreEvents) {
+    auto& w = world();
+    const OutageEngine engine{w.topo, w.registry, OutageConfig{}};
+    std::map<net::MacroRegion, int> counts;
+    net::Rng rng{1};
+    // Average over several windows to tame Poisson noise.
+    for (int trial = 0; trial < 10; ++trial) {
+        for (const auto& event : engine.generateWindow(rng)) {
+            ++counts[event.macroRegion];
+        }
+    }
+    const double africa = counts[net::MacroRegion::Africa];
+    EXPECT_GT(africa, 3.0 * counts[net::MacroRegion::Europe]);
+    EXPECT_GT(africa, 3.0 * counts[net::MacroRegion::NorthAmerica]);
+    EXPECT_GT(africa, 2.5 * counts[net::MacroRegion::SouthAmerica]);
+}
+
+TEST(OutageEngine, CableCutsAreCorrelatedWithinCorridors) {
+    auto& w = world();
+    const OutageEngine engine{w.topo, w.registry, OutageConfig{}};
+    net::Rng rng{2};
+    int multiCableCuts = 0;
+    int cuts = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        for (const auto& event : engine.generateWindow(rng)) {
+            if (event.type != OutageType::CableCut ||
+                event.macroRegion != net::MacroRegion::Africa) {
+                continue;
+            }
+            ++cuts;
+            multiCableCuts += event.cutCables.size() > 1 ? 1 : 0;
+            // All cut cables share one corridor.
+            const auto corridor =
+                w.registry.cable(event.cutCables.front()).corridor;
+            for (const auto id : event.cutCables) {
+                EXPECT_EQ(w.registry.cable(id).corridor, corridor);
+            }
+        }
+    }
+    ASSERT_GT(cuts, 20);
+    EXPECT_GT(static_cast<double>(multiCableCuts) / cuts, 0.4);
+}
+
+TEST(OutageEngine, EventsFallInsideWindow) {
+    auto& w = world();
+    OutageConfig cfg;
+    cfg.windowYears = 1.0;
+    const OutageEngine engine{w.topo, w.registry, cfg};
+    net::Rng rng{3};
+    for (const auto& event : engine.generateWindow(rng)) {
+        EXPECT_GE(event.startDay, 0.0);
+        EXPECT_LE(event.startDay, 365.0);
+        EXPECT_GT(event.durationDays, 0.0);
+    }
+}
+
+TEST(ImpactAnalyzer, WestCoastCorridorCutImpactsManyCountries) {
+    auto& w = world();
+    OutageEvent event;
+    event.type = OutageType::CableCut;
+    event.macroRegion = net::MacroRegion::Africa;
+    event.durationDays = 25.0;
+    // The March 2024 scenario: WACS + MainOne + SAT-3 + ACE.
+    for (const auto name : {"WACS", "MainOne", "SAT-3", "ACE"}) {
+        event.cutCables.push_back(w.registry.byName(name));
+    }
+    net::Rng rng{4};
+    const auto report = w.analyzer.assess(event, rng);
+    const auto impacted = report.impactedCountries();
+    EXPECT_GE(impacted.size(), 5U);
+    // Western African countries dominate the blast radius.
+    int western = 0;
+    for (const auto& iso2 : impacted) {
+        if (net::CountryTable::world().byCode(iso2).region ==
+            net::Region::WesternAfrica) {
+            ++western;
+        }
+    }
+    EXPECT_GE(western, 3);
+    EXPECT_GT(report.resolutionDays(), 0.0);
+    EXPECT_LE(report.resolutionDays(), event.durationDays);
+}
+
+TEST(ImpactAnalyzer, SingleDiverseCableCutIsMild) {
+    auto& w = world();
+    OutageEvent corr;
+    corr.type = OutageType::CableCut;
+    corr.macroRegion = net::MacroRegion::Africa;
+    corr.durationDays = 25.0;
+    for (const auto name : {"WACS", "MainOne", "SAT-3", "ACE"}) {
+        corr.cutCables.push_back(w.registry.byName(name));
+    }
+    OutageEvent single = corr;
+    single.cutCables = {w.registry.byName("WACS")};
+    net::Rng rng{5};
+    const auto corrReport = w.analyzer.assess(corr, rng);
+    const auto singleReport = w.analyzer.assess(single, rng);
+    EXPECT_GE(corrReport.impactedCountries().size(),
+              singleReport.impactedCountries().size());
+}
+
+TEST(ImpactAnalyzer, ShutdownTakesWholeCountryDown) {
+    auto& w = world();
+    OutageEvent event;
+    event.type = OutageType::GovernmentShutdown;
+    event.macroRegion = net::MacroRegion::Africa;
+    event.durationDays = 2.0;
+    event.countries = {"ET"};
+    net::Rng rng{6};
+    const auto report = w.analyzer.assess(event, rng);
+    bool foundEt = false;
+    for (const auto& impact : report.countries) {
+        if (impact.country == "ET") {
+            foundEt = true;
+            EXPECT_GT(impact.pageLoadLoss, 0.9);
+            EXPECT_NEAR(impact.effectiveOutageDays, 2.0, 1e-9);
+        }
+    }
+    EXPECT_TRUE(foundEt);
+}
+
+TEST(ImpactAnalyzer, DnsFailureAccompaniesIsolation) {
+    auto& w = world();
+    OutageEvent event;
+    event.type = OutageType::CableCut;
+    event.macroRegion = net::MacroRegion::Africa;
+    event.durationDays = 20.0;
+    for (const auto id : w.registry.cablesInCorridor(
+             w.registry.cable(w.registry.byName("WACS")).corridor)) {
+        event.cutCables.push_back(id);
+    }
+    net::Rng rng{7};
+    const auto report = w.analyzer.assess(event, rng);
+    double worstDns = 0.0;
+    for (const auto& impact : report.countries) {
+        worstDns = std::max(worstDns, impact.dnsFailureShare);
+    }
+    // §5.2: offshore resolvers fail during cuts.
+    EXPECT_GT(worstDns, 0.2);
+}
+
+TEST(RadarMonitor, RecoversInjectedOutage) {
+    auto& w = world();
+    OutageEvent event;
+    event.type = OutageType::GovernmentShutdown;
+    event.macroRegion = net::MacroRegion::Africa;
+    event.startDay = 10.0;
+    event.durationDays = 3.0;
+    event.countries = {"KE"};
+    net::Rng rng{8};
+    const auto report = w.analyzer.assess(event, rng);
+    const RadarMonitor radar{w.topo};
+    const auto series = radar.seriesFor("KE", 30.0, {report}, rng);
+    const auto detections = radar.detect(series);
+    ASSERT_EQ(detections.size(), 1U);
+    EXPECT_NEAR(detections[0].startDay, 10.0, 1.0);
+    EXPECT_NEAR(detections[0].durationDays, 3.0, 1.0);
+}
+
+TEST(RadarMonitor, QuietSeriesYieldsNoDetections) {
+    auto& w = world();
+    const RadarMonitor radar{w.topo};
+    net::Rng rng{9};
+    const auto series = radar.seriesFor("KE", 30.0, {}, rng);
+    EXPECT_TRUE(radar.detect(series).empty());
+}
+
+TEST(RadarMonitor, MildDegradationBelowThresholdIsMissed) {
+    // The detector only sees drops beyond its threshold — part of why
+    // pure traffic-based monitoring under-reports partial outages.
+    auto& w = world();
+    ImpactReport report;
+    report.event.startDay = 5.0;
+    report.countries.push_back(CountryImpact{"KE", 0.10, 0.0, 4.0});
+    const RadarMonitor radar{w.topo};
+    net::Rng rng{10};
+    const auto series = radar.seriesFor("KE", 20.0, {report}, rng);
+    EXPECT_TRUE(radar.detect(series).empty());
+}
+
+} // namespace
+} // namespace aio::outage

@@ -1,0 +1,89 @@
+#include "phys/cable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/error.hpp"
+
+namespace aio::phys {
+namespace {
+
+TEST(CableRegistry, DefaultsContainThePaperCables) {
+    const auto reg = CableRegistry::africanDefaults();
+    EXPECT_GE(reg.cableCount(), 15U);
+    // The March 2024 West-coast victims must exist and share a corridor.
+    const CableId wacs = reg.byName("WACS");
+    const CableId mainOne = reg.byName("MainOne");
+    const CableId sat3 = reg.byName("SAT-3");
+    const CableId ace = reg.byName("ACE");
+    EXPECT_EQ(reg.cable(wacs).corridor, reg.cable(mainOne).corridor);
+    EXPECT_EQ(reg.cable(sat3).corridor, reg.cable(ace).corridor);
+    // ... and the East-coast victims share another.
+    const CableId eig = reg.byName("EIG");
+    const CableId seacom = reg.byName("SEACOM");
+    const CableId aae1 = reg.byName("AAE-1");
+    EXPECT_EQ(reg.cable(eig).corridor, reg.cable(seacom).corridor);
+    EXPECT_EQ(reg.cable(eig).corridor, reg.cable(aae1).corridor);
+    EXPECT_NE(reg.cable(wacs).corridor, reg.cable(eig).corridor);
+    // The diverse newcomers are NOT in the legacy corridors.
+    const CableId equiano = reg.byName("Equiano");
+    const CableId twoAfrica = reg.byName("2Africa");
+    EXPECT_NE(reg.cable(equiano).corridor, reg.cable(wacs).corridor);
+    EXPECT_NE(reg.cable(twoAfrica).corridor, reg.cable(wacs).corridor);
+    EXPECT_NE(reg.cable(twoAfrica).corridor, reg.cable(eig).corridor);
+}
+
+TEST(CableRegistry, LandingLookups) {
+    const auto reg = CableRegistry::africanDefaults();
+    const auto& wacs = reg.cable(reg.byName("WACS"));
+    EXPECT_TRUE(wacs.landsIn("GH"));
+    EXPECT_TRUE(wacs.landsIn("ZA"));
+    EXPECT_FALSE(wacs.landsIn("KE"));
+
+    const auto ghanaCables = reg.cablesLandingIn("GH");
+    EXPECT_GE(ghanaCables.size(), 4U); // WACS, SAT-3, MainOne, ACE, Glo-1...
+    const auto ghZa = reg.cablesServing("GH", "ZA");
+    for (const CableId id : ghZa) {
+        EXPECT_TRUE(reg.cable(id).landsIn("GH"));
+        EXPECT_TRUE(reg.cable(id).landsIn("ZA"));
+    }
+}
+
+TEST(CableRegistry, CablesToEuropeReachTheEuShore) {
+    const auto reg = CableRegistry::africanDefaults();
+    const auto fromKenya = reg.cablesToEurope("KE");
+    EXPECT_FALSE(fromKenya.empty());
+    for (const CableId id : fromKenya) {
+        EXPECT_TRUE(reg.cable(id).landsIn("KE"));
+    }
+    // A landlocked country has no direct cables.
+    EXPECT_TRUE(reg.cablesToEurope("RW").empty());
+}
+
+TEST(CableRegistry, CorridorQueries) {
+    const auto reg = CableRegistry::africanDefaults();
+    const auto corridorOfWacs = reg.cable(reg.byName("WACS")).corridor;
+    const auto westCables = reg.cablesInCorridor(corridorOfWacs);
+    EXPECT_GE(westCables.size(), 4U);
+    for (const CableId id : westCables) {
+        EXPECT_EQ(reg.cable(id).corridor, corridorOfWacs);
+    }
+}
+
+TEST(CableRegistry, UnknownNameThrows) {
+    const auto reg = CableRegistry::africanDefaults();
+    EXPECT_THROW(reg.byName("NoSuchCable"), net::NotFoundError);
+}
+
+TEST(CableRegistry, ValidatesConstruction) {
+    CableRegistry reg;
+    SubseaCable bad;
+    bad.name = "bad";
+    bad.corridor = 0; // no corridor exists yet
+    EXPECT_THROW(reg.addCable(bad), net::PreconditionError);
+    const auto corridor = reg.addCorridor("test");
+    bad.corridor = corridor;
+    EXPECT_THROW(reg.addCable(bad), net::PreconditionError); // <2 landings
+}
+
+} // namespace
+} // namespace aio::phys

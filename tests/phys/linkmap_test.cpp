@@ -1,0 +1,135 @@
+#include "phys/linkmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/generator.hpp"
+
+namespace aio::phys {
+namespace {
+
+const topo::Topology& topology() {
+    static const topo::Topology topo =
+        topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
+    return topo;
+}
+
+const PhysicalLinkMap& linkMap() {
+    static net::Rng rng{1234};
+    static const CableRegistry reg = CableRegistry::africanDefaults();
+    static const PhysicalLinkMap map{topology(), reg, rng};
+    return map;
+}
+
+TEST(PhysicalLinkMap, EveryAdjacencyHasAPhysicalPath) {
+    const auto& topo = topology();
+    for (const auto& link : topo.links()) {
+        const PhysicalPath& path = linkMap().forLink(link.a, link.b);
+        if (path.medium == MediumKind::Subsea) {
+            EXPECT_FALSE(path.cables.empty());
+            EXPECT_LE(path.cables.size(), 2U);
+        } else {
+            EXPECT_TRUE(path.cables.empty());
+        }
+    }
+}
+
+TEST(PhysicalLinkMap, DomesticLinksAreTerrestrial) {
+    const auto& topo = topology();
+    for (const auto& link : topo.links()) {
+        if (topo.as(link.a).countryCode == topo.as(link.b).countryCode) {
+            EXPECT_EQ(linkMap().forLink(link.a, link.b).medium,
+                      MediumKind::Terrestrial);
+        }
+    }
+}
+
+TEST(PhysicalLinkMap, AssignedCablesActuallyServeTheGateways) {
+    const auto& topo = topology();
+    const auto& reg = linkMap().registry();
+    for (const auto& link : topo.links()) {
+        const PhysicalPath& path = linkMap().forLink(link.a, link.b);
+        if (path.medium != MediumKind::Subsea) continue;
+        const auto& a = topo.as(link.a);
+        const auto& b = topo.as(link.b);
+        const bool bothAfrican =
+            net::isAfrican(a.region) && net::isAfrican(b.region);
+        for (const CableId id : path.cables) {
+            const auto& cable = reg.cable(id);
+            if (bothAfrican) {
+                EXPECT_TRUE(cable.landsIn(
+                    PhysicalLinkMap::coastalGateway(a.countryCode)));
+                EXPECT_TRUE(cable.landsIn(
+                    PhysicalLinkMap::coastalGateway(b.countryCode)));
+            }
+        }
+    }
+}
+
+TEST(PhysicalLinkMap, CoastalGatewayMapping) {
+    EXPECT_EQ(PhysicalLinkMap::coastalGateway("RW"), "TZ");
+    EXPECT_EQ(PhysicalLinkMap::coastalGateway("ET"), "DJ");
+    EXPECT_EQ(PhysicalLinkMap::coastalGateway("ZM"), "ZA");
+    // Coastal countries are their own gateway.
+    EXPECT_EQ(PhysicalLinkMap::coastalGateway("GH"), "GH");
+    EXPECT_EQ(PhysicalLinkMap::coastalGateway("KE"), "KE");
+}
+
+TEST(PhysicalLinkMap, FailedLinksRespectBackupCables) {
+    const auto& reg = linkMap().registry();
+    const CableId wacs = reg.byName("WACS");
+    std::unordered_set<CableId> cuts{wacs};
+    for (const auto& [a, b] : linkMap().failedLinks(cuts)) {
+        const PhysicalPath& path = linkMap().forLink(a, b);
+        // A failed link must have had ALL carriers cut.
+        for (const CableId id : path.cables) {
+            EXPECT_TRUE(cuts.contains(id));
+        }
+    }
+    // Cutting one cable fails strictly fewer links than cutting the whole
+    // corridor (correlated failure is worse).
+    std::unordered_set<CableId> corridorCuts;
+    for (const CableId id :
+         reg.cablesInCorridor(reg.cable(wacs).corridor)) {
+        corridorCuts.insert(id);
+    }
+    EXPECT_GT(linkMap().failedLinks(corridorCuts).size(),
+              linkMap().failedLinks(cuts).size());
+}
+
+TEST(PhysicalLinkMap, CorrelatedBackupsDominate) {
+    // Among subsea links with two carriers, the majority should share a
+    // corridor (the paper's critique of count-only backup legislation).
+    const auto& topo = topology();
+    const auto& reg = linkMap().registry();
+    int sameCorridor = 0;
+    int diverse = 0;
+    for (const auto& link : topo.links()) {
+        const PhysicalPath& path = linkMap().forLink(link.a, link.b);
+        if (path.medium != MediumKind::Subsea || path.cables.size() != 2) {
+            continue;
+        }
+        if (reg.cable(path.cables[0]).corridor ==
+            reg.cable(path.cables[1]).corridor) {
+            ++sameCorridor;
+        } else {
+            ++diverse;
+        }
+    }
+    ASSERT_GT(sameCorridor + diverse, 50);
+    EXPECT_GT(sameCorridor, diverse);
+}
+
+TEST(PhysicalLinkMap, LinksUsingCableIsConsistentWithForLink) {
+    const auto& reg = linkMap().registry();
+    const CableId seacom = reg.byName("SEACOM");
+    for (const auto& [a, b] : linkMap().linksUsingCable(seacom)) {
+        const PhysicalPath& path = linkMap().forLink(a, b);
+        EXPECT_TRUE(std::ranges::find(path.cables, seacom) !=
+                    path.cables.end());
+    }
+}
+
+} // namespace
+} // namespace aio::phys

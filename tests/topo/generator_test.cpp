@@ -1,0 +1,205 @@
+#include "topo/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace aio::topo {
+namespace {
+
+/// Shared generated topology — generation is deterministic, so building it
+/// once keeps the suite fast.
+const Topology& defaultTopology() {
+    static const Topology topo =
+        TopologyGenerator{GeneratorConfig::defaults()}.generate();
+    return topo;
+}
+
+TEST(Generator, IsDeterministicForSameSeed) {
+    const Topology t1 =
+        TopologyGenerator{GeneratorConfig::defaults()}.generate();
+    const Topology t2 =
+        TopologyGenerator{GeneratorConfig::defaults()}.generate();
+    ASSERT_EQ(t1.asCount(), t2.asCount());
+    ASSERT_EQ(t1.links().size(), t2.links().size());
+    ASSERT_EQ(t1.ixpCount(), t2.ixpCount());
+    for (std::size_t i = 0; i < t1.asCount(); ++i) {
+        EXPECT_EQ(t1.as(i).asn, t2.as(i).asn);
+        EXPECT_EQ(t1.as(i).countryCode, t2.as(i).countryCode);
+    }
+}
+
+TEST(Generator, DifferentSeedsChangeTheGraph) {
+    auto cfg = GeneratorConfig::defaults();
+    cfg.seed = 999;
+    const Topology t2 = TopologyGenerator{cfg}.generate();
+    EXPECT_NE(defaultTopology().links().size(), t2.links().size());
+}
+
+TEST(Generator, NoAfricanTier1) {
+    const auto& topo = defaultTopology();
+    for (const AsIndex idx : topo.africanAses()) {
+        EXPECT_NE(topo.as(idx).type, AsType::Tier1)
+            << "AS" << topo.as(idx).asn;
+    }
+}
+
+TEST(Generator, AfricanTier2sAreScarceAndEuHomed) {
+    const auto& topo = defaultTopology();
+    int tier2 = 0;
+    for (const AsIndex idx : topo.africanAses()) {
+        if (topo.as(idx).type != AsType::Tier2) continue;
+        ++tier2;
+        // Every African transit network must have at least one European
+        // upstream (the paper's structural dependence).
+        bool euUpstream = false;
+        for (const AsIndex provider : topo.providersOf(idx)) {
+            euUpstream |= (topo.as(provider).region == net::Region::Europe);
+        }
+        EXPECT_TRUE(euUpstream) << "AS" << topo.as(idx).asn;
+    }
+    EXPECT_GE(tier2, 5);
+    EXPECT_LE(tier2, 25);
+}
+
+TEST(Generator, SeventySevenAfricanIxps) {
+    EXPECT_EQ(defaultTopology().africanIxps().size(), 77U);
+}
+
+TEST(Generator, EveryStubHasAtLeastOneProvider) {
+    const auto& topo = defaultTopology();
+    for (std::size_t i = 0; i < topo.asCount(); ++i) {
+        if (topo.as(i).type == AsType::Tier1) continue;
+        EXPECT_FALSE(topo.providersOf(i).empty())
+            << "AS" << topo.as(i).asn << " has no transit";
+    }
+}
+
+TEST(Generator, MobileDominatesAfricanAccess) {
+    const auto& topo = defaultTopology();
+    int mobile = 0;
+    int eyeballs = 0;
+    for (const AsIndex idx : topo.africanAses()) {
+        const auto type = topo.as(idx).type;
+        if (type == AsType::MobileOperator || type == AsType::AccessIsp) {
+            ++eyeballs;
+            mobile += topo.as(idx).type == AsType::MobileOperator ? 1 : 0;
+        }
+    }
+    ASSERT_GT(eyeballs, 100);
+    EXPECT_GT(static_cast<double>(mobile) / eyeballs, 0.5);
+}
+
+TEST(Generator, KigaliProbeAsnExistsInRwanda) {
+    const auto& topo = defaultTopology();
+    const auto idx = topo.indexOfAsn(TopologyGenerator::kKigaliProbeAsn);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(topo.as(*idx).countryCode, "RW");
+}
+
+TEST(Generator, PrefixesDoNotOverlapAcrossAses) {
+    const auto& topo = defaultTopology();
+    // Any address sampled from an AS's prefix must map back to that AS.
+    for (std::size_t i = 0; i < topo.asCount(); i += 7) {
+        for (const net::Prefix& prefix : topo.as(i).prefixes) {
+            EXPECT_EQ(topo.originOf(prefix.addressAt(prefix.size() / 2)), i);
+        }
+    }
+}
+
+TEST(Generator, IxpLanPrefixesAreDisjointFromAsSpace) {
+    const auto& topo = defaultTopology();
+    for (std::size_t i = 0; i < topo.ixpCount(); ++i) {
+        const auto addr = topo.ixp(i).lanPrefix.addressAt(1);
+        EXPECT_FALSE(topo.originOf(addr).has_value());
+        EXPECT_EQ(topo.ixpOfLanAddress(addr), i);
+    }
+}
+
+TEST(Generator, IxpRegionalDensityFollowsProfile) {
+    const auto& topo = defaultTopology();
+    std::map<net::Region, int> counts;
+    for (const IxpIndex ix : topo.africanIxps()) {
+        ++counts[topo.ixp(ix).region];
+    }
+    EXPECT_EQ(counts[net::Region::NorthernAfrica], 6);
+    EXPECT_EQ(counts[net::Region::WesternAfrica], 22);
+    EXPECT_EQ(counts[net::Region::EasternAfrica], 24);
+    EXPECT_EQ(counts[net::Region::CentralAfrica], 8);
+    EXPECT_EQ(counts[net::Region::SouthernAfrica], 17);
+}
+
+TEST(Generator, MostIxpLansAreNotInGlobalTable) {
+    const auto& topo = defaultTopology();
+    int advertised = 0;
+    const auto african = topo.africanIxps();
+    for (const IxpIndex ix : african) {
+        advertised += topo.ixp(ix).lanInGlobalTable ? 1 : 0;
+    }
+    EXPECT_LT(static_cast<double>(advertised) / african.size(), 0.25);
+}
+
+TEST(Generator, IxpPeeringLinksReferenceTheFabric) {
+    const auto& topo = defaultTopology();
+    int ixpLinks = 0;
+    for (const AsLink& link : topo.links()) {
+        if (!link.ixp) continue;
+        ++ixpLinks;
+        EXPECT_EQ(link.kind, LinkKind::PeerToPeer);
+        // Both endpoints must be members of the fabric they peer across.
+        const auto& members = topo.ixp(*link.ixp).members;
+        EXPECT_TRUE(std::ranges::find(members, link.a) != members.end());
+        EXPECT_TRUE(std::ranges::find(members, link.b) != members.end());
+    }
+    EXPECT_GT(ixpLinks, 100);
+}
+
+TEST(Generator, ContinentalCarriersJoinManyIxps) {
+    const auto& topo = defaultTopology();
+    // At least one African Tier-2 should be present at >= 5 IXPs — the
+    // pattern the set-cover result of §7 fn.1 relies on.
+    std::size_t best = 0;
+    for (const AsIndex idx : topo.africanAses()) {
+        if (topo.as(idx).type == AsType::Tier2) {
+            best = std::max(best, topo.ixpsOf(idx).size());
+        }
+    }
+    EXPECT_GE(best, 5U);
+}
+
+TEST(Generator, SouthernAfricaHasHighestLocalTransitShare) {
+    const auto& topo = defaultTopology();
+    const auto localShare = [&](net::Region region) {
+        int local = 0;
+        int total = 0;
+        for (const AsIndex idx : topo.asesInRegion(region)) {
+            const auto type = topo.as(idx).type;
+            if (type != AsType::MobileOperator && type != AsType::AccessIsp) {
+                continue;
+            }
+            ++total;
+            for (const AsIndex provider : topo.providersOf(idx)) {
+                if (net::isAfrican(topo.as(provider).region)) {
+                    ++local;
+                    break;
+                }
+            }
+        }
+        return total == 0 ? 0.0 : static_cast<double>(local) / total;
+    };
+    EXPECT_GT(localShare(net::Region::SouthernAfrica),
+              localShare(net::Region::WesternAfrica));
+}
+
+TEST(Generator, ScaleIsLaptopSized) {
+    const auto& topo = defaultTopology();
+    EXPECT_GT(topo.asCount(), 500U);
+    EXPECT_LT(topo.asCount(), 3000U);
+    EXPECT_GT(topo.links().size(), 1500U);
+    EXPECT_LT(topo.links().size(), 40000U);
+}
+
+} // namespace
+} // namespace aio::topo

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "netbase/error.hpp"
+#include "topo/growth.hpp"
+#include "topo/prefix_alloc.hpp"
+
+namespace aio::topo {
+namespace {
+
+TEST(PrefixAllocator, AllocationsAreDisjointAndCanonical) {
+    PrefixAllocator alloc;
+    std::vector<net::Prefix> prefixes;
+    for (int i = 0; i < 50; ++i) {
+        prefixes.push_back(alloc.allocate(net::MacroRegion::Africa,
+                                          18 + (i % 7)));
+    }
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+        for (std::size_t j = i + 1; j < prefixes.size(); ++j) {
+            EXPECT_FALSE(prefixes[i].contains(prefixes[j]) ||
+                         prefixes[j].contains(prefixes[i]))
+                << prefixes[i].toString() << " vs " << prefixes[j].toString();
+        }
+    }
+}
+
+TEST(PrefixAllocator, RegionalPoolsAreSeparate) {
+    PrefixAllocator alloc;
+    const auto af = alloc.allocate(net::MacroRegion::Africa, 20);
+    const auto eu = alloc.allocate(net::MacroRegion::Europe, 20);
+    EXPECT_FALSE(af.contains(eu) || eu.contains(af));
+    EXPECT_EQ(af.address().toString().substr(0, 3), "41.");
+    EXPECT_EQ(eu.address().toString().substr(0, 3), "62.");
+}
+
+TEST(PrefixAllocator, IxpLansComeFromDedicatedSlice) {
+    PrefixAllocator alloc;
+    const auto lan = alloc.allocateIxpLan();
+    EXPECT_EQ(lan.length(), 24);
+    EXPECT_TRUE(net::Prefix::parse("196.60.0.0/16").contains(lan));
+}
+
+TEST(PrefixAllocator, TracksAllocatedAddressCounts) {
+    PrefixAllocator alloc;
+    EXPECT_EQ(alloc.allocatedAddresses(net::MacroRegion::Africa), 0U);
+    alloc.allocate(net::MacroRegion::Africa, 24);
+    alloc.allocate(net::MacroRegion::Africa, 23);
+    EXPECT_EQ(alloc.allocatedAddresses(net::MacroRegion::Africa),
+              256U + 512U);
+}
+
+TEST(PrefixAllocator, RejectsBadLengthAndExhaustion) {
+    PrefixAllocator alloc;
+    EXPECT_THROW(alloc.allocate(net::MacroRegion::Africa, 8),
+                 net::PreconditionError);
+    EXPECT_THROW(alloc.allocate(net::MacroRegion::Africa, 30),
+                 net::PreconditionError);
+}
+
+TEST(GrowthTimeline, PaperHeadlineDeltasHold) {
+    const GrowthTimeline timeline;
+    // +45% cables, +600% IXPs in Africa over the decade (§2).
+    EXPECT_NEAR(timeline.relativeGrowth(net::MacroRegion::Africa,
+                                        InfraMetric::SubseaCables),
+                0.45, 0.02);
+    EXPECT_NEAR(timeline.relativeGrowth(net::MacroRegion::Africa,
+                                        InfraMetric::Ixps),
+                6.0, 0.1);
+}
+
+TEST(GrowthTimeline, AfricaGrowsFasterRelativeThanMatureRegions) {
+    const GrowthTimeline timeline;
+    for (const auto metric :
+         {InfraMetric::Ixps, InfraMetric::Asns}) {
+        EXPECT_GT(timeline.relativeGrowth(net::MacroRegion::Africa, metric),
+                  timeline.relativeGrowth(net::MacroRegion::Europe, metric));
+        EXPECT_GT(
+            timeline.relativeGrowth(net::MacroRegion::Africa, metric),
+            timeline.relativeGrowth(net::MacroRegion::NorthAmerica, metric));
+    }
+}
+
+TEST(GrowthTimeline, AfricaTrailsGlobalSouthInMaturity) {
+    const GrowthTimeline timeline;
+    for (const auto metric :
+         {InfraMetric::Ixps, InfraMetric::Asns, InfraMetric::SubseaCables}) {
+        // Per-capita maturity: Africa below S. America (the paper's
+        // "developing at a slower pace" comparison).
+        EXPECT_LT(
+            timeline.perCapitaMaturity(net::MacroRegion::Africa, metric),
+            timeline.perCapitaMaturity(net::MacroRegion::SouthAmerica,
+                                       metric));
+    }
+}
+
+TEST(GrowthTimeline, InterpolationIsMonotoneWithinWindow) {
+    const GrowthTimeline timeline;
+    double prev = 0.0;
+    for (int year = timeline.firstYear(); year <= timeline.lastYear();
+         ++year) {
+        const double c =
+            timeline.count(net::MacroRegion::Africa, InfraMetric::Ixps, year);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+    EXPECT_THROW(
+        timeline.count(net::MacroRegion::Africa, InfraMetric::Ixps, 2030),
+        net::PreconditionError);
+}
+
+TEST(GrowthTimeline, SeriesCoversEveryYear) {
+    const GrowthTimeline timeline;
+    const auto series =
+        timeline.series(net::MacroRegion::SouthAmerica, InfraMetric::Asns);
+    EXPECT_EQ(series.points.size(), 11U);
+    EXPECT_EQ(series.points.front().first, 2015);
+    EXPECT_EQ(series.points.back().first, 2025);
+}
+
+} // namespace
+} // namespace aio::topo
