@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_diversity.cpp" "bench/CMakeFiles/bench_abl_diversity.dir/bench_abl_diversity.cpp.o" "gcc" "bench/CMakeFiles/bench_abl_diversity.dir/bench_abl_diversity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_outage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_nautilus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_detours.dir/bench_fig2a_detours.cpp.o"
+  "CMakeFiles/bench_fig2a_detours.dir/bench_fig2a_detours.cpp.o.d"
+  "bench_fig2a_detours"
+  "bench_fig2a_detours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_detours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

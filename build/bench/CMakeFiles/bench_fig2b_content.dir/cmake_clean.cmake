@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_content.dir/bench_fig2b_content.cpp.o"
+  "CMakeFiles/bench_fig2b_content.dir/bench_fig2b_content.cpp.o.d"
+  "bench_fig2b_content"
+  "bench_fig2b_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

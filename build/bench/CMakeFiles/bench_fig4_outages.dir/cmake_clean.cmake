@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_outages.dir/bench_fig4_outages.cpp.o"
+  "CMakeFiles/bench_fig4_outages.dir/bench_fig4_outages.cpp.o.d"
+  "bench_fig4_outages"
+  "bench_fig4_outages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_outages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_nautilus.dir/bench_sec62_nautilus.cpp.o"
+  "CMakeFiles/bench_sec62_nautilus.dir/bench_sec62_nautilus.cpp.o.d"
+  "bench_sec62_nautilus"
+  "bench_sec62_nautilus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_nautilus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

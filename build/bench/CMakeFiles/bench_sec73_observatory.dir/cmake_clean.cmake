@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_observatory.dir/bench_sec73_observatory.cpp.o"
+  "CMakeFiles/bench_sec73_observatory.dir/bench_sec73_observatory.cpp.o.d"
+  "bench_sec73_observatory"
+  "bench_sec73_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

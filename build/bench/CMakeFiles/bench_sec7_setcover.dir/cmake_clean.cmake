@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_setcover.dir/bench_sec7_setcover.cpp.o"
+  "CMakeFiles/bench_sec7_setcover.dir/bench_sec7_setcover.cpp.o.d"
+  "bench_sec7_setcover"
+  "bench_sec7_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

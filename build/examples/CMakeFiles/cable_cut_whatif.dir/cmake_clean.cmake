@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_cut_whatif.dir/cable_cut_whatif.cpp.o"
+  "CMakeFiles/cable_cut_whatif.dir/cable_cut_whatif.cpp.o.d"
+  "cable_cut_whatif"
+  "cable_cut_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_cut_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_placement.dir/probe_placement.cpp.o"
+  "CMakeFiles/probe_placement.dir/probe_placement.cpp.o.d"
+  "probe_placement"
+  "probe_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

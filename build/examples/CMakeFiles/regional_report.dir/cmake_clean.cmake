@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_report.dir/regional_report.cpp.o"
+  "CMakeFiles/regional_report.dir/regional_report.cpp.o.d"
+  "regional_report"
+  "regional_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_content.dir/content/catalog.cpp.o"
+  "CMakeFiles/aio_content.dir/content/catalog.cpp.o.d"
+  "libaio_content.a"
+  "libaio_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

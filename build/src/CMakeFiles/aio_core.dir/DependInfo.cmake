@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/CMakeFiles/aio_core.dir/core/audit.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/audit.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/CMakeFiles/aio_core.dir/core/budget.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/budget.cpp.o.d"
+  "/root/repo/src/core/observatory.cpp" "src/CMakeFiles/aio_core.dir/core/observatory.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/observatory.cpp.o.d"
+  "/root/repo/src/core/probe.cpp" "src/CMakeFiles/aio_core.dir/core/probe.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/probe.cpp.o.d"
+  "/root/repo/src/core/setcover.cpp" "src/CMakeFiles/aio_core.dir/core/setcover.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/setcover.cpp.o.d"
+  "/root/repo/src/core/studies.cpp" "src/CMakeFiles/aio_core.dir/core/studies.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/studies.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/CMakeFiles/aio_core.dir/core/whatif.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_outage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_nautilus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

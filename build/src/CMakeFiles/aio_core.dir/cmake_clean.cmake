@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_core.dir/core/audit.cpp.o"
+  "CMakeFiles/aio_core.dir/core/audit.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/budget.cpp.o"
+  "CMakeFiles/aio_core.dir/core/budget.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/observatory.cpp.o"
+  "CMakeFiles/aio_core.dir/core/observatory.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/probe.cpp.o"
+  "CMakeFiles/aio_core.dir/core/probe.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/setcover.cpp.o"
+  "CMakeFiles/aio_core.dir/core/setcover.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/studies.cpp.o"
+  "CMakeFiles/aio_core.dir/core/studies.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/whatif.cpp.o"
+  "CMakeFiles/aio_core.dir/core/whatif.cpp.o.d"
+  "libaio_core.a"
+  "libaio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_dns.dir/dns/resolver.cpp.o"
+  "CMakeFiles/aio_dns.dir/dns/resolver.cpp.o.d"
+  "libaio_dns.a"
+  "libaio_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

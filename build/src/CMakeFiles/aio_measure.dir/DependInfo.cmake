@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/geoloc.cpp" "src/CMakeFiles/aio_measure.dir/measure/geoloc.cpp.o" "gcc" "src/CMakeFiles/aio_measure.dir/measure/geoloc.cpp.o.d"
+  "/root/repo/src/measure/ixp_detect.cpp" "src/CMakeFiles/aio_measure.dir/measure/ixp_detect.cpp.o" "gcc" "src/CMakeFiles/aio_measure.dir/measure/ixp_detect.cpp.o.d"
+  "/root/repo/src/measure/latency.cpp" "src/CMakeFiles/aio_measure.dir/measure/latency.cpp.o" "gcc" "src/CMakeFiles/aio_measure.dir/measure/latency.cpp.o.d"
+  "/root/repo/src/measure/responsiveness.cpp" "src/CMakeFiles/aio_measure.dir/measure/responsiveness.cpp.o" "gcc" "src/CMakeFiles/aio_measure.dir/measure/responsiveness.cpp.o.d"
+  "/root/repo/src/measure/scanner.cpp" "src/CMakeFiles/aio_measure.dir/measure/scanner.cpp.o" "gcc" "src/CMakeFiles/aio_measure.dir/measure/scanner.cpp.o.d"
+  "/root/repo/src/measure/traceroute.cpp" "src/CMakeFiles/aio_measure.dir/measure/traceroute.cpp.o" "gcc" "src/CMakeFiles/aio_measure.dir/measure/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_measure.dir/measure/geoloc.cpp.o"
+  "CMakeFiles/aio_measure.dir/measure/geoloc.cpp.o.d"
+  "CMakeFiles/aio_measure.dir/measure/ixp_detect.cpp.o"
+  "CMakeFiles/aio_measure.dir/measure/ixp_detect.cpp.o.d"
+  "CMakeFiles/aio_measure.dir/measure/latency.cpp.o"
+  "CMakeFiles/aio_measure.dir/measure/latency.cpp.o.d"
+  "CMakeFiles/aio_measure.dir/measure/responsiveness.cpp.o"
+  "CMakeFiles/aio_measure.dir/measure/responsiveness.cpp.o.d"
+  "CMakeFiles/aio_measure.dir/measure/scanner.cpp.o"
+  "CMakeFiles/aio_measure.dir/measure/scanner.cpp.o.d"
+  "CMakeFiles/aio_measure.dir/measure/traceroute.cpp.o"
+  "CMakeFiles/aio_measure.dir/measure/traceroute.cpp.o.d"
+  "libaio_measure.a"
+  "libaio_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

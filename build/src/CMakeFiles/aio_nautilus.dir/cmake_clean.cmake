@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_nautilus.dir/nautilus/inference.cpp.o"
+  "CMakeFiles/aio_nautilus.dir/nautilus/inference.cpp.o.d"
+  "libaio_nautilus.a"
+  "libaio_nautilus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_nautilus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

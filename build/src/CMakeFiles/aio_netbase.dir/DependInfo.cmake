@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/error.cpp" "src/CMakeFiles/aio_netbase.dir/netbase/error.cpp.o" "gcc" "src/CMakeFiles/aio_netbase.dir/netbase/error.cpp.o.d"
+  "/root/repo/src/netbase/geo.cpp" "src/CMakeFiles/aio_netbase.dir/netbase/geo.cpp.o" "gcc" "src/CMakeFiles/aio_netbase.dir/netbase/geo.cpp.o.d"
+  "/root/repo/src/netbase/ip.cpp" "src/CMakeFiles/aio_netbase.dir/netbase/ip.cpp.o" "gcc" "src/CMakeFiles/aio_netbase.dir/netbase/ip.cpp.o.d"
+  "/root/repo/src/netbase/region.cpp" "src/CMakeFiles/aio_netbase.dir/netbase/region.cpp.o" "gcc" "src/CMakeFiles/aio_netbase.dir/netbase/region.cpp.o.d"
+  "/root/repo/src/netbase/rng.cpp" "src/CMakeFiles/aio_netbase.dir/netbase/rng.cpp.o" "gcc" "src/CMakeFiles/aio_netbase.dir/netbase/rng.cpp.o.d"
+  "/root/repo/src/netbase/stats.cpp" "src/CMakeFiles/aio_netbase.dir/netbase/stats.cpp.o" "gcc" "src/CMakeFiles/aio_netbase.dir/netbase/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

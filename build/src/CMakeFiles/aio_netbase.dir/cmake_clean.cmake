@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_netbase.dir/netbase/error.cpp.o"
+  "CMakeFiles/aio_netbase.dir/netbase/error.cpp.o.d"
+  "CMakeFiles/aio_netbase.dir/netbase/geo.cpp.o"
+  "CMakeFiles/aio_netbase.dir/netbase/geo.cpp.o.d"
+  "CMakeFiles/aio_netbase.dir/netbase/ip.cpp.o"
+  "CMakeFiles/aio_netbase.dir/netbase/ip.cpp.o.d"
+  "CMakeFiles/aio_netbase.dir/netbase/region.cpp.o"
+  "CMakeFiles/aio_netbase.dir/netbase/region.cpp.o.d"
+  "CMakeFiles/aio_netbase.dir/netbase/rng.cpp.o"
+  "CMakeFiles/aio_netbase.dir/netbase/rng.cpp.o.d"
+  "CMakeFiles/aio_netbase.dir/netbase/stats.cpp.o"
+  "CMakeFiles/aio_netbase.dir/netbase/stats.cpp.o.d"
+  "libaio_netbase.a"
+  "libaio_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_outage.dir/outage/events.cpp.o"
+  "CMakeFiles/aio_outage.dir/outage/events.cpp.o.d"
+  "CMakeFiles/aio_outage.dir/outage/impact.cpp.o"
+  "CMakeFiles/aio_outage.dir/outage/impact.cpp.o.d"
+  "CMakeFiles/aio_outage.dir/outage/radar.cpp.o"
+  "CMakeFiles/aio_outage.dir/outage/radar.cpp.o.d"
+  "libaio_outage.a"
+  "libaio_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

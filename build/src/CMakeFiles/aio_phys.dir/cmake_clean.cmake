@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_phys.dir/phys/cable.cpp.o"
+  "CMakeFiles/aio_phys.dir/phys/cable.cpp.o.d"
+  "CMakeFiles/aio_phys.dir/phys/linkmap.cpp.o"
+  "CMakeFiles/aio_phys.dir/phys/linkmap.cpp.o.d"
+  "libaio_phys.a"
+  "libaio_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

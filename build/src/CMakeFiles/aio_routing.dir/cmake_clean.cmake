@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_routing.dir/routing/detour.cpp.o"
+  "CMakeFiles/aio_routing.dir/routing/detour.cpp.o.d"
+  "CMakeFiles/aio_routing.dir/routing/path_oracle.cpp.o"
+  "CMakeFiles/aio_routing.dir/routing/path_oracle.cpp.o.d"
+  "libaio_routing.a"
+  "libaio_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/as_graph.cpp" "src/CMakeFiles/aio_topo.dir/topo/as_graph.cpp.o" "gcc" "src/CMakeFiles/aio_topo.dir/topo/as_graph.cpp.o.d"
+  "/root/repo/src/topo/generator.cpp" "src/CMakeFiles/aio_topo.dir/topo/generator.cpp.o" "gcc" "src/CMakeFiles/aio_topo.dir/topo/generator.cpp.o.d"
+  "/root/repo/src/topo/growth.cpp" "src/CMakeFiles/aio_topo.dir/topo/growth.cpp.o" "gcc" "src/CMakeFiles/aio_topo.dir/topo/growth.cpp.o.d"
+  "/root/repo/src/topo/prefix_alloc.cpp" "src/CMakeFiles/aio_topo.dir/topo/prefix_alloc.cpp.o" "gcc" "src/CMakeFiles/aio_topo.dir/topo/prefix_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_topo.dir/topo/as_graph.cpp.o"
+  "CMakeFiles/aio_topo.dir/topo/as_graph.cpp.o.d"
+  "CMakeFiles/aio_topo.dir/topo/generator.cpp.o"
+  "CMakeFiles/aio_topo.dir/topo/generator.cpp.o.d"
+  "CMakeFiles/aio_topo.dir/topo/growth.cpp.o"
+  "CMakeFiles/aio_topo.dir/topo/growth.cpp.o.d"
+  "CMakeFiles/aio_topo.dir/topo/prefix_alloc.cpp.o"
+  "CMakeFiles/aio_topo.dir/topo/prefix_alloc.cpp.o.d"
+  "libaio_topo.a"
+  "libaio_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

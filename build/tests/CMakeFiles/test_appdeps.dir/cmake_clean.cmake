@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appdeps.dir/appdeps/appdeps_param_test.cpp.o"
+  "CMakeFiles/test_appdeps.dir/appdeps/appdeps_param_test.cpp.o.d"
+  "CMakeFiles/test_appdeps.dir/appdeps/content_test.cpp.o"
+  "CMakeFiles/test_appdeps.dir/appdeps/content_test.cpp.o.d"
+  "CMakeFiles/test_appdeps.dir/appdeps/dns_test.cpp.o"
+  "CMakeFiles/test_appdeps.dir/appdeps/dns_test.cpp.o.d"
+  "test_appdeps"
+  "test_appdeps.pdb"
+  "test_appdeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appdeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/measure/geoloc_test.cpp" "tests/CMakeFiles/test_measure.dir/measure/geoloc_test.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/geoloc_test.cpp.o.d"
+  "/root/repo/tests/measure/latency_test.cpp" "tests/CMakeFiles/test_measure.dir/measure/latency_test.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/latency_test.cpp.o.d"
+  "/root/repo/tests/measure/scanner_test.cpp" "tests/CMakeFiles/test_measure.dir/measure/scanner_test.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/scanner_test.cpp.o.d"
+  "/root/repo/tests/measure/traceroute_test.cpp" "tests/CMakeFiles/test_measure.dir/measure/traceroute_test.cpp.o" "gcc" "tests/CMakeFiles/test_measure.dir/measure/traceroute_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure.dir/measure/geoloc_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/geoloc_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/latency_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/latency_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/scanner_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/scanner_test.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/traceroute_test.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/traceroute_test.cpp.o.d"
+  "test_measure"
+  "test_measure.pdb"
+  "test_measure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nautilus.dir/nautilus/inference_param_test.cpp.o"
+  "CMakeFiles/test_nautilus.dir/nautilus/inference_param_test.cpp.o.d"
+  "CMakeFiles/test_nautilus.dir/nautilus/inference_test.cpp.o"
+  "CMakeFiles/test_nautilus.dir/nautilus/inference_test.cpp.o.d"
+  "test_nautilus"
+  "test_nautilus.pdb"
+  "test_nautilus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nautilus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netbase/geo_region_stats_test.cpp" "tests/CMakeFiles/test_netbase.dir/netbase/geo_region_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/geo_region_stats_test.cpp.o.d"
+  "/root/repo/tests/netbase/ip_test.cpp" "tests/CMakeFiles/test_netbase.dir/netbase/ip_test.cpp.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/ip_test.cpp.o.d"
+  "/root/repo/tests/netbase/prefix_trie_test.cpp" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_trie_test.cpp.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_trie_test.cpp.o.d"
+  "/root/repo/tests/netbase/rng_test.cpp" "tests/CMakeFiles/test_netbase.dir/netbase/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/rng_test.cpp.o.d"
+  "/root/repo/tests/netbase/trie_param_test.cpp" "tests/CMakeFiles/test_netbase.dir/netbase/trie_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/trie_param_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

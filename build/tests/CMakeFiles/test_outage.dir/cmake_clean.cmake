@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outage.dir/outage/outage_param_test.cpp.o"
+  "CMakeFiles/test_outage.dir/outage/outage_param_test.cpp.o.d"
+  "CMakeFiles/test_outage.dir/outage/outage_test.cpp.o"
+  "CMakeFiles/test_outage.dir/outage/outage_test.cpp.o.d"
+  "test_outage"
+  "test_outage.pdb"
+  "test_outage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
