@@ -1,0 +1,79 @@
+// Resilience ablation: completion ratio vs fault intensity, with and
+// without the supervisor's retry/reassignment machinery. The paper's
+// operational claim (§7.1, §6.3) is that an African observatory must keep
+// measuring through power cuts, dry SIMs and corridor-wide cable cuts —
+// this bench quantifies how much of a campaign survives each fault level
+// and how much of that survival the supervisor is responsible for.
+
+#include "bench_common.hpp"
+#include "resilience/supervisor.hpp"
+
+using namespace aio;
+
+namespace {
+
+core::CampaignResult runAt(const resilience::CampaignSupervisor& supervisor,
+                           double intensity, std::uint64_t seed) {
+    resilience::FaultPlanConfig planCfg;
+    planCfg.intensity = intensity;
+    net::Rng planRng{seed};
+    const auto plan = resilience::FaultPlan::generate(
+        supervisor.observatory().fleet(), planCfg, planRng);
+    net::Rng campaignRng{seed + 1};
+    return supervisor.runIxpDiscovery(plan, campaignRng);
+}
+
+} // namespace
+
+int main() {
+    bench::World world;
+    bench::banner("Ablation", "campaign resilience vs fault intensity");
+
+    const measure::IxpDetector detector{
+        world.topo, measure::IxpKnowledgeBase::full(world.topo)};
+    net::Rng fleetRng{bench::kWorldSeed};
+    const core::Observatory obs{
+        world.topo, world.engine, detector,
+        core::ProbeFleet::observatory(world.topo, fleetRng)};
+
+    resilience::SupervisorConfig withRetries;
+    resilience::SupervisorConfig noRetries;
+    noRetries.retry.enabled = false;
+    noRetries.reassignOnFailure = false;
+    const resilience::CampaignSupervisor resilient{obs, withRetries};
+    const resilience::CampaignSupervisor fragile{obs, noRetries};
+
+    // Same seed as the degraded campaigns below, so the zero-intensity
+    // row covers the oracle exactly and the curve starts at 100%.
+    net::Rng oracleRng{bench::kWorldSeed + 11};
+    const auto oracle = resilient.runFaultFreeOracle(oracleRng);
+
+    net::TextTable table({"fault intensity", "completion (retries)",
+                          "completion (no retries)", "retried", "reassigned",
+                          "abandoned", "IXP coverage vs oracle"});
+    const double intensities[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+    for (const double intensity : intensities) {
+        auto degraded = runAt(resilient, intensity, bench::kWorldSeed + 10);
+        const auto basic = runAt(fragile, intensity, bench::kWorldSeed + 10);
+        resilience::attachOracleCoverage(degraded, oracle);
+        const auto& rep = degraded.degradation;
+        table.addRow({bench::num(intensity, 1),
+                      bench::pct(rep.completionRatio),
+                      bench::pct(basic.degradation.completionRatio),
+                      std::to_string(rep.retries),
+                      std::to_string(rep.reassigned),
+                      std::to_string(rep.abandoned),
+                      bench::pct(rep.coverageVsOracle)});
+    }
+    std::cout << table.render();
+
+    std::cout << "\nReading the curve:\n"
+              << "  * both columns start at 100% with no faults and fall\n"
+              << "    as intensity grows; the gap between them is what the\n"
+              << "    supervisor's bounded retry + sibling reassignment\n"
+              << "    buys back — the platform degrades instead of lying.\n"
+              << "  * abandoned tasks are attributed per fault class in\n"
+              << "    DegradationReport::lossByFaultClass (see fault_drill\n"
+              << "    for a narrated single campaign).\n";
+    return 0;
+}

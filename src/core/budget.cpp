@@ -11,48 +11,39 @@ namespace aio::core {
 BudgetScheduler::BudgetScheduler(SchedulerOptions options)
     : options_(options) {}
 
+TariffMeter::TariffMeter(const PricingModel& pricing) : pricing_(&pricing) {
+    pricing.validate();
+}
+
+double TariffMeter::marginalCost(double mb, bool offPeak) const {
+    AIO_EXPECTS(mb >= 0.0, "negative traffic volume");
+    const double peak = peakMb_ + (offPeak ? 0.0 : mb);
+    const double off = offMb_ + (offPeak ? mb : 0.0);
+    return costOf(peak, off) - totalCost();
+}
+
+void TariffMeter::add(double mb, bool offPeak) {
+    AIO_EXPECTS(mb >= 0.0, "negative traffic volume");
+    (offPeak ? offMb_ : peakMb_) += mb;
+}
+
+double TariffMeter::costOf(double peakMb, double offMb) const {
+    switch (pricing_->kind) {
+    case PricingModel::Kind::FlatPerMb:
+        return (peakMb + offMb) * pricing_->perMbUsd;
+    case PricingModel::Kind::PrepaidBundle:
+        return std::ceil((peakMb + offMb) / pricing_->bundleMb) *
+               pricing_->bundleCostUsd;
+    case PricingModel::Kind::TimeOfDayDiscount:
+        return peakMb * pricing_->perMbUsd +
+               offMb * pricing_->perMbUsd * pricing_->offPeakFactor;
+    }
+    return (peakMb + offMb) * pricing_->perMbUsd;
+}
+
 namespace {
 
 double toMb(double bytes) { return bytes / 1e6; }
-
-/// Cumulative tariff meter: tracks peak/off-peak volume and answers the
-/// *marginal* cost of more bytes, which is what makes prepaid bundles
-/// behave correctly (a bundle is consumed across many runs).
-class TariffMeter {
-public:
-    explicit TariffMeter(const PricingModel& pricing) : pricing_(&pricing) {}
-
-    [[nodiscard]] double totalCost() const { return costOf(peakMb_, offMb_); }
-
-    [[nodiscard]] double marginalCost(double mb, bool offPeak) const {
-        const double peak = peakMb_ + (offPeak ? 0.0 : mb);
-        const double off = offMb_ + (offPeak ? mb : 0.0);
-        return costOf(peak, off) - totalCost();
-    }
-
-    void add(double mb, bool offPeak) {
-        (offPeak ? offMb_ : peakMb_) += mb;
-    }
-
-private:
-    [[nodiscard]] double costOf(double peakMb, double offMb) const {
-        switch (pricing_->kind) {
-        case PricingModel::Kind::FlatPerMb:
-            return (peakMb + offMb) * pricing_->perMbUsd;
-        case PricingModel::Kind::PrepaidBundle:
-            return std::ceil((peakMb + offMb) / pricing_->bundleMb) *
-                   pricing_->bundleCostUsd;
-        case PricingModel::Kind::TimeOfDayDiscount:
-            return peakMb * pricing_->perMbUsd +
-                   offMb * pricing_->perMbUsd * pricing_->offPeakFactor;
-        }
-        return (peakMb + offMb) * pricing_->perMbUsd;
-    }
-
-    const PricingModel* pricing_;
-    double peakMb_ = 0.0;
-    double offMb_ = 0.0;
-};
 
 struct Candidate {
     std::vector<std::size_t> taskIndices;

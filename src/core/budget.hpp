@@ -39,6 +39,33 @@ struct SchedulerOptions {
 /// retransmissions, DNS retries). Billing is per low-level byte (§7.1).
 inline constexpr double kPacketOverheadFactor = 1.22;
 
+/// Cumulative tariff meter: tracks peak/off-peak volume and answers the
+/// *marginal* cost of more bytes, which is what makes prepaid bundles
+/// behave correctly (a bundle is consumed across many runs, and the first
+/// byte past a bundle boundary costs a whole new bundle).
+///
+/// Shared by the BudgetScheduler and the resilience layer's FaultInjector,
+/// so retried measurements are billed exactly like first-attempt ones.
+class TariffMeter {
+public:
+    /// Validates the pricing model up front (see PricingModel::validate).
+    explicit TariffMeter(const PricingModel& pricing);
+
+    [[nodiscard]] double totalCost() const { return costOf(peakMb_, offMb_); }
+
+    /// Cost of `mb` additional megabytes on top of what was consumed.
+    [[nodiscard]] double marginalCost(double mb, bool offPeak) const;
+
+    void add(double mb, bool offPeak);
+
+private:
+    [[nodiscard]] double costOf(double peakMb, double offMb) const;
+
+    const PricingModel* pricing_;
+    double peakMb_ = 0.0;
+    double offMb_ = 0.0;
+};
+
 /// A planned schedule: ordered (task-or-group, runs) entries.
 struct BudgetPlan {
     struct Entry {

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace aio::core {
+
+/// What a supervised campaign lost to faults, attached to CampaignResult
+/// by the resilience layer (src/resilience/). Plain data so the core can
+/// carry it without depending on the fault model; keys in
+/// `lossByFaultClass` are resilience::faultClassName() strings.
+///
+/// A fault-free run (the oracle) has attempts == tasksPlanned,
+/// completionRatio == 1 and an empty loss map — benches quantify
+/// robustness as the distance from that.
+struct DegradationReport {
+    int tasksPlanned = 0;  ///< tasks in the campaign plan
+    int attempts = 0;      ///< task attempts, including retries
+    int retries = 0;       ///< attempts beyond each task's first
+    int reassigned = 0;    ///< tasks moved to a sibling probe
+    int abandoned = 0;     ///< tasks given up on after retries/reassignment
+    int completed = 0;     ///< tasks whose measurement actually ran
+    /// Attempts that timed out against a transiently-down probe
+    /// (classified retryable; see net::TransientError).
+    int transientTimeouts = 0;
+    /// Probes whose data bundle ran dry during the campaign.
+    int probesExhausted = 0;
+    double completionRatio = 0.0; ///< completed / tasksPlanned (0 if none)
+    /// Share of the fault-free oracle's IXP discoveries this degraded run
+    /// still achieved. Filled by resilience::attachOracleCoverage().
+    double coverageVsOracle = 0.0;
+    /// Abandoned-task counts keyed by the fault class that killed them.
+    std::map<std::string, int> lossByFaultClass;
+
+    [[nodiscard]] bool operator==(const DegradationReport&) const = default;
+};
+
+} // namespace aio::core

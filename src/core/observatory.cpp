@@ -40,6 +40,21 @@ void Observatory::traceAndRecord(topo::AsIndex src, net::Ipv4Address target,
     }
 }
 
+topo::AsIndex Observatory::pickIxpTarget(topo::IxpIndex ix,
+                                         net::Rng& rng) const {
+    const auto& members = topo_->ixp(ix).members;
+    const topo::AsIndex member = members[rng.uniformInt(members.size())];
+    // Target a customer of the member when one exists (a CDN or stub
+    // behind the exchange), else the member itself — §6.1's "targeted at
+    // a customer of the IX".
+    topo::AsIndex target = member;
+    const auto& customers = topo_->customersOf(member);
+    if (!customers.empty() && rng.bernoulli(0.7)) {
+        target = customers[rng.uniformInt(customers.size())];
+    }
+    return target;
+}
+
 CampaignResult Observatory::runIxpDiscoveryFrom(const Probe& probe,
                                                 net::Rng& rng) const {
     CampaignResult result;
@@ -47,26 +62,57 @@ CampaignResult Observatory::runIxpDiscoveryFrom(const Probe& probe,
         return result; // probe offline (power/connectivity)
     }
     for (const topo::IxpIndex ix : topo_->africanIxps()) {
-        const auto& members = topo_->ixp(ix).members;
-        if (members.empty()) {
+        if (topo_->ixp(ix).members.empty()) {
             continue;
         }
         for (int t = 0; t < config_.targetsPerIxp; ++t) {
-            const topo::AsIndex member =
-                members[rng.uniformInt(members.size())];
-            // Target a customer of the member when one exists (a CDN or
-            // stub behind the exchange), else the member itself — §6.1's
-            // "targeted at a customer of the IX".
-            topo::AsIndex target = member;
-            const auto& customers = topo_->customersOf(member);
-            if (!customers.empty() && rng.bernoulli(0.7)) {
-                target = customers[rng.uniformInt(customers.size())];
-            }
+            const topo::AsIndex target = pickIxpTarget(ix, rng);
             traceAndRecord(probe.hostAs, topo_->routerAddress(target, 3),
                            rng, result);
         }
     }
     return result;
+}
+
+std::vector<CampaignTask>
+Observatory::ixpDiscoveryTasks(net::Rng& rng) const {
+    std::vector<CampaignTask> tasks;
+    const auto africanIxps = topo_->africanIxps();
+    for (std::size_t p = 0; p < fleet_.size(); ++p) {
+        const Probe& probe = fleet_.probe(p);
+        for (const topo::IxpIndex ix : africanIxps) {
+            if (topo_->ixp(ix).members.empty()) {
+                continue;
+            }
+            for (int t = 0; t < config_.targetsPerIxp; ++t) {
+                const topo::AsIndex target = pickIxpTarget(ix, rng);
+                tasks.push_back({p, probe.hostAs,
+                                 topo_->routerAddress(target, 3)});
+            }
+        }
+    }
+    return tasks;
+}
+
+std::vector<CampaignTask> Observatory::meshTasks(net::Rng& rng) const {
+    std::vector<CampaignTask> tasks;
+    const auto& probes = fleet_.probes();
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        for (int t = 0; t < config_.meshTracesPerProbe; ++t) {
+            const Probe& peer = probes[rng.uniformInt(probes.size())];
+            if (peer.hostAs == probes[p].hostAs) {
+                continue;
+            }
+            tasks.push_back({p, probes[p].hostAs,
+                             topo_->routerAddress(peer.hostAs, 4)});
+        }
+    }
+    return tasks;
+}
+
+void Observatory::executeTask(const CampaignTask& task, net::Rng& rng,
+                              CampaignResult& result) const {
+    traceAndRecord(task.srcAs, task.target, rng, result);
 }
 
 CampaignResult Observatory::runIxpDiscovery(net::Rng& rng) const {

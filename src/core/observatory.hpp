@@ -1,7 +1,9 @@
 #pragma once
 
 #include <set>
+#include <vector>
 
+#include "core/degradation.hpp"
 #include "core/probe.hpp"
 #include "measure/ixp_detect.hpp"
 #include "measure/traceroute.hpp"
@@ -15,9 +17,24 @@ struct CampaignResult {
     std::set<topo::AsIndex> asesObserved;
     int tracesLaunched = 0;
     int tracesCompleted = 0;
+    /// Fault accounting, filled only by supervised (resilience) runs; a
+    /// plain Observatory run leaves it default-constructed.
+    DegradationReport degradation;
 
     [[nodiscard]] std::size_t africanIxpCount(
         const topo::Topology& topology) const;
+
+    [[nodiscard]] bool operator==(const CampaignResult&) const = default;
+};
+
+/// One schedulable unit of a campaign: probe X traceroutes target Y.
+/// Campaign plans are generated up front (deterministically, from a seeded
+/// Rng) so a supervisor can retry or reassign individual tasks without
+/// perturbing what the rest of the campaign measures.
+struct CampaignTask {
+    std::size_t probeIndex = 0;
+    topo::AsIndex srcAs = 0;
+    net::Ipv4Address target;
 };
 
 struct ObservatoryConfig {
@@ -54,11 +71,30 @@ public:
     [[nodiscard]] CampaignResult runMeshFrom(const Probe& probe,
                                              net::Rng& rng) const;
 
+    /// Full task list of the targeted campaign, one entry per traceroute,
+    /// for EVERY probe — availability is deliberately not consulted, so a
+    /// supervisor (resilience::CampaignSupervisor) owns the fault story
+    /// and the plan doubles as the fault-free oracle.
+    [[nodiscard]] std::vector<CampaignTask>
+    ixpDiscoveryTasks(net::Rng& rng) const;
+    /// Task list of the mesh campaign (probes traceroute each other).
+    [[nodiscard]] std::vector<CampaignTask> meshTasks(net::Rng& rng) const;
+
+    /// Executes one planned task (traceroute + detection) into `result`.
+    void executeTask(const CampaignTask& task, net::Rng& rng,
+                     CampaignResult& result) const;
+
     [[nodiscard]] const ProbeFleet& fleet() const { return fleet_; }
+    [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
 
 private:
     void traceAndRecord(topo::AsIndex src, net::Ipv4Address target,
                         net::Rng& rng, CampaignResult& result) const;
+
+    /// Picks a traceroute target for one (probe, IXP) slot: a member of
+    /// the exchange, or preferably one of its customers (§6.1).
+    [[nodiscard]] topo::AsIndex pickIxpTarget(topo::IxpIndex ix,
+                                              net::Rng& rng) const;
 
     const topo::Topology* topo_;
     const measure::TracerouteEngine* engine_;

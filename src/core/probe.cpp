@@ -8,8 +8,27 @@
 
 namespace aio::core {
 
+void PricingModel::validate() const {
+    switch (kind) {
+    case Kind::FlatPerMb:
+        AIO_EXPECTS(perMbUsd >= 0.0, "perMbUsd must be non-negative");
+        break;
+    case Kind::PrepaidBundle:
+        AIO_EXPECTS(bundleMb > 0.0, "bundleMb must be positive");
+        AIO_EXPECTS(bundleCostUsd >= 0.0,
+                    "bundleCostUsd must be non-negative");
+        break;
+    case Kind::TimeOfDayDiscount:
+        AIO_EXPECTS(perMbUsd >= 0.0, "perMbUsd must be non-negative");
+        AIO_EXPECTS(offPeakFactor >= 0.0,
+                    "offPeakFactor must be non-negative");
+        break;
+    }
+}
+
 double PricingModel::costUsd(double mb, bool offPeak) const {
     AIO_EXPECTS(mb >= 0.0, "negative traffic volume");
+    validate();
     switch (kind) {
     case Kind::FlatPerMb:
         return mb * perMbUsd;
@@ -24,6 +43,24 @@ double PricingModel::costUsd(double mb, bool offPeak) const {
 void ProbeFleet::add(Probe probe) {
     AIO_EXPECTS(!probe.id.empty(), "probe needs an id");
     probes_.push_back(std::move(probe));
+}
+
+const Probe& ProbeFleet::probe(std::size_t index) const {
+    AIO_EXPECTS(index < probes_.size(), "probe index out of range");
+    return probes_[index];
+}
+
+std::vector<std::size_t>
+ProbeFleet::siblingsInCountry(std::size_t index) const {
+    AIO_EXPECTS(index < probes_.size(), "probe index out of range");
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        if (i != index &&
+            probes_[i].countryCode == probes_[index].countryCode) {
+            out.push_back(i);
+        }
+    }
+    return out;
 }
 
 std::vector<const Probe*>

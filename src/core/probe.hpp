@@ -25,6 +25,11 @@ struct PricingModel {
 
     /// Cost of sending `mb` megabytes (marginal, from a zero balance).
     [[nodiscard]] double costUsd(double mb, bool offPeak) const;
+
+    /// Throws PreconditionError when the parameters relevant to `kind` are
+    /// out of range (non-positive bundle size, negative rates/factors).
+    /// Guards the `ceil(mb / bundleMb)` tariff math against inf/NaN costs.
+    void validate() const;
 };
 
 /// One observatory vantage point: a Raspberry-Pi-class device or a
@@ -53,8 +58,14 @@ public:
         return probes_;
     }
     [[nodiscard]] std::size_t size() const { return probes_.size(); }
+    [[nodiscard]] const Probe& probe(std::size_t index) const;
     [[nodiscard]] std::vector<const Probe*>
     inCountry(std::string_view iso2) const;
+    /// Indices of every probe sharing `index`'s country, excluding
+    /// `index` itself — the reassignment candidates the resilience layer
+    /// falls back to when a probe dies mid-campaign.
+    [[nodiscard]] std::vector<std::size_t>
+    siblingsInCountry(std::size_t index) const;
     /// Number of distinct countries hosting at least one probe.
     [[nodiscard]] std::size_t countryCount() const;
 

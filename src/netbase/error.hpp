@@ -35,6 +35,15 @@ public:
     explicit NotFoundError(const std::string& what) : AioError(what) {}
 };
 
+/// Raised when an operation failed for a reason that is expected to clear
+/// on its own — a probe without power, a transit link mid-flap, a task
+/// that timed out. Callers may retry with backoff; every other AioError
+/// subtype is permanent and retrying it is a bug.
+class TransientError : public AioError {
+public:
+    explicit TransientError(const std::string& what) : AioError(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throwPrecondition(const char* expr, const char* msg,
                                     const std::source_location& where);

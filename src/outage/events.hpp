@@ -32,6 +32,12 @@ struct OutageEvent {
                                           ///< routing); cable cuts derive
                                           ///< their blast radius from the
                                           ///< physical layer
+
+    /// True while the event is ongoing at `day` (fault overlays and the
+    /// radar detector both reason about instant-in-time activity).
+    [[nodiscard]] bool activeAtDay(double day) const;
+    /// Overlap in days with the window [fromDay, toDay).
+    [[nodiscard]] double overlapDays(double fromDay, double toDay) const;
 };
 
 /// Yearly event rates for one macro region.

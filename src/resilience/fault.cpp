@@ -1,0 +1,278 @@
+#include "resilience/fault.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "netbase/error.hpp"
+
+namespace aio::resilience {
+
+std::string_view faultClassName(FaultClass cls) {
+    switch (cls) {
+    case FaultClass::PowerLoss: return "power loss";
+    case FaultClass::TransitLoss: return "transit loss";
+    case FaultClass::BundleExhausted: return "bundle exhausted";
+    case FaultClass::PermanentFailure: return "permanent failure";
+    }
+    return "?";
+}
+
+std::string_view probeStatusName(ProbeStatus status) {
+    switch (status) {
+    case ProbeStatus::Up: return "up";
+    case ProbeStatus::PowerDown: return "power down";
+    case ProbeStatus::TransitDown: return "transit down";
+    case ProbeStatus::BundleDry: return "bundle dry";
+    case ProbeStatus::Dead: return "dead";
+    }
+    return "?";
+}
+
+FaultPlan FaultPlan::none(std::size_t probeCount) {
+    return FaultPlan{probeCount};
+}
+
+FaultPlan FaultPlan::generate(const core::ProbeFleet& fleet,
+                              const FaultPlanConfig& config, net::Rng& rng) {
+    AIO_EXPECTS(config.horizonHours > 0.0, "horizon must be positive");
+    AIO_EXPECTS(config.intensity >= 0.0, "intensity must be non-negative");
+    AIO_EXPECTS(config.meanOutageHours > 0.0,
+                "mean outage length must be positive");
+    FaultPlan plan{fleet.size()};
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+        const core::Probe& probe = fleet.probe(p);
+        // Expected downtime share ~= intensity * (1 - availability): the
+        // availability field keeps its meaning, faults just gain timing.
+        const double downShare =
+            std::clamp(config.intensity * (1.0 - probe.availability), 0.0,
+                       1.0);
+        const double lambda =
+            downShare * config.horizonHours / config.meanOutageHours;
+        const int outages = rng.poisson(lambda);
+        for (int i = 0; i < outages; ++i) {
+            FaultWindow window;
+            window.cls = FaultClass::PowerLoss;
+            window.startHour = rng.uniformReal(0.0, config.horizonHours);
+            window.endHour =
+                window.startHour +
+                std::max(0.1, rng.exponential(config.meanOutageHours));
+            plan.addWindow(p, window);
+        }
+        const double deathProb = std::clamp(
+            config.permanentFailureProb * config.intensity, 0.0, 1.0);
+        if (rng.bernoulli(deathProb)) {
+            FaultWindow death;
+            death.cls = FaultClass::PermanentFailure;
+            death.startHour = rng.uniformReal(0.0, config.horizonHours);
+            death.endHour = kNeverEnds;
+            plan.addWindow(p, death);
+        }
+    }
+    plan.sortWindows();
+    return plan;
+}
+
+namespace {
+
+/// Unordered AS-pair key, matching PhysicalLinkMap's internal convention.
+std::uint64_t pairKey(topo::AsIndex a, topo::AsIndex b) {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (hi << 32) | lo;
+}
+
+/// True when every provider adjacency of `as` is in the failed set — the
+/// "host AS loses transit" condition for correlated probe loss.
+bool losesAllTransit(const topo::Topology& topo, topo::AsIndex as,
+                     const std::unordered_set<std::uint64_t>& failed) {
+    const auto& providers = topo.providersOf(as);
+    if (providers.empty()) {
+        return false;
+    }
+    return std::ranges::all_of(providers, [&](topo::AsIndex provider) {
+        return failed.contains(pairKey(as, provider));
+    });
+}
+
+bool probeInCountries(const core::Probe& probe,
+                      const std::vector<std::string>& countries) {
+    return std::ranges::find(countries, probe.countryCode) !=
+           countries.end();
+}
+
+} // namespace
+
+void FaultPlan::overlayOutages(std::span<const outage::OutageEvent> events,
+                               const core::ProbeFleet& fleet,
+                               const phys::PhysicalLinkMap& linkMap,
+                               const FaultPlanConfig& config) {
+    AIO_EXPECTS(fleet.size() == windows_.size(),
+                "fleet does not match the plan's probe count");
+    const topo::Topology& topo = linkMap.topology();
+    for (const outage::OutageEvent& event : events) {
+        const double startHour =
+            (event.startDay - config.campaignStartDay) * 24.0;
+        double endHour = startHour + event.durationDays * 24.0;
+        if (event.type == outage::OutageType::RoutingIncident) {
+            endHour = startHour + config.routingFlapHours;
+        }
+        if (endHour <= 0.0 || startHour >= config.horizonHours) {
+            continue; // the campaign never sees this event
+        }
+
+        FaultClass cls = FaultClass::TransitLoss;
+        std::unordered_set<std::uint64_t> failedLinks;
+        switch (event.type) {
+        case outage::OutageType::CableCut: {
+            const std::unordered_set<phys::CableId> cuts{
+                event.cutCables.begin(), event.cutCables.end()};
+            if (cuts.empty()) {
+                continue; // non-African cut: no modelled blast radius
+            }
+            for (const auto& [a, b] : linkMap.failedLinks(cuts)) {
+                failedLinks.insert(pairKey(a, b));
+            }
+            break;
+        }
+        case outage::OutageType::PowerOutage:
+            cls = FaultClass::PowerLoss;
+            break;
+        case outage::OutageType::GovernmentShutdown:
+        case outage::OutageType::RoutingIncident:
+            break;
+        }
+
+        for (std::size_t p = 0; p < fleet.size(); ++p) {
+            const core::Probe& probe = fleet.probe(p);
+            const bool hit =
+                event.type == outage::OutageType::CableCut
+                    ? losesAllTransit(topo, probe.hostAs, failedLinks)
+                    : probeInCountries(probe, event.countries);
+            if (hit) {
+                addWindow(p, {cls, std::max(0.0, startHour), endHour});
+            }
+        }
+    }
+    sortWindows();
+}
+
+void FaultPlan::addWindow(std::size_t probeIndex, FaultWindow window) {
+    AIO_EXPECTS(probeIndex < windows_.size(), "probe index out of range");
+    AIO_EXPECTS(window.endHour > window.startHour,
+                "fault window must have positive length");
+    windows_[probeIndex].push_back(window);
+}
+
+const std::vector<FaultWindow>&
+FaultPlan::windowsFor(std::size_t probeIndex) const {
+    AIO_EXPECTS(probeIndex < windows_.size(), "probe index out of range");
+    return windows_[probeIndex];
+}
+
+std::size_t FaultPlan::windowCount() const {
+    std::size_t count = 0;
+    for (const auto& perProbe : windows_) {
+        count += perProbe.size();
+    }
+    return count;
+}
+
+void FaultPlan::sortWindows() {
+    for (auto& perProbe : windows_) {
+        std::ranges::sort(perProbe,
+                          [](const FaultWindow& a, const FaultWindow& b) {
+                              return a.startHour < b.startHour;
+                          });
+    }
+}
+
+FaultInjector::FaultInjector(const core::ProbeFleet& fleet,
+                             const FaultPlan& plan, double budgetFraction)
+    : fleet_(&fleet), plan_(plan) {
+    AIO_EXPECTS(fleet.size() == plan.probeCount(),
+                "fleet does not match the plan's probe count");
+    AIO_EXPECTS(budgetFraction >= 0.0,
+                "budget fraction must be non-negative");
+    meters_.reserve(fleet.size());
+    budgets_.reserve(fleet.size());
+    for (const core::Probe& probe : fleet.probes()) {
+        meters_.emplace_back(probe.pricing);
+        budgets_.push_back(probe.monthlyBudgetUsd * budgetFraction);
+    }
+    exhausted_.assign(fleet.size(), false);
+}
+
+ProbeStatus FaultInjector::statusAt(std::size_t probeIndex,
+                                    double hour) const {
+    const auto& windows = plan_.windowsFor(probeIndex);
+    // Sticky faults dominate transient ones; among transients the
+    // earliest-starting covering window wins (windows are start-sorted).
+    for (const FaultWindow& window : windows) {
+        if (window.cls == FaultClass::PermanentFailure &&
+            hour >= window.startHour) {
+            return ProbeStatus::Dead;
+        }
+    }
+    if (exhausted_[probeIndex]) {
+        return ProbeStatus::BundleDry;
+    }
+    for (const FaultWindow& window : windows) {
+        if (!window.coversHour(hour)) {
+            continue;
+        }
+        switch (window.cls) {
+        case FaultClass::PowerLoss: return ProbeStatus::PowerDown;
+        case FaultClass::TransitLoss: return ProbeStatus::TransitDown;
+        case FaultClass::BundleExhausted: return ProbeStatus::BundleDry;
+        case FaultClass::PermanentFailure: return ProbeStatus::Dead;
+        }
+    }
+    return ProbeStatus::Up;
+}
+
+void FaultInjector::requireUp(std::size_t probeIndex, double hour) const {
+    const ProbeStatus status = statusAt(probeIndex, hour);
+    const core::Probe& probe = fleet_->probe(probeIndex);
+    switch (status) {
+    case ProbeStatus::Up:
+        return;
+    case ProbeStatus::PowerDown:
+    case ProbeStatus::TransitDown:
+        throw net::TransientError{
+            "probe " + probe.id + " is transiently down (" +
+            std::string{probeStatusName(status)} + "), retry later"};
+    case ProbeStatus::BundleDry:
+    case ProbeStatus::Dead:
+        throw net::PreconditionError{
+            "probe " + probe.id + " is permanently unavailable (" +
+            std::string{probeStatusName(status)} + ")"};
+    }
+}
+
+bool FaultInjector::chargeTask(std::size_t probeIndex, double mb,
+                               bool offPeak) {
+    AIO_EXPECTS(probeIndex < meters_.size(), "probe index out of range");
+    if (exhausted_[probeIndex]) {
+        return false;
+    }
+    core::TariffMeter& meter = meters_[probeIndex];
+    const double marginal = meter.marginalCost(mb, offPeak);
+    if (meter.totalCost() + marginal > budgets_[probeIndex]) {
+        exhausted_[probeIndex] = true; // the SIM is dry for the campaign
+        return false;
+    }
+    meter.add(mb, offPeak);
+    return true;
+}
+
+double FaultInjector::spentUsd(std::size_t probeIndex) const {
+    AIO_EXPECTS(probeIndex < meters_.size(), "probe index out of range");
+    return meters_[probeIndex].totalCost();
+}
+
+int FaultInjector::exhaustedCount() const {
+    return static_cast<int>(
+        std::count(exhausted_.begin(), exhausted_.end(), true));
+}
+
+} // namespace aio::resilience

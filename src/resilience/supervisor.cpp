@@ -1,0 +1,218 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "netbase/error.hpp"
+
+namespace aio::resilience {
+
+CampaignSupervisor::CampaignSupervisor(const core::Observatory& observatory,
+                                       SupervisorConfig config)
+    : observatory_(&observatory), config_(config) {
+    AIO_EXPECTS(config.retry.maxAttempts >= 1,
+                "retry policy needs at least one attempt");
+    AIO_EXPECTS(config.retry.baseBackoffHours > 0.0,
+                "backoff must be positive");
+    AIO_EXPECTS(config.retry.backoffMultiplier >= 1.0,
+                "backoff must not shrink");
+    AIO_EXPECTS(config.retry.jitterFraction >= 0.0 &&
+                    config.retry.jitterFraction < 1.0,
+                "jitter fraction must be in [0, 1)");
+    AIO_EXPECTS(config.taskSpacingHours > 0.0,
+                "task spacing must be positive");
+    AIO_EXPECTS(config.taskMb >= 0.0, "task volume must be non-negative");
+    AIO_EXPECTS(config.maxReassignments >= 0,
+                "reassignment cap must be non-negative");
+}
+
+namespace {
+
+/// One task attempt waiting for its launch slot. Ordered by (readyHour,
+/// seq): the seq tie-break makes the schedule — and therefore every Rng
+/// draw — fully deterministic even when launch times collide.
+struct Pending {
+    double readyHour = 0.0;
+    std::uint64_t seq = 0;
+    std::size_t taskIdx = 0;
+    int attempt = 0; ///< attempts already made on the current probe
+    int reassignments = 0;
+};
+
+struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+        if (a.readyHour != b.readyHour) {
+            return a.readyHour > b.readyHour;
+        }
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+core::CampaignResult
+CampaignSupervisor::run(std::span<const core::CampaignTask> tasks,
+                        FaultInjector& injector, net::Rng& rng) const {
+    const core::ProbeFleet& fleet = observatory_->fleet();
+    core::CampaignResult result;
+    core::DegradationReport& report = result.degradation;
+    report.tasksPlanned = static_cast<int>(tasks.size());
+
+    // Mutable task state: reassignment rewrites probeIndex/srcAs.
+    std::vector<core::CampaignTask> current{tasks.begin(), tasks.end()};
+
+    std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue;
+    std::uint64_t seq = 0;
+    // Probes drain their queues in parallel: task k of a probe launches at
+    // k * spacing, independent of how busy the rest of the fleet is.
+    std::vector<double> probeNextSlot(fleet.size(), 0.0);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+        AIO_EXPECTS(current[i].probeIndex < fleet.size(),
+                    "task references a probe outside the fleet");
+        double& slot = probeNextSlot[current[i].probeIndex];
+        queue.push({slot, seq++, i, 0, 0});
+        slot += config_.taskSpacingHours;
+    }
+
+    const auto abandon = [&](FaultClass cause) {
+        ++report.abandoned;
+        ++report.lossByFaultClass[std::string{faultClassName(cause)}];
+    };
+
+    // Moves the task to the first same-country sibling that is not
+    // permanently gone; false means the task must be abandoned.
+    const auto tryReassign = [&](Pending item, double clock,
+                                 FaultClass cause) {
+        if (config_.reassignOnFailure &&
+            item.reassignments < config_.maxReassignments) {
+            const std::size_t from = current[item.taskIdx].probeIndex;
+            for (const std::size_t sibling :
+                 fleet.siblingsInCountry(from)) {
+                const ProbeStatus status = injector.statusAt(sibling, clock);
+                if (status == ProbeStatus::Dead ||
+                    status == ProbeStatus::BundleDry) {
+                    continue;
+                }
+                current[item.taskIdx].probeIndex = sibling;
+                current[item.taskIdx].srcAs = fleet.probe(sibling).hostAs;
+                ++report.reassigned;
+                queue.push({clock + config_.taskSpacingHours, seq++,
+                            item.taskIdx, 0, item.reassignments + 1});
+                return;
+            }
+        }
+        abandon(cause);
+    };
+
+    const auto retryOrAbandon = [&](Pending item, double clock,
+                                    FaultClass cause) {
+        if (item.attempt < config_.retry.attemptBudget()) {
+            const double exponent =
+                std::pow(config_.retry.backoffMultiplier,
+                         static_cast<double>(item.attempt - 1));
+            const double jitter =
+                1.0 + config_.retry.jitterFraction *
+                          (2.0 * rng.uniform01() - 1.0);
+            const double backoff =
+                config_.retry.baseBackoffHours * exponent * jitter;
+            ++report.retries;
+            queue.push({clock + backoff, seq++, item.taskIdx, item.attempt,
+                        item.reassignments});
+            return;
+        }
+        abandon(cause);
+    };
+
+    while (!queue.empty()) {
+        Pending item = queue.top();
+        queue.pop();
+        const double clock = item.readyHour;
+        const std::size_t probe = current[item.taskIdx].probeIndex;
+
+        switch (injector.statusAt(probe, clock)) {
+        case ProbeStatus::Dead:
+            tryReassign(item, clock, FaultClass::PermanentFailure);
+            break;
+        case ProbeStatus::BundleDry:
+            tryReassign(item, clock, FaultClass::BundleExhausted);
+            break;
+        case ProbeStatus::PowerDown:
+            // No power, nothing sent, nothing billed: the task times out.
+            ++item.attempt;
+            ++report.attempts;
+            ++report.transientTimeouts;
+            retryOrAbandon(item, clock, FaultClass::PowerLoss);
+            break;
+        case ProbeStatus::TransitDown:
+            // The probe is up and probing into a black hole: the attempt
+            // times out but its packets still bill against the SIM —
+            // retries consume budget (§7.1's cost-consciousness).
+            ++item.attempt;
+            ++report.attempts;
+            ++report.transientTimeouts;
+            if (!injector.chargeTask(probe, config_.taskMb, false)) {
+                tryReassign(item, clock, FaultClass::BundleExhausted);
+            } else {
+                retryOrAbandon(item, clock, FaultClass::TransitLoss);
+            }
+            break;
+        case ProbeStatus::Up:
+            if (!injector.chargeTask(probe, config_.taskMb, false)) {
+                tryReassign(item, clock, FaultClass::BundleExhausted);
+                break;
+            }
+            ++item.attempt;
+            ++report.attempts;
+            observatory_->executeTask(current[item.taskIdx], rng, result);
+            ++report.completed;
+            break;
+        }
+    }
+
+    report.probesExhausted = injector.exhaustedCount();
+    report.completionRatio =
+        report.tasksPlanned > 0
+            ? static_cast<double>(report.completed) / report.tasksPlanned
+            : 0.0;
+    return result;
+}
+
+core::CampaignResult
+CampaignSupervisor::runIxpDiscovery(const FaultPlan& plan,
+                                    net::Rng& rng) const {
+    const auto tasks = observatory_->ixpDiscoveryTasks(rng);
+    FaultInjector injector{observatory_->fleet(), plan,
+                           config_.budgetFraction};
+    return run(tasks, injector, rng);
+}
+
+core::CampaignResult
+CampaignSupervisor::runFaultFreeOracle(net::Rng& rng) const {
+    const auto tasks = observatory_->ixpDiscoveryTasks(rng);
+    // The oracle is fault-free in every class, including bundle
+    // exhaustion, so its budget is unlimited; tasks are still metered.
+    FaultInjector injector{observatory_->fleet(),
+                           FaultPlan::none(observatory_->fleet().size()),
+                           std::numeric_limits<double>::infinity()};
+    return run(tasks, injector, rng);
+}
+
+void attachOracleCoverage(core::CampaignResult& result,
+                          const core::CampaignResult& oracle) {
+    if (oracle.ixpsDetected.empty()) {
+        result.degradation.coverageVsOracle = 1.0;
+        return;
+    }
+    std::size_t kept = 0;
+    for (const topo::IxpIndex ix : oracle.ixpsDetected) {
+        kept += result.ixpsDetected.contains(ix) ? 1 : 0;
+    }
+    result.degradation.coverageVsOracle =
+        static_cast<double>(kept) /
+        static_cast<double>(oracle.ixpsDetected.size());
+}
+
+} // namespace aio::resilience

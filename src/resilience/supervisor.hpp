@@ -1,0 +1,89 @@
+#pragma once
+
+#include <span>
+
+#include "core/observatory.hpp"
+#include "resilience/fault.hpp"
+
+namespace aio::resilience {
+
+/// Bounded retry with exponential backoff + jitter. With `enabled` false
+/// every task gets exactly one attempt — the "pretend the fleet is
+/// static" baseline the ablation bench contrasts against.
+struct RetryPolicy {
+    bool enabled = true;
+    /// Attempts per task per probe, including the first (so 4 = up to 3
+    /// retries).
+    int maxAttempts = 4;
+    double baseBackoffHours = 0.5;
+    double backoffMultiplier = 2.0;
+    /// Backoff is scaled by a factor uniform in [1-j, 1+j] so a fleet's
+    /// retries don't thunder back in lockstep after a shared outage.
+    double jitterFraction = 0.25;
+
+    [[nodiscard]] int attemptBudget() const {
+        return enabled ? maxAttempts : 1;
+    }
+};
+
+struct SupervisorConfig {
+    RetryPolicy retry;
+    /// Move a task to a sibling probe in the same country when its probe
+    /// is permanently gone (dead or bundle-dry).
+    bool reassignOnFailure = true;
+    /// How often one probe launches consecutive tasks; probes work their
+    /// queues in parallel, so campaign time per probe is tasks * spacing.
+    double taskSpacingHours = 0.05;
+    /// Wire megabytes billed per traceroute attempt that actually sends
+    /// packets (probe has power; transit-down attempts blast into the
+    /// void but still bill).
+    double taskMb = 0.12;
+    /// Share of each probe's monthly budget available to this campaign.
+    double budgetFraction = 1.0;
+    /// Reassignment hops allowed per task before abandoning it.
+    int maxReassignments = 2;
+};
+
+/// Executes a campaign plan through a FaultInjector: per-attempt timeout
+/// classification, bounded retry with exponential backoff + jitter, and
+/// same-country reassignment when a probe dies for good. Fills
+/// CampaignResult::degradation so benches can quantify what the faults
+/// cost. Deterministic: one (plan, fault plan, seed) triple always yields
+/// the identical result, which is what makes campaigns replayable.
+class CampaignSupervisor {
+public:
+    explicit CampaignSupervisor(const core::Observatory& observatory,
+                                SupervisorConfig config = {});
+
+    /// Runs `tasks` under the injector's fault timeline.
+    [[nodiscard]] core::CampaignResult
+    run(std::span<const core::CampaignTask> tasks, FaultInjector& injector,
+        net::Rng& rng) const;
+
+    /// Convenience: plan the targeted IXP-discovery campaign (from the
+    /// observatory's config), then run it under `plan`'s faults.
+    [[nodiscard]] core::CampaignResult
+    runIxpDiscovery(const FaultPlan& plan, net::Rng& rng) const;
+
+    /// The same campaign with no faults at all — the oracle benches
+    /// compare degraded runs against.
+    [[nodiscard]] core::CampaignResult
+    runFaultFreeOracle(net::Rng& rng) const;
+
+    [[nodiscard]] const SupervisorConfig& config() const { return config_; }
+    [[nodiscard]] const core::Observatory& observatory() const {
+        return *observatory_;
+    }
+
+private:
+    const core::Observatory* observatory_;
+    SupervisorConfig config_;
+};
+
+/// Fills `result.degradation.coverageVsOracle` with the share of the
+/// oracle's detected IXPs the degraded run still found (1.0 when the
+/// oracle found none).
+void attachOracleCoverage(core::CampaignResult& result,
+                          const core::CampaignResult& oracle);
+
+} // namespace aio::resilience

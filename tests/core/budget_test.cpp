@@ -63,6 +63,52 @@ TEST(PricingModel, OffPeakDiscountApplies) {
     EXPECT_DOUBLE_EQ(pricing.costUsd(100.0, false), 1.0);
 }
 
+TEST(PricingModel, NonPositiveBundleSizeIsRejected) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::PrepaidBundle;
+    pricing.bundleMb = 0.0; // would make ceil(mb / bundleMb) inf/NaN
+    EXPECT_THROW(pricing.costUsd(10.0, false), net::PreconditionError);
+    pricing.bundleMb = -500.0;
+    EXPECT_THROW(pricing.validate(), net::PreconditionError);
+    EXPECT_THROW(TariffMeter{pricing}, net::PreconditionError);
+}
+
+TEST(PricingModel, NegativeRatesAreRejected) {
+    PricingModel flat;
+    flat.kind = PricingModel::Kind::FlatPerMb;
+    flat.perMbUsd = -0.01;
+    EXPECT_THROW(flat.validate(), net::PreconditionError);
+
+    PricingModel tod;
+    tod.kind = PricingModel::Kind::TimeOfDayDiscount;
+    tod.offPeakFactor = -0.5;
+    EXPECT_THROW(tod.costUsd(1.0, true), net::PreconditionError);
+
+    // The irrelevant knobs of other kinds are NOT validated: a flat
+    // tariff with a nonsense bundle size is fine.
+    PricingModel flatOk;
+    flatOk.kind = PricingModel::Kind::FlatPerMb;
+    flatOk.bundleMb = 0.0;
+    EXPECT_NO_THROW(flatOk.validate());
+}
+
+TEST(TariffMeter, MarginalCostCrossesBundleBoundary) {
+    PricingModel pricing;
+    pricing.kind = PricingModel::Kind::PrepaidBundle;
+    pricing.bundleMb = 100.0;
+    pricing.bundleCostUsd = 2.0;
+    TariffMeter meter{pricing};
+    // First byte buys a whole bundle...
+    EXPECT_DOUBLE_EQ(meter.marginalCost(1.0, false), 2.0);
+    meter.add(1.0, false);
+    // ...the rest of the bundle is then free...
+    EXPECT_DOUBLE_EQ(meter.marginalCost(99.0, false), 0.0);
+    meter.add(99.0, false);
+    // ...and the next byte buys the next bundle.
+    EXPECT_DOUBLE_EQ(meter.marginalCost(1.0, false), 2.0);
+    EXPECT_DOUBLE_EQ(meter.totalCost(), 2.0);
+}
+
 TEST(BudgetScheduler, PlanRespectsBudget) {
     PricingModel pricing;
     pricing.kind = PricingModel::Kind::FlatPerMb;

@@ -1,0 +1,234 @@
+#include "resilience/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.hpp"
+
+namespace aio::resilience {
+namespace {
+
+struct World {
+    topo::Topology topo;
+    route::PathOracle oracle;
+    measure::TracerouteEngine engine;
+    measure::IxpDetector detector;
+
+    World()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          oracle(topo), engine(topo, oracle),
+          detector(topo, measure::IxpKnowledgeBase::full(topo)) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+/// Small deterministic fleet: two probes in each of a few countries, so
+/// reassignment has siblings to fall back to.
+core::ProbeFleet smallFleet(int perCountry = 2) {
+    auto& w = world();
+    core::ProbeFleet fleet;
+    int serial = 0;
+    for (const char* iso2 : {"RW", "KE", "NG", "ZA"}) {
+        const auto ases = w.topo.asesInCountry(iso2);
+        for (int i = 0; i < perCountry &&
+                        i < static_cast<int>(ases.size());
+             ++i) {
+            core::Probe probe;
+            probe.id = "t-" + std::string{iso2} + std::to_string(++serial);
+            probe.hostAs = ases[static_cast<std::size_t>(i)];
+            probe.countryCode = iso2;
+            probe.availability = 0.85;
+            probe.monthlyBudgetUsd = 50.0;
+            probe.pricing.kind = core::PricingModel::Kind::FlatPerMb;
+            probe.pricing.perMbUsd = 0.01;
+            fleet.add(probe);
+        }
+    }
+    return fleet;
+}
+
+core::Observatory makeObservatory(core::ProbeFleet fleet) {
+    auto& w = world();
+    return core::Observatory{w.topo, w.engine, w.detector,
+                             std::move(fleet)};
+}
+
+TEST(CampaignSupervisor, FaultFreeOracleCompletesEveryTask) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    net::Rng rng{1};
+    const auto result = supervisor.runFaultFreeOracle(rng);
+    const auto& rep = result.degradation;
+    EXPECT_GT(rep.tasksPlanned, 0);
+    EXPECT_EQ(rep.completed, rep.tasksPlanned);
+    EXPECT_EQ(rep.attempts, rep.tasksPlanned);
+    EXPECT_EQ(rep.abandoned, 0);
+    EXPECT_EQ(rep.retries, 0);
+    EXPECT_EQ(rep.reassigned, 0);
+    EXPECT_DOUBLE_EQ(rep.completionRatio, 1.0);
+    EXPECT_TRUE(rep.lossByFaultClass.empty());
+    EXPECT_EQ(result.tracesLaunched, rep.tasksPlanned);
+}
+
+TEST(CampaignSupervisor, ReplayIsByteIdenticalForAFixedSeed) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    FaultPlanConfig planCfg;
+    planCfg.intensity = 1.5;
+
+    const auto once = [&] {
+        net::Rng planRng{21};
+        const auto plan =
+            FaultPlan::generate(obs.fleet(), planCfg, planRng);
+        net::Rng rng{22};
+        return supervisor.runIxpDiscovery(plan, rng);
+    };
+    const auto first = once();
+    const auto second = once();
+    // Full structural equality: sets, counters and the whole report.
+    EXPECT_TRUE(first == second);
+    EXPECT_TRUE(first.degradation == second.degradation);
+    EXPECT_GT(first.degradation.retries, 0);
+}
+
+TEST(CampaignSupervisor, RetriesCompleteStrictlyMoreThanNoRetries) {
+    // Acceptance criterion: same seed, non-empty plan; retries enabled
+    // must complete strictly more tasks than retries disabled.
+    const auto obs = makeObservatory(smallFleet());
+    FaultPlanConfig planCfg;
+    planCfg.intensity = 1.5;
+
+    const auto runWith = [&](bool retriesEnabled) {
+        SupervisorConfig config;
+        config.retry.enabled = retriesEnabled;
+        config.reassignOnFailure = retriesEnabled;
+        const CampaignSupervisor supervisor{obs, config};
+        net::Rng planRng{31};
+        const auto plan =
+            FaultPlan::generate(obs.fleet(), planCfg, planRng);
+        EXPECT_FALSE(plan.empty());
+        net::Rng rng{32};
+        return supervisor.runIxpDiscovery(plan, rng);
+    };
+
+    const auto resilient = runWith(true);
+    const auto fragile = runWith(false);
+    EXPECT_GT(resilient.degradation.completed,
+              fragile.degradation.completed);
+    EXPECT_LT(resilient.degradation.abandoned,
+              fragile.degradation.abandoned);
+    // Both paths are deterministic: repeat the fragile run and compare.
+    EXPECT_TRUE(fragile == runWith(false));
+}
+
+TEST(CampaignSupervisor, AllProbesDownYieldsEmptyWellFormedResult) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    auto plan = FaultPlan::none(obs.fleet().size());
+    for (std::size_t p = 0; p < obs.fleet().size(); ++p) {
+        plan.addWindow(p, {FaultClass::PowerLoss, 0.0, kNeverEnds});
+    }
+    net::Rng rng{41};
+    const auto result = supervisor.runIxpDiscovery(plan, rng);
+    const auto& rep = result.degradation;
+    EXPECT_GT(rep.tasksPlanned, 0);
+    EXPECT_EQ(rep.completed, 0);
+    EXPECT_EQ(rep.abandoned, rep.tasksPlanned); // 100% abandonment
+    EXPECT_DOUBLE_EQ(rep.completionRatio, 0.0);
+    EXPECT_EQ(result.tracesLaunched, 0);
+    EXPECT_TRUE(result.ixpsDetected.empty());
+    EXPECT_TRUE(result.asesObserved.empty());
+    EXPECT_EQ(rep.lossByFaultClass.at(
+                  std::string{faultClassName(FaultClass::PowerLoss)}),
+              rep.tasksPlanned);
+    // Every attempt timed out, none were billed.
+    EXPECT_GT(rep.transientTimeouts, 0);
+    EXPECT_EQ(rep.probesExhausted, 0);
+}
+
+TEST(CampaignSupervisor, BudgetExhaustedBeforeFirstTaskAbandonsAll) {
+    const auto obs = makeObservatory(smallFleet());
+    SupervisorConfig config;
+    config.budgetFraction = 0.0; // the month's data is already gone
+    const CampaignSupervisor supervisor{obs, config};
+    net::Rng rng{51};
+    const auto result =
+        supervisor.runIxpDiscovery(FaultPlan::none(obs.fleet().size()),
+                                   rng);
+    const auto& rep = result.degradation;
+    EXPECT_GT(rep.tasksPlanned, 0);
+    EXPECT_EQ(rep.completed, 0);
+    EXPECT_EQ(rep.abandoned, rep.tasksPlanned);
+    EXPECT_DOUBLE_EQ(rep.completionRatio, 0.0);
+    EXPECT_TRUE(result.ixpsDetected.empty());
+    EXPECT_EQ(rep.lossByFaultClass.at(std::string{
+                  faultClassName(FaultClass::BundleExhausted)}),
+              rep.tasksPlanned);
+    EXPECT_EQ(rep.probesExhausted,
+              static_cast<int>(obs.fleet().size()));
+}
+
+TEST(CampaignSupervisor, DeadProbeTasksMoveToCountrySibling) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    // Kill probe 0 outright; its RW sibling (probe 1) stays healthy.
+    auto plan = FaultPlan::none(obs.fleet().size());
+    plan.addWindow(0, {FaultClass::PermanentFailure, 0.0, kNeverEnds});
+    net::Rng rng{61};
+    const auto result = supervisor.runIxpDiscovery(plan, rng);
+    const auto& rep = result.degradation;
+    EXPECT_GT(rep.reassigned, 0);
+    EXPECT_EQ(rep.completed, rep.tasksPlanned); // sibling absorbed it all
+    EXPECT_EQ(rep.abandoned, 0);
+    EXPECT_DOUBLE_EQ(rep.completionRatio, 1.0);
+}
+
+TEST(CampaignSupervisor, ReassignmentDisabledAbandonsDeadProbesTasks) {
+    const auto obs = makeObservatory(smallFleet());
+    SupervisorConfig config;
+    config.reassignOnFailure = false;
+    const CampaignSupervisor supervisor{obs, config};
+    auto plan = FaultPlan::none(obs.fleet().size());
+    plan.addWindow(0, {FaultClass::PermanentFailure, 0.0, kNeverEnds});
+    net::Rng rng{62};
+    const auto result = supervisor.runIxpDiscovery(plan, rng);
+    const auto& rep = result.degradation;
+    EXPECT_EQ(rep.reassigned, 0);
+    EXPECT_GT(rep.abandoned, 0);
+    EXPECT_EQ(rep.lossByFaultClass.at(std::string{
+                  faultClassName(FaultClass::PermanentFailure)}),
+              rep.abandoned);
+}
+
+TEST(CampaignSupervisor, OracleCoverageAttachesSensibly) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    net::Rng rngA{71};
+    auto degraded = supervisor.runFaultFreeOracle(rngA);
+    net::Rng rngB{71};
+    const auto oracle = supervisor.runFaultFreeOracle(rngB);
+    attachOracleCoverage(degraded, oracle);
+    // A fault-free run covers the oracle exactly.
+    EXPECT_DOUBLE_EQ(degraded.degradation.coverageVsOracle, 1.0);
+}
+
+TEST(CampaignSupervisor, MeshTasksRunUnderSupervisionToo) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    net::Rng taskRng{81};
+    const auto tasks = obs.meshTasks(taskRng);
+    ASSERT_FALSE(tasks.empty());
+    FaultInjector injector{obs.fleet(),
+                           FaultPlan::none(obs.fleet().size()), 1.0};
+    net::Rng rng{82};
+    const auto result = supervisor.run(tasks, injector, rng);
+    EXPECT_EQ(result.degradation.completed,
+              static_cast<int>(tasks.size()));
+    EXPECT_GT(result.tracesLaunched, 0);
+}
+
+} // namespace
+} // namespace aio::resilience
