@@ -4,12 +4,14 @@
 // builds the same seeded substrate so numbers are comparable across
 // binaries, then prints its table/figure as "paper vs measured" rows.
 
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "content/catalog.hpp"
 #include "core/observatory.hpp"
+#include "exec/worker_pool.hpp"
 #include "core/setcover.hpp"
 #include "core/studies.hpp"
 #include "core/whatif.hpp"
@@ -27,9 +29,27 @@ namespace aio::bench {
 
 inline constexpr std::uint64_t kWorldSeed = 20250704;
 
+/// Thread-count plumbing for bench binaries: AIO_BENCH_THREADS pins the
+/// shared pool (output is byte-identical either way; this only changes
+/// wall time, e.g. for single-thread baselines on many-core boxes).
+inline int benchThreadCount() {
+    if (const char* env = std::getenv("AIO_BENCH_THREADS")) {
+        const int parsed = std::atoi(env);
+        if (parsed >= 1) {
+            return parsed;
+        }
+    }
+    return exec::WorkerPool::defaultThreadCount();
+}
+
 /// The full simulated world, built once per bench binary.
 struct World {
     topo::Topology topo;
+    /// Shared worker pool for the all-pairs route computations (oracle
+    /// construction here, failure-scenario rebuilds in the benches).
+    /// Parallel and sequential builds are byte-identical, so numbers stay
+    /// comparable across machines with different core counts.
+    exec::WorkerPool pool;
     route::PathOracle oracle;
     measure::TracerouteEngine engine;
     phys::CableRegistry registry;
@@ -43,7 +63,8 @@ struct World {
     World()
         : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
                    .generate()),
-          oracle(topo), engine(topo, oracle),
+          pool(benchThreadCount()),
+          oracle(topo, route::LinkFilter{}, pool), engine(topo, oracle),
           registry(phys::CableRegistry::africanDefaults()),
           mapRng(kWorldSeed), linkMap(topo, registry, mapRng),
           resolvers(topo, dns::DnsConfig::defaults(), kWorldSeed + 1),

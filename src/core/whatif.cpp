@@ -9,10 +9,16 @@ WhatIfEngine::WhatIfEngine(const topo::Topology& topology,
                            dns::DnsConfig dnsConfig,
                            content::ContentConfig contentConfig,
                            phys::LinkMapConfig linkConfig,
-                           std::uint64_t seed)
+                           std::uint64_t seed,
+                           route::OracleCache* oracleCache,
+                           exec::WorkerPool* pool)
     : topo_(&topology), registry_(std::move(registry)),
       dnsConfig_(dnsConfig), contentConfig_(contentConfig),
-      linkConfig_(linkConfig), seed_(seed) {
+      linkConfig_(linkConfig), seed_(seed), oracleCache_(oracleCache),
+      pool_(pool) {
+    AIO_EXPECTS(oracleCache == nullptr ||
+                    &oracleCache->topology() == &topology,
+                "oracle cache bound to a different topology");
     rebuild();
 }
 
@@ -25,31 +31,35 @@ void WhatIfEngine::rebuild() {
     catalog_ = std::make_unique<content::ContentCatalog>(
         *topo_, contentConfig_, seed_ + 2);
     analyzer_ = std::make_unique<outage::ImpactAnalyzer>(
-        *topo_, *linkMap_, *resolvers_, *catalog_);
+        *topo_, *linkMap_, *resolvers_, *catalog_, outage::ImpactConfig{},
+        oracleCache_, pool_);
 }
 
 WhatIfEngine WhatIfEngine::withCable(phys::SubseaCable cable) const {
     phys::CableRegistry registry = registry_;
     registry.addCable(std::move(cable));
-    return WhatIfEngine{*topo_, std::move(registry), dnsConfig_,
-                        contentConfig_, linkConfig_, seed_};
+    return WhatIfEngine{*topo_,      std::move(registry), dnsConfig_,
+                        contentConfig_, linkConfig_,      seed_,
+                        oracleCache_,   pool_};
 }
 
 WhatIfEngine WhatIfEngine::withDnsConfig(dns::DnsConfig config) const {
-    return WhatIfEngine{*topo_, registry_, config, contentConfig_,
-                        linkConfig_, seed_};
+    return WhatIfEngine{*topo_,         registry_,   config, contentConfig_,
+                        linkConfig_,    seed_,       oracleCache_,
+                        pool_};
 }
 
 WhatIfEngine
 WhatIfEngine::withContentConfig(content::ContentConfig config) const {
-    return WhatIfEngine{*topo_, registry_, dnsConfig_, config, linkConfig_,
-                        seed_};
+    return WhatIfEngine{*topo_,      registry_, dnsConfig_, config,
+                        linkConfig_, seed_,     oracleCache_,
+                        pool_};
 }
 
 WhatIfEngine
 WhatIfEngine::withLinkMapConfig(phys::LinkMapConfig config) const {
     return WhatIfEngine{*topo_, registry_, dnsConfig_, contentConfig_,
-                        config, seed_};
+                        config, seed_,     oracleCache_, pool_};
 }
 
 outage::OutageEvent

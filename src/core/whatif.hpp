@@ -19,11 +19,19 @@ namespace aio::core {
 /// differences isolate the intervention.
 class WhatIfEngine {
 public:
+    /// `oracleCache` / `pool` (optional, not owned, must outlive every
+    /// engine derived from this one) are forwarded to the impact analyzer:
+    /// scenario engines built via withCable()/withDnsConfig()/... share
+    /// the topology, so one failure-scenario cache serves the whole sweep
+    /// and repeated cut sets cost one route recomputation, not one per
+    /// engine per query.
     WhatIfEngine(const topo::Topology& topology,
                  phys::CableRegistry registry, dns::DnsConfig dnsConfig,
                  content::ContentConfig contentConfig,
                  phys::LinkMapConfig linkConfig = {},
-                 std::uint64_t seed = 99);
+                 std::uint64_t seed = 99,
+                 route::OracleCache* oracleCache = nullptr,
+                 exec::WorkerPool* pool = nullptr);
 
     WhatIfEngine(WhatIfEngine&&) noexcept = default;
     WhatIfEngine& operator=(WhatIfEngine&&) noexcept = default;
@@ -74,6 +82,8 @@ private:
     content::ContentConfig contentConfig_;
     phys::LinkMapConfig linkConfig_;
     std::uint64_t seed_;
+    route::OracleCache* oracleCache_ = nullptr;
+    exec::WorkerPool* pool_ = nullptr;
 
     std::unique_ptr<phys::PhysicalLinkMap> linkMap_;
     std::unique_ptr<dns::ResolverEcosystem> resolvers_;

@@ -1,0 +1,120 @@
+#include "exec/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "netbase/error.hpp"
+
+namespace aio::exec {
+
+int WorkerPool::defaultThreadCount() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+WorkerPool::WorkerPool(int threads) : threads_(threads) {
+    AIO_EXPECTS(threads >= 1, "worker pool needs at least one thread");
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int lane = 1; lane < threads_; ++lane) {
+        workers_.emplace_back(
+            [this, lane] { workerLoop(static_cast<std::size_t>(lane)); });
+    }
+}
+
+WorkerPool::~WorkerPool() {
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+void WorkerPool::workerLoop(std::size_t lane) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            wake_.wait(lock,
+                       [&] { return stopping_ || generation_ != seen; });
+            if (stopping_) {
+                return;
+            }
+            seen = generation_;
+        }
+        runChunks(lane);
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            if (--active_ == 0) {
+                done_.notify_all();
+            }
+        }
+    }
+}
+
+void WorkerPool::runChunks(std::size_t lane) {
+    for (;;) {
+        const std::size_t begin = next_.fetch_add(chunk_);
+        if (begin >= count_) {
+            return;
+        }
+        const std::size_t end = std::min(begin + chunk_, count_);
+        try {
+            for (std::size_t i = begin; i < end; ++i) {
+                (*fn_)(i, lane);
+            }
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock{mutex_};
+                if (!error_) {
+                    error_ = std::current_exception();
+                }
+            }
+            // Abandon the remaining chunks: nobody will see partial
+            // output because parallelFor rethrows.
+            next_.store(count_);
+            return;
+        }
+    }
+}
+
+void WorkerPool::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (count == 0) {
+        return;
+    }
+    if (threads_ == 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i, 0);
+        }
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        fn_ = &fn;
+        count_ = count;
+        // Chunks several times smaller than a fair share keep lanes busy
+        // when per-index cost is skewed, without contending on the atomic.
+        chunk_ = std::max<std::size_t>(
+            1, count / (static_cast<std::size_t>(threads_) * 8));
+        next_.store(0);
+        error_ = nullptr;
+        active_ = threads_ - 1;
+        ++generation_;
+    }
+    wake_.notify_all();
+    runChunks(0);
+    std::unique_lock<std::mutex> lock{mutex_};
+    done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace aio::exec

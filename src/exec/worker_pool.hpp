@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aio::exec {
+
+/// Fixed-size pool of worker threads for data-parallel loops over index
+/// ranges (the all-pairs route computations are the primary client).
+///
+/// The pool is *schedule-transparent*: `parallelFor(count, fn)` promises
+/// only that `fn(index, lane)` runs exactly once for every index in
+/// [0, count), with `lane` in [0, threadCount()) identifying the executing
+/// worker so callers can index pre-allocated per-lane scratch. Which lane
+/// processes which index is unspecified — callers must write only to
+/// index-owned output slabs (no shared mutable state), which is what makes
+/// results deterministic regardless of thread count and schedule.
+///
+/// The calling thread participates as lane 0, so a 1-thread pool runs the
+/// loop inline with zero synchronization and is the sequential reference
+/// schedule.
+class WorkerPool {
+public:
+    /// Spawns `threads - 1` worker threads (the caller is the remaining
+    /// lane). Throws PreconditionError when `threads < 1` — the same
+    /// knob-validation contract as core::PricingModel::validate.
+    explicit WorkerPool(int threads = defaultThreadCount());
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    [[nodiscard]] int threadCount() const { return threads_; }
+
+    /// std::thread::hardware_concurrency() clamped to at least 1 (the
+    /// standard permits it to return 0 when the count is unknowable).
+    [[nodiscard]] static int defaultThreadCount();
+
+    /// Runs fn(index, lane) exactly once for every index in [0, count),
+    /// distributing contiguous chunks across lanes. Blocks until every
+    /// index is done. The first exception thrown by `fn` is rethrown on
+    /// the calling thread after the loop drains; remaining chunks are
+    /// abandoned. Not reentrant: one loop at a time per pool.
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t index,
+                                              std::size_t lane)>& fn);
+
+private:
+    void workerLoop(std::size_t lane);
+    void runChunks(std::size_t lane);
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0; ///< bumped per parallelFor; guarded
+    bool stopping_ = false;
+    int active_ = 0; ///< helper lanes still working on this generation
+
+    // Current job, written under mutex_ before the generation bump.
+    const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> next_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace aio::exec

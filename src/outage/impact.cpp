@@ -1,6 +1,7 @@
 #include "outage/impact.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "netbase/error.hpp"
@@ -29,13 +30,27 @@ ImpactAnalyzer::ImpactAnalyzer(const topo::Topology& topology,
                                const phys::PhysicalLinkMap& linkMap,
                                const dns::ResolverEcosystem& resolvers,
                                const content::ContentCatalog& catalog,
-                               ImpactConfig config)
+                               ImpactConfig config,
+                               route::OracleCache* oracleCache,
+                               exec::WorkerPool* pool)
     : topo_(&topology), linkMap_(&linkMap), resolvers_(&resolvers),
-      catalog_(&catalog), config_(config), baselineOracle_(topology) {
+      catalog_(&catalog), config_(config), oracleCache_(oracleCache),
+      pool_(pool) {
+    if (oracleCache_) {
+        // The baseline (no-failure) state is the cache's natural seed:
+        // every analyzer sharing the cache then shares one baseline build.
+        baselineOracle_ = oracleCache_->get(route::LinkFilter{});
+    } else if (pool_) {
+        baselineOracle_ = std::make_shared<const route::PathOracle>(
+            topology, route::LinkFilter{}, *pool_);
+    } else {
+        baselineOracle_ =
+            std::make_shared<const route::PathOracle>(topology);
+    }
     for (const auto* country : net::CountryTable::world().african()) {
         baselineSuccess_.emplace(
             std::string{country->iso2},
-            pageLoadSuccess(country->iso2, baselineOracle_));
+            pageLoadSuccess(country->iso2, *baselineOracle_));
     }
 }
 
@@ -132,7 +147,19 @@ ImpactReport ImpactAnalyzer::assess(const OutageEvent& event,
     }
 
     const route::LinkFilter filter = filterFor(event, rng);
-    const route::PathOracle degraded{*topo_, filter};
+    // Reuse the cached scenario oracle when a cache is wired in; rebuild
+    // (parallel if a pool is wired) otherwise. The routing state depends
+    // only on the filter, so cached and cold results are identical.
+    std::shared_ptr<const route::PathOracle> cached;
+    std::optional<route::PathOracle> local;
+    if (oracleCache_) {
+        cached = oracleCache_->get(filter);
+    } else if (pool_) {
+        local.emplace(*topo_, filter, *pool_);
+    } else {
+        local.emplace(*topo_, filter);
+    }
+    const route::PathOracle& degraded = cached ? *cached : *local;
     const dns::ResolutionSimulator dnsSim{*resolvers_};
 
     for (const auto* country : net::CountryTable::world().african()) {

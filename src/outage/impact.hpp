@@ -1,10 +1,12 @@
 #pragma once
 
 #include <map>
+#include <memory>
 
 #include "content/catalog.hpp"
 #include "dns/resolver.hpp"
 #include "outage/events.hpp"
+#include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
 
 namespace aio::outage {
@@ -52,11 +54,17 @@ struct ImpactConfig {
 /// routing, physical, DNS and content layers.
 class ImpactAnalyzer {
 public:
+    /// `oracleCache` / `pool` are optional accelerators (not owned, must
+    /// outlive the analyzer): the cache reuses degraded PathOracles across
+    /// scenarios sharing a failure filter (it is seeded with the baseline
+    /// oracle on construction), the pool parallelizes oracle builds.
     ImpactAnalyzer(const topo::Topology& topology,
                    const phys::PhysicalLinkMap& linkMap,
                    const dns::ResolverEcosystem& resolvers,
                    const content::ContentCatalog& catalog,
-                   ImpactConfig config = {});
+                   ImpactConfig config = {},
+                   route::OracleCache* oracleCache = nullptr,
+                   exec::WorkerPool* pool = nullptr);
 
     /// Routing filter describing the event's physical/administrative
     /// damage (cable cuts -> failed subsea links; power/shutdown ->
@@ -80,7 +88,9 @@ private:
     const dns::ResolverEcosystem* resolvers_;
     const content::ContentCatalog* catalog_;
     ImpactConfig config_;
-    route::PathOracle baselineOracle_;
+    route::OracleCache* oracleCache_;
+    exec::WorkerPool* pool_;
+    std::shared_ptr<const route::PathOracle> baselineOracle_;
     std::map<std::string, double, std::less<>> baselineSuccess_;
 };
 

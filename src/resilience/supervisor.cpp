@@ -200,6 +200,28 @@ CampaignSupervisor::runFaultFreeOracle(net::Rng& rng) const {
     return run(tasks, injector, rng);
 }
 
+double CampaignSupervisor::routableTaskShare(
+    std::span<const core::CampaignTask> tasks,
+    const route::LinkFilter& scenario, route::OracleCache& cache) const {
+    const topo::Topology& topo = observatory_->topology();
+    AIO_EXPECTS(&cache.topology() == &topo,
+                "oracle cache bound to a different topology");
+    if (tasks.empty()) {
+        return 1.0;
+    }
+    const std::shared_ptr<const route::PathOracle> oracle =
+        cache.get(scenario);
+    std::size_t routable = 0;
+    for (const core::CampaignTask& task : tasks) {
+        const auto dst = topo.originOf(task.target);
+        if (dst && oracle->reachable(task.srcAs, *dst)) {
+            ++routable;
+        }
+    }
+    return static_cast<double>(routable) /
+           static_cast<double>(tasks.size());
+}
+
 void attachOracleCoverage(core::CampaignResult& result,
                           const core::CampaignResult& oracle) {
     if (oracle.ixpsDetected.empty()) {

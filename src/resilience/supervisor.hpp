@@ -4,6 +4,7 @@
 
 #include "core/observatory.hpp"
 #include "resilience/fault.hpp"
+#include "routing/oracle_cache.hpp"
 
 namespace aio::resilience {
 
@@ -69,6 +70,18 @@ public:
     /// compare degraded runs against.
     [[nodiscard]] core::CampaignResult
     runFaultFreeOracle(net::Rng& rng) const;
+
+    /// Pre-flight oracle-coverage accounting for a failure scenario: the
+    /// share of planned tasks whose (probe host AS, target origin AS)
+    /// pair is still routable under the scenario's degraded routing
+    /// state. Sweeping many scenarios goes through `cache`, so repeated
+    /// cut sets reuse one recomputed oracle instead of rebuilding per
+    /// query. Returns 1.0 for an empty plan; tasks whose target address
+    /// resolves to no origin AS count as unroutable.
+    [[nodiscard]] double
+    routableTaskShare(std::span<const core::CampaignTask> tasks,
+                      const route::LinkFilter& scenario,
+                      route::OracleCache& cache) const;
 
     [[nodiscard]] const SupervisorConfig& config() const { return config_; }
     [[nodiscard]] const core::Observatory& observatory() const {

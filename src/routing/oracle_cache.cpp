@@ -1,0 +1,77 @@
+#include "routing/oracle_cache.hpp"
+
+#include "exec/worker_pool.hpp"
+#include "netbase/error.hpp"
+
+namespace aio::route {
+
+OracleCache::OracleCache(const topo::Topology& topology, std::size_t capacity,
+                         exec::WorkerPool* pool)
+    : topo_(&topology), capacity_(capacity), pool_(pool) {
+    AIO_EXPECTS(capacity >= 1, "oracle cache needs capacity >= 1");
+    AIO_EXPECTS(topology.finalized(), "topology must be finalized");
+}
+
+std::shared_ptr<const PathOracle> OracleCache::get(const LinkFilter& filter) {
+    const FilterDigest key = filter.digest();
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (const auto it = index_.find(key); it != index_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->oracle;
+    }
+    ++stats_.misses;
+    auto oracle = pool_ ? std::make_shared<const PathOracle>(*topo_, filter,
+                                                             *pool_)
+                        : std::make_shared<const PathOracle>(*topo_, filter);
+    insertLocked(key, oracle);
+    return oracle;
+}
+
+void OracleCache::seed(const LinkFilter& filter,
+                       std::shared_ptr<const PathOracle> oracle) {
+    AIO_EXPECTS(oracle != nullptr, "cannot seed a null oracle");
+    AIO_EXPECTS(&oracle->topology() == topo_,
+                "seeded oracle belongs to a different topology");
+    const FilterDigest key = filter.digest();
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (const auto it = index_.find(key); it != index_.end()) {
+        it->second->oracle = std::move(oracle);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    insertLocked(key, std::move(oracle));
+}
+
+void OracleCache::insertLocked(const FilterDigest& key,
+                               std::shared_ptr<const PathOracle> oracle) {
+    lru_.push_front(Entry{key, std::move(oracle)});
+    index_.emplace(key, lru_.begin());
+    if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    stats_.entries = lru_.size();
+}
+
+OracleCacheStats OracleCache::stats() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return stats_;
+}
+
+void OracleCache::resetStats() {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const std::size_t entries = stats_.entries;
+    stats_ = OracleCacheStats{};
+    stats_.entries = entries;
+}
+
+void OracleCache::clear() {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    lru_.clear();
+    index_.clear();
+    stats_.entries = 0;
+}
+
+} // namespace aio::route

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "routing/path_oracle.hpp"
+
+namespace aio::route {
+
+/// Hit/miss/eviction accounting, exposed for the failure-sweep benches.
+struct OracleCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+
+    [[nodiscard]] double hitRate() const {
+        const std::uint64_t lookups = hits + misses;
+        return lookups == 0
+                   ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+};
+
+/// Capacity-bounded LRU cache of failure-scenario PathOracles for one
+/// topology, keyed by the canonical LinkFilter digest. A what-if sweep,
+/// the outage impact analyzer and the campaign supervisor all re-derive
+/// the same degraded routing states (same cut set => same filter => same
+/// digest); caching the recomputed oracle turns a per-query rebuild into
+/// a lookup. Entries are shared_ptr so a scenario keeps its oracle alive
+/// even after eviction.
+///
+/// Thread-safe; construction on a miss happens under the lock, so
+/// concurrent callers never build the same scenario twice. Seed the cache
+/// (seed()) with already-built oracles — typically the no-failure
+/// baseline — to start a sweep warm.
+class OracleCache {
+public:
+    /// `pool` (optional, not owned, must outlive the cache) parallelizes
+    /// miss-path construction.
+    OracleCache(const topo::Topology& topology, std::size_t capacity,
+                exec::WorkerPool* pool = nullptr);
+
+    /// The oracle for `filter`, building (and caching) it on a miss.
+    [[nodiscard]] std::shared_ptr<const PathOracle>
+    get(const LinkFilter& filter);
+
+    /// Pre-inserts an already-built oracle for `filter` without touching
+    /// the hit/miss counters. Replaces any existing entry for the digest.
+    void seed(const LinkFilter& filter,
+              std::shared_ptr<const PathOracle> oracle);
+
+    [[nodiscard]] OracleCacheStats stats() const;
+    void resetStats();
+    void clear();
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+private:
+    struct Entry {
+        FilterDigest key;
+        std::shared_ptr<const PathOracle> oracle;
+    };
+    using Lru = std::list<Entry>; ///< front = most recently used
+
+    /// Inserts at the LRU front, evicting the tail when over capacity.
+    /// Caller holds mutex_.
+    void insertLocked(const FilterDigest& key,
+                      std::shared_ptr<const PathOracle> oracle);
+
+    const topo::Topology* topo_;
+    std::size_t capacity_;
+    exec::WorkerPool* pool_;
+
+    mutable std::mutex mutex_;
+    Lru lru_;
+    std::unordered_map<FilterDigest, Lru::iterator, FilterDigestHash> index_;
+    OracleCacheStats stats_;
+};
+
+} // namespace aio::route

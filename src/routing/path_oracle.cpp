@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <limits>
 
+#include "exec/worker_pool.hpp"
 #include "netbase/error.hpp"
 
 namespace aio::route {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+// Domain salts so a disabled AS never aliases a disabled link.
+constexpr std::uint64_t kLinkSalt = 0xa5a5a5a5a5a5a5a5ULL;
+constexpr std::uint64_t kAsSalt = 0x5a5a5a5a5a5a5a5aULL;
+
+} // namespace
+
+std::size_t FilterDigestHash::operator()(const FilterDigest& digest) const {
+    std::uint64_t h = mix64(digest.sum);
+    h = mix64(h ^ digest.product);
+    h = mix64(h ^ (digest.linkCount << 32 | digest.asCount));
+    return static_cast<std::size_t>(h);
+}
 
 void LinkFilter::disableLink(topo::AsIndex a, topo::AsIndex b) {
     links_.insert(key(a, b));
@@ -21,6 +45,27 @@ bool LinkFilter::asAllowed(topo::AsIndex as) const {
     return !ases_.contains(as);
 }
 
+FilterDigest LinkFilter::digest() const {
+    FilterDigest digest;
+    digest.linkCount = links_.size();
+    digest.asCount = ases_.size();
+    // Commutative combiners (integer sum; product of odd mixes) make the
+    // digest a pure function of the *sets*, independent of both the hash
+    // table's iteration order and the caller's insertion order.
+    for (const std::uint64_t link : links_) {
+        const std::uint64_t h = mix64(link ^ kLinkSalt);
+        digest.sum += h;
+        digest.product *= (mix64(h) | 1ULL);
+    }
+    for (const topo::AsIndex as : ases_) {
+        const std::uint64_t h =
+            mix64(static_cast<std::uint64_t>(as) ^ kAsSalt);
+        digest.sum += h;
+        digest.product *= (mix64(h) | 1ULL);
+    }
+    return digest;
+}
+
 namespace {
 constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
 } // namespace
@@ -28,23 +73,59 @@ constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
 PathOracle::PathOracle(const topo::Topology& topology,
                        const LinkFilter& filter)
     : topo_(&topology), n_(topology.asCount()) {
-    AIO_EXPECTS(topology.finalized(), "topology must be finalized");
+    build(filter, nullptr);
+}
+
+PathOracle::PathOracle(const topo::Topology& topology,
+                       const LinkFilter& filter, exec::WorkerPool& pool)
+    : topo_(&topology), n_(topology.asCount()) {
+    build(filter, &pool);
+}
+
+void PathOracle::build(const LinkFilter& filter, exec::WorkerPool* pool) {
+    AIO_EXPECTS(topo_->finalized(), "topology must be finalized");
     nextHop_.assign(n_ * n_, -1);
     klass_.assign(n_ * n_, static_cast<std::uint8_t>(RouteClass::None));
-    std::vector<std::uint16_t> dist(n_);
-    std::vector<topo::AsIndex> scratch;
-    scratch.reserve(n_);
-    for (topo::AsIndex dst = 0; dst < n_; ++dst) {
-        computeDestination(dst, filter, dist, scratch);
+
+    const auto makeScratch = [this] {
+        DestScratch scratch;
+        scratch.dist.assign(n_, kUnreached);
+        scratch.frontier.reserve(n_);
+        scratch.nextFrontier.reserve(n_);
+        scratch.buckets.resize(n_ + 2);
+        return scratch;
+    };
+
+    if (pool == nullptr || pool->threadCount() == 1) {
+        // Sequential reference: the plain destination loop the parallel
+        // build is differential-tested against.
+        DestScratch scratch = makeScratch();
+        for (topo::AsIndex dst = 0; dst < n_; ++dst) {
+            computeDestination(dst, filter, scratch);
+        }
+        return;
     }
+
+    const auto lanes = static_cast<std::size_t>(pool->threadCount());
+    std::vector<DestScratch> scratch;
+    scratch.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        scratch.push_back(makeScratch());
+    }
+    // Each destination owns its row slab of nextHop_/klass_, and each lane
+    // owns its scratch: no two lanes ever touch the same bytes, so the
+    // result is independent of the chunk schedule.
+    pool->parallelFor(n_, [&](std::size_t dst, std::size_t lane) {
+        computeDestination(dst, filter, scratch[lane]);
+    });
 }
 
 void PathOracle::computeDestination(topo::AsIndex dst,
                                     const LinkFilter& filter,
-                                    std::vector<std::uint16_t>& dist,
-                                    std::vector<topo::AsIndex>& scratch) {
+                                    DestScratch& scratch) {
     std::uint8_t* klass = &klass_[dst * n_];
     std::int32_t* next = &nextHop_[dst * n_];
+    std::vector<std::uint16_t>& dist = scratch.dist;
     std::fill(dist.begin(), dist.end(), kUnreached);
 
     if (!filter.asAllowed(dst)) {
@@ -60,10 +141,12 @@ void PathOracle::computeDestination(topo::AsIndex dst,
     dist[dst] = 0;
     klass[dst] = static_cast<std::uint8_t>(RouteClass::Self);
     next[dst] = static_cast<std::int32_t>(dst);
-    std::vector<topo::AsIndex> frontier{dst};
+    std::vector<topo::AsIndex>& frontier = scratch.frontier;
+    frontier.clear();
+    frontier.push_back(dst);
     while (!frontier.empty()) {
         std::ranges::sort(frontier, byAsn);
-        scratch.clear();
+        scratch.nextFrontier.clear();
         for (const topo::AsIndex x : frontier) {
             for (const topo::AsIndex p : topo_->providersOf(x)) {
                 if (!filter.asAllowed(p) || !filter.linkAllowed(x, p)) {
@@ -74,11 +157,11 @@ void PathOracle::computeDestination(topo::AsIndex dst,
                     dist[p] = static_cast<std::uint16_t>(dist[x] + 1);
                     klass[p] = static_cast<std::uint8_t>(RouteClass::Customer);
                     next[p] = static_cast<std::int32_t>(x);
-                    scratch.push_back(p);
+                    scratch.nextFrontier.push_back(p);
                 }
             }
         }
-        frontier.swap(scratch);
+        frontier.swap(scratch.nextFrontier);
     }
 
     // Phase 2: one optional peer hop off the customer cone. Peer routes
@@ -114,8 +197,9 @@ void PathOracle::computeDestination(topo::AsIndex dst,
     // Phase 3: provider routes propagate down provider->customer edges
     // from every routed node. Bucket Dijkstra over small integer
     // distances; buckets are processed in ASN order for deterministic
-    // tie-breaking.
-    std::vector<std::vector<topo::AsIndex>> buckets(n_ + 2);
+    // tie-breaking. Buckets are reused across destinations (every bucket
+    // ends the loop cleared).
+    std::vector<std::vector<topo::AsIndex>>& buckets = scratch.buckets;
     for (topo::AsIndex x = 0; x < n_; ++x) {
         if (klass[x] != static_cast<std::uint8_t>(RouteClass::None)) {
             buckets[dist[x]].push_back(x);

@@ -1,12 +1,36 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "topo/as_graph.hpp"
 
+namespace aio::exec {
+class WorkerPool;
+} // namespace aio::exec
+
 namespace aio::route {
+
+/// Order-independent 128-bit summary of a LinkFilter's disabled sets —
+/// the canonical key of the failure-scenario route cache. Two filters
+/// holding the same link/AS sets produce the same digest no matter the
+/// insertion order; distinct sets collide only with hash probability
+/// (~2^-128, since the combiners — a sum and a product of independently
+/// mixed element hashes — are both commutative and set-determined).
+struct FilterDigest {
+    std::uint64_t sum = 0;
+    std::uint64_t product = 1;
+    std::uint64_t linkCount = 0;
+    std::uint64_t asCount = 0;
+
+    [[nodiscard]] bool operator==(const FilterDigest&) const = default;
+};
+
+struct FilterDigestHash {
+    [[nodiscard]] std::size_t operator()(const FilterDigest& digest) const;
+};
 
 /// Set of disabled links/ASes used for failure analysis. A link is
 /// identified by its unordered endpoint pair.
@@ -23,6 +47,12 @@ public:
     [[nodiscard]] std::size_t disabledLinkCount() const {
         return links_.size();
     }
+    [[nodiscard]] std::size_t disabledAsCount() const {
+        return ases_.size();
+    }
+
+    /// Canonical digest of the disabled sets (see FilterDigest).
+    [[nodiscard]] FilterDigest digest() const;
 
 private:
     static std::uint64_t key(topo::AsIndex a, topo::AsIndex b) {
@@ -56,10 +86,23 @@ enum class RouteClass : std::uint8_t {
 /// routes propagate down customer links), which yields exactly the
 /// valley-free paths. Construction cost is O(D * (V + E)); the result is
 /// a dense next-hop matrix, so path queries are O(path length).
+///
+/// Destinations are independent — each writes only its own row slab of
+/// the next-hop/class matrices — so construction shards per destination
+/// across a WorkerPool. Every tie inside the kernel breaks by ASN, never
+/// by arrival order, so the matrices are byte-identical whichever lane
+/// computes which destination: the pool-built oracle equals the
+/// sequential reference bit for bit (tests/routing/oracle_equivalence_test
+/// holds both constructors to that contract).
 class PathOracle {
 public:
+    /// Sequential reference construction.
     explicit PathOracle(const topo::Topology& topology,
                         const LinkFilter& filter = {});
+
+    /// Parallel construction: per-destination slabs sharded across `pool`.
+    PathOracle(const topo::Topology& topology, const LinkFilter& filter,
+               exec::WorkerPool& pool);
 
     /// AS-level route from src to dst, inclusive of both endpoints.
     /// Empty when dst is unreachable; {src} when src == dst.
@@ -77,15 +120,29 @@ public:
 
     [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
 
-private:
-    void computeDestination(topo::AsIndex dst, const LinkFilter& filter,
-                            std::vector<std::uint16_t>& dist,
-                            std::vector<topo::AsIndex>& scratch);
-
-    [[nodiscard]] std::int32_t& nextHopRef(topo::AsIndex src,
-                                           topo::AsIndex dst) {
-        return nextHop_[dst * n_ + src];
+    /// Raw matrices ([dst * asCount + src] layout) for differential tests
+    /// and digests; -1 next hop / RouteClass::None mark "no route".
+    [[nodiscard]] std::span<const std::int32_t> nextHopMatrix() const {
+        return nextHop_;
     }
+    [[nodiscard]] std::span<const std::uint8_t> routeClassMatrix() const {
+        return klass_;
+    }
+
+private:
+    /// Reusable per-lane working set: one of these per pool lane, so the
+    /// hot loop never allocates and lanes never share mutable state.
+    struct DestScratch {
+        std::vector<std::uint16_t> dist;
+        std::vector<topo::AsIndex> frontier;
+        std::vector<topo::AsIndex> nextFrontier;
+        std::vector<std::vector<topo::AsIndex>> buckets;
+    };
+
+    void build(const LinkFilter& filter, exec::WorkerPool* pool);
+    void computeDestination(topo::AsIndex dst, const LinkFilter& filter,
+                            DestScratch& scratch);
+
     [[nodiscard]] std::int32_t nextHopOf(topo::AsIndex src,
                                          topo::AsIndex dst) const {
         return nextHop_[dst * n_ + src];

@@ -1,0 +1,102 @@
+#include "exec/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "netbase/error.hpp"
+
+namespace aio::exec {
+namespace {
+
+TEST(WorkerPool, DefaultThreadCountIsAtLeastOne) {
+    // hardware_concurrency() may legally report 0; the clamp guarantees a
+    // usable pool everywhere.
+    EXPECT_GE(WorkerPool::defaultThreadCount(), 1);
+    const WorkerPool pool; // must not throw on any hardware
+    EXPECT_GE(pool.threadCount(), 1);
+}
+
+TEST(WorkerPool, RejectsNonPositiveThreadCounts) {
+    EXPECT_THROW(WorkerPool{0}, net::PreconditionError);
+    EXPECT_THROW(WorkerPool{-4}, net::PreconditionError);
+}
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce) {
+    for (const int threads : {1, 2, 3, 8}) {
+        WorkerPool pool{threads};
+        constexpr std::size_t kCount = 4096;
+        std::vector<std::atomic<int>> visits(kCount);
+        pool.parallelFor(kCount, [&](std::size_t i, std::size_t lane) {
+            EXPECT_LT(lane, static_cast<std::size_t>(pool.threadCount()));
+            visits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < kCount; ++i) {
+            EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+        }
+    }
+}
+
+TEST(WorkerPool, HandlesCountsSmallerThanThreadCount) {
+    WorkerPool pool{8};
+    std::vector<std::atomic<int>> visits(3);
+    pool.parallelFor(3, [&](std::size_t i, std::size_t) {
+        visits[i].fetch_add(1);
+    });
+    for (auto& v : visits) {
+        EXPECT_EQ(v.load(), 1);
+    }
+    pool.parallelFor(0, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(WorkerPool, IsReusableAcrossLoops) {
+    WorkerPool pool{4};
+    std::atomic<std::uint64_t> sum{0};
+    for (int round = 0; round < 16; ++round) {
+        sum.store(0);
+        pool.parallelFor(1000, [&](std::size_t i, std::size_t) {
+            sum.fetch_add(i);
+        });
+        EXPECT_EQ(sum.load(), 999ULL * 1000 / 2);
+    }
+}
+
+TEST(WorkerPool, RethrowsFirstExceptionAndStaysUsable) {
+    WorkerPool pool{4};
+    const auto boom = [](std::size_t i, std::size_t) {
+        if (i == 123) {
+            throw std::runtime_error{"boom"};
+        }
+    };
+    EXPECT_THROW(pool.parallelFor(1024, boom), std::runtime_error);
+
+    std::atomic<int> count{0};
+    pool.parallelFor(256, [&](std::size_t, std::size_t) {
+        count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 256);
+}
+
+TEST(WorkerPool, PerLaneSlabsNeedNoSynchronization) {
+    // The intended usage pattern: each index writes only its own output
+    // cell, lanes index per-lane scratch. The result must be independent
+    // of the schedule.
+    WorkerPool pool{8};
+    constexpr std::size_t kCount = 2000;
+    std::vector<std::uint64_t> out(kCount, 0);
+    std::vector<std::uint64_t> scratch(
+        static_cast<std::size_t>(pool.threadCount()), 0);
+    pool.parallelFor(kCount, [&](std::size_t i, std::size_t lane) {
+        scratch[lane] = i * i; // lane-owned
+        out[i] = scratch[lane] + 1;
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(out[i], i * i + 1);
+    }
+}
+
+} // namespace
+} // namespace aio::exec

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "netbase/error.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::resilience {
@@ -213,6 +214,64 @@ TEST(CampaignSupervisor, OracleCoverageAttachesSensibly) {
     attachOracleCoverage(degraded, oracle);
     // A fault-free run covers the oracle exactly.
     EXPECT_DOUBLE_EQ(degraded.degradation.coverageVsOracle, 1.0);
+}
+
+TEST(CampaignSupervisor, RoutableTaskShareSweepsThroughTheCache) {
+    auto& w = world();
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    net::Rng taskRng{91};
+    const auto tasks = obs.ixpDiscoveryTasks(taskRng);
+    ASSERT_FALSE(tasks.empty());
+    route::OracleCache cache{w.topo, 4};
+
+    // Empty plan: trivially fully routable, and no oracle is fetched.
+    EXPECT_DOUBLE_EQ(supervisor.routableTaskShare({}, route::LinkFilter{},
+                                                  cache),
+                     1.0);
+    EXPECT_EQ(cache.stats().misses, 0U);
+
+    // Intact network: the fault-free campaign completes every task, so
+    // every task pair must be routable.
+    const double intact =
+        supervisor.routableTaskShare(tasks, route::LinkFilter{}, cache);
+    EXPECT_DOUBLE_EQ(intact, 1.0);
+
+    // Disabling every probe host AS leaves nothing routable.
+    route::LinkFilter blackout;
+    for (const auto& task : tasks) {
+        blackout.disableAs(task.srcAs);
+    }
+    EXPECT_DOUBLE_EQ(supervisor.routableTaskShare(tasks, blackout, cache),
+                     0.0);
+
+    // Sweeping the same scenario again reuses the recomputed oracle.
+    cache.resetStats();
+    for (int i = 0; i < 3; ++i) {
+        (void)supervisor.routableTaskShare(tasks, blackout, cache);
+    }
+    EXPECT_EQ(cache.stats().misses, 0U);
+    EXPECT_EQ(cache.stats().hits, 3U);
+}
+
+TEST(CampaignSupervisor, RoutableTaskShareRejectsForeignCache) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    net::Rng taskRng{92};
+    const auto tasks = obs.ixpDiscoveryTasks(taskRng);
+
+    topo::Topology other;
+    topo::AsInfo info;
+    info.asn = 64512;
+    info.countryCode = "ZA";
+    info.region = net::Region::SouthernAfrica;
+    info.prefixes = {net::Prefix{net::Ipv4Address{41U << 24}, 8}};
+    (void)other.addAs(info);
+    other.finalize();
+    route::OracleCache foreign{other, 2};
+    EXPECT_THROW((void)supervisor.routableTaskShare(
+                     tasks, route::LinkFilter{}, foreign),
+                 net::PreconditionError);
 }
 
 TEST(CampaignSupervisor, MeshTasksRunUnderSupervisionToo) {

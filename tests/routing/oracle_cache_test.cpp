@@ -1,0 +1,228 @@
+#include "routing/oracle_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/error.hpp"
+#include "netbase/rng.hpp"
+#include "topo/as_graph.hpp"
+
+namespace aio::route {
+namespace {
+
+using topo::AsIndex;
+
+// ---- LinkFilter digest properties ----
+
+TEST(FilterDigest, EmptyFiltersAgree) {
+    EXPECT_EQ(LinkFilter{}.digest(), LinkFilter{}.digest());
+}
+
+TEST(FilterDigest, IndependentOfInsertionOrder) {
+    const std::vector<std::pair<AsIndex, AsIndex>> links = {
+        {1, 2}, {9, 4}, {3, 3}, {7, 100}, {2, 1} /* dup, reversed */};
+    const std::vector<AsIndex> ases = {5, 19, 2};
+
+    LinkFilter forward;
+    for (const auto& [a, b] : links) forward.disableLink(a, b);
+    for (const AsIndex as : ases) forward.disableAs(as);
+
+    LinkFilter backward;
+    for (auto it = ases.rbegin(); it != ases.rend(); ++it) {
+        backward.disableAs(*it);
+    }
+    for (auto it = links.rbegin(); it != links.rend(); ++it) {
+        backward.disableLink(it->second, it->first); // endpoints swapped
+    }
+
+    EXPECT_EQ(forward.digest(), backward.digest());
+}
+
+TEST(FilterDigest, DistinguishesLinksFromAses) {
+    LinkFilter link;
+    link.disableLink(3, 7);
+    LinkFilter as;
+    as.disableAs(3);
+    as.disableAs(7);
+    LinkFilter selfLink;
+    selfLink.disableLink(3, 3);
+    LinkFilter asOnly;
+    asOnly.disableAs(3);
+
+    EXPECT_NE(link.digest(), as.digest());
+    EXPECT_NE(selfLink.digest(), asOnly.digest());
+    EXPECT_NE(LinkFilter{}.digest(), asOnly.digest());
+}
+
+TEST(FilterDigest, FuzzBatchNeverCollidesOnDigestAndSize) {
+    // Property: digest equality <=> same disabled sets. We draw a batch
+    // of random filters, canonicalize their sets, and require that two
+    // filters share a digest (which embeds both set sizes) only when
+    // their sets are identical.
+    net::Rng rng{20250805};
+    using Canonical = std::pair<std::set<std::pair<AsIndex, AsIndex>>,
+                                std::set<AsIndex>>;
+    std::unordered_map<FilterDigest, Canonical, FilterDigestHash> seen;
+
+    for (int trial = 0; trial < 2000; ++trial) {
+        LinkFilter filter;
+        Canonical canonical;
+        const int linkCount = static_cast<int>(rng.uniformInt(6));
+        for (int i = 0; i < linkCount; ++i) {
+            AsIndex a = rng.uniformInt(40);
+            AsIndex b = rng.uniformInt(40);
+            filter.disableLink(a, b);
+            canonical.first.insert({std::min(a, b), std::max(a, b)});
+        }
+        const int asCount = static_cast<int>(rng.uniformInt(4));
+        for (int i = 0; i < asCount; ++i) {
+            const AsIndex as = rng.uniformInt(40);
+            filter.disableAs(as);
+            canonical.second.insert(as);
+        }
+
+        const FilterDigest digest = filter.digest();
+        EXPECT_EQ(digest.linkCount, canonical.first.size());
+        EXPECT_EQ(digest.asCount, canonical.second.size());
+        const auto [it, inserted] = seen.emplace(digest, canonical);
+        if (!inserted) {
+            // Same digest (and therefore same sizes): must be same sets.
+            EXPECT_EQ(it->second, canonical)
+                << "digest collision between distinct filters";
+        }
+    }
+    // The batch must actually exercise distinct digests.
+    EXPECT_GT(seen.size(), 500U);
+}
+
+// ---- OracleCache behaviour ----
+
+topo::Topology diamondTopology() {
+    topo::Topology topo;
+    auto makeAs = [serial = 0](topo::Asn asn) mutable {
+        topo::AsInfo info;
+        info.asn = asn;
+        info.countryCode = "ZA";
+        info.region = net::Region::SouthernAfrica;
+        info.prefixes = {net::Prefix{
+            net::Ipv4Address{static_cast<std::uint32_t>(
+                (41U << 24) + (serial++ << 12))},
+            20}};
+        return info;
+    };
+    const AsIndex top = topo.addAs(makeAs(10));
+    const AsIndex left = topo.addAs(makeAs(20));
+    const AsIndex right = topo.addAs(makeAs(30));
+    const AsIndex stub = topo.addAs(makeAs(40));
+    topo.addLink(left, top, topo::LinkKind::CustomerToProvider);
+    topo.addLink(right, top, topo::LinkKind::CustomerToProvider);
+    topo.addLink(stub, left, topo::LinkKind::CustomerToProvider);
+    topo.addLink(stub, right, topo::LinkKind::CustomerToProvider);
+    topo.addLink(left, right, topo::LinkKind::PeerToPeer);
+    topo.finalize();
+    return topo;
+}
+
+TEST(OracleCache, RejectsZeroCapacity) {
+    const topo::Topology topo = diamondTopology();
+    EXPECT_THROW((OracleCache{topo, 0}), net::PreconditionError);
+}
+
+TEST(OracleCache, MissBuildsThenHitsReuse) {
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 4};
+
+    LinkFilter cut;
+    cut.disableLink(0, 1);
+    const auto first = cache.get(cut);
+    const auto second = cache.get(cut);
+    EXPECT_EQ(first.get(), second.get());
+
+    // An equivalent filter built in a different insertion order hits too.
+    LinkFilter sameCut;
+    sameCut.disableLink(1, 0);
+    EXPECT_EQ(cache.get(sameCut).get(), first.get());
+
+    const OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1U);
+    EXPECT_EQ(stats.hits, 2U);
+    EXPECT_EQ(stats.evictions, 0U);
+    EXPECT_EQ(stats.entries, 1U);
+    EXPECT_NEAR(stats.hitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(OracleCache, EvictsLeastRecentlyUsedAtCapacityOne) {
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 1};
+
+    LinkFilter f1;
+    f1.disableLink(0, 1);
+    LinkFilter f2;
+    f2.disableLink(0, 2);
+
+    (void)cache.get(f1); // miss, cached
+    (void)cache.get(f1); // hit
+    (void)cache.get(f2); // miss, evicts f1
+    (void)cache.get(f1); // miss again (was evicted), evicts f2
+
+    const OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 3U);
+    EXPECT_EQ(stats.hits, 1U);
+    EXPECT_EQ(stats.evictions, 2U);
+    EXPECT_EQ(stats.entries, 1U);
+}
+
+TEST(OracleCache, EvictedOracleStaysAliveForHolders) {
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 1};
+    LinkFilter f1;
+    f1.disableLink(0, 1);
+    const auto held = cache.get(f1);
+    LinkFilter f2;
+    f2.disableAs(2);
+    (void)cache.get(f2); // evicts f1's entry
+    EXPECT_TRUE(held->reachable(3, 0)); // still usable
+}
+
+TEST(OracleCache, SeedingSkipsCounters) {
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 4};
+    cache.seed(LinkFilter{},
+               std::make_shared<const PathOracle>(topo));
+    EXPECT_EQ(cache.stats().misses, 0U);
+    EXPECT_EQ(cache.stats().entries, 1U);
+
+    (void)cache.get(LinkFilter{});
+    const OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1U);
+    EXPECT_EQ(stats.misses, 0U);
+}
+
+TEST(OracleCache, SeedRejectsForeignTopology) {
+    const topo::Topology topo = diamondTopology();
+    const topo::Topology other = diamondTopology();
+    OracleCache cache{topo, 2};
+    EXPECT_THROW(cache.seed(LinkFilter{},
+                            std::make_shared<const PathOracle>(other)),
+                 net::PreconditionError);
+}
+
+TEST(OracleCache, ResetStatsKeepsEntries) {
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 4};
+    (void)cache.get(LinkFilter{});
+    cache.resetStats();
+    const OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses + stats.evictions, 0U);
+    EXPECT_EQ(stats.entries, 1U);
+    (void)cache.get(LinkFilter{});
+    EXPECT_EQ(cache.stats().hits, 1U);
+}
+
+} // namespace
+} // namespace aio::route
