@@ -1,6 +1,7 @@
 // Performance micro-benchmarks (google-benchmark) for the algorithmic
 // cores: longest-prefix-match trie, Gao-Rexford route computation,
-// traceroute simulation, greedy set cover and the budget scheduler.
+// traceroute simulation, greedy set cover, the budget scheduler and the
+// campaign journal codec.
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +11,7 @@
 #include "measure/traceroute.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/rng.hpp"
+#include "persist/journal.hpp"
 #include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
@@ -174,6 +176,61 @@ void BM_BudgetPlan(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_BudgetPlan);
+
+void BM_JournalAppend(benchmark::State& state) {
+    // Steady-state WAL append rate: one outcome record per task
+    // settlement, all CRC-32C checksummed. The sink is cleared once it
+    // grows past 64 MB so memory stays bounded.
+    persist::MemorySink sink;
+    persist::CampaignJournal journal{sink};
+    journal.writeHeader(persist::CampaignHeader{});
+    persist::TaskOutcomeRecord outcome;
+    outcome.taskIdx = 17;
+    outcome.kind = persist::TaskOutcomeKind::Completed;
+    outcome.clockHour = 1.5;
+    journal.appendOutcome(outcome);
+    const auto recordBytes = static_cast<std::int64_t>(sink.size());
+    for (auto _ : state) {
+        journal.appendOutcome(outcome);
+        if (sink.size() > (64U << 20)) {
+            sink.clear();
+        }
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * recordBytes);
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_JournalReplay(benchmark::State& state) {
+    // Crash-recovery scan rate over a realistic journal shape: header,
+    // 4096 settlements, a checkpoint every 16.
+    persist::MemorySink sink;
+    persist::CampaignJournal journal{sink};
+    persist::CampaignHeader header;
+    header.taskCount = 4096;
+    header.probeCount = 64;
+    journal.writeHeader(header);
+    persist::CampaignCheckpoint cp;
+    cp.meters.resize(64);
+    cp.assignments.resize(4096);
+    persist::TaskOutcomeRecord outcome;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        outcome.taskIdx = i;
+        journal.appendOutcome(outcome);
+        if ((i + 1) % 16 == 0) {
+            cp.outcomesApplied = i + 1;
+            journal.appendCheckpoint(cp);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            persist::CampaignJournal::replay(sink.bytes()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sink.size()));
+}
+BENCHMARK(BM_JournalReplay)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

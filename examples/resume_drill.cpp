@@ -1,0 +1,132 @@
+// Resume drill: kill a faulted measurement campaign mid-flight and bring
+// it back from its write-ahead journal.
+//
+// An observatory coordinator in the field dies for the same reasons its
+// probes do — power cuts, full disks, OOM kills (§7.1's operating
+// reality). The drill runs one supervised IXP-discovery campaign twice:
+// once uninterrupted, and once through a sink that dies partway through
+// the journal. It then resumes the crashed half from the surviving bytes
+// (fresh process: new injector, wrong Rng seed) and shows the two results
+// are identical down to the last counter.
+
+#include <iostream>
+
+#include "core/observatory.hpp"
+#include "measure/ixp_detect.hpp"
+#include "netbase/error.hpp"
+#include "netbase/stats.hpp"
+#include "persist/journal.hpp"
+#include "resilience/supervisor.hpp"
+#include "topo/generator.hpp"
+
+using namespace aio;
+
+int main() {
+    try {
+        const std::uint64_t seed = 7;
+        const auto topo =
+            topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                .generate();
+        const route::PathOracle oracle{topo};
+        const measure::TracerouteEngine engine{topo, oracle};
+        const measure::IxpDetector detector{
+            topo, measure::IxpKnowledgeBase::full(topo)};
+        net::Rng fleetRng{seed};
+        const core::Observatory obs{
+            topo, engine, detector,
+            core::ProbeFleet::observatory(topo, fleetRng)};
+
+        resilience::FaultPlanConfig planCfg;
+        planCfg.intensity = 1.5;
+        net::Rng planRng{seed + 1};
+        const auto plan = resilience::FaultPlan::generate(
+            obs.fleet(), planCfg, planRng);
+
+        resilience::SupervisorConfig supCfg;
+        supCfg.checkpointInterval = 32;
+        const resilience::CampaignSupervisor supervisor{obs, supCfg};
+        net::Rng taskRng{seed + 2};
+        auto tasks = obs.ixpDiscoveryTasks(taskRng);
+        if (tasks.size() > 2000) {
+            tasks.resize(2000); // keep the drill's journal small
+        }
+        std::cout << "Campaign: " << tasks.size() << " tasks over "
+                  << obs.fleet().size() << " probes, checkpoint every "
+                  << supCfg.checkpointInterval << " settlements\n\n";
+
+        // --- the run that never crashes ---------------------------------
+        persist::MemorySink unbroken;
+        resilience::FaultInjector injector{obs.fleet(), plan};
+        net::Rng rng{seed + 3};
+        const auto baseline =
+            supervisor.runJournaled(tasks, injector, rng, unbroken);
+        std::cout << "Uninterrupted journal: " << unbroken.size()
+                  << " bytes\n";
+
+        // --- the run that dies at 60% of that journal -------------------
+        const std::size_t crashAt = unbroken.size() * 6 / 10;
+        persist::MemorySink survived;
+        persist::CrashingSink dying{survived, crashAt};
+        resilience::FaultInjector doomed{obs.fleet(), plan};
+        net::Rng doomedRng{seed + 3};
+        try {
+            (void)supervisor.runJournaled(tasks, doomed, doomedRng, dying);
+            std::cerr << "the crash never came?\n";
+            return 1;
+        } catch (const persist::SinkFailure&) {
+            std::cout << "Coordinator died after writing " << crashAt
+                      << " bytes\n";
+        }
+
+        // --- what the surviving bytes still know ------------------------
+        const auto replay =
+            persist::CampaignJournal::replay(survived.bytes());
+        std::cout << "Journal replay: " << replay.outcomeRecords
+                  << " task settlements on disk"
+                  << (replay.tornTail ? ", torn tail truncated" : "")
+                  << "\n";
+        if (replay.checkpoint) {
+            const auto& cp = *replay.checkpoint;
+            std::cout << "Last checkpoint: " << cp.outcomesApplied
+                      << " settlements applied, "
+                      << cp.pending.size() << " tasks still queued, "
+                      << cp.result.degradation.completed
+                      << " completed so far\n";
+        }
+
+        // --- the restarted process --------------------------------------
+        // Fresh injector, deliberately different Rng seed: everything the
+        // resume needs must come from the journal itself.
+        resilience::FaultInjector fresh{obs.fleet(), plan};
+        net::Rng freshRng{9999};
+        const auto resumed = supervisor.resumeFromJournal(
+            survived.bytes(), tasks, fresh, freshRng);
+
+        const auto& a = baseline.degradation;
+        const auto& b = resumed.degradation;
+        net::TextTable table(
+            {"metric", "uninterrupted", "crash + resume"});
+        table.addRow({"attempts", std::to_string(a.attempts),
+                      std::to_string(b.attempts)});
+        table.addRow({"retries", std::to_string(a.retries),
+                      std::to_string(b.retries)});
+        table.addRow({"reassigned", std::to_string(a.reassigned),
+                      std::to_string(b.reassigned)});
+        table.addRow({"abandoned", std::to_string(a.abandoned),
+                      std::to_string(b.abandoned)});
+        table.addRow({"completed", std::to_string(a.completed),
+                      std::to_string(b.completed)});
+        table.addRow({"IXPs detected",
+                      std::to_string(baseline.ixpsDetected.size()),
+                      std::to_string(resumed.ixpsDetected.size())});
+        std::cout << "\n" << table.render();
+
+        const bool identical = baseline == resumed;
+        std::cout << "\nResults byte-identical: "
+                  << (identical ? "yes" : "NO — journal bug!") << "\n";
+        return identical ? 0 : 1;
+    } catch (const net::AioError& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}

@@ -27,6 +27,13 @@ void TariffMeter::add(double mb, bool offPeak) {
     (offPeak ? offMb_ : peakMb_) += mb;
 }
 
+void TariffMeter::restoreConsumption(double peakMb, double offPeakMb) {
+    AIO_EXPECTS(peakMb >= 0.0 && offPeakMb >= 0.0,
+                "restored consumption must be non-negative");
+    peakMb_ = peakMb;
+    offMb_ = offPeakMb;
+}
+
 double TariffMeter::costOf(double peakMb, double offMb) const {
     switch (pricing_->kind) {
     case PricingModel::Kind::FlatPerMb:

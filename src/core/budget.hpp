@@ -58,6 +58,16 @@ public:
 
     void add(double mb, bool offPeak);
 
+    /// Cumulative consumption, split the way the tariff bills it. Together
+    /// with `restoreConsumption` this lets a campaign checkpoint carry the
+    /// meter across a crash: billing is a pure function of these two sums.
+    [[nodiscard]] double peakMbConsumed() const { return peakMb_; }
+    [[nodiscard]] double offPeakMbConsumed() const { return offMb_; }
+
+    /// Overwrites the meter with previously captured consumption sums
+    /// (both must be non-negative). Used only by journal resume.
+    void restoreConsumption(double peakMb, double offPeakMb);
+
 private:
     [[nodiscard]] double costOf(double peakMb, double offMb) const;
 

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace aio::net {
+
+/// CRC-32C (Castagnoli), the checksum RFC 3720 §B.4 specifies for iSCSI
+/// and the one modern storage systems (ext4, LevelDB, Kudu) use for
+/// on-disk record framing. The persist layer's journal codec frames every
+/// record with it; the known-answer vectors from the RFC pin the
+/// implementation down independently of that codec.
+///
+/// Reflected polynomial 0x82F63B78; init and final XOR are 0xFFFFFFFF, so
+/// `crc32c("123456789")` yields the standard check value 0xE3069283.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data);
+
+/// Streaming form: feed `crc32cInit()` through one or more
+/// `crc32cUpdate()` calls, then `crc32cFinish()`. `crc32c(data)` is the
+/// one-shot composition of the three.
+[[nodiscard]] std::uint32_t crc32cInit();
+[[nodiscard]] std::uint32_t crc32cUpdate(std::uint32_t state,
+                                         std::span<const std::byte> data);
+[[nodiscard]] std::uint32_t crc32cFinish(std::uint32_t state);
+
+} // namespace aio::net

@@ -35,6 +35,18 @@ public:
     explicit NotFoundError(const std::string& what) : AioError(what) {}
 };
 
+/// Raised when persisted state (a campaign journal, a checkpoint) fails
+/// integrity verification *mid-stream* — a CRC mismatch, an impossible
+/// record length, a checkpoint that contradicts the records before it.
+/// Distinct from a torn tail (bytes missing at the end of a file), which
+/// is the expected signature of a power cut and is silently truncated;
+/// corruption means resuming could silently diverge, so the persist layer
+/// refuses to.
+class CorruptionError : public AioError {
+public:
+    explicit CorruptionError(const std::string& what) : AioError(what) {}
+};
+
 /// Raised when an operation failed for a reason that is expected to clear
 /// on its own — a probe without power, a transit link mid-flap, a task
 /// that timed out. Callers may retry with backoff; every other AioError

@@ -123,6 +123,19 @@ std::size_t Rng::weightedIndex(std::span<const double> weights) {
     return weights.size() - 1;
 }
 
+Rng::State Rng::state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::restore(const State& state) {
+    AIO_EXPECTS(state[0] != 0 || state[1] != 0 || state[2] != 0 ||
+                    state[3] != 0,
+                "all-zero xoshiro256** state is invalid");
+    for (std::size_t i = 0; i < state.size(); ++i) {
+        state_[i] = state[i];
+    }
+}
+
 Rng Rng::fork(std::uint64_t tag) {
     return Rng{next() ^ (tag * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)};
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -79,6 +80,17 @@ public:
     /// Derive an independent child generator. Children with distinct tags
     /// (or from generators in distinct states) produce unrelated streams.
     Rng fork(std::uint64_t tag);
+
+    /// The full xoshiro256** state (4 words). Saving it and later calling
+    /// `restore()` continues the stream exactly where it left off — the
+    /// foundation the persist layer's checkpoints build on.
+    using State = std::array<std::uint64_t, 4>;
+
+    [[nodiscard]] State state() const;
+
+    /// Restores a previously captured state. Rejects the all-zero word
+    /// vector (the one fixed point xoshiro256** can never escape).
+    void restore(const State& state);
 
 private:
     std::uint64_t state_[4];

@@ -270,6 +270,28 @@ double FaultInjector::spentUsd(std::size_t probeIndex) const {
     return meters_[probeIndex].totalCost();
 }
 
+std::vector<persist::ProbeMeterState> FaultInjector::meterStates() const {
+    std::vector<persist::ProbeMeterState> states;
+    states.reserve(meters_.size());
+    for (std::size_t p = 0; p < meters_.size(); ++p) {
+        states.push_back({meters_[p].peakMbConsumed(),
+                          meters_[p].offPeakMbConsumed(),
+                          static_cast<bool>(exhausted_[p])});
+    }
+    return states;
+}
+
+void FaultInjector::restoreMeterStates(
+    std::span<const persist::ProbeMeterState> states) {
+    AIO_EXPECTS(states.size() == meters_.size(),
+                "meter snapshot does not match the fleet");
+    for (std::size_t p = 0; p < states.size(); ++p) {
+        meters_[p].restoreConsumption(states[p].peakMb,
+                                      states[p].offPeakMb);
+        exhausted_[p] = states[p].exhausted;
+    }
+}
+
 int FaultInjector::exhaustedCount() const {
     return static_cast<int>(
         std::count(exhausted_.begin(), exhausted_.end(), true));

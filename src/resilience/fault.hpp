@@ -8,6 +8,7 @@
 #include "core/probe.hpp"
 #include "netbase/rng.hpp"
 #include "outage/events.hpp"
+#include "persist/state.hpp"
 #include "phys/linkmap.hpp"
 
 namespace aio::resilience {
@@ -143,6 +144,15 @@ public:
     [[nodiscard]] double spentUsd(std::size_t probeIndex) const;
     [[nodiscard]] int exhaustedCount() const;
     [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+    /// Snapshot of every probe's billing state (meter sums + bundle-dry
+    /// flag), in probe order — what a campaign checkpoint persists.
+    [[nodiscard]] std::vector<persist::ProbeMeterState> meterStates() const;
+
+    /// Overwrites billing state from a checkpoint snapshot; the snapshot
+    /// must cover exactly this fleet. Used only by journal resume.
+    void restoreMeterStates(
+        std::span<const persist::ProbeMeterState> states);
 
 private:
     const core::ProbeFleet* fleet_;

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "core/observatory.hpp"
+#include "persist/journal.hpp"
 #include "resilience/fault.hpp"
 #include "routing/oracle_cache.hpp"
 
@@ -43,6 +45,19 @@ struct SupervisorConfig {
     double budgetFraction = 1.0;
     /// Reassignment hops allowed per task before abandoning it.
     int maxReassignments = 2;
+    /// Task settlements between journal checkpoints in runJournaled():
+    /// smaller = less re-execution after a crash, larger = less journal
+    /// I/O. Only consulted by the journaled entry points.
+    int checkpointInterval = 16;
+
+    /// Throws net::PreconditionError when any field is out of range
+    /// (mirrors PricingModel::validate): maxAttempts < 1, non-positive
+    /// backoff, shrinking multiplier, jitter outside [0,1), non-positive
+    /// task spacing, negative task volume, budgetFraction outside (0,1],
+    /// negative reassignment cap, checkpointInterval < 1. Called by the
+    /// CampaignSupervisor constructor so a bad config fails at build
+    /// time, not hours into a campaign.
+    void validate() const;
 };
 
 /// Executes a campaign plan through a FaultInjector: per-attempt timeout
@@ -60,6 +75,36 @@ public:
     [[nodiscard]] core::CampaignResult
     run(std::span<const core::CampaignTask> tasks, FaultInjector& injector,
         net::Rng& rng) const;
+
+    /// `run`, but with crash durability: write-ahead-logs a campaign
+    /// header (plan/config digests, initial Rng state), one record per
+    /// task settlement and a full checkpoint every
+    /// `config().checkpointInterval` settlements into `sink`. A process
+    /// that dies mid-campaign (any exception out of the sink, any kill)
+    /// leaves a journal that `resumeFromJournal` continues to the exact
+    /// result the uninterrupted run would have produced.
+    [[nodiscard]] core::CampaignResult
+    runJournaled(std::span<const core::CampaignTask> tasks,
+                 FaultInjector& injector, net::Rng& rng,
+                 persist::ByteSink& sink) const;
+
+    /// Continues a crashed campaign from its journal bytes. `tasks` must
+    /// be the same plan and `injector` a *freshly constructed* injector
+    /// over the same fleet/fault plan/budget (header digests verify
+    /// both; a mismatch throws net::PreconditionError). Torn journal
+    /// tails are truncated (the expected power-cut signature); mid-stream
+    /// damage throws net::CorruptionError. `rng` is overwritten with the
+    /// journaled stream state. When `continuation` is non-null the
+    /// resumed remainder is journaled there — starting with a checkpoint
+    /// of the restored state, so a second crash resumes again. A
+    /// continuation journal that lost that anchor checkpoint to a crash
+    /// is refused (net::PreconditionError): recovery must fall back to
+    /// the previous journal in the chain, which is still valid.
+    [[nodiscard]] core::CampaignResult
+    resumeFromJournal(std::span<const std::byte> journal,
+                      std::span<const core::CampaignTask> tasks,
+                      FaultInjector& injector, net::Rng& rng,
+                      persist::ByteSink* continuation = nullptr) const;
 
     /// Convenience: plan the targeted IXP-discovery campaign (from the
     /// observatory's config), then run it under `plan`'s faults.

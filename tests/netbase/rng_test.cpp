@@ -169,5 +169,69 @@ TEST(Rng, PickThrowsOnEmpty) {
     EXPECT_THROW(rng.pick(empty), PreconditionError);
 }
 
+TEST(Rng, StateRoundTripsExactly) {
+    Rng rng{47};
+    // Advance somewhere mid-stream before capturing.
+    for (int i = 0; i < 57; ++i) {
+        (void)rng.next();
+    }
+    const Rng::State saved = rng.state();
+    Rng other{1};
+    other.restore(saved);
+    EXPECT_EQ(other.state(), saved);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(other.next(), rng.next());
+    }
+}
+
+TEST(Rng, RestoreContinuesTheStreamNotRestartsIt) {
+    // The restored generator must produce the *continuation* of the
+    // stream, not replay draws from before the capture point.
+    Rng rng{53};
+    std::vector<std::uint64_t> before;
+    for (int i = 0; i < 10; ++i) {
+        before.push_back(rng.next());
+    }
+    const Rng::State mid = rng.state();
+    std::vector<std::uint64_t> after;
+    for (int i = 0; i < 10; ++i) {
+        after.push_back(rng.next());
+    }
+
+    Rng resumed{999};
+    resumed.restore(mid);
+    for (int i = 0; i < 10; ++i) {
+        const std::uint64_t v = resumed.next();
+        EXPECT_EQ(v, after[static_cast<std::size_t>(i)]);
+        EXPECT_NE(v, before[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Rng, StateSurvivesHighLevelDraws) {
+    // Captures must be transparent to every distribution, not just
+    // next(): uniform01/gaussian/poisson draw different word counts.
+    Rng rng{59};
+    const Rng::State saved = rng.state();
+    std::vector<double> expect;
+    for (int i = 0; i < 20; ++i) {
+        expect.push_back(rng.uniform01());
+        expect.push_back(rng.gaussian(0.0, 1.0));
+        expect.push_back(static_cast<double>(rng.poisson(3.0)));
+    }
+    Rng resumed{60};
+    resumed.restore(saved);
+    for (std::size_t i = 0; i < 20; ++i) {
+        EXPECT_EQ(resumed.uniform01(), expect[3 * i]);
+        EXPECT_EQ(resumed.gaussian(0.0, 1.0), expect[3 * i + 1]);
+        EXPECT_EQ(static_cast<double>(resumed.poisson(3.0)),
+                  expect[3 * i + 2]);
+    }
+}
+
+TEST(Rng, RestoreRejectsAllZeroState) {
+    Rng rng{61};
+    EXPECT_THROW(rng.restore(Rng::State{0, 0, 0, 0}), PreconditionError);
+}
+
 } // namespace
 } // namespace aio::net

@@ -153,7 +153,9 @@ TEST(CampaignSupervisor, AllProbesDownYieldsEmptyWellFormedResult) {
 TEST(CampaignSupervisor, BudgetExhaustedBeforeFirstTaskAbandonsAll) {
     const auto obs = makeObservatory(smallFleet());
     SupervisorConfig config;
-    config.budgetFraction = 0.0; // the month's data is already gone
+    // Almost all of the month's data is already gone: the remaining
+    // budget cannot pay for even one task's megabytes.
+    config.budgetFraction = 1e-9;
     const CampaignSupervisor supervisor{obs, config};
     net::Rng rng{51};
     const auto result =
@@ -271,6 +273,130 @@ TEST(CampaignSupervisor, RoutableTaskShareRejectsForeignCache) {
     route::OracleCache foreign{other, 2};
     EXPECT_THROW((void)supervisor.routableTaskShare(
                      tasks, route::LinkFilter{}, foreign),
+                 net::PreconditionError);
+}
+
+TEST(SupervisorConfig, ValidateAcceptsDefaults) {
+    EXPECT_NO_THROW(SupervisorConfig{}.validate());
+}
+
+TEST(SupervisorConfig, ValidateRejectsEachBadField) {
+    const auto obs = makeObservatory(smallFleet());
+    const auto rejects = [&](auto mutate) {
+        SupervisorConfig config;
+        mutate(config);
+        EXPECT_THROW(config.validate(), net::PreconditionError);
+        // The constructor must apply the same gate.
+        EXPECT_THROW(CampaignSupervisor(obs, config),
+                     net::PreconditionError);
+    };
+    rejects([](SupervisorConfig& c) { c.retry.maxAttempts = 0; });
+    rejects([](SupervisorConfig& c) { c.retry.maxAttempts = -3; });
+    rejects([](SupervisorConfig& c) { c.retry.baseBackoffHours = 0.0; });
+    rejects([](SupervisorConfig& c) { c.retry.backoffMultiplier = 0.5; });
+    rejects([](SupervisorConfig& c) { c.retry.jitterFraction = -0.1; });
+    rejects([](SupervisorConfig& c) { c.retry.jitterFraction = 1.0; });
+    rejects([](SupervisorConfig& c) { c.taskSpacingHours = 0.0; });
+    rejects([](SupervisorConfig& c) { c.taskSpacingHours = -1.0; });
+    rejects([](SupervisorConfig& c) { c.taskMb = -0.01; });
+    rejects([](SupervisorConfig& c) { c.budgetFraction = 0.0; });
+    rejects([](SupervisorConfig& c) { c.budgetFraction = -0.2; });
+    rejects([](SupervisorConfig& c) { c.budgetFraction = 1.5; });
+    rejects([](SupervisorConfig& c) { c.maxReassignments = -1; });
+    rejects([](SupervisorConfig& c) { c.checkpointInterval = 0; });
+}
+
+TEST(CampaignSupervisor, JournaledRunMatchesPlainRunExactly) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    FaultPlanConfig planCfg;
+    planCfg.intensity = 1.5;
+    net::Rng planRng{121};
+    const auto plan = FaultPlan::generate(obs.fleet(), planCfg, planRng);
+    net::Rng taskRng{122};
+    const auto tasks = obs.ixpDiscoveryTasks(taskRng);
+
+    FaultInjector plainInjector{obs.fleet(), plan, 1.0};
+    net::Rng plainRng{123};
+    const auto plain = supervisor.run(tasks, plainInjector, plainRng);
+
+    FaultInjector journaledInjector{obs.fleet(), plan, 1.0};
+    net::Rng journaledRng{123};
+    persist::MemorySink sink;
+    const auto journaled = supervisor.runJournaled(
+        tasks, journaledInjector, journaledRng, sink);
+
+    EXPECT_TRUE(plain == journaled);
+    // Journaling must not perturb the Rng stream either.
+    EXPECT_EQ(plainRng.state(), journaledRng.state());
+
+    // The journal is well-formed: header first, every settlement
+    // recorded, checkpoints on the configured cadence.
+    const auto replay = persist::CampaignJournal::replay(sink.bytes());
+    ASSERT_TRUE(replay.header.has_value());
+    EXPECT_EQ(replay.header->taskCount, tasks.size());
+    EXPECT_EQ(replay.outcomeRecords,
+              static_cast<std::uint64_t>(
+                  journaled.degradation.completed +
+                  journaled.degradation.retries +
+                  journaled.degradation.reassigned +
+                  journaled.degradation.abandoned));
+    EXPECT_FALSE(replay.tornTail);
+}
+
+TEST(CampaignSupervisor, ResumeFromCompleteJournalReproducesTheResult) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    net::Rng planRng{131};
+    const auto plan = FaultPlan::generate(
+        obs.fleet(), FaultPlanConfig{.intensity = 1.2}, planRng);
+    net::Rng taskRng{132};
+    const auto tasks = obs.ixpDiscoveryTasks(taskRng);
+
+    persist::MemorySink sink;
+    FaultInjector injector{obs.fleet(), plan, 1.0};
+    net::Rng rng{133};
+    const auto full = supervisor.runJournaled(tasks, injector, rng, sink);
+
+    // Resuming a journal whose campaign already drained re-runs only the
+    // tail after the last checkpoint and lands on the identical result.
+    FaultInjector freshInjector{obs.fleet(), plan, 1.0};
+    net::Rng freshRng{999};
+    const auto resumed = supervisor.resumeFromJournal(
+        sink.bytes(), tasks, freshInjector, freshRng);
+    EXPECT_TRUE(full == resumed);
+}
+
+TEST(CampaignSupervisor, ResumeRejectsAForeignCampaignJournal) {
+    const auto obs = makeObservatory(smallFleet());
+    const CampaignSupervisor supervisor{obs};
+    net::Rng planRng{141};
+    const auto plan = FaultPlan::generate(
+        obs.fleet(), FaultPlanConfig{.intensity = 1.0}, planRng);
+    net::Rng taskRng{142};
+    const auto tasks = obs.ixpDiscoveryTasks(taskRng);
+
+    persist::MemorySink sink;
+    FaultInjector injector{obs.fleet(), plan, 1.0};
+    net::Rng rng{143};
+    (void)supervisor.runJournaled(tasks, injector, rng, sink);
+
+    // Different plan: same journal bytes must be refused.
+    FaultInjector otherInjector{obs.fleet(),
+                                FaultPlan::none(obs.fleet().size()), 1.0};
+    net::Rng otherRng{144};
+    EXPECT_THROW((void)supervisor.resumeFromJournal(
+                     sink.bytes(), tasks, otherInjector, otherRng),
+                 net::PreconditionError);
+
+    // Different config: refused too.
+    SupervisorConfig altered;
+    altered.taskMb = 0.5;
+    const CampaignSupervisor other{obs, altered};
+    FaultInjector freshInjector{obs.fleet(), plan, 1.0};
+    net::Rng freshRng{145};
+    EXPECT_THROW((void)other.resumeFromJournal(sink.bytes(), tasks,
+                                               freshInjector, freshRng),
                  net::PreconditionError);
 }
 
