@@ -6,12 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include "core/budget.hpp"
+#include "core/observatory.hpp"
 #include "core/setcover.hpp"
 #include "exec/worker_pool.hpp"
+#include "measure/ixp_detect.hpp"
 #include "measure/traceroute.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "persist/journal.hpp"
+#include "resilience/supervisor.hpp"
 #include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
@@ -231,6 +236,74 @@ void BM_JournalReplay(benchmark::State& state) {
         static_cast<std::int64_t>(sink.size()));
 }
 BENCHMARK(BM_JournalReplay)->Unit(benchmark::kMicrosecond);
+
+// ---- observability overhead budget ---------------------------------
+// The obs layer buys its keep only if the hot paths it instruments stay
+// within a 2% slowdown. Each pair below runs an identical workload with
+// the registry/trace absent (observed:0) and wired in (observed:1);
+// compare adjacent rows to check the budget.
+
+void BM_ObservedOracleBuild(benchmark::State& state) {
+    const auto& topo = world();
+    const bool observed = state.range(0) != 0;
+    obs::MetricsRegistry metrics;
+    exec::WorkerPool pool{2, observed ? &metrics : nullptr};
+    route::OracleCache cache{topo, 2, &pool,
+                             observed ? &metrics : nullptr};
+    route::LinkFilter cut;
+    cut.disableLink(topo.links().front().a, topo.links().front().b);
+    for (auto _ : state) {
+        cache.clear(); // force a miss: every iteration is a full build
+        benchmark::DoNotOptimize(cache.get(cut));
+    }
+    state.SetLabel(observed ? "metrics on" : "metrics off");
+}
+BENCHMARK(BM_ObservedOracleBuild)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ObservedSupervisorCampaign(benchmark::State& state) {
+    // A full supervised campaign (attempts, retries, reassignment,
+    // settlement) per iteration — the densest metric/span call-site mix
+    // in the codebase, so the place where overhead would show first.
+    const auto& topo = world();
+    static const route::PathOracle oracle{topo};
+    static const measure::TracerouteEngine engine{topo, oracle};
+    static const measure::IxpDetector detector{
+        topo, measure::IxpKnowledgeBase::full(topo)};
+    net::Rng fleetRng{7};
+    static const core::Observatory obs{
+        topo, engine, detector,
+        core::ProbeFleet::observatory(topo, fleetRng)};
+    net::Rng taskRng{8};
+    static const auto tasks = obs.ixpDiscoveryTasks(taskRng);
+    resilience::FaultPlanConfig planCfg;
+    planCfg.intensity = 1.0;
+    net::Rng planRng{9};
+    static const auto plan =
+        resilience::FaultPlan::generate(obs.fleet(), planCfg, planRng);
+
+    const bool observed = state.range(0) != 0;
+    obs::MetricsRegistry metrics;
+    obs::Trace trace;
+    const resilience::SupervisorConfig supCfg;
+    const resilience::CampaignSupervisor supervisor{
+        obs, supCfg, observed ? &metrics : nullptr,
+        observed ? &trace : nullptr};
+    for (auto _ : state) {
+        resilience::FaultInjector injector{obs.fleet(), plan,
+                                           supCfg.budgetFraction};
+        net::Rng rng{10};
+        benchmark::DoNotOptimize(supervisor.run(tasks, injector, rng));
+    }
+    state.SetLabel(std::to_string(tasks.size()) + " tasks, " +
+                   (observed ? "metrics on" : "metrics off"));
+}
+BENCHMARK(BM_ObservedSupervisorCampaign)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

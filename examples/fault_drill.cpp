@@ -1,31 +1,59 @@
 // Fault drill: run one targeted IXP-discovery campaign while the world
-// falls apart around the fleet, and read the degradation report.
+// falls apart around the fleet, and read the degradation report — now
+// with the observability layer wired through every stage.
 //
 // The drill stacks the three fault sources the paper cares about (§7.1,
 // §4): stochastic per-probe power loss, prepaid bundles running dry, and
 // correlated transit loss derived from a ground-truth outage window (a
 // corridor cable cut downs every probe whose host AS loses all transit).
+// It then emits the campaign's metrics table and JSON trace. Under the
+// injected ManualClock every duration is exactly zero and every counter
+// is schedule-invariant, so the full output is byte-identical whichever
+// worker-pool width (argv[1], default 1) ran the oracle builds — the
+// property tests/obs/metrics_determinism_test.cpp locks in.
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <unordered_set>
 
 #include "core/observatory.hpp"
+#include "exec/worker_pool.hpp"
 #include "measure/ixp_detect.hpp"
 #include "netbase/error.hpp"
 #include "netbase/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "outage/events.hpp"
+#include "persist/record.hpp"
 #include "resilience/supervisor.hpp"
 #include "topo/generator.hpp"
 
 using namespace aio;
 
-int main() {
+int main(int argc, char** argv) {
     try {
+        const int threads = argc > 1 ? std::atoi(argv[1]) : 1;
+        if (threads < 1) {
+            std::cerr << "usage: fault_drill [threads >= 1]\n";
+            return 1;
+        }
+
+        // One virtual clock drives the registry and the trace: durations
+        // are deterministic (zero), counters and span counts carry the
+        // signal.
+        const obs::ManualClock clock;
+        obs::MetricsRegistry metrics{&clock};
+        obs::Trace trace{&clock};
+
         const std::uint64_t seed = 42;
         const auto topo =
             topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
                 .generate();
-        const route::PathOracle oracle{topo};
-        const measure::TracerouteEngine engine{topo, oracle};
+        exec::WorkerPool pool{threads, &metrics};
+        route::OracleCache cache{topo, 4, &pool, &metrics};
+        const auto baseline = cache.get(route::LinkFilter{});
+        const measure::TracerouteEngine engine{topo, *baseline};
         const measure::IxpDetector detector{
             topo, measure::IxpKnowledgeBase::full(topo)};
         const auto registry = phys::CableRegistry::africanDefaults();
@@ -55,8 +83,6 @@ int main() {
                                            outage::OutageConfig{}};
         net::Rng outageRng{seed + 3};
         const auto events = outages.generateWindow(outageRng);
-        // Start the campaign just before the first African cable cut so
-        // the drill actually exercises the correlated path.
         for (const auto& event : events) {
             if (event.type == outage::OutageType::CableCut &&
                 !event.cutCables.empty()) {
@@ -73,28 +99,44 @@ int main() {
         std::cout << "With outage overlay: " << plan.windowCount()
                   << " windows total\n\n";
 
-        // --- demonstrate the transient/permanent classification ---------
-        resilience::FaultInjector probeInjector{fleet, plan};
-        int transientProbes = 0;
-        for (std::size_t p = 0; p < fleet.size(); ++p) {
-            try {
-                probeInjector.requireUp(p, 1.0);
-            } catch (const net::TransientError&) {
-                ++transientProbes; // retryable: the supervisor will wait
-            } catch (const net::AioError&) {
-                // permanent: the supervisor reassigns or abandons
-            }
-        }
-        std::cout << "At hour 1, " << transientProbes << "/" << fleet.size()
-                  << " probes are transiently down (retryable)\n\n";
-
-        // --- run the supervised campaign --------------------------------
+        // --- supervised campaign, journaled and observed ----------------
         resilience::SupervisorConfig supCfg;
         supCfg.budgetFraction = 0.02; // most of the month is already spent
-        const resilience::CampaignSupervisor supervisor{obs, supCfg};
+        const resilience::CampaignSupervisor supervisor{obs, supCfg,
+                                                        &metrics, &trace};
 
-        net::Rng campaignRng{seed + 4};
-        auto result = supervisor.runIxpDiscovery(plan, campaignRng);
+        net::Rng taskRng{seed + 4};
+        const auto tasks = obs.ixpDiscoveryTasks(taskRng);
+
+        // Pre-flight: how much of the plan even has a route under the
+        // outage's degraded state? Exercises the cache (miss -> parallel
+        // build on the pool) and seeds it for anyone re-checking the same
+        // scenario.
+        route::LinkFilter scenario;
+        for (const auto& event : events) {
+            if (event.type == outage::OutageType::CableCut) {
+                std::unordered_set<phys::CableId> cuts(
+                    event.cutCables.begin(), event.cutCables.end());
+                for (const auto& [a, b] : linkMap.failedLinks(cuts)) {
+                    scenario.disableLink(a, b);
+                }
+                break;
+            }
+        }
+        const double routable =
+            supervisor.routableTaskShare(tasks, scenario, cache);
+        std::cout << "Pre-flight: "
+                  << net::TextTable::pct(routable, 1)
+                  << " of tasks routable under the cable-cut scenario\n";
+        // Same digest, second query: a cache hit, not a rebuild.
+        (void)supervisor.routableTaskShare(tasks, scenario, cache);
+
+        resilience::FaultInjector injector{fleet, plan,
+                                           supCfg.budgetFraction};
+        persist::MemorySink journalSink;
+        auto result =
+            supervisor.runJournaled(tasks, injector, taskRng, journalSink);
+
         net::Rng oracleRng{seed + 4};
         const auto faultFree = supervisor.runFaultFreeOracle(oracleRng);
         resilience::attachOracleCoverage(result, faultFree);
@@ -117,6 +159,8 @@ int main() {
                       net::TextTable::pct(rep.completionRatio, 1)});
         table.addRow({"IXP coverage vs fault-free oracle",
                       net::TextTable::pct(rep.coverageVsOracle, 1)});
+        table.addRow({"journal bytes",
+                      std::to_string(journalSink.bytes().size())});
         std::cout << table.render();
 
         std::cout << "\nLoss by fault class:\n";
@@ -127,6 +171,10 @@ int main() {
         std::cout << "\nAfrican IXPs still detected: "
                   << result.africanIxpCount(topo) << " (oracle saw "
                   << faultFree.africanIxpCount(topo) << ")\n";
+
+        // --- the observability readout ----------------------------------
+        std::cout << "\n=== metrics ===\n" << metrics.table();
+        std::cout << "\n=== trace ===\n" << trace.json() << "\n";
         return 0;
     } catch (const net::AioError& error) {
         std::cerr << "error: " << error.what() << "\n";

@@ -11,11 +11,12 @@ WhatIfEngine::WhatIfEngine(const topo::Topology& topology,
                            phys::LinkMapConfig linkConfig,
                            std::uint64_t seed,
                            route::OracleCache* oracleCache,
-                           exec::WorkerPool* pool)
+                           exec::WorkerPool* pool,
+                           obs::MetricsRegistry* metrics)
     : topo_(&topology), registry_(std::move(registry)),
       dnsConfig_(dnsConfig), contentConfig_(contentConfig),
       linkConfig_(linkConfig), seed_(seed), oracleCache_(oracleCache),
-      pool_(pool) {
+      pool_(pool), metrics_(metrics) {
     AIO_EXPECTS(oracleCache == nullptr ||
                     &oracleCache->topology() == &topology,
                 "oracle cache bound to a different topology");
@@ -32,7 +33,7 @@ void WhatIfEngine::rebuild() {
         *topo_, contentConfig_, seed_ + 2);
     analyzer_ = std::make_unique<outage::ImpactAnalyzer>(
         *topo_, *linkMap_, *resolvers_, *catalog_, outage::ImpactConfig{},
-        oracleCache_, pool_);
+        oracleCache_, pool_, metrics_);
 }
 
 WhatIfEngine WhatIfEngine::withCable(phys::SubseaCable cable) const {
@@ -40,26 +41,27 @@ WhatIfEngine WhatIfEngine::withCable(phys::SubseaCable cable) const {
     registry.addCable(std::move(cable));
     return WhatIfEngine{*topo_,      std::move(registry), dnsConfig_,
                         contentConfig_, linkConfig_,      seed_,
-                        oracleCache_,   pool_};
+                        oracleCache_,   pool_,            metrics_};
 }
 
 WhatIfEngine WhatIfEngine::withDnsConfig(dns::DnsConfig config) const {
     return WhatIfEngine{*topo_,         registry_,   config, contentConfig_,
                         linkConfig_,    seed_,       oracleCache_,
-                        pool_};
+                        pool_,          metrics_};
 }
 
 WhatIfEngine
 WhatIfEngine::withContentConfig(content::ContentConfig config) const {
     return WhatIfEngine{*topo_,      registry_, dnsConfig_, config,
                         linkConfig_, seed_,     oracleCache_,
-                        pool_};
+                        pool_,       metrics_};
 }
 
 WhatIfEngine
 WhatIfEngine::withLinkMapConfig(phys::LinkMapConfig config) const {
     return WhatIfEngine{*topo_, registry_, dnsConfig_, contentConfig_,
-                        config, seed_,     oracleCache_, pool_};
+                        config, seed_,     oracleCache_, pool_,
+                        metrics_};
 }
 
 outage::OutageEvent
@@ -78,6 +80,7 @@ WhatIfEngine::makeCutEvent(std::span<const std::string> cableNames,
 
 outage::ImpactReport
 WhatIfEngine::assess(const outage::OutageEvent& event) const {
+    const obs::ScopedTimer timer{metrics_, "whatif.assess_seconds"};
     net::Rng rng{seed_ + 7};
     return analyzer_->assess(event, rng);
 }

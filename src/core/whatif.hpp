@@ -24,14 +24,17 @@ public:
     /// scenario engines built via withCable()/withDnsConfig()/... share
     /// the topology, so one failure-scenario cache serves the whole sweep
     /// and repeated cut sets cost one route recomputation, not one per
-    /// engine per query.
+    /// engine per query. `metrics` (optional, not owned) is likewise
+    /// inherited by every derived engine: scenario recomputes show up as
+    /// `whatif.assess_seconds` plus the analyzer's own metrics.
     WhatIfEngine(const topo::Topology& topology,
                  phys::CableRegistry registry, dns::DnsConfig dnsConfig,
                  content::ContentConfig contentConfig,
                  phys::LinkMapConfig linkConfig = {},
                  std::uint64_t seed = 99,
                  route::OracleCache* oracleCache = nullptr,
-                 exec::WorkerPool* pool = nullptr);
+                 exec::WorkerPool* pool = nullptr,
+                 obs::MetricsRegistry* metrics = nullptr);
 
     WhatIfEngine(WhatIfEngine&&) noexcept = default;
     WhatIfEngine& operator=(WhatIfEngine&&) noexcept = default;
@@ -84,6 +87,7 @@ private:
     std::uint64_t seed_;
     route::OracleCache* oracleCache_ = nullptr;
     exec::WorkerPool* pool_ = nullptr;
+    obs::MetricsRegistry* metrics_ = nullptr;
 
     std::unique_ptr<phys::PhysicalLinkMap> linkMap_;
     std::unique_ptr<dns::ResolverEcosystem> resolvers_;

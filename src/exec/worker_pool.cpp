@@ -11,7 +11,8 @@ int WorkerPool::defaultThreadCount() {
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-WorkerPool::WorkerPool(int threads) : threads_(threads) {
+WorkerPool::WorkerPool(int threads, obs::MetricsRegistry* metrics)
+    : threads_(threads), metrics_(metrics) {
     AIO_EXPECTS(threads >= 1, "worker pool needs at least one thread");
     workers_.reserve(static_cast<std::size_t>(threads_ - 1));
     for (int lane = 1; lane < threads_; ++lane) {
@@ -54,9 +55,21 @@ void WorkerPool::workerLoop(std::size_t lane) {
 }
 
 void WorkerPool::runChunks(std::size_t lane) {
+    const std::uint64_t laneStart =
+        metrics_ != nullptr ? metrics_->clock().nowNanos() : 0;
+    // Per-lane busy time accumulates into the loop-wide atomic; the
+    // caller folds it into the busy/idle counters once the loop drains.
+    const auto settleBusy = [&] {
+        if (metrics_ != nullptr) {
+            loopBusyNanos_.fetch_add(metrics_->clock().nowNanos() -
+                                         laneStart,
+                                     std::memory_order_relaxed);
+        }
+    };
     for (;;) {
         const std::size_t begin = next_.fetch_add(chunk_);
         if (begin >= count_) {
+            settleBusy();
             return;
         }
         const std::size_t end = std::min(begin + chunk_, count_);
@@ -74,6 +87,7 @@ void WorkerPool::runChunks(std::size_t lane) {
             // Abandon the remaining chunks: nobody will see partial
             // output because parallelFor rethrows.
             next_.store(count_);
+            settleBusy();
             return;
         }
     }
@@ -85,10 +99,53 @@ void WorkerPool::parallelFor(
     if (count == 0) {
         return;
     }
-    if (threads_ == 1) {
-        for (std::size_t i = 0; i < count; ++i) {
-            fn(i, 0);
+    // Dispatch accounting is schedule-invariant: one loop, `count`
+    // indices, a queue depth of `count` — the same at any thread count,
+    // which is what keeps instrumented runs byte-comparable across pools.
+    if (metrics_ != nullptr) {
+        metrics_->counter("exec.pool.loops").add();
+        metrics_->counter("exec.pool.indices").add(count);
+        metrics_->histogram("exec.pool.queue_depth")
+            .record(static_cast<double>(count));
+        loopBusyNanos_.store(0, std::memory_order_relaxed);
+    }
+    const std::uint64_t loopStart =
+        metrics_ != nullptr ? metrics_->clock().nowNanos() : 0;
+    const auto settleLoop = [&] {
+        if (metrics_ == nullptr) {
+            return;
         }
+        const std::uint64_t wall = metrics_->clock().nowNanos() - loopStart;
+        const std::uint64_t busy =
+            loopBusyNanos_.load(std::memory_order_relaxed);
+        const std::uint64_t offered =
+            wall * static_cast<std::uint64_t>(threads_);
+        metrics_->histogram("exec.pool.loop_seconds")
+            .record(static_cast<double>(wall) * 1e-9);
+        metrics_->counter("exec.pool.busy_nanos").add(busy);
+        metrics_->counter("exec.pool.idle_nanos")
+            .add(offered > busy ? offered - busy : 0);
+    };
+    if (threads_ == 1) {
+        const std::uint64_t laneStart = loopStart;
+        try {
+            for (std::size_t i = 0; i < count; ++i) {
+                fn(i, 0);
+            }
+        } catch (...) {
+            if (metrics_ != nullptr) {
+                loopBusyNanos_.store(metrics_->clock().nowNanos() -
+                                         laneStart,
+                                     std::memory_order_relaxed);
+            }
+            settleLoop();
+            throw;
+        }
+        if (metrics_ != nullptr) {
+            loopBusyNanos_.store(metrics_->clock().nowNanos() - laneStart,
+                                 std::memory_order_relaxed);
+        }
+        settleLoop();
         return;
     }
     {
@@ -109,10 +166,11 @@ void WorkerPool::parallelFor(
     std::unique_lock<std::mutex> lock{mutex_};
     done_.wait(lock, [&] { return active_ == 0; });
     fn_ = nullptr;
-    if (error_) {
-        std::exception_ptr error = error_;
-        error_ = nullptr;
-        lock.unlock();
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    settleLoop();
+    if (error) {
         std::rethrow_exception(error);
     }
 }

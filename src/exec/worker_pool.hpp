@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace aio::exec {
 
 /// Fixed-size pool of worker threads for data-parallel loops over index
@@ -30,7 +32,16 @@ public:
     /// Spawns `threads - 1` worker threads (the caller is the remaining
     /// lane). Throws PreconditionError when `threads < 1` — the same
     /// knob-validation contract as core::PricingModel::validate.
-    explicit WorkerPool(int threads = defaultThreadCount());
+    ///
+    /// `metrics` (optional, not owned, must outlive the pool) receives
+    /// per-loop accounting: dispatch counters and queue-depth histogram
+    /// (`exec.pool.loops` / `.indices` / `.queue_depth`, all
+    /// schedule-invariant — identical at any thread count), wall-time per
+    /// loop (`exec.pool.loop_seconds`) and aggregate lane busy/idle time
+    /// (`exec.pool.busy_nanos` / `.idle_nanos`; schedule-dependent under
+    /// a real clock, exactly zero under an obs::ManualClock).
+    explicit WorkerPool(int threads = defaultThreadCount(),
+                        obs::MetricsRegistry* metrics = nullptr);
     ~WorkerPool();
 
     WorkerPool(const WorkerPool&) = delete;
@@ -56,6 +67,8 @@ private:
     void runChunks(std::size_t lane);
 
     int threads_ = 1;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    std::atomic<std::uint64_t> loopBusyNanos_{0}; ///< lanes' work, this loop
     std::vector<std::thread> workers_;
 
     std::mutex mutex_;

@@ -10,8 +10,18 @@
 namespace aio::net {
 
 namespace {
-std::vector<double> sorted(std::span<const double> sample) {
+// NaN is unordered under operator<, so sorting a NaN-containing sample
+// yields an unspecified permutation and silently poisoned quantiles;
+// Inf "sorts" but turns every interpolated rank into garbage. Both are
+// caller bugs, so the order-statistics entry points reject them up front
+// (they feed the obs metrics readout, where a poisoned p99 would
+// propagate straight into dashboards).
+std::vector<double> sortedFinite(std::span<const double> sample) {
     std::vector<double> copy(sample.begin(), sample.end());
+    for (const double x : copy) {
+        AIO_EXPECTS(std::isfinite(x),
+                    "sample must be finite (no NaN/Inf)");
+    }
     std::ranges::sort(copy);
     return copy;
 }
@@ -46,7 +56,7 @@ double maxOf(std::span<const double> sample) {
 double percentile(std::span<const double> sample, double p) {
     AIO_EXPECTS(!sample.empty(), "percentile of empty sample");
     AIO_EXPECTS(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
-    const auto values = sorted(sample);
+    const auto values = sortedFinite(sample);
     if (values.size() == 1) {
         return values.front();
     }
@@ -74,7 +84,7 @@ std::string summarize(std::span<const double> sample) {
 std::vector<std::pair<double, double>>
 empiricalCdf(std::span<const double> sample) {
     AIO_EXPECTS(!sample.empty(), "cdf of empty sample");
-    const auto values = sorted(sample);
+    const auto values = sortedFinite(sample);
     std::vector<std::pair<double, double>> out;
     out.reserve(values.size());
     for (std::size_t i = 0; i < values.size(); ++i) {

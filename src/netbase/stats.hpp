@@ -9,7 +9,10 @@ namespace aio::net {
 
 /// Order statistics and moments over a sample. All functions tolerate
 /// unsorted input; percentile() uses linear interpolation between ranks.
-/// Empty input throws PreconditionError (there is no meaningful default).
+/// Empty input throws PreconditionError (there is no meaningful default),
+/// as does a NaN/Inf element in the quantile/CDF functions — NaN is
+/// unordered, so sorting it produces an unspecified permutation and a
+/// silently wrong quantile rather than a loud failure.
 [[nodiscard]] double mean(std::span<const double> sample);
 [[nodiscard]] double stddev(std::span<const double> sample);
 [[nodiscard]] double minOf(std::span<const double> sample);

@@ -32,10 +32,11 @@ ImpactAnalyzer::ImpactAnalyzer(const topo::Topology& topology,
                                const content::ContentCatalog& catalog,
                                ImpactConfig config,
                                route::OracleCache* oracleCache,
-                               exec::WorkerPool* pool)
+                               exec::WorkerPool* pool,
+                               obs::MetricsRegistry* metrics)
     : topo_(&topology), linkMap_(&linkMap), resolvers_(&resolvers),
       catalog_(&catalog), config_(config), oracleCache_(oracleCache),
-      pool_(pool) {
+      pool_(pool), metrics_(metrics) {
     if (oracleCache_) {
         // The baseline (no-failure) state is the cache's natural seed:
         // every analyzer sharing the cache then shares one baseline build.
@@ -134,6 +135,10 @@ route::LinkFilter ImpactAnalyzer::filterFor(const OutageEvent& event,
 
 ImpactReport ImpactAnalyzer::assess(const OutageEvent& event,
                                     net::Rng& rng) const {
+    const obs::ScopedTimer timer{metrics_, "impact.assess_seconds"};
+    if (metrics_ != nullptr) {
+        metrics_->counter("impact.assessments").add();
+    }
     ImpactReport report;
     report.event = event;
     if (event.macroRegion != net::MacroRegion::Africa) {

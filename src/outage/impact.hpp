@@ -58,13 +58,16 @@ public:
     /// outlive the analyzer): the cache reuses degraded PathOracles across
     /// scenarios sharing a failure filter (it is seeded with the baseline
     /// oracle on construction), the pool parallelizes oracle builds.
+    /// `metrics` (optional, not owned) records assessment counts and the
+    /// `impact.assess_seconds` recompute-time histogram.
     ImpactAnalyzer(const topo::Topology& topology,
                    const phys::PhysicalLinkMap& linkMap,
                    const dns::ResolverEcosystem& resolvers,
                    const content::ContentCatalog& catalog,
                    ImpactConfig config = {},
                    route::OracleCache* oracleCache = nullptr,
-                   exec::WorkerPool* pool = nullptr);
+                   exec::WorkerPool* pool = nullptr,
+                   obs::MetricsRegistry* metrics = nullptr);
 
     /// Routing filter describing the event's physical/administrative
     /// damage (cable cuts -> failed subsea links; power/shutdown ->
@@ -90,6 +93,7 @@ private:
     ImpactConfig config_;
     route::OracleCache* oracleCache_;
     exec::WorkerPool* pool_;
+    obs::MetricsRegistry* metrics_;
     std::shared_ptr<const route::PathOracle> baselineOracle_;
     std::map<std::string, double, std::less<>> baselineSuccess_;
 };

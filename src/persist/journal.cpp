@@ -210,11 +210,26 @@ void requireDrained(const ByteReader& r, const char* what) {
 
 } // namespace
 
+/// One framed append + flush: the record is only "written" once it is
+/// durable. Byte/latency accounting rides along when metrics are wired.
+void CampaignJournal::appendRecord(std::span<const std::byte> payload) {
+    const obs::ScopedTimer timer{metrics_, "journal.append_seconds"};
+    const std::uint64_t before = writer_.bytesWritten();
+    writer_.append(payload);
+    sink_->flush();
+    if (metrics_ != nullptr) {
+        metrics_->counter("journal.appends").add();
+        metrics_->counter("journal.flushes").add();
+        metrics_->counter("journal.bytes_written")
+            .add(writer_.bytesWritten() - before);
+    }
+}
+
 void CampaignJournal::writeHeader(const CampaignHeader& header) {
     AIO_EXPECTS(!headerWritten_, "journal header already written");
     ByteWriter w;
     encodeHeader(w, header);
-    writer_.append(w.bytes());
+    appendRecord(w.bytes());
     headerWritten_ = true;
 }
 
@@ -222,18 +237,24 @@ void CampaignJournal::appendOutcome(const TaskOutcomeRecord& outcome) {
     AIO_EXPECTS(headerWritten_, "journal needs a header before records");
     ByteWriter w;
     encodeOutcome(w, outcome);
-    writer_.append(w.bytes());
+    appendRecord(w.bytes());
 }
 
 void CampaignJournal::appendCheckpoint(const CampaignCheckpoint& checkpoint) {
     AIO_EXPECTS(headerWritten_, "journal needs a header before records");
+    const obs::ScopedTimer timer{metrics_, "journal.checkpoint_seconds"};
     ByteWriter w;
     encodeCheckpoint(w, checkpoint);
-    writer_.append(w.bytes());
+    appendRecord(w.bytes());
+    if (metrics_ != nullptr) {
+        metrics_->counter("journal.checkpoints").add();
+    }
 }
 
 CampaignJournal::Replay
-CampaignJournal::replay(std::span<const std::byte> bytes) {
+CampaignJournal::replay(std::span<const std::byte> bytes,
+                        obs::MetricsRegistry* metrics) {
+    const obs::ScopedTimer timer{metrics, "journal.replay_seconds"};
     Replay out;
     RecordReader reader{bytes};
     while (const auto payload = reader.next()) {
@@ -284,6 +305,15 @@ CampaignJournal::replay(std::span<const std::byte> bytes) {
         }
     }
     out.tornTail = reader.tail() == TailStatus::Torn;
+    if (metrics != nullptr) {
+        metrics->counter("journal.replay.records")
+            .add(out.outcomeRecords);
+        metrics->counter("journal.replay.checkpoints")
+            .add(out.checkpoint ? 1 : 0);
+        metrics->counter("journal.replay.torn_tails")
+            .add(out.tornTail ? 1 : 0);
+        metrics->counter("journal.replays").add();
+    }
     return out;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/observatory.hpp"
+#include "obs/metrics.hpp"
 #include "persist/record.hpp"
 #include "persist/state.hpp"
 
@@ -37,8 +38,17 @@ struct CampaignCheckpoint {
 /// records surface as CorruptionError rather than a silently wrong resume.
 class CampaignJournal {
 public:
-    explicit CampaignJournal(ByteSink& sink) : writer_(sink) {}
+    /// `metrics` (optional, not owned) receives append/checkpoint
+    /// latency histograms and byte/record counters.
+    explicit CampaignJournal(ByteSink& sink,
+                             obs::MetricsRegistry* metrics = nullptr)
+        : writer_(sink), sink_(&sink), metrics_(metrics) {}
 
+    /// Every record append is followed by a sink flush before the call
+    /// returns: the durability the supervisor reports (a checkpoint that
+    /// "survives a crash") is only true once the bytes left the buffering
+    /// layer, and a WAL that lets records linger unflushed silently
+    /// violates the resume contract on real storage.
     void writeHeader(const CampaignHeader& header);
     void appendOutcome(const TaskOutcomeRecord& outcome);
     void appendCheckpoint(const CampaignCheckpoint& checkpoint);
@@ -62,10 +72,18 @@ public:
     /// reported via `tornTail`; anything structurally wrong — CRC
     /// mismatch, unknown record type, a second header, a checkpoint that
     /// contradicts the outcome count — throws net::CorruptionError.
-    [[nodiscard]] static Replay replay(std::span<const std::byte> bytes);
+    /// `metrics` (optional) receives replayed record/checkpoint counts
+    /// and the torn-tail counter.
+    [[nodiscard]] static Replay
+    replay(std::span<const std::byte> bytes,
+           obs::MetricsRegistry* metrics = nullptr);
 
 private:
+    void appendRecord(std::span<const std::byte> payload);
+
     RecordWriter writer_;
+    ByteSink* sink_;
+    obs::MetricsRegistry* metrics_;
     bool headerWritten_ = false;
 };
 

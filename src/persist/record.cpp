@@ -27,6 +27,17 @@ void putU32(std::byte* out, std::uint32_t value) {
 
 } // namespace
 
+void CrashingSink::flush() {
+    if (remaining_ == 0) {
+        // The bytes landed in a buffer; the power died before the flush
+        // made them durable.
+        throw SinkFailure{"sink failed before flush after " +
+                          std::to_string(accepted_) +
+                          " bytes (crash injection)"};
+    }
+    inner_->flush();
+}
+
 void CrashingSink::append(std::span<const std::byte> bytes) {
     if (bytes.size() <= remaining_) {
         inner_->append(bytes);

@@ -23,10 +23,17 @@ public:
 /// contract mirrors a crashing O_APPEND file: an append either lands in
 /// full or lands a *prefix* and throws — bytes are never reordered or
 /// interleaved with garbage.
+///
+/// An append may land in a userspace/OS buffer; only flush() makes the
+/// accepted bytes durable (fsync in file terms). A crash between append
+/// and flush loses the unflushed suffix, so durability claims — "this
+/// checkpoint survives a power cut" — are only honest after a flush. The
+/// default is a no-op for sinks with no buffering layer (MemorySink).
 class ByteSink {
 public:
     virtual ~ByteSink() = default;
     virtual void append(std::span<const std::byte> bytes) = 0;
+    virtual void flush() {}
 };
 
 /// In-memory sink; the tests' and examples' journal "file".
@@ -44,18 +51,55 @@ private:
     std::vector<std::byte> data_;
 };
 
+/// Buffered fake sink modelling an OS page cache: appends land in a
+/// pending buffer that a crash would wipe; flush() moves the pending
+/// bytes to durable storage. The regression harness for the journal's
+/// durability contract — a journal layer that never flushes leaves
+/// durable() empty no matter how much it appended.
+class BufferingSink final : public ByteSink {
+public:
+    void append(std::span<const std::byte> bytes) override {
+        pending_.insert(pending_.end(), bytes.begin(), bytes.end());
+    }
+
+    void flush() override {
+        durable_.insert(durable_.end(), pending_.begin(), pending_.end());
+        pending_.clear();
+    }
+
+    /// What survives a crash: everything flushed so far, nothing after.
+    [[nodiscard]] std::span<const std::byte> durable() const {
+        return durable_;
+    }
+    [[nodiscard]] std::size_t pendingBytes() const {
+        return pending_.size();
+    }
+
+private:
+    std::vector<std::byte> pending_;
+    std::vector<std::byte> durable_;
+};
+
 /// Deterministic crash injection: forwards appends to `inner` until
 /// `failAfterBytes` total bytes have been accepted, then writes whatever
-/// prefix still fits and throws SinkFailure. Sweeping `failAfterBytes`
-/// over every record boundary of a journal is how the crash harness
-/// proves resume works from *any* interruption point — including torn
-/// mid-record tails.
+/// prefix still fits and throws SinkFailure. When an append exactly
+/// exhausts the budget, the append itself succeeds and the *next flush*
+/// throws instead — the crash-between-write-and-flush case, where the
+/// record reached a buffer but never became durable. Sweeping
+/// `failAfterBytes` over every record boundary of a journal is how the
+/// crash harness proves resume works from *any* interruption point —
+/// including torn mid-record tails and unflushed complete records.
 class CrashingSink final : public ByteSink {
 public:
     CrashingSink(ByteSink& inner, std::size_t failAfterBytes)
         : inner_(&inner), remaining_(failAfterBytes) {}
 
     void append(std::span<const std::byte> bytes) override;
+
+    /// Throws SinkFailure once the byte budget is spent (the bytes were
+    /// written, the process died before they were made durable);
+    /// otherwise forwards to the inner sink.
+    void flush() override;
 
     /// Bytes accepted so far (never exceeds the construction budget).
     [[nodiscard]] std::size_t accepted() const { return accepted_; }

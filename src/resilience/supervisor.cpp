@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -30,8 +32,11 @@ void SupervisorConfig::validate() const {
 }
 
 CampaignSupervisor::CampaignSupervisor(const core::Observatory& observatory,
-                                       SupervisorConfig config)
-    : observatory_(&observatory), config_(config) {
+                                       SupervisorConfig config,
+                                       obs::MetricsRegistry* metrics,
+                                       obs::Trace* trace)
+    : observatory_(&observatory), config_(config), metrics_(metrics),
+      trace_(trace) {
     config.validate();
 }
 
@@ -109,9 +114,18 @@ class Runner {
 public:
     Runner(const core::Observatory& observatory,
            const SupervisorConfig& config, FaultInjector& injector,
-           net::Rng& rng)
+           net::Rng& rng, obs::MetricsRegistry* metrics = nullptr,
+           obs::Trace* trace = nullptr)
         : observatory_(&observatory), config_(&config),
-          injector_(&injector), rng_(&rng) {}
+          injector_(&injector), rng_(&rng), metrics_(metrics),
+          trace_(trace) {
+        if (metrics != nullptr) {
+            // The backoff histogram is fed per retry (a domain value the
+            // report cannot reconstruct); the reference is resolved once
+            // because registry references are stable for its lifetime.
+            backoffHours_ = &metrics->histogram("supervisor.backoff_hours");
+        }
+    }
 
     /// Seeds the launch schedule for a fresh campaign.
     void init(std::span<const core::CampaignTask> tasks) {
@@ -246,6 +260,12 @@ public:
                       item.reassignments});
                 outcome.kind = persist::TaskOutcomeKind::Retried;
                 outcome.faultClass = static_cast<std::uint8_t>(cause);
+                if (backoffHours_ != nullptr) {
+                    // Domain value, not a wall-clock reading: identical
+                    // under any obs clock, so it survives the
+                    // determinism grid.
+                    backoffHours_->record(backoff);
+                }
                 return;
             }
             abandon(cause);
@@ -315,6 +335,61 @@ public:
         return cp;
     }
 
+    /// Publishes the settlement counters accumulated in the degradation
+    /// report (and the matching trace count nodes) as deltas since the
+    /// previous publish. Batched on the checkpoint cadence by runLoop:
+    /// per-settlement atomic bumps and trace lookups cost more than a
+    /// whole settlement step does (bench_perf_micro's Observed rows hold
+    /// the overhead under 2%, which per-event publishing blows through).
+    void publishObservability() {
+        const core::DegradationReport& report = result_.degradation;
+        const auto delta = [](std::uint64_t now, std::uint64_t& prev) {
+            const std::uint64_t d = now - prev;
+            prev = now;
+            return d;
+        };
+        const auto intDelta = [&delta](int now, std::uint64_t& prev) {
+            return delta(static_cast<std::uint64_t>(now), prev);
+        };
+        Published& prev = published_;
+        const std::uint64_t attempts =
+            intDelta(report.attempts, prev.attempts);
+        const std::uint64_t retries = intDelta(report.retries, prev.retries);
+        const std::uint64_t reassigned =
+            intDelta(report.reassigned, prev.reassigned);
+        const std::uint64_t abandoned =
+            intDelta(report.abandoned, prev.abandoned);
+        const std::uint64_t completed =
+            intDelta(report.completed, prev.completed);
+        const std::uint64_t timeouts =
+            intDelta(report.transientTimeouts, prev.transientTimeouts);
+        const std::uint64_t settlements = delta(outcomes_, prev.settlements);
+        if (metrics_ != nullptr) {
+            metrics_->counter("supervisor.attempts").add(attempts);
+            metrics_->counter("supervisor.retries").add(retries);
+            metrics_->counter("supervisor.reassignments").add(reassigned);
+            metrics_->counter("supervisor.abandoned").add(abandoned);
+            metrics_->counter("supervisor.completed").add(completed);
+            metrics_->counter("supervisor.transient_timeouts").add(timeouts);
+            metrics_->counter("supervisor.settlements").add(settlements);
+            for (const auto& [cls, lost] : report.lossByFaultClass) {
+                const std::uint64_t d = intDelta(lost, prev.loss[cls]);
+                if (d > 0) {
+                    metrics_->counter("supervisor.loss." + cls).add(d);
+                }
+            }
+        }
+        if (trace_ != nullptr) {
+            // Count nodes under the innermost open span (the drain phase):
+            // per-kind settlement totals without per-event clock reads.
+            trace_->count("attempt", attempts);
+            trace_->count("settle.completed", completed);
+            trace_->count("settle.retried", retries);
+            trace_->count("settle.reassigned", reassigned);
+            trace_->count("settle.abandoned", abandoned);
+        }
+    }
+
     /// Final accounting once the queue drains.
     core::CampaignResult finish() {
         core::DegradationReport& report = result_.degradation;
@@ -337,6 +412,23 @@ private:
     const SupervisorConfig* config_;
     FaultInjector* injector_;
     net::Rng* rng_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    obs::Trace* trace_ = nullptr;
+    obs::Histogram* backoffHours_ = nullptr;
+
+    /// Snapshot of the report values already pushed into the registry,
+    /// so publishObservability() adds exact deltas.
+    struct Published {
+        std::uint64_t attempts = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t reassigned = 0;
+        std::uint64_t abandoned = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t transientTimeouts = 0;
+        std::uint64_t settlements = 0;
+        std::map<std::string, std::uint64_t> loss;
+    };
+    Published published_;
 
     std::vector<core::CampaignTask> current_; ///< reassignment mutates
     std::vector<Pending> heap_;               ///< std::*_heap, PendingLater
@@ -349,18 +441,28 @@ private:
 /// configured cadence when a journal is attached.
 core::CampaignResult runLoop(Runner& runner,
                              persist::CampaignJournal* journal,
-                             int checkpointInterval) {
-    while (!runner.done()) {
-        const persist::TaskOutcomeRecord outcome = runner.step();
-        if (journal != nullptr) {
-            journal->appendOutcome(outcome);
-            if (runner.outcomes() %
-                    static_cast<std::uint64_t>(checkpointInterval) ==
-                0) {
-                journal->appendCheckpoint(runner.checkpoint());
+                             int checkpointInterval, obs::Trace* trace) {
+    {
+        const obs::Span drain = obs::Trace::enter(trace, "drain");
+        while (!runner.done()) {
+            const persist::TaskOutcomeRecord outcome = runner.step();
+            if (journal != nullptr) {
+                journal->appendOutcome(outcome);
+                if (runner.outcomes() %
+                        static_cast<std::uint64_t>(checkpointInterval) ==
+                    0) {
+                    // Publish before the checkpoint span opens so the
+                    // count nodes land under "drain", not "checkpoint".
+                    runner.publishObservability();
+                    const obs::Span checkpoint =
+                        obs::Trace::enter(trace, "checkpoint");
+                    journal->appendCheckpoint(runner.checkpoint());
+                }
             }
         }
+        runner.publishObservability();
     }
+    const obs::Span finish = obs::Trace::enter(trace, "finish");
     return runner.finish();
 }
 
@@ -369,16 +471,20 @@ core::CampaignResult runLoop(Runner& runner,
 core::CampaignResult
 CampaignSupervisor::run(std::span<const core::CampaignTask> tasks,
                         FaultInjector& injector, net::Rng& rng) const {
-    Runner runner{*observatory_, config_, injector, rng};
-    runner.init(tasks);
-    return runLoop(runner, nullptr, config_.checkpointInterval);
+    Runner runner{*observatory_, config_, injector, rng, metrics_, trace_};
+    const obs::Span campaign = obs::Trace::enter(trace_, "run");
+    {
+        const obs::Span init = obs::Trace::enter(trace_, "init");
+        runner.init(tasks);
+    }
+    return runLoop(runner, nullptr, config_.checkpointInterval, trace_);
 }
 
 core::CampaignResult
 CampaignSupervisor::runJournaled(std::span<const core::CampaignTask> tasks,
                                  FaultInjector& injector, net::Rng& rng,
                                  persist::ByteSink& sink) const {
-    persist::CampaignJournal journal{sink};
+    persist::CampaignJournal journal{sink, metrics_};
     persist::CampaignHeader header;
     header.planDigest = planDigest(tasks, injector.plan());
     header.configDigest = configDigest(config_);
@@ -388,19 +494,27 @@ CampaignSupervisor::runJournaled(std::span<const core::CampaignTask> tasks,
     header.checkpointInterval =
         static_cast<std::uint32_t>(config_.checkpointInterval);
     header.resumedAtOutcome = 0;
-    journal.writeHeader(header);
 
-    Runner runner{*observatory_, config_, injector, rng};
-    runner.init(tasks);
-    return runLoop(runner, &journal, config_.checkpointInterval);
+    Runner runner{*observatory_, config_, injector, rng, metrics_, trace_};
+    const obs::Span campaign = obs::Trace::enter(trace_, "run");
+    {
+        const obs::Span init = obs::Trace::enter(trace_, "init");
+        journal.writeHeader(header);
+        runner.init(tasks);
+    }
+    return runLoop(runner, &journal, config_.checkpointInterval, trace_);
 }
 
 core::CampaignResult CampaignSupervisor::resumeFromJournal(
     std::span<const std::byte> journal,
     std::span<const core::CampaignTask> tasks, FaultInjector& injector,
     net::Rng& rng, persist::ByteSink* continuation) const {
-    const persist::CampaignJournal::Replay replay =
-        persist::CampaignJournal::replay(journal);
+    const obs::Span campaign = obs::Trace::enter(trace_, "resume");
+    persist::CampaignJournal::Replay replay;
+    {
+        const obs::Span replaySpan = obs::Trace::enter(trace_, "replay");
+        replay = persist::CampaignJournal::replay(journal, metrics_);
+    }
 
     if (replay.header) {
         const persist::CampaignHeader& header = *replay.header;
@@ -422,25 +536,29 @@ core::CampaignResult CampaignSupervisor::resumeFromJournal(
                     "resume from the previous journal in the chain");
     }
 
-    Runner runner{*observatory_, config_, injector, rng};
+    Runner runner{*observatory_, config_, injector, rng, metrics_, trace_};
     std::uint64_t startOutcomes = 0;
-    if (replay.checkpoint) {
-        runner.restore(tasks, *replay.checkpoint);
-        startOutcomes = replay.checkpoint->outcomesApplied;
-    } else {
-        // Nothing durable beyond (at most) the header: replay the whole
-        // campaign from its recorded initial Rng state.
-        if (replay.header) {
-            rng.restore(replay.header->initialRngState);
+    {
+        const obs::Span restore = obs::Trace::enter(trace_, "restore");
+        if (replay.checkpoint) {
+            runner.restore(tasks, *replay.checkpoint);
+            startOutcomes = replay.checkpoint->outcomesApplied;
+        } else {
+            // Nothing durable beyond (at most) the header: replay the
+            // whole campaign from its recorded initial Rng state.
+            if (replay.header) {
+                rng.restore(replay.header->initialRngState);
+            }
+            runner.init(tasks);
         }
-        runner.init(tasks);
     }
 
     if (continuation == nullptr) {
-        return runLoop(runner, nullptr, config_.checkpointInterval);
+        return runLoop(runner, nullptr, config_.checkpointInterval,
+                       trace_);
     }
 
-    persist::CampaignJournal next{*continuation};
+    persist::CampaignJournal next{*continuation, metrics_};
     persist::CampaignHeader header;
     header.planDigest = planDigest(tasks, injector.plan());
     header.configDigest = configDigest(config_);
@@ -457,7 +575,7 @@ core::CampaignResult CampaignSupervisor::resumeFromJournal(
         // as this journal's first checkpoint.
         next.appendCheckpoint(*replay.checkpoint);
     }
-    return runLoop(runner, &next, config_.checkpointInterval);
+    return runLoop(runner, &next, config_.checkpointInterval, trace_);
 }
 
 core::CampaignResult
@@ -489,6 +607,9 @@ double CampaignSupervisor::routableTaskShare(
     if (tasks.empty()) {
         return 1.0;
     }
+    const obs::Span preflight = obs::Trace::enter(trace_, "preflight");
+    const obs::ScopedTimer timer{metrics_,
+                                 "supervisor.routable_share_seconds"};
     const std::shared_ptr<const route::PathOracle> oracle =
         cache.get(scenario);
     std::size_t routable = 0;

@@ -4,6 +4,8 @@
 #include <span>
 
 #include "core/observatory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "persist/journal.hpp"
 #include "resilience/fault.hpp"
 #include "routing/oracle_cache.hpp"
@@ -68,8 +70,26 @@ struct SupervisorConfig {
 /// the identical result, which is what makes campaigns replayable.
 class CampaignSupervisor {
 public:
+    /// `metrics` and `trace` (both optional, not owned, must outlive the
+    /// supervisor) wire the campaign loop into the observability layer.
+    /// The registry receives degradation counters
+    /// (`supervisor.attempts` / `.retries` / `.reassignments` /
+    /// `.abandoned` / `.completed` / `.transient_timeouts` /
+    /// `.settlements`), per-fault-class loss counters
+    /// (`supervisor.loss.<class>`) and the `supervisor.backoff_hours`
+    /// histogram; journals opened by the journaled entry points inherit
+    /// the same registry. Settlement counters are published as deltas on
+    /// the checkpoint cadence (and once at drain end), not per event —
+    /// the settlement loop is too hot for per-bump publishing (see
+    /// DESIGN.md §9 and bench_perf_micro's Observed rows). The trace
+    /// gains per-phase spans (init / drain / checkpoint / finish) plus
+    /// count-only attempt / settle.<kind> nodes aggregated per kind, so
+    /// a 10k-task campaign stays a dozen nodes. Both are ignored when
+    /// null — existing call sites are unaffected.
     explicit CampaignSupervisor(const core::Observatory& observatory,
-                                SupervisorConfig config = {});
+                                SupervisorConfig config = {},
+                                obs::MetricsRegistry* metrics = nullptr,
+                                obs::Trace* trace = nullptr);
 
     /// Runs `tasks` under the injector's fault timeline.
     [[nodiscard]] core::CampaignResult
@@ -136,6 +156,8 @@ public:
 private:
     const core::Observatory* observatory_;
     SupervisorConfig config_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    obs::Trace* trace_ = nullptr;
 };
 
 /// Fills `result.degradation.coverageVsOracle` with the share of the

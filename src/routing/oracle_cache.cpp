@@ -6,8 +6,10 @@
 namespace aio::route {
 
 OracleCache::OracleCache(const topo::Topology& topology, std::size_t capacity,
-                         exec::WorkerPool* pool)
-    : topo_(&topology), capacity_(capacity), pool_(pool) {
+                         exec::WorkerPool* pool,
+                         obs::MetricsRegistry* metrics)
+    : topo_(&topology), capacity_(capacity), pool_(pool),
+      metrics_(metrics) {
     AIO_EXPECTS(capacity >= 1, "oracle cache needs capacity >= 1");
     AIO_EXPECTS(topology.finalized(), "topology must be finalized");
 }
@@ -17,13 +19,24 @@ std::shared_ptr<const PathOracle> OracleCache::get(const LinkFilter& filter) {
     const std::lock_guard<std::mutex> lock{mutex_};
     if (const auto it = index_.find(key); it != index_.end()) {
         ++stats_.hits;
+        if (metrics_ != nullptr) {
+            metrics_->counter("cache.oracle.hits").add();
+        }
         lru_.splice(lru_.begin(), lru_, it->second);
         return it->second->oracle;
     }
     ++stats_.misses;
-    auto oracle = pool_ ? std::make_shared<const PathOracle>(*topo_, filter,
-                                                             *pool_)
-                        : std::make_shared<const PathOracle>(*topo_, filter);
+    if (metrics_ != nullptr) {
+        metrics_->counter("cache.oracle.misses").add();
+    }
+    std::shared_ptr<const PathOracle> oracle;
+    {
+        const obs::ScopedTimer timer{metrics_,
+                                     "cache.oracle.build_seconds"};
+        oracle = pool_ ? std::make_shared<const PathOracle>(*topo_, filter,
+                                                            *pool_)
+                       : std::make_shared<const PathOracle>(*topo_, filter);
+    }
     insertLocked(key, oracle);
     return oracle;
 }
@@ -36,8 +49,13 @@ void OracleCache::seed(const LinkFilter& filter,
     const FilterDigest key = filter.digest();
     const std::lock_guard<std::mutex> lock{mutex_};
     if (const auto it = index_.find(key); it != index_.end()) {
+        // Replacement, not eviction: the old entry's bytes leave the
+        // retained set, the eviction counters stay untouched.
+        stats_.retainedBytes -= it->second->oracle->memoryBytes();
+        stats_.retainedBytes += oracle->memoryBytes();
         it->second->oracle = std::move(oracle);
         lru_.splice(lru_.begin(), lru_, it->second);
+        publishGaugesLocked();
         return;
     }
     insertLocked(key, std::move(oracle));
@@ -45,14 +63,32 @@ void OracleCache::seed(const LinkFilter& filter,
 
 void OracleCache::insertLocked(const FilterDigest& key,
                                std::shared_ptr<const PathOracle> oracle) {
+    stats_.retainedBytes += oracle->memoryBytes();
     lru_.push_front(Entry{key, std::move(oracle)});
     index_.emplace(key, lru_.begin());
     if (lru_.size() > capacity_) {
+        const std::uint64_t bytes = lru_.back().oracle->memoryBytes();
+        stats_.retainedBytes -= bytes;
+        stats_.evictedBytes += bytes;
         index_.erase(lru_.back().key);
         lru_.pop_back();
         ++stats_.evictions;
+        if (metrics_ != nullptr) {
+            metrics_->counter("cache.oracle.evictions").add();
+            metrics_->counter("cache.oracle.evicted_bytes").add(bytes);
+        }
     }
     stats_.entries = lru_.size();
+    publishGaugesLocked();
+}
+
+void OracleCache::publishGaugesLocked() {
+    if (metrics_ != nullptr) {
+        metrics_->gauge("cache.oracle.entries")
+            .set(static_cast<double>(lru_.size()));
+        metrics_->gauge("cache.oracle.retained_bytes")
+            .set(static_cast<double>(stats_.retainedBytes));
+    }
 }
 
 OracleCacheStats OracleCache::stats() const {
@@ -63,8 +99,10 @@ OracleCacheStats OracleCache::stats() const {
 void OracleCache::resetStats() {
     const std::lock_guard<std::mutex> lock{mutex_};
     const std::size_t entries = stats_.entries;
+    const std::uint64_t retained = stats_.retainedBytes;
     stats_ = OracleCacheStats{};
     stats_.entries = entries;
+    stats_.retainedBytes = retained;
 }
 
 void OracleCache::clear() {
@@ -72,6 +110,8 @@ void OracleCache::clear() {
     lru_.clear();
     index_.clear();
     stats_.entries = 0;
+    stats_.retainedBytes = 0;
+    publishGaugesLocked();
 }
 
 } // namespace aio::route

@@ -5,16 +5,25 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "routing/path_oracle.hpp"
 
 namespace aio::route {
 
 /// Hit/miss/eviction accounting, exposed for the failure-sweep benches.
+/// Byte fields track the dense route matrices of the entries (see
+/// PathOracle::memoryBytes): `retainedBytes` is what the cache currently
+/// keeps alive, `evictedBytes` the cumulative size of entries LRU-evicted
+/// over capacity. Replacing an entry for an existing digest (seed())
+/// swaps the byte accounting but is NOT an eviction — nothing was pushed
+/// out for capacity reasons.
 struct OracleCacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::size_t entries = 0;
+    std::uint64_t retainedBytes = 0;
+    std::uint64_t evictedBytes = 0;
 
     [[nodiscard]] double hitRate() const {
         const std::uint64_t lookups = hits + misses;
@@ -39,16 +48,20 @@ struct OracleCacheStats {
 class OracleCache {
 public:
     /// `pool` (optional, not owned, must outlive the cache) parallelizes
-    /// miss-path construction.
+    /// miss-path construction. `metrics` (optional, not owned) mirrors
+    /// the stats onto registry counters/gauges and records a build-time
+    /// histogram for the miss path.
     OracleCache(const topo::Topology& topology, std::size_t capacity,
-                exec::WorkerPool* pool = nullptr);
+                exec::WorkerPool* pool = nullptr,
+                obs::MetricsRegistry* metrics = nullptr);
 
     /// The oracle for `filter`, building (and caching) it on a miss.
     [[nodiscard]] std::shared_ptr<const PathOracle>
     get(const LinkFilter& filter);
 
     /// Pre-inserts an already-built oracle for `filter` without touching
-    /// the hit/miss counters. Replaces any existing entry for the digest.
+    /// the hit/miss counters. Replaces any existing entry for the digest
+    /// (byte accounting swaps to the new entry; no eviction is counted).
     void seed(const LinkFilter& filter,
               std::shared_ptr<const PathOracle> oracle);
 
@@ -71,9 +84,13 @@ private:
     void insertLocked(const FilterDigest& key,
                       std::shared_ptr<const PathOracle> oracle);
 
+    /// Pushes entry/byte gauges to the registry. Caller holds mutex_.
+    void publishGaugesLocked();
+
     const topo::Topology* topo_;
     std::size_t capacity_;
     exec::WorkerPool* pool_;
+    obs::MetricsRegistry* metrics_;
 
     mutable std::mutex mutex_;
     Lru lru_;

@@ -96,9 +96,12 @@ void PathOracle::build(const LinkFilter& filter, exec::WorkerPool* pool) {
         return scratch;
     };
 
-    if (pool == nullptr || pool->threadCount() == 1) {
+    if (pool == nullptr) {
         // Sequential reference: the plain destination loop the parallel
-        // build is differential-tested against.
+        // build is differential-tested against. A 1-thread pool goes
+        // through parallelFor instead — same inline loop, same order,
+        // but the pool's dispatch metrics see the build, keeping the
+        // observability readout invariant across pool widths.
         DestScratch scratch = makeScratch();
         for (topo::AsIndex dst = 0; dst < n_; ++dst) {
             computeDestination(dst, filter, scratch);

@@ -120,6 +120,14 @@ public:
 
     [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
 
+    /// Resident bytes of the dense route matrices — what a cache entry
+    /// actually retains. Struct/vector overhead is excluded (constant,
+    /// dwarfed by the n^2 slabs).
+    [[nodiscard]] std::size_t memoryBytes() const {
+        return nextHop_.size() * sizeof(std::int32_t) +
+               klass_.size() * sizeof(std::uint8_t);
+    }
+
     /// Raw matrices ([dst * asCount + src] layout) for differential tests
     /// and digests; -1 next hop / RouteClass::None mark "no route".
     [[nodiscard]] std::span<const std::int32_t> nextHopMatrix() const {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "netbase/error.hpp"
 #include "netbase/geo.hpp"
 #include "netbase/region.hpp"
@@ -92,6 +94,26 @@ TEST(Stats, PercentileInterpolates) {
     EXPECT_DOUBLE_EQ(percentile(one, 90), 7.0);
     const std::vector<double> empty;
     EXPECT_THROW(percentile(empty, 50), PreconditionError);
+}
+
+TEST(Stats, QuantilesRejectNaNAndInf) {
+    // NaN is unordered under operator<, so sorting a poisoned sample
+    // produces an arbitrary permutation and a silently wrong quantile —
+    // the guard turns that into a loud precondition failure.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<double> withNan = {1.0, nan, 3.0};
+    const std::vector<double> withInf = {1.0, inf, 3.0};
+    const std::vector<double> withNegInf = {-inf, 2.0, 3.0};
+    EXPECT_THROW((void)percentile(withNan, 50), PreconditionError);
+    EXPECT_THROW((void)median(withNan), PreconditionError);
+    EXPECT_THROW((void)empiricalCdf(withNan), PreconditionError);
+    EXPECT_THROW((void)percentile(withInf, 50), PreconditionError);
+    EXPECT_THROW((void)median(withNegInf), PreconditionError);
+
+    // The guard must not reject legitimate extremes.
+    const std::vector<double> fine = {-1e308, 0.0, 1e308};
+    EXPECT_DOUBLE_EQ(median(fine), 0.0);
 }
 
 TEST(Stats, EmpiricalCdfIsMonotone) {

@@ -219,6 +219,65 @@ TEST(JournalReplay, ContinuationJournalCursorAccountsForResumePoint) {
     EXPECT_EQ(replay.outcomeRecords, 1U);
 }
 
+// --- durability: the journal must flush, not just append ---------------
+
+TEST(JournalDurability, EveryAppendIsFlushedBeforeReturning) {
+    // The WAL contract is only honest once bytes leave the buffering
+    // layer: on a sink modelling an OS page cache, everything the journal
+    // wrote must be durable the moment the append call returns. (The
+    // original journal never flushed — this test is the regression lock.)
+    BufferingSink sink;
+    CampaignJournal journal{sink};
+
+    journal.writeHeader(sampleHeader());
+    EXPECT_EQ(sink.pendingBytes(), 0U) << "header left in the buffer";
+
+    journal.appendOutcome(sampleOutcome(0, TaskOutcomeKind::Completed));
+    EXPECT_EQ(sink.pendingBytes(), 0U) << "outcome left in the buffer";
+
+    journal.appendCheckpoint(sampleCheckpoint(1));
+    EXPECT_EQ(sink.pendingBytes(), 0U) << "checkpoint left in the buffer";
+
+    // What a crash right now would leave behind replays completely.
+    const auto replay = CampaignJournal::replay(sink.durable());
+    ASSERT_TRUE(replay.header.has_value());
+    ASSERT_TRUE(replay.checkpoint.has_value());
+    EXPECT_EQ(replay.outcomeRecords, 1U);
+    EXPECT_FALSE(replay.tornTail);
+}
+
+TEST(JournalDurability, CrashBetweenWriteAndFlushLosesOnlyThatRecord) {
+    // Learn the record layout from an uninterrupted twin journal.
+    MemorySink whole;
+    {
+        CampaignJournal journal{whole};
+        journal.writeHeader(sampleHeader());
+        journal.appendOutcome(sampleOutcome(0, TaskOutcomeKind::Completed));
+        journal.appendCheckpoint(sampleCheckpoint(1));
+    }
+    const auto boundaries = scanRecords(whole.bytes()).boundaries;
+    ASSERT_EQ(boundaries.size(), 3U);
+
+    // Budget = exactly header + outcome: the outcome append lands in the
+    // buffer, the flush right after it throws — the written-but-unflushed
+    // record is the one the crash eats, nothing else.
+    BufferingSink buffered;
+    CrashingSink dying{buffered, boundaries[1]};
+    CampaignJournal journal{dying};
+    journal.writeHeader(sampleHeader());
+    EXPECT_THROW(
+        journal.appendOutcome(sampleOutcome(0, TaskOutcomeKind::Completed)),
+        SinkFailure);
+
+    EXPECT_EQ(buffered.pendingBytes(), boundaries[1] - boundaries[0])
+        << "the outcome record reached the buffer but not durability";
+    const auto replay = CampaignJournal::replay(buffered.durable());
+    ASSERT_TRUE(replay.header.has_value());
+    EXPECT_EQ(replay.outcomeRecords, 0U)
+        << "an unflushed record must not survive the crash";
+    EXPECT_FALSE(replay.checkpoint.has_value());
+}
+
 TEST(JournalReplay, UnknownRecordTypeIsCorruption) {
     MemorySink sink;
     CampaignJournal journal{sink};

@@ -203,6 +203,38 @@ TEST_P(CrashSweep, CrashingSinkLeavesExactlyTheJournalPrefix) {
     }
 }
 
+TEST_P(CrashSweep, CrashBetweenWriteAndFlushResumesFromDurableBytes) {
+    const SweepCase c{GetParam()};
+    // Exact-boundary budgets hit CrashingSink's write/flush seam: the
+    // last record's append lands in the OS-cache model, then the flush
+    // throws — written but never durable. What a real crash leaves is
+    // the *flushed* prefix, one record short of what the process wrote,
+    // and resume must reach the baseline from exactly that.
+    const std::size_t last = c.boundaries.size() - 1;
+    for (const std::size_t idx : {std::size_t{1}, last / 2, last}) {
+        const std::size_t budget = c.boundaries[idx];
+        persist::BufferingSink buffered;
+        persist::CrashingSink dying{buffered, budget};
+        FaultInjector injector{c.obs.fleet(), c.plan, 1.0};
+        net::Rng rng{GetParam() + 2}; // the original campaign seed
+        EXPECT_THROW((void)c.supervisor.runJournaled(c.tasks, injector,
+                                                     rng, dying),
+                     persist::SinkFailure);
+
+        // The unflushed tail is exactly the last written record.
+        EXPECT_EQ(buffered.pendingBytes(),
+                  c.boundaries[idx] - c.boundaries[idx - 1]);
+        const auto durable = buffered.durable();
+        ASSERT_EQ(durable.size(), c.boundaries[idx - 1]);
+        EXPECT_TRUE(std::ranges::equal(
+            durable, std::span{c.journal}.first(durable.size())));
+
+        const auto resumed = c.resumeFrom(durable);
+        EXPECT_TRUE(resumed == c.baseline)
+            << "flush crash at record " << idx;
+    }
+}
+
 TEST_P(CrashSweep, DoubleCrashResumesThroughContinuationJournal) {
     const SweepCase c{GetParam()};
     const std::size_t firstCut = c.boundaries[c.boundaries.size() / 3];

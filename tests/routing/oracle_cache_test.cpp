@@ -212,6 +212,88 @@ TEST(OracleCache, SeedRejectsForeignTopology) {
                  net::PreconditionError);
 }
 
+TEST(OracleCache, ByteAccountingTracksRetainedAndEvictedBytes) {
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 2};
+    const std::size_t oracleBytes = PathOracle{topo}.memoryBytes();
+    ASSERT_GT(oracleBytes, 0U);
+
+    LinkFilter f1;
+    f1.disableLink(0, 1);
+    LinkFilter f2;
+    f2.disableLink(0, 2);
+    LinkFilter f3;
+    f3.disableAs(2);
+
+    (void)cache.get(f1);
+    (void)cache.get(f2);
+    EXPECT_EQ(cache.stats().retainedBytes, 2 * oracleBytes);
+    EXPECT_EQ(cache.stats().evictedBytes, 0U);
+
+    (void)cache.get(f3); // over capacity: f1 is evicted
+    const OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2U);
+    EXPECT_EQ(stats.retainedBytes, 2 * oracleBytes);
+    EXPECT_EQ(stats.evictions, 1U);
+    EXPECT_EQ(stats.evictedBytes, oracleBytes);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().retainedBytes, 0U);
+    EXPECT_EQ(cache.stats().evictedBytes, oracleBytes)
+        << "evictedBytes is cumulative; clear() drops only retained";
+}
+
+TEST(OracleCache, ReplaceHeavySeedingNeverInflatesEvictionAccounting) {
+    // Re-seeding the same digest over and over is a replacement, not an
+    // eviction: retainedBytes must track only the live entries, and the
+    // eviction counters must not move — the bug this locks out double
+    // counted the old entry's size into both.
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 2};
+    const std::size_t oracleBytes = PathOracle{topo}.memoryBytes();
+
+    LinkFilter f1;
+    f1.disableLink(0, 1);
+    for (int round = 0; round < 50; ++round) {
+        cache.seed(f1, std::make_shared<const PathOracle>(topo, f1));
+    }
+    OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1U);
+    EXPECT_EQ(stats.retainedBytes, oracleBytes)
+        << "replacement must swap bytes, not accumulate them";
+    EXPECT_EQ(stats.evictions, 0U);
+    EXPECT_EQ(stats.evictedBytes, 0U);
+
+    // Mixing replacements with genuine capacity evictions keeps the two
+    // ledgers separate.
+    LinkFilter f2;
+    f2.disableLink(0, 2);
+    LinkFilter f3;
+    f3.disableAs(2);
+    cache.seed(f2, std::make_shared<const PathOracle>(topo, f2));
+    (void)cache.get(f3); // evicts the LRU entry
+    cache.seed(f3, std::make_shared<const PathOracle>(topo, f3));
+
+    stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2U);
+    EXPECT_EQ(stats.retainedBytes, 2 * oracleBytes);
+    EXPECT_EQ(stats.evictions, 1U);
+    EXPECT_EQ(stats.evictedBytes, oracleBytes);
+}
+
+TEST(OracleCache, ResetStatsKeepsByteResidency) {
+    const topo::Topology topo = diamondTopology();
+    OracleCache cache{topo, 4};
+    (void)cache.get(LinkFilter{});
+    const std::uint64_t retained = cache.stats().retainedBytes;
+    ASSERT_GT(retained, 0U);
+    cache.resetStats();
+    // Counters reset; residency (entries + bytes) describes what is
+    // still cached and must survive.
+    EXPECT_EQ(cache.stats().retainedBytes, retained);
+    EXPECT_EQ(cache.stats().evictedBytes, 0U);
+}
+
 TEST(OracleCache, ResetStatsKeepsEntries) {
     const topo::Topology topo = diamondTopology();
     OracleCache cache{topo, 4};
