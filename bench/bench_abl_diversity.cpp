@@ -4,13 +4,13 @@
 // resilience not"), and (c) one extra geographically diverse cable.
 
 #include "bench_common.hpp"
+#include "sweep/scenario_sweep.hpp"
 
 using namespace aio;
 
 namespace {
 
-phys::SubseaCable makeCable(const phys::CableRegistry& registry,
-                            std::string name, phys::CorridorId corridor,
+phys::SubseaCable makeCable(std::string name, phys::CorridorId corridor,
                             std::initializer_list<std::string_view> codes) {
     phys::SubseaCable cable;
     cable.name = std::move(name);
@@ -32,7 +32,7 @@ int main() {
     bench::World world;
     bench::banner("Ablation", "Backup count vs corridor diversity (§5.1)");
 
-    const core::WhatIfEngine baseline{
+    const core::Substrate substrate{
         world.topo, phys::CableRegistry::africanDefaults(),
         dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
     const std::vector<std::string> march2024 = {"WACS", "MainOne", "SAT-3",
@@ -43,10 +43,10 @@ int main() {
     march2024PlusSame.push_back("WestLegacy-2");
 
     const auto westCorridor =
-        baseline.registry().cable(baseline.registry().byName("WACS"))
+        substrate.registry().cable(substrate.registry().byName("WACS"))
             .corridor;
     const auto diverseCorridor =
-        baseline.registry().cable(baseline.registry().byName("Equiano"))
+        substrate.registry().cable(substrate.registry().byName("Equiano"))
             .corridor;
     // Landings deliberately cover the ACE-only coast (MR/GM/GW/GN/SL/LR):
     // diversity planned where single-cable dependence is worst.
@@ -54,18 +54,25 @@ int main() {
         "PT", "MA", "SN", "MR", "GM", "GW", "GN", "SL", "LR",
         "CI", "GH", "NG", "CM", "AO", "NA", "ZA"};
 
-    const auto sameCorridor = baseline.withCable(makeCable(
-        baseline.registry(), "WestLegacy-2", westCorridor, landings));
-    const auto diverse = baseline.withCable(makeCable(
-        baseline.registry(), "WestShield", diverseCorridor, landings));
+    // The three ablation arms as one sweep batch: status quo, a backup
+    // in the same corridor (cut by the same event), and a diverse one.
+    std::vector<core::ScenarioSpec> scenarios(3);
+    scenarios[0].name = "status-quo";
+    scenarios[0].cutCables = march2024;
+    scenarios[1].name = "same-corridor";
+    scenarios[1].cablesAdded =
+        {makeCable("WestLegacy-2", westCorridor, landings)};
+    scenarios[1].cutCables = march2024PlusSame;
+    scenarios[2].name = "diverse-corridor";
+    scenarios[2].cablesAdded =
+        {makeCable("WestShield", diverseCorridor, landings)};
+    scenarios[2].cutCables = march2024;
 
-    const auto before = baseline.assess(baseline.makeCutEvent(march2024));
-    // Same-corridor backup: correlated, so the event cuts it too.
-    const auto sameReport =
-        sameCorridor.assess(sameCorridor.makeCutEvent(march2024PlusSame));
-    // Diverse backup survives the corridor event.
-    const auto diverseReport =
-        diverse.assess(diverse.makeCutEvent(march2024));
+    const sweep::ScenarioSweepEngine engine{substrate};
+    const auto batch = engine.run(scenarios);
+    const auto& before = batch.scenarios[0].outcome.valueOrRaise();
+    const auto& sameReport = batch.scenarios[1].outcome.valueOrRaise();
+    const auto& diverseReport = batch.scenarios[2].outcome.valueOrRaise();
 
     net::TextTable table({"Scenario", "countries impacted",
                           "mean days to recover", "worst days",

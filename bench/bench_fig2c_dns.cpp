@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "bench_common.hpp"
+#include "sweep/scenario_sweep.hpp"
 
 using namespace aio;
 
@@ -32,12 +33,15 @@ int main() {
     // Resolution failure during the March 2024 cut, per affected country.
     std::cout << "\nDNS resolution failure during a WACS+MainOne+SAT-3+ACE"
                  " cut:\n";
-    const core::WhatIfEngine engine{
+    const core::Substrate substrate{
         world.topo, phys::CableRegistry::africanDefaults(),
         dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
-    const std::vector<std::string> march2024 = {"WACS", "MainOne", "SAT-3",
-                                                "ACE"};
-    const auto report = engine.assess(engine.makeCutEvent(march2024));
+    std::vector<core::ScenarioSpec> scenarios(1);
+    scenarios[0].name = "march-2024";
+    scenarios[0].cutCables = {"WACS", "MainOne", "SAT-3", "ACE"};
+    const sweep::ScenarioSweepEngine engine{substrate};
+    const auto batch = engine.run(scenarios);
+    const auto& report = batch.scenarios[0].outcome.valueOrRaise();
     auto worst = report.countries;
     std::sort(worst.begin(), worst.end(),
               [](const auto& a, const auto& b) {

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/budget.hpp"
 #include "core/observatory.hpp"
 #include "core/setcover.hpp"
@@ -19,6 +21,7 @@
 #include "resilience/supervisor.hpp"
 #include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
+#include "sweep/scenario_sweep.hpp"
 #include "topo/generator.hpp"
 
 namespace {
@@ -122,6 +125,91 @@ void BM_OracleCacheFailureSweep(benchmark::State& state) {
                    std::to_string(cache.capacity()));
 }
 BENCHMARK(BM_OracleCacheFailureSweep)->Unit(benchmark::kMillisecond);
+
+// ---- scenario sweep: full vs incremental recompute ------------------
+// Paired rows over the same batch, structured the way real sweeps are: a
+// cross product of overlapping random cut sets (1-4 cables from a pool
+// of 11) x four repair policies. Mode 0 rebuilds every scenario's routes
+// from scratch (the per-scenario reference); mode 1 uses the sweep
+// engine's dirty-destination incremental path plus cut-set digest dedupe
+// (the oracle depends only on the cut set, so repair-policy variants
+// share one build). The sweep_equivalence tests prove both modes produce
+// byte-identical reports; these rows price the difference. Acceptance:
+// >=3x at 256 scenarios.
+void BM_ScenarioSweep(benchmark::State& state) {
+    const auto& topo = world();
+    static exec::WorkerPool pool;
+    static core::Substrate::Options options = [] {
+        core::Substrate::Options opts;
+        opts.pool = &pool;
+        return opts;
+    }();
+    static const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+        options};
+
+    const bool incremental = state.range(0) != 0;
+    const auto batch = static_cast<std::size_t>(state.range(1));
+    const std::vector<std::string> cables = {
+        "WACS",  "MainOne", "SAT-3", "ACE",     "Glo-1",  "SEACOM",
+        "EASSy", "EIG",     "AAE-1", "Equiano", "2Africa"};
+    const std::vector<double> repairPolicies = {7.0, 14.0, 21.0, 30.0};
+    net::Rng rng{314};
+    std::vector<core::ScenarioSpec> scenarios;
+    scenarios.reserve(batch);
+    for (std::size_t set = 0; scenarios.size() < batch; ++set) {
+        std::vector<std::string> cuts;
+        const std::size_t k = 1 + rng.uniformInt(4);
+        for (std::size_t c = 0; c < k; ++c) {
+            const auto& cable = cables[rng.uniformInt(cables.size())];
+            if (std::find(cuts.begin(), cuts.end(), cable) == cuts.end()) {
+                cuts.push_back(cable);
+            }
+        }
+        for (const double repairDays : repairPolicies) {
+            if (scenarios.size() == batch) break;
+            core::ScenarioSpec spec;
+            spec.name = "cut-" + std::to_string(set) + "-r" +
+                        std::to_string(static_cast<int>(repairDays));
+            spec.cutCables = cuts;
+            spec.repairDays = repairDays;
+            scenarios.push_back(std::move(spec));
+        }
+    }
+
+    const sweep::ScenarioSweepEngine engine{
+        substrate,
+        sweep::SweepOptions{.mode = incremental
+                                ? sweep::RecomputeMode::Incremental
+                                : sweep::RecomputeMode::Full}};
+    sweep::SweepStats stats{};
+    for (auto _ : state) {
+        const auto result = engine.run(scenarios);
+        stats = result.stats;
+        benchmark::DoNotOptimize(&result);
+    }
+    const auto builds =
+        incremental ? stats.incrementalBuilds : stats.fullBuilds;
+    state.counters["oracle_builds"] = static_cast<double>(builds);
+    state.counters["dedup_hits"] = static_cast<double>(stats.dedupHits);
+    if (incremental && builds > 0) {
+        state.counters["dirty_frac"] =
+            static_cast<double>(stats.dirtyDestinations) /
+            (static_cast<double>(builds) *
+             static_cast<double>(topo.asCount()));
+    }
+    state.SetLabel(std::to_string(batch) + " scenarios, " +
+                   (incremental ? "incremental" : "full"));
+}
+BENCHMARK(BM_ScenarioSweep)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PathQuery(benchmark::State& state) {
     const auto& topo = world();

@@ -2,13 +2,19 @@
 // SAT-3 + ACE severed by one seabed event) and runs the paper's what-if:
 // how much would a geographically diverse cable have helped?
 //
+// Written against the Substrate + scenario-sweep API: both scenarios
+// (status quo and the WestShield overlay) go through one
+// ScenarioSweepEngine batch, which recomputes routes incrementally and
+// is byte-identical to assessing each scenario through its own
+// WhatIfEngine.
+//
 //   ./build/examples/cable_cut_whatif
 
 #include <iostream>
 
-#include "core/whatif.hpp"
 #include "netbase/error.hpp"
 #include "netbase/stats.hpp"
+#include "sweep/scenario_sweep.hpp"
 #include "topo/generator.hpp"
 
 using namespace aio;
@@ -16,7 +22,7 @@ using namespace aio;
 int main() try {
     const topo::Topology topology =
         topo::TopologyGenerator{topo::GeneratorConfig::defaults()}.generate();
-    const core::WhatIfEngine engine{
+    const core::Substrate substrate{
         topology, phys::CableRegistry::africanDefaults(),
         dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
 
@@ -26,7 +32,33 @@ int main() try {
     for (const auto& name : cables) std::cout << ' ' << name;
     std::cout << " (March 2024)\n\n";
 
-    const auto report = engine.assess(engine.makeCutEvent(cables));
+    // What-if overlay: a diverse cable covering the ACE-only coast.
+    phys::SubseaCable shield;
+    shield.name = "WestShield";
+    shield.corridor = substrate.registry()
+                          .cable(substrate.registry().byName("Equiano"))
+                          .corridor;
+    shield.readyForService = 2026;
+    shield.capacityTbps = 120.0;
+    for (const auto code : {"PT", "SN", "GM", "GN", "SL", "LR", "CI", "GH",
+                            "NG", "ZA"}) {
+        shield.landings.push_back(phys::LandingStation{
+            std::string{code},
+            net::CountryTable::world().byCode(code).centroid});
+    }
+
+    std::vector<core::ScenarioSpec> scenarios(2);
+    scenarios[0].name = "march-2024";
+    scenarios[0].cutCables = cables;
+    scenarios[1].name = "march-2024+WestShield";
+    scenarios[1].cutCables = cables;
+    scenarios[1].cablesAdded = {shield};
+
+    const sweep::ScenarioSweepEngine engine{substrate};
+    const sweep::SweepResult batch = engine.run(scenarios);
+    const auto& report = batch.scenarios[0].outcome.valueOrRaise();
+    const auto& after = batch.scenarios[1].outcome.valueOrRaise();
+
     std::cout << "Impacted countries (" << report.impactedCountries().size()
               << "):\n";
     for (const auto& impact : report.countries) {
@@ -39,23 +71,6 @@ int main() try {
                   << net::TextTable::num(impact.effectiveOutageDays, 1)
                   << " days\n";
     }
-
-    // What-if: a diverse cable covering the ACE-only coast.
-    phys::SubseaCable shield;
-    shield.name = "WestShield";
-    shield.corridor = engine.registry()
-                          .cable(engine.registry().byName("Equiano"))
-                          .corridor;
-    shield.readyForService = 2026;
-    shield.capacityTbps = 120.0;
-    for (const auto code : {"PT", "SN", "GM", "GN", "SL", "LR", "CI", "GH",
-                            "NG", "ZA"}) {
-        shield.landings.push_back(phys::LandingStation{
-            std::string{code},
-            net::CountryTable::world().byCode(code).centroid});
-    }
-    const auto upgraded = engine.withCable(shield);
-    const auto after = upgraded.assess(upgraded.makeCutEvent(cables));
 
     double beforeMean = 0.0;
     double afterMean = 0.0;

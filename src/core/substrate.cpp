@@ -1,0 +1,170 @@
+#include "core/substrate.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace aio::core {
+
+namespace {
+
+/// Shares must be non-negative and sum to ~1 (tolerating float drift).
+[[nodiscard]] bool validShareSet(std::initializer_list<double> shares) {
+    double sum = 0.0;
+    for (const double share : shares) {
+        if (!(share >= 0.0) || !std::isfinite(share)) {
+            return false;
+        }
+        sum += share;
+    }
+    return std::abs(sum - 1.0) < 1e-6;
+}
+
+[[nodiscard]] bool validProbability(double p) {
+    return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+}
+
+} // namespace
+
+net::Expected<void>
+Substrate::validate(const topo::Topology& topology,
+                    const phys::CableRegistry& registry,
+                    const dns::DnsConfig& dnsConfig,
+                    const content::ContentConfig& contentConfig,
+                    const Options& options) {
+    (void)registry; // no structural constraints today; reserved
+    if (!topology.finalized()) {
+        return net::Error::precondition(
+            "substrate topology must be finalized");
+    }
+    if (options.oracleCache != nullptr &&
+        &options.oracleCache->topology() != &topology) {
+        return net::Error::precondition(
+            "oracle cache bound to a different topology");
+    }
+    if (!validProbability(options.linkConfig.terrestrialProb) ||
+        !validProbability(options.linkConfig.backupProb) ||
+        !validProbability(options.linkConfig.backupSameCorridorProb)) {
+        return net::Error::precondition(
+            "link-map probabilities must lie in [0, 1]");
+    }
+    for (const dns::ResolverProfile& profile : dnsConfig.africa) {
+        if (!validShareSet({profile.localInCountry,
+                            profile.otherAfricanCountry,
+                            profile.cloudInAfrica, profile.cloudOffshore,
+                            profile.ispOffshore})) {
+            return net::Error::precondition(
+                "DNS resolver profile shares must be non-negative and "
+                "sum to 1");
+        }
+    }
+    if (contentConfig.sitesPerCountry < 1) {
+        return net::Error::precondition(
+            "content config needs sitesPerCountry >= 1");
+    }
+    for (const content::HostingProfile& profile : contentConfig.africa) {
+        if (!validShareSet({profile.localDatacenter, profile.ixpOffnetCache,
+                            profile.africanRegionalDc, profile.europeDc,
+                            profile.northAmericaDc})) {
+            return net::Error::precondition(
+                "content hosting profile shares must be non-negative and "
+                "sum to 1");
+        }
+    }
+    return net::Expected<void>::ok();
+}
+
+Substrate::Substrate(const topo::Topology& topology,
+                     phys::CableRegistry registry, dns::DnsConfig dnsConfig,
+                     content::ContentConfig contentConfig, Options options)
+    : topo_(&topology), registry_(std::move(registry)),
+      dnsConfig_(dnsConfig), contentConfig_(contentConfig),
+      options_(options) {
+    const auto valid =
+        validate(topology, registry_, dnsConfig_, contentConfig_, options_);
+    if (!valid) {
+        valid.error().raise();
+    }
+    // The same derivation chain (and seed offsets) the legacy
+    // WhatIfEngine constructor used, so a Substrate-built engine is
+    // byte-identical to a legacy-built one.
+    net::Rng mapRng{options_.seed};
+    linkMap_ = std::make_unique<phys::PhysicalLinkMap>(
+        *topo_, registry_, mapRng, options_.linkConfig);
+    resolvers_ = std::make_unique<dns::ResolverEcosystem>(
+        *topo_, dnsConfig_, options_.seed + 1);
+    catalog_ = std::make_unique<content::ContentCatalog>(
+        *topo_, contentConfig_, options_.seed + 2);
+    analyzer_ = std::make_unique<outage::ImpactAnalyzer>(
+        *topo_, *linkMap_, *resolvers_, *catalog_, options_.impact,
+        options_.oracleCache, options_.pool, options_.metrics);
+}
+
+net::Expected<Substrate>
+Substrate::tryCreate(const topo::Topology& topology,
+                     phys::CableRegistry registry, dns::DnsConfig dnsConfig,
+                     content::ContentConfig contentConfig, Options options) {
+    auto valid =
+        validate(topology, registry, dnsConfig, contentConfig, options);
+    if (!valid) {
+        return valid.error();
+    }
+    return Substrate{topology, std::move(registry), dnsConfig,
+                     contentConfig, options};
+}
+
+outage::ImpactAnalyzer
+Substrate::impactAnalyzer(std::optional<outage::ImpactConfig> config) const {
+    return outage::ImpactAnalyzer{*topo_,
+                                  *linkMap_,
+                                  *resolvers_,
+                                  *catalog_,
+                                  config.value_or(options_.impact),
+                                  options_.oracleCache,
+                                  options_.pool,
+                                  options_.metrics};
+}
+
+net::Expected<void> ScenarioSpec::validate(const Substrate& substrate) const {
+    if (name.empty()) {
+        return net::Error::precondition("scenario needs a non-empty name");
+    }
+    if (!(repairDays > 0.0) || !std::isfinite(repairDays)) {
+        return net::Error::precondition(
+            "scenario '" + name + "': repairDays must be positive");
+    }
+    if (cutCables.empty()) {
+        return net::Error::precondition(
+            "scenario '" + name + "': a cut needs at least one cable");
+    }
+    std::unordered_set<std::string> added;
+    for (const phys::SubseaCable& cable : cablesAdded) {
+        if (cable.name.empty()) {
+            return net::Error::precondition(
+                "scenario '" + name + "': added cable needs a name");
+        }
+        if (cable.landings.size() < 2) {
+            return net::Error::precondition(
+                "scenario '" + name + "': added cable '" + cable.name +
+                "' needs at least two landings");
+        }
+        if (!added.insert(cable.name).second) {
+            return net::Error::precondition(
+                "scenario '" + name + "': duplicate added cable '" +
+                cable.name + "'");
+        }
+    }
+    for (const std::string& cut : cutCables) {
+        if (added.contains(cut)) {
+            continue;
+        }
+        try {
+            (void)substrate.registry().byName(cut);
+        } catch (const net::NotFoundError&) {
+            return net::Error::notFound("scenario '" + name +
+                                        "': unknown cable '" + cut + "'");
+        }
+    }
+    return net::Expected<void>::ok();
+}
+
+} // namespace aio::core

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "content/catalog.hpp"
+#include "dns/resolver.hpp"
+#include "exec/worker_pool.hpp"
+#include "netbase/expected.hpp"
+#include "obs/metrics.hpp"
+#include "outage/impact.hpp"
+#include "phys/cable.hpp"
+#include "phys/linkmap.hpp"
+#include "routing/oracle_cache.hpp"
+#include "topo/as_graph.hpp"
+
+namespace aio::core {
+
+/// The one substrate bundle every scenario-evaluation entry point builds
+/// from: topology + cable registry + DNS/content/link-map configuration +
+/// derivation seed, plus the optional shared accelerators (route cache,
+/// worker pool, metrics registry). Before this type existed,
+/// `WhatIfEngine`, `ImpactAnalyzer`, `CampaignSupervisor` and every bench
+/// hand-assembled the same bundle through divergent constructor
+/// signatures; now they all construct from a Substrate (the old
+/// constructors remain as deprecated forwarding shims for one PR — see
+/// DESIGN.md §10 for the schedule).
+///
+/// A Substrate owns the baseline derived layers (physical link map,
+/// resolver ecosystem, content catalog, impact analyzer), built exactly
+/// once with the same seed derivation the legacy constructors used — so
+/// engines sharing a Substrate share one baseline instead of re-deriving
+/// it per engine, and results stay byte-identical to the legacy path.
+///
+/// Configuration is validated at construction (profile shares must be
+/// sane, probabilities in range, accelerators bound to the same
+/// topology): a bad bundle fails before any scenario runs, not mid-sweep.
+class Substrate;
+
+/// Optional Substrate knobs beyond the four mandatory layers (namespace
+/// scope so it is complete where Substrate's constructors default it).
+struct SubstrateOptions {
+    phys::LinkMapConfig linkConfig{};
+    std::uint64_t seed = 99;
+    /// Shared accelerators (all optional, not owned, must outlive the
+    /// substrate and every engine built from it).
+    route::OracleCache* oracleCache = nullptr;
+    exec::WorkerPool* pool = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
+    outage::ImpactConfig impact{};
+};
+
+class Substrate {
+public:
+    using Options = SubstrateOptions;
+
+    /// Validates and derives the baseline layers; throws
+    /// net::PreconditionError on an invalid bundle (see validate()).
+    Substrate(const topo::Topology& topology, phys::CableRegistry registry,
+              dns::DnsConfig dnsConfig, content::ContentConfig contentConfig,
+              Options options = Options());
+
+    Substrate(Substrate&&) noexcept = default;
+    Substrate& operator=(Substrate&&) noexcept = default;
+
+    /// Non-throwing construction: the validation failure as a value.
+    [[nodiscard]] static net::Expected<Substrate>
+    tryCreate(const topo::Topology& topology, phys::CableRegistry registry,
+              dns::DnsConfig dnsConfig, content::ContentConfig contentConfig,
+              Options options = Options());
+
+    /// The validation rule behind both constructors, exposed so callers
+    /// can pre-flight a bundle: finalized topology, accelerator/topology
+    /// agreement, probabilities in [0,1], resolver/hosting profile shares
+    /// non-negative and summing to ~1, sitesPerCountry >= 1.
+    [[nodiscard]] static net::Expected<void>
+    validate(const topo::Topology& topology,
+             const phys::CableRegistry& registry,
+             const dns::DnsConfig& dnsConfig,
+             const content::ContentConfig& contentConfig,
+             const Options& options);
+
+    // ---- configuration ----
+    [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+    [[nodiscard]] const phys::CableRegistry& registry() const {
+        return registry_;
+    }
+    [[nodiscard]] const dns::DnsConfig& dnsConfig() const {
+        return dnsConfig_;
+    }
+    [[nodiscard]] const content::ContentConfig& contentConfig() const {
+        return contentConfig_;
+    }
+    [[nodiscard]] const phys::LinkMapConfig& linkConfig() const {
+        return options_.linkConfig;
+    }
+    [[nodiscard]] std::uint64_t seed() const { return options_.seed; }
+    [[nodiscard]] const outage::ImpactConfig& impactConfig() const {
+        return options_.impact;
+    }
+
+    // ---- accelerators ----
+    [[nodiscard]] route::OracleCache* oracleCache() const {
+        return options_.oracleCache;
+    }
+    [[nodiscard]] exec::WorkerPool* pool() const { return options_.pool; }
+    [[nodiscard]] obs::MetricsRegistry* metrics() const {
+        return options_.metrics;
+    }
+
+    // ---- baseline derived layers (built once, shared) ----
+    [[nodiscard]] const phys::PhysicalLinkMap& linkMap() const {
+        return *linkMap_;
+    }
+    [[nodiscard]] const dns::ResolverEcosystem& resolvers() const {
+        return *resolvers_;
+    }
+    [[nodiscard]] const content::ContentCatalog& catalog() const {
+        return *catalog_;
+    }
+    /// The baseline impact analyzer — constructed from this substrate's
+    /// layers and accelerators, shared by every engine borrowing the
+    /// substrate.
+    [[nodiscard]] const outage::ImpactAnalyzer& analyzer() const {
+        return *analyzer_;
+    }
+
+    /// A fresh ImpactAnalyzer over the substrate's baseline layers —
+    /// the Substrate-first way to construct one (the analyzer's
+    /// seven-argument constructor is the legacy spelling). `config`
+    /// defaults to the substrate's impact config.
+    [[nodiscard]] outage::ImpactAnalyzer
+    impactAnalyzer(std::optional<outage::ImpactConfig> config =
+                       std::nullopt) const;
+
+private:
+    const topo::Topology* topo_;
+    phys::CableRegistry registry_;
+    dns::DnsConfig dnsConfig_;
+    content::ContentConfig contentConfig_;
+    Options options_;
+
+    std::unique_ptr<phys::PhysicalLinkMap> linkMap_;
+    std::unique_ptr<dns::ResolverEcosystem> resolvers_;
+    std::unique_ptr<content::ContentCatalog> catalog_;
+    std::unique_ptr<outage::ImpactAnalyzer> analyzer_;
+};
+
+/// One named what-if scenario as a value: an overlay over a Substrate
+/// (cables added, cable cuts applied, DNS/content/link-map overrides) plus
+/// the repair policy for the cut. A batch of ScenarioSpecs is the unit the
+/// ScenarioSweepEngine evaluates; a single spec can also be applied to a
+/// WhatIfEngine (`WhatIfEngine::withScenario`). Specs validate against a
+/// Substrate and return the failure as a value, so one malformed scenario
+/// in a sweep degrades that scenario, not the batch.
+struct ScenarioSpec {
+    std::string name;
+
+    /// Hypothetical cables added to the registry before the cut.
+    std::vector<phys::SubseaCable> cablesAdded;
+    /// Cable names to cut (resolved against registry + cablesAdded).
+    std::vector<std::string> cutCables;
+    /// Ground-truth ship-repair time for the cut event.
+    double repairDays = 21.0;
+
+    /// Layer overrides; unset means "use the substrate's config".
+    std::optional<dns::DnsConfig> dnsOverride;
+    std::optional<content::ContentConfig> contentOverride;
+    std::optional<phys::LinkMapConfig> linkMapOverride;
+
+    /// True when the spec changes any derived layer (cables added or any
+    /// override set): such scenarios re-derive their layers per scenario;
+    /// pure cut sets share the substrate's baseline.
+    [[nodiscard]] bool hasOverlay() const {
+        return !cablesAdded.empty() || dnsOverride.has_value() ||
+               contentOverride.has_value() || linkMapOverride.has_value();
+    }
+
+    /// Checks the spec against `substrate`: non-empty name, at least one
+    /// cut, positive finite repairDays, added cables well-formed (name +
+    /// >= 2 landings, no duplicate names), every cut cable resolvable in
+    /// registry + cablesAdded.
+    [[nodiscard]] net::Expected<void>
+    validate(const Substrate& substrate) const;
+};
+
+} // namespace aio::core

@@ -1,8 +1,21 @@
 #include "core/whatif.hpp"
 
+#include <cmath>
+
 #include "netbase/error.hpp"
 
 namespace aio::core {
+
+WhatIfEngine::WhatIfEngine(const Substrate& substrate)
+    : topo_(&substrate.topology()), registry_(substrate.registry()),
+      dnsConfig_(substrate.dnsConfig()),
+      contentConfig_(substrate.contentConfig()),
+      linkConfig_(substrate.linkConfig()), seed_(substrate.seed()),
+      oracleCache_(substrate.oracleCache()), pool_(substrate.pool()),
+      metrics_(substrate.metrics()), impactConfig_(substrate.impactConfig()),
+      resolversView_(&substrate.resolvers()),
+      catalogView_(&substrate.catalog()),
+      analyzerView_(&substrate.analyzer()) {}
 
 WhatIfEngine::WhatIfEngine(const topo::Topology& topology,
                            phys::CableRegistry registry,
@@ -12,11 +25,12 @@ WhatIfEngine::WhatIfEngine(const topo::Topology& topology,
                            std::uint64_t seed,
                            route::OracleCache* oracleCache,
                            exec::WorkerPool* pool,
-                           obs::MetricsRegistry* metrics)
+                           obs::MetricsRegistry* metrics,
+                           outage::ImpactConfig impactConfig)
     : topo_(&topology), registry_(std::move(registry)),
       dnsConfig_(dnsConfig), contentConfig_(contentConfig),
       linkConfig_(linkConfig), seed_(seed), oracleCache_(oracleCache),
-      pool_(pool), metrics_(metrics) {
+      pool_(pool), metrics_(metrics), impactConfig_(impactConfig) {
     AIO_EXPECTS(oracleCache == nullptr ||
                     &oracleCache->topology() == &topology,
                 "oracle cache bound to a different topology");
@@ -24,6 +38,9 @@ WhatIfEngine::WhatIfEngine(const topo::Topology& topology,
 }
 
 void WhatIfEngine::rebuild() {
+    // Derivation seeds match Substrate's layer construction exactly, so
+    // legacy-constructed and Substrate-borrowed engines are byte-identical
+    // (locked by the API-migration test).
     net::Rng mapRng{seed_};
     linkMap_ = std::make_unique<phys::PhysicalLinkMap>(*topo_, registry_,
                                                        mapRng, linkConfig_);
@@ -32,61 +49,97 @@ void WhatIfEngine::rebuild() {
     catalog_ = std::make_unique<content::ContentCatalog>(
         *topo_, contentConfig_, seed_ + 2);
     analyzer_ = std::make_unique<outage::ImpactAnalyzer>(
-        *topo_, *linkMap_, *resolvers_, *catalog_, outage::ImpactConfig{},
+        *topo_, *linkMap_, *resolvers_, *catalog_, impactConfig_,
         oracleCache_, pool_, metrics_);
+    resolversView_ = resolvers_.get();
+    catalogView_ = catalog_.get();
+    analyzerView_ = analyzer_.get();
 }
 
 WhatIfEngine WhatIfEngine::withCable(phys::SubseaCable cable) const {
     phys::CableRegistry registry = registry_;
     registry.addCable(std::move(cable));
-    return WhatIfEngine{*topo_,      std::move(registry), dnsConfig_,
-                        contentConfig_, linkConfig_,      seed_,
-                        oracleCache_,   pool_,            metrics_};
+    return WhatIfEngine{*topo_,        std::move(registry), dnsConfig_,
+                        contentConfig_, linkConfig_,        seed_,
+                        oracleCache_,   pool_,              metrics_,
+                        impactConfig_};
+}
+
+WhatIfEngine WhatIfEngine::withScenario(const ScenarioSpec& spec) const {
+    phys::CableRegistry registry = registry_;
+    for (const phys::SubseaCable& cable : spec.cablesAdded) {
+        registry.addCable(cable);
+    }
+    return WhatIfEngine{*topo_,
+                        std::move(registry),
+                        spec.dnsOverride.value_or(dnsConfig_),
+                        spec.contentOverride.value_or(contentConfig_),
+                        spec.linkMapOverride.value_or(linkConfig_),
+                        seed_,
+                        oracleCache_,
+                        pool_,
+                        metrics_,
+                        impactConfig_};
 }
 
 WhatIfEngine WhatIfEngine::withDnsConfig(dns::DnsConfig config) const {
-    return WhatIfEngine{*topo_,         registry_,   config, contentConfig_,
-                        linkConfig_,    seed_,       oracleCache_,
-                        pool_,          metrics_};
+    return WhatIfEngine{*topo_,      registry_,    config, contentConfig_,
+                        linkConfig_, seed_,        oracleCache_,
+                        pool_,       metrics_,     impactConfig_};
 }
 
 WhatIfEngine
 WhatIfEngine::withContentConfig(content::ContentConfig config) const {
     return WhatIfEngine{*topo_,      registry_, dnsConfig_, config,
                         linkConfig_, seed_,     oracleCache_,
-                        pool_,       metrics_};
+                        pool_,       metrics_,  impactConfig_};
 }
 
 WhatIfEngine
 WhatIfEngine::withLinkMapConfig(phys::LinkMapConfig config) const {
     return WhatIfEngine{*topo_, registry_, dnsConfig_, contentConfig_,
                         config, seed_,     oracleCache_, pool_,
-                        metrics_};
+                        metrics_, impactConfig_};
 }
 
-outage::OutageEvent
-WhatIfEngine::makeCutEvent(std::span<const std::string> cableNames,
-                           double repairDays) const {
-    AIO_EXPECTS(!cableNames.empty(), "a cut needs at least one cable");
+net::Expected<outage::OutageEvent>
+WhatIfEngine::tryMakeCutEvent(std::span<const std::string> cableNames,
+                              double repairDays) const {
+    if (cableNames.empty()) {
+        return net::Error::precondition("a cut needs at least one cable");
+    }
+    if (!(repairDays > 0.0) || !std::isfinite(repairDays)) {
+        return net::Error::precondition("repairDays must be positive");
+    }
     outage::OutageEvent event;
     event.type = outage::OutageType::CableCut;
     event.macroRegion = net::MacroRegion::Africa;
     event.durationDays = repairDays;
     for (const std::string& name : cableNames) {
-        event.cutCables.push_back(registry_.byName(name));
+        try {
+            event.cutCables.push_back(registry_.byName(name));
+        } catch (const net::NotFoundError&) {
+            return net::Error::notFound("unknown cable '" + name + "'");
+        }
     }
     return event;
+}
+
+outage::OutageEvent
+WhatIfEngine::makeCutEvent(std::span<const std::string> cableNames,
+                           double repairDays) const {
+    return tryMakeCutEvent(cableNames, repairDays).valueOrRaise();
 }
 
 outage::ImpactReport
 WhatIfEngine::assess(const outage::OutageEvent& event) const {
     const obs::ScopedTimer timer{metrics_, "whatif.assess_seconds"};
     net::Rng rng{seed_ + 7};
-    return analyzer_->assess(event, rng);
+    return analyzerView_->assess(event, rng);
 }
 
 double WhatIfEngine::contentLocalShare() const {
-    const content::LocalityAnalyzer locality{*catalog_};
+    const content::LocalityAnalyzer locality{*catalogView_};
     return locality.overallLocalShare();
 }
 
@@ -94,7 +147,7 @@ double
 WhatIfEngine::dnsFailureShare(std::string_view country,
                               const outage::OutageEvent& event) const {
     net::Rng rng{seed_ + 7};
-    const auto report = analyzer_->assess(event, rng);
+    const auto report = analyzerView_->assess(event, rng);
     for (const auto& impact : report.countries) {
         if (impact.country == country) {
             return impact.dnsFailureShare;

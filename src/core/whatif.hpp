@@ -3,6 +3,8 @@
 #include <memory>
 #include <span>
 
+#include "core/substrate.hpp"
+#include "netbase/expected.hpp"
 #include "outage/impact.hpp"
 #include "outage/radar.hpp"
 
@@ -13,12 +15,30 @@ namespace aio::core {
 /// localization mandates, content localization) and re-evaluate outage
 /// impact / dependency metrics on the same substrate.
 ///
-/// Value-style scenario composition: `withCable(...)`, `withDnsConfig(...)`
-/// etc. return a new engine sharing the topology but rebuilding the
-/// affected layers deterministically (same seeds), so before/after
-/// differences isolate the intervention.
+/// Construct from a `Substrate` — the engine then *borrows* the
+/// substrate's baseline layers (link map, resolvers, catalog, analyzer)
+/// instead of re-deriving them, so engines over one substrate share one
+/// baseline. Value-style scenario composition: `withCable(...)`,
+/// `withDnsConfig(...)` etc. return a new engine sharing the topology but
+/// rebuilding the affected layers deterministically (same seeds), so
+/// before/after differences isolate the intervention. For evaluating
+/// scenarios in bulk, prefer `sweep::ScenarioSweepEngine`, which adds
+/// incremental route recomputation and cut-set dedupe on top of the same
+/// substrate.
 class WhatIfEngine {
 public:
+    /// Primary constructor: borrow `substrate`'s configuration, baseline
+    /// layers and accelerators. `substrate` must outlive the engine (and
+    /// every engine derived from it via withCable()/... — derived engines
+    /// own their rebuilt layers but still share the substrate's topology
+    /// and accelerators).
+    explicit WhatIfEngine(const Substrate& substrate);
+
+    /// Deprecated forwarding constructor (one more PR, then removal —
+    /// DESIGN.md §10): assembles the bundle a Substrate now carries and
+    /// derives private copies of every layer. Prefer
+    /// `WhatIfEngine{substrate}`.
+    ///
     /// `oracleCache` / `pool` (optional, not owned, must outlive every
     /// engine derived from this one) are forwarded to the impact analyzer:
     /// scenario engines built via withCable()/withDnsConfig()/... share
@@ -34,13 +54,18 @@ public:
                  std::uint64_t seed = 99,
                  route::OracleCache* oracleCache = nullptr,
                  exec::WorkerPool* pool = nullptr,
-                 obs::MetricsRegistry* metrics = nullptr);
+                 obs::MetricsRegistry* metrics = nullptr,
+                 outage::ImpactConfig impactConfig = {});
 
     WhatIfEngine(WhatIfEngine&&) noexcept = default;
     WhatIfEngine& operator=(WhatIfEngine&&) noexcept = default;
 
     // ---- scenario builders ----
     [[nodiscard]] WhatIfEngine withCable(phys::SubseaCable cable) const;
+    /// Applies a ScenarioSpec's *overlay* (cables added + config
+    /// overrides) in one step; the spec's cut set is an event, not part
+    /// of the engine — build it with tryMakeCutEvent on the result.
+    [[nodiscard]] WhatIfEngine withScenario(const ScenarioSpec& spec) const;
     [[nodiscard]] WhatIfEngine withDnsConfig(dns::DnsConfig config) const;
     [[nodiscard]] WhatIfEngine
     withContentConfig(content::ContentConfig config) const;
@@ -49,7 +74,14 @@ public:
 
     // ---- evaluation ----
     /// Builds a cable-cut event from cable names in THIS engine's
-    /// registry.
+    /// registry; an unknown name or an empty list is returned as an
+    /// error value (so a sweep can degrade one scenario, not the batch).
+    [[nodiscard]] net::Expected<outage::OutageEvent>
+    tryMakeCutEvent(std::span<const std::string> cableNames,
+                    double repairDays = 21.0) const;
+
+    /// Throwing convenience over tryMakeCutEvent (NotFoundError /
+    /// PreconditionError), kept for existing call sites.
     [[nodiscard]] outage::OutageEvent
     makeCutEvent(std::span<const std::string> cableNames,
                  double repairDays = 21.0) const;
@@ -70,11 +102,12 @@ public:
         return registry_;
     }
     [[nodiscard]] const dns::ResolverEcosystem& resolvers() const {
-        return *resolvers_;
+        return *resolversView_;
     }
     [[nodiscard]] const outage::ImpactAnalyzer& analyzer() const {
-        return *analyzer_;
+        return *analyzerView_;
     }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
 private:
     void rebuild();
@@ -88,11 +121,19 @@ private:
     route::OracleCache* oracleCache_ = nullptr;
     exec::WorkerPool* pool_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
+    outage::ImpactConfig impactConfig_{};
 
+    // Owned layers (standalone / derived engines); null when the engine
+    // borrows a Substrate's baseline.
     std::unique_ptr<phys::PhysicalLinkMap> linkMap_;
     std::unique_ptr<dns::ResolverEcosystem> resolvers_;
     std::unique_ptr<content::ContentCatalog> catalog_;
     std::unique_ptr<outage::ImpactAnalyzer> analyzer_;
+
+    // Views resolving to the owned layers or the borrowed substrate's.
+    const dns::ResolverEcosystem* resolversView_ = nullptr;
+    const content::ContentCatalog* catalogView_ = nullptr;
+    const outage::ImpactAnalyzer* analyzerView_ = nullptr;
 };
 
 } // namespace aio::core

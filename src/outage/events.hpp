@@ -33,6 +33,8 @@ struct OutageEvent {
                                           ///< their blast radius from the
                                           ///< physical layer
 
+    [[nodiscard]] bool operator==(const OutageEvent&) const = default;
+
     /// True while the event is ongoing at `day` (fault overlays and the
     /// radar detector both reason about instant-in-time activity).
     [[nodiscard]] bool activeAtDay(double day) const;

@@ -139,18 +139,9 @@ ImpactReport ImpactAnalyzer::assess(const OutageEvent& event,
     if (metrics_ != nullptr) {
         metrics_->counter("impact.assessments").add();
     }
-    ImpactReport report;
-    report.event = event;
     if (event.macroRegion != net::MacroRegion::Africa) {
-        // Blast radius outside the modelled cable plant: score the named
-        // countries as down for the ground-truth duration.
-        for (const std::string& country : event.countries) {
-            report.countries.push_back(CountryImpact{
-                country, 1.0, 1.0, event.durationDays});
-        }
-        return report;
+        return scoreImpact(event, *baselineOracle_, rng);
     }
-
     const route::LinkFilter filter = filterFor(event, rng);
     // Reuse the cached scenario oracle when a cache is wired in; rebuild
     // (parallel if a pool is wired) otherwise. The routing state depends
@@ -164,7 +155,34 @@ ImpactReport ImpactAnalyzer::assess(const OutageEvent& event,
     } else {
         local.emplace(*topo_, filter);
     }
-    const route::PathOracle& degraded = cached ? *cached : *local;
+    return scoreImpact(event, cached ? *cached : *local, rng);
+}
+
+ImpactReport
+ImpactAnalyzer::assessWithOracle(const OutageEvent& event,
+                                 const route::PathOracle& degraded,
+                                 net::Rng& rng) const {
+    const obs::ScopedTimer timer{metrics_, "impact.assess_seconds"};
+    if (metrics_ != nullptr) {
+        metrics_->counter("impact.assessments").add();
+    }
+    return scoreImpact(event, degraded, rng);
+}
+
+ImpactReport ImpactAnalyzer::scoreImpact(const OutageEvent& event,
+                                         const route::PathOracle& degraded,
+                                         net::Rng& rng) const {
+    ImpactReport report;
+    report.event = event;
+    if (event.macroRegion != net::MacroRegion::Africa) {
+        // Blast radius outside the modelled cable plant: score the named
+        // countries as down for the ground-truth duration.
+        for (const std::string& country : event.countries) {
+            report.countries.push_back(CountryImpact{
+                country, 1.0, 1.0, event.durationDays});
+        }
+        return report;
+    }
     const dns::ResolutionSimulator dnsSim{*resolvers_};
 
     for (const auto* country : net::CountryTable::world().african()) {

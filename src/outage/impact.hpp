@@ -22,6 +22,10 @@ struct CountryImpact {
     /// Days until this country recovers: repairs, or earlier via transit
     /// re-negotiation (manual, slow — Ghana's March 2024 experience).
     double effectiveOutageDays = 0.0;
+
+    /// Exact (bitwise on doubles) equality — the differential harnesses
+    /// compare incremental vs full recompute reports with ==.
+    [[nodiscard]] bool operator==(const CountryImpact&) const = default;
 };
 
 struct ImpactReport {
@@ -31,6 +35,8 @@ struct ImpactReport {
     [[nodiscard]] std::vector<std::string> impactedCountries() const;
     /// Longest country recovery — "time to resolve" as Radar would log it.
     [[nodiscard]] double resolutionDays() const;
+
+    [[nodiscard]] bool operator==(const ImpactReport&) const = default;
 };
 
 struct ImpactConfig {
@@ -79,6 +85,26 @@ public:
     [[nodiscard]] ImpactReport assess(const OutageEvent& event,
                                       net::Rng& rng) const;
 
+    /// Impact assessment against a caller-supplied degraded routing
+    /// state. This is the scenario sweep's scoring path: the sweep
+    /// derives the filter itself (ImpactAnalyzer::filterFor), obtains the
+    /// oracle incrementally / deduped, then scores here. Byte-identical
+    /// to assess() provided `rng` was advanced through filterFor exactly
+    /// as assess() would (cable-cut filters draw nothing, so for cut
+    /// events any fresh rng at the same state matches) and `degraded`
+    /// equals the filter's recomputed oracle.
+    [[nodiscard]] ImpactReport
+    assessWithOracle(const OutageEvent& event,
+                     const route::PathOracle& degraded,
+                     net::Rng& rng) const;
+
+    /// The shared no-failure routing state this analyzer scores against
+    /// (also the natural baseline for incremental scenario recomputes).
+    [[nodiscard]] const std::shared_ptr<const route::PathOracle>&
+    baselineOracle() const {
+        return baselineOracle_;
+    }
+
     /// Page-load success share for one country under a routing state.
     [[nodiscard]] double pageLoadSuccess(std::string_view country,
                                          const route::PathOracle& oracle) const;
@@ -86,6 +112,13 @@ public:
     [[nodiscard]] const ImpactConfig& config() const { return config_; }
 
 private:
+    /// The scoring core shared by assess / assessWithOracle: per-country
+    /// page-load loss, DNS failure and recovery sampling against
+    /// `degraded`. Uninstrumented; callers own the timer/counter.
+    [[nodiscard]] ImpactReport
+    scoreImpact(const OutageEvent& event, const route::PathOracle& degraded,
+                net::Rng& rng) const;
+
     const topo::Topology* topo_;
     const phys::PhysicalLinkMap* linkMap_;
     const dns::ResolverEcosystem* resolvers_;

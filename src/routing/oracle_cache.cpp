@@ -41,6 +41,25 @@ std::shared_ptr<const PathOracle> OracleCache::get(const LinkFilter& filter) {
     return oracle;
 }
 
+std::shared_ptr<const PathOracle>
+OracleCache::peek(const LinkFilter& filter) {
+    const FilterDigest key = filter.digest();
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (const auto it = index_.find(key); it != index_.end()) {
+        ++stats_.hits;
+        if (metrics_ != nullptr) {
+            metrics_->counter("cache.oracle.hits").add();
+        }
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->oracle;
+    }
+    ++stats_.misses;
+    if (metrics_ != nullptr) {
+        metrics_->counter("cache.oracle.misses").add();
+    }
+    return nullptr;
+}
+
 void OracleCache::seed(const LinkFilter& filter,
                        std::shared_ptr<const PathOracle> oracle) {
     AIO_EXPECTS(oracle != nullptr, "cannot seed a null oracle");

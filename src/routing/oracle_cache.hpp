@@ -59,6 +59,15 @@ public:
     [[nodiscard]] std::shared_ptr<const PathOracle>
     get(const LinkFilter& filter);
 
+    /// Lookup without the miss-path build: returns the cached oracle (a
+    /// hit, refreshing LRU order) or nullptr (a miss — counted, but
+    /// nothing is constructed). The scenario sweep uses peek + seed so it
+    /// can build misses *incrementally* from the baseline instead of
+    /// paying the cache's from-scratch rebuild, and so it never nests a
+    /// pool-parallel build inside a worker lane.
+    [[nodiscard]] std::shared_ptr<const PathOracle>
+    peek(const LinkFilter& filter);
+
     /// Pre-inserts an already-built oracle for `filter` without touching
     /// the hit/miss counters. Replaces any existing entry for the digest
     /// (byte accounting swaps to the new entry; no eviction is counted).

@@ -45,6 +45,17 @@ bool LinkFilter::asAllowed(topo::AsIndex as) const {
     return !ases_.contains(as);
 }
 
+std::vector<std::pair<topo::AsIndex, topo::AsIndex>>
+LinkFilter::disabledLinks() const {
+    std::vector<std::pair<topo::AsIndex, topo::AsIndex>> out;
+    out.reserve(links_.size());
+    for (const std::uint64_t packed : links_) {
+        out.emplace_back(static_cast<topo::AsIndex>(packed & 0xffffffffULL),
+                         static_cast<topo::AsIndex>(packed >> 32));
+    }
+    return out;
+}
+
 FilterDigest LinkFilter::digest() const {
     FilterDigest digest;
     digest.linkCount = links_.size();
@@ -82,8 +93,90 @@ PathOracle::PathOracle(const topo::Topology& topology,
     build(filter, &pool);
 }
 
+PathOracle::PathOracle(const PathOracle& baseline, const LinkFilter& filter,
+                       exec::WorkerPool* pool)
+    : topo_(baseline.topo_), n_(baseline.n_),
+      unfiltered_(filter.empty()), nextHop_(baseline.nextHop_),
+      klass_(baseline.klass_) {
+    AIO_EXPECTS(baseline.unfiltered_,
+                "incremental baseline must be an unfiltered oracle");
+    const std::vector<topo::AsIndex> dirty =
+        baseline.dirtyDestinations(filter);
+
+    const auto resolve = [&](topo::AsIndex dst, DestScratch& scratch) {
+        // computeDestination assumes a cleared slab (it writes only the
+        // nodes it reaches), so reset the copied baseline rows first.
+        std::fill_n(nextHop_.begin() +
+                        static_cast<std::ptrdiff_t>(dst * n_),
+                    n_, -1);
+        std::fill_n(klass_.begin() + static_cast<std::ptrdiff_t>(dst * n_),
+                    n_, static_cast<std::uint8_t>(RouteClass::None));
+        computeDestination(dst, filter, scratch);
+    };
+    const auto makeScratch = [this] {
+        DestScratch scratch;
+        scratch.dist.assign(n_, kUnreached);
+        scratch.frontier.reserve(n_);
+        scratch.nextFrontier.reserve(n_);
+        scratch.buckets.resize(n_ + 2);
+        return scratch;
+    };
+
+    if (pool == nullptr) {
+        DestScratch scratch = makeScratch();
+        for (const topo::AsIndex dst : dirty) {
+            resolve(dst, scratch);
+        }
+        return;
+    }
+    const auto lanes = static_cast<std::size_t>(pool->threadCount());
+    std::vector<DestScratch> scratch;
+    scratch.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        scratch.push_back(makeScratch());
+    }
+    pool->parallelFor(dirty.size(), [&](std::size_t i, std::size_t lane) {
+        resolve(dirty[i], scratch[lane]);
+    });
+}
+
+std::vector<topo::AsIndex>
+PathOracle::dirtyDestinations(const LinkFilter& filter) const {
+    AIO_EXPECTS(unfiltered_,
+                "dirty-set extraction needs an unfiltered baseline");
+    std::vector<topo::AsIndex> dirty;
+    if (filter.empty()) {
+        return dirty;
+    }
+    if (filter.disabledAsCount() > 0) {
+        // A disabled AS changes its source row in every slab, so every
+        // destination is dirty — fall back to the full destination list.
+        dirty.resize(n_);
+        for (topo::AsIndex dst = 0; dst < n_; ++dst) {
+            dirty[dst] = dst;
+        }
+        return dirty;
+    }
+    const auto failed = filter.disabledLinks();
+    for (topo::AsIndex dst = 0; dst < n_; ++dst) {
+        const std::int32_t* next = &nextHop_[dst * n_];
+        for (const auto& [a, b] : failed) {
+            if (a >= n_ || b >= n_) {
+                continue; // not a topology adjacency; cannot carry routes
+            }
+            if (next[a] == static_cast<std::int32_t>(b) ||
+                next[b] == static_cast<std::int32_t>(a)) {
+                dirty.push_back(dst);
+                break;
+            }
+        }
+    }
+    return dirty;
+}
+
 void PathOracle::build(const LinkFilter& filter, exec::WorkerPool* pool) {
     AIO_EXPECTS(topo_->finalized(), "topology must be finalized");
+    unfiltered_ = filter.empty();
     nextHop_.assign(n_ * n_, -1);
     klass_.assign(n_ * n_, static_cast<std::uint8_t>(RouteClass::None));
 

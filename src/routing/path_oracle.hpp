@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "topo/as_graph.hpp"
@@ -41,6 +42,13 @@ public:
 
     [[nodiscard]] bool linkAllowed(topo::AsIndex a, topo::AsIndex b) const;
     [[nodiscard]] bool asAllowed(topo::AsIndex as) const;
+
+    /// Disabled links as endpoint pairs (a < b). Set-determined content;
+    /// iteration order is unspecified (hash-set backed).
+    [[nodiscard]] std::vector<std::pair<topo::AsIndex, topo::AsIndex>>
+    disabledLinks() const;
+
+
     [[nodiscard]] bool empty() const {
         return links_.empty() && ases_.empty();
     }
@@ -104,6 +112,35 @@ public:
     PathOracle(const topo::Topology& topology, const LinkFilter& filter,
                exec::WorkerPool& pool);
 
+    /// Incremental derivation from an unfiltered baseline: copies the
+    /// baseline matrices and re-solves only the destinations
+    /// dirtyDestinations(filter) reports, so a small cut set costs
+    /// O(dirty * (V + E)) instead of O(V * (V + E)). Byte-identical to a
+    /// from-scratch build with the same filter (the clean slabs are
+    /// provably unchanged — see dirtyDestinations); the sweep
+    /// differential harness locks the equality in. `pool` (optional)
+    /// shards the dirty re-solve; pass nullptr when already running
+    /// inside a pool lane (parallelFor is not reentrant).
+    ///
+    /// Throws net::PreconditionError when `baseline` was itself built
+    /// with a non-empty filter.
+    PathOracle(const PathOracle& baseline, const LinkFilter& filter,
+               exec::WorkerPool* pool = nullptr);
+
+    /// Destinations whose route slab can change under `filter`, read off
+    /// this (unfiltered) oracle's next-hop forest: destination d is dirty
+    /// iff d itself is disabled, or some failed link (a,b) is on d's
+    /// selected route forest (nextHop[d][a] == b or nextHop[d][b] == a).
+    /// Any AS-disabling filter dirties every destination (a disabled AS
+    /// invalidates its source row in every slab), so those return the
+    /// full destination list. Ascending order; exact, not conservative:
+    /// clean destinations keep byte-identical slabs because removing
+    /// links that carry no selected route shrinks only the unselected
+    /// candidate set, and every tie-break (class, then distance, then
+    /// lowest next-hop ASN) still picks the surviving incumbent.
+    [[nodiscard]] std::vector<topo::AsIndex>
+    dirtyDestinations(const LinkFilter& filter) const;
+
     /// AS-level route from src to dst, inclusive of both endpoints.
     /// Empty when dst is unreachable; {src} when src == dst.
     [[nodiscard]] std::vector<topo::AsIndex> path(topo::AsIndex src,
@@ -158,6 +195,8 @@ private:
 
     const topo::Topology* topo_;
     std::size_t n_ = 0;
+    bool unfiltered_ = false; ///< built with an empty filter (valid
+                              ///< incremental baseline)
     std::vector<std::int32_t> nextHop_;  ///< [dst*n + src], -1 = none
     std::vector<std::uint8_t> klass_;    ///< RouteClass per (dst,src)
 };

@@ -1,0 +1,263 @@
+#include "sweep/scenario_sweep.hpp"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/whatif.hpp"
+#include "exec/worker_pool.hpp"
+#include "netbase/rng.hpp"
+#include "routing/oracle_cache.hpp"
+#include "routing/path_oracle.hpp"
+
+namespace aio::sweep {
+
+namespace {
+
+/// One validated, non-overlay scenario waiting on its degraded oracle.
+struct PlainJob {
+    std::size_t slot = 0; ///< index into the result vector
+    outage::OutageEvent event;
+    std::size_t oracleIndex = 0; ///< into the unique-oracle list
+};
+
+/// One unique cut-set routing state shared by >= 1 plain scenarios.
+struct OracleJob {
+    route::LinkFilter filter;
+    std::shared_ptr<const route::PathOracle> oracle; ///< resolved
+    bool fromCache = false;
+    std::size_t dirty = 0; ///< destinations re-solved (incremental only)
+};
+
+/// Runs fn(i) for every i in [0, count), across the pool when one is
+/// wired in. fn must write only to index-owned slots.
+void forEach(exec::WorkerPool* pool, std::size_t count,
+             const std::function<void(std::size_t)>& fn) {
+    if (pool != nullptr && count > 1) {
+        pool->parallelFor(count,
+                          [&](std::size_t i, std::size_t) { fn(i); });
+    } else {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+    }
+}
+
+} // namespace
+
+ScenarioSweepEngine::ScenarioSweepEngine(const core::Substrate& substrate,
+                                         SweepOptions options)
+    : substrate_(&substrate), options_(options) {}
+
+SweepResult
+ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
+    obs::MetricsRegistry* metrics = substrate_->metrics();
+    obs::Trace* trace = options_.trace;
+    const obs::Span sweepSpan = obs::Trace::enter(trace, "sweep");
+    const obs::ScopedTimer batchTimer{metrics, "sweep.batch_seconds"};
+
+    const std::size_t n = scenarios.size();
+    const outage::ImpactAnalyzer& analyzer = substrate_->analyzer();
+    exec::WorkerPool* pool = substrate_->pool();
+    route::OracleCache* cache = substrate_->oracleCache();
+    const bool incremental = options_.mode == RecomputeMode::Incremental;
+
+    SweepResult result;
+    result.stats.scenarios = n;
+    // Per-slot outcome staging: lanes write only their own slot, the
+    // coordinating thread assembles the vector afterwards.
+    std::vector<std::optional<net::Expected<outage::ImpactReport>>> slots(n);
+
+    // ---- plan: validate, split plain vs overlay, dedupe cut sets ----
+    std::vector<PlainJob> plain;
+    std::vector<std::size_t> overlay;
+    std::vector<OracleJob> oracles;
+    {
+        const obs::Span planSpan = obs::Trace::enter(trace, "plan");
+        std::unordered_map<route::FilterDigest, std::size_t,
+                           route::FilterDigestHash>
+            oracleByDigest;
+        net::Rng filterRng{0}; // cable-cut filters draw nothing (asserted
+                               // by the rng-stream contract in the
+                               // differential test)
+        for (std::size_t i = 0; i < n; ++i) {
+            const core::ScenarioSpec& spec = scenarios[i];
+            if (auto valid = spec.validate(*substrate_); !valid) {
+                slots[i].emplace(valid.error());
+                continue;
+            }
+            if (spec.hasOverlay()) {
+                overlay.push_back(i);
+                continue;
+            }
+            PlainJob job;
+            job.slot = i;
+            job.event.type = outage::OutageType::CableCut;
+            job.event.macroRegion = net::MacroRegion::Africa;
+            job.event.durationDays = spec.repairDays;
+            for (const std::string& name : spec.cutCables) {
+                job.event.cutCables.push_back(
+                    substrate_->registry().byName(name));
+            }
+            route::LinkFilter filter =
+                analyzer.filterFor(job.event, filterRng);
+            if (incremental) {
+                const route::FilterDigest digest = filter.digest();
+                if (const auto it = oracleByDigest.find(digest);
+                    it != oracleByDigest.end()) {
+                    job.oracleIndex = it->second;
+                    ++result.stats.dedupHits;
+                } else {
+                    job.oracleIndex = oracles.size();
+                    oracleByDigest.emplace(digest, oracles.size());
+                    oracles.emplace_back().filter = std::move(filter);
+                }
+            } else {
+                // Full reference mode: one build per scenario, no sharing.
+                job.oracleIndex = oracles.size();
+                oracles.emplace_back().filter = std::move(filter);
+            }
+            plain.push_back(std::move(job));
+        }
+    }
+
+    // ---- build: resolve each unique degraded routing state ----
+    {
+        const obs::Span buildSpan = obs::Trace::enter(trace, "build");
+        if (cache != nullptr && incremental) {
+            // Cache lookups stay on the coordinating thread: a peek never
+            // builds, so this is cheap, and it keeps lane work lock-free.
+            for (OracleJob& job : oracles) {
+                if (auto hit = cache->peek(job.filter)) {
+                    job.oracle = std::move(hit);
+                    job.fromCache = true;
+                    ++result.stats.dedupHits;
+                }
+            }
+        }
+        const std::shared_ptr<const route::PathOracle>& baseline =
+            analyzer.baselineOracle();
+        forEach(pool, oracles.size(), [&](std::size_t j) {
+            OracleJob& job = oracles[j];
+            if (job.oracle != nullptr) {
+                return;
+            }
+            const obs::ScopedTimer buildTimer{metrics,
+                                              "sweep.build_seconds"};
+            if (incremental) {
+                job.dirty = baseline->dirtyDestinations(job.filter).size();
+                // pool=nullptr: this may already be inside a pool lane,
+                // and parallelFor is not reentrant.
+                job.oracle = std::make_shared<const route::PathOracle>(
+                    *baseline, job.filter, nullptr);
+            } else {
+                job.oracle = std::make_shared<const route::PathOracle>(
+                    substrate_->topology(), job.filter);
+            }
+        });
+        for (const OracleJob& job : oracles) {
+            if (job.fromCache) {
+                continue;
+            }
+            if (incremental) {
+                ++result.stats.incrementalBuilds;
+                result.stats.dirtyDestinations += job.dirty;
+            } else {
+                ++result.stats.fullBuilds;
+            }
+        }
+        if (cache != nullptr && incremental) {
+            for (const OracleJob& job : oracles) {
+                if (!job.fromCache) {
+                    cache->seed(job.filter, job.oracle);
+                }
+            }
+        }
+    }
+
+    // ---- score: assess every plain scenario against its oracle ----
+    {
+        const obs::Span scoreSpan = obs::Trace::enter(trace, "score");
+        forEach(pool, plain.size(), [&](std::size_t k) {
+            const obs::ScopedTimer scenarioTimer{
+                metrics, "sweep.scenario_seconds"};
+            const PlainJob& job = plain[k];
+            // The rng stream WhatIfEngine::assess uses: seed+7, and
+            // cable-cut filter derivation draws nothing before scoring.
+            net::Rng rng{substrate_->seed() + 7};
+            slots[job.slot].emplace(analyzer.assessWithOracle(
+                job.event, *oracles[job.oracleIndex].oracle, rng));
+        });
+        if (trace != nullptr && !plain.empty()) {
+            trace->count("scenario", plain.size());
+        }
+    }
+
+    // ---- overlay: scenarios that change a derived layer re-derive it ----
+    {
+        const obs::Span overlaySpan = obs::Trace::enter(trace, "overlay");
+        forEach(pool, overlay.size(), [&](std::size_t k) {
+            const obs::ScopedTimer scenarioTimer{
+                metrics, "sweep.scenario_seconds"};
+            const std::size_t slot = overlay[k];
+            const core::ScenarioSpec& spec = scenarios[slot];
+            phys::CableRegistry registry = substrate_->registry();
+            for (const phys::SubseaCable& cable : spec.cablesAdded) {
+                registry.addCable(cable);
+            }
+            // No cache / no pool inside a lane: the cache's miss path
+            // builds with its own pool (reentrancy), and the overlay's
+            // layers differ from the substrate's anyway. Results are
+            // byte-identical either way (oracle content depends only on
+            // topology + filter).
+            const core::WhatIfEngine engine{
+                substrate_->topology(),
+                std::move(registry),
+                spec.dnsOverride.value_or(substrate_->dnsConfig()),
+                spec.contentOverride.value_or(substrate_->contentConfig()),
+                spec.linkMapOverride.value_or(substrate_->linkConfig()),
+                substrate_->seed(),
+                nullptr,
+                nullptr,
+                metrics,
+                substrate_->impactConfig()};
+            auto event =
+                engine.tryMakeCutEvent(spec.cutCables, spec.repairDays);
+            if (!event) {
+                slots[slot].emplace(event.error());
+                return;
+            }
+            slots[slot].emplace(engine.assess(*event));
+        });
+        result.stats.overlayScenarios = overlay.size();
+        if (trace != nullptr && !overlay.empty()) {
+            trace->count("scenario", overlay.size());
+        }
+    }
+
+    // ---- assemble + publish ----
+    result.scenarios.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!slots[i]->hasValue()) {
+            ++result.stats.errors;
+        }
+        result.scenarios.push_back(
+            ScenarioResult{scenarios[i].name, std::move(*slots[i])});
+    }
+    if (metrics != nullptr) {
+        metrics->counter("sweep.scenarios").add(result.stats.scenarios);
+        metrics->counter("sweep.errors").add(result.stats.errors);
+        metrics->counter("sweep.dedup_hits").add(result.stats.dedupHits);
+        metrics->counter("sweep.incremental_builds")
+            .add(result.stats.incrementalBuilds);
+        metrics->counter("sweep.full_builds").add(result.stats.fullBuilds);
+        metrics->counter("sweep.dirty_destinations")
+            .add(result.stats.dirtyDestinations);
+        metrics->counter("sweep.overlay_scenarios")
+            .add(result.stats.overlayScenarios);
+    }
+    return result;
+}
+
+} // namespace aio::sweep

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/substrate.hpp"
+#include "netbase/expected.hpp"
+#include "obs/span.hpp"
+#include "outage/impact.hpp"
+
+namespace aio::sweep {
+
+/// How the sweep obtains each scenario's degraded routing state.
+enum class RecomputeMode {
+    /// Dedupe scenarios by cut-set digest and derive each unique degraded
+    /// oracle incrementally from the substrate's baseline (only dirty
+    /// destinations re-solved). The production mode.
+    Incremental,
+    /// One full from-scratch oracle per scenario, no dedupe, no cache —
+    /// the per-scenario-recompute reference the differential harness and
+    /// the speedup bench compare against.
+    Full,
+};
+
+struct SweepOptions {
+    RecomputeMode mode = RecomputeMode::Incremental;
+    /// Optional trace (not owned). obs::Trace is single-threaded by
+    /// design, so the sweep touches it only from the coordinating
+    /// thread: phase spans plus an aggregated per-scenario count node.
+    obs::Trace* trace = nullptr;
+};
+
+/// What the batch actually cost, beyond per-scenario outcomes. Mirrored
+/// onto `sweep.*` metrics when the substrate carries a registry.
+struct SweepStats {
+    std::size_t scenarios = 0;
+    std::size_t errors = 0; ///< scenarios degraded to an Error outcome
+    /// Scenarios whose degraded oracle was shared — with an earlier
+    /// scenario in this batch (same cut-set digest) or with the
+    /// substrate's oracle cache.
+    std::size_t dedupHits = 0;
+    std::size_t incrementalBuilds = 0;
+    std::size_t fullBuilds = 0;
+    /// Destinations re-solved across all incremental builds (the work a
+    /// full recompute would have multiplied by topology size).
+    std::size_t dirtyDestinations = 0;
+    /// Scenarios that changed a derived layer (cables added / config
+    /// overrides) and therefore re-derived their stack per scenario.
+    std::size_t overlayScenarios = 0;
+};
+
+/// One scenario's outcome: the impact report, or the error that degraded
+/// this scenario (validation failure, unknown cable) while the rest of
+/// the batch proceeded.
+struct ScenarioResult {
+    std::string scenario; ///< ScenarioSpec::name
+    net::Expected<outage::ImpactReport> outcome;
+};
+
+struct SweepResult {
+    std::vector<ScenarioResult> scenarios; ///< 1:1 with the input order
+    SweepStats stats;
+};
+
+/// Batched what-if evaluation over one Substrate: takes N ScenarioSpecs
+/// (cut sets x repair policies x overlays) and returns N outcomes,
+/// byte-identical to running each scenario through its own
+/// WhatIfEngine::assess — the equivalence the differential harness in
+/// tests/sweep locks — but sharing everything shareable:
+///
+///  * scenarios with the same cut-set digest share one degraded oracle
+///    (and the substrate's OracleCache, when wired, shares them across
+///    sweeps);
+///  * unique cut sets are re-solved *incrementally* from the substrate's
+///    baseline oracle — only destinations whose selected route forest
+///    crosses a failed link (PathOracle::dirtyDestinations) are
+///    recomputed;
+///  * independent scenarios are scheduled across the substrate's
+///    WorkerPool (oracle builds never nest inside pool lanes — the inner
+///    recomputes run sequentially per lane).
+///
+/// A malformed scenario degrades to an Error outcome in its slot; the
+/// rest of the batch is unaffected.
+class ScenarioSweepEngine {
+public:
+    explicit ScenarioSweepEngine(const core::Substrate& substrate,
+                                 SweepOptions options = {});
+
+    /// Evaluates the batch. Deterministic: outcome i depends only on the
+    /// substrate and scenarios[i], never on batch order, thread count or
+    /// cache state.
+    [[nodiscard]] SweepResult
+    run(std::span<const core::ScenarioSpec> scenarios) const;
+
+    [[nodiscard]] const core::Substrate& substrate() const {
+        return *substrate_;
+    }
+    [[nodiscard]] const SweepOptions& options() const { return options_; }
+
+private:
+    const core::Substrate* substrate_;
+    SweepOptions options_;
+};
+
+} // namespace aio::sweep

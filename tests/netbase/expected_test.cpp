@@ -1,0 +1,72 @@
+#include "netbase/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netbase/error.hpp"
+
+namespace aio::net {
+namespace {
+
+Expected<int> parsePositive(int v) {
+    if (v <= 0) {
+        return Error::precondition("must be positive");
+    }
+    return v;
+}
+
+TEST(Expected, ValueAndErrorStates) {
+    const auto ok = parsePositive(7);
+    ASSERT_TRUE(ok.hasValue());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(ok.value(), 7);
+    EXPECT_EQ(*ok, 7);
+    EXPECT_EQ(ok.valueOrRaise(), 7);
+
+    const auto bad = parsePositive(-1);
+    ASSERT_FALSE(bad.hasValue());
+    EXPECT_EQ(bad.error().kind, Error::Kind::Precondition);
+    EXPECT_EQ(bad.error().message, "must be positive");
+}
+
+TEST(Expected, AccessorsGuardTheWrongState) {
+    const auto ok = parsePositive(1);
+    EXPECT_THROW((void)ok.error(), PreconditionError);
+    const auto bad = parsePositive(0);
+    EXPECT_THROW((void)bad.value(), PreconditionError);
+}
+
+TEST(Expected, RaiseMapsKindsToExceptionTaxonomy) {
+    EXPECT_THROW(Error::precondition("p").raise(), PreconditionError);
+    EXPECT_THROW(Error::notFound("n").raise(), NotFoundError);
+    EXPECT_THROW(Error::parse("x").raise(), ParseError);
+    EXPECT_THROW((Error{Error::Kind::Transient, "t"}.raise()),
+                 TransientError);
+
+    const Expected<int> bad{Error::notFound("missing")};
+    EXPECT_THROW((void)bad.valueOrRaise(), NotFoundError);
+}
+
+TEST(Expected, MoveOnlyPayloadsWork) {
+    struct MoveOnly {
+        explicit MoveOnly(std::string v) : value(std::move(v)) {}
+        MoveOnly(MoveOnly&&) = default;
+        MoveOnly& operator=(MoveOnly&&) = default;
+        std::string value;
+    };
+    Expected<MoveOnly> moved{MoveOnly{"payload"}};
+    const MoveOnly out = std::move(moved).valueOrRaise();
+    EXPECT_EQ(out.value, "payload");
+}
+
+TEST(ExpectedVoid, OkAndError) {
+    const auto ok = Expected<void>::ok();
+    EXPECT_TRUE(ok.hasValue());
+    const Expected<void> bad{Error::parse("nope")};
+    ASSERT_FALSE(bad.hasValue());
+    EXPECT_EQ(bad.error().kind, Error::Kind::Parse);
+}
+
+} // namespace
+} // namespace aio::net

@@ -1,0 +1,252 @@
+// Locks the Substrate API migration: every entry point that grew a
+// Substrate/ScenarioSpec spelling must produce byte-identical results
+// through the old constructor and the new one, and the fallible entry
+// points must return errors as values with the right Error kind.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/whatif.hpp"
+#include "netbase/error.hpp"
+#include "resilience/supervisor.hpp"
+#include "sweep/scenario_sweep.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::sweep {
+namespace {
+
+topo::GeneratorConfig smallConfig(std::uint64_t seed) {
+    auto config = topo::GeneratorConfig::defaults();
+    config.seed = seed;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    config.europe.accessPerCountry = 2;
+    config.northAmerica.accessPerCountry = 2;
+    config.southAmerica.accessPerCountry = 2;
+    config.asiaPacific.accessPerCountry = 2;
+    return config;
+}
+
+struct World {
+    topo::Topology topo;
+    World()
+        : topo(topo::TopologyGenerator{smallConfig(42)}.generate()) {}
+};
+
+World& world() {
+    static World w;
+    return w;
+}
+
+core::Substrate makeSubstrate(core::Substrate::Options options = {}) {
+    return core::Substrate{world().topo,
+                           phys::CableRegistry::africanDefaults(),
+                           dns::DnsConfig::defaults(),
+                           content::ContentConfig::defaults(), options};
+}
+
+TEST(ApiMigration, WhatIfEngineLegacyAndSubstrateAreByteIdentical) {
+    const auto substrate = makeSubstrate();
+    const core::WhatIfEngine fromSubstrate{substrate};
+    const core::WhatIfEngine legacy{
+        world().topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+
+    const std::vector<std::string> cables = {"WACS", "MainOne", "ACE"};
+    const auto event = legacy.makeCutEvent(cables);
+    EXPECT_TRUE(event == fromSubstrate.makeCutEvent(cables));
+    EXPECT_TRUE(legacy.assess(event) == fromSubstrate.assess(event));
+    EXPECT_DOUBLE_EQ(legacy.contentLocalShare(),
+                     fromSubstrate.contentLocalShare());
+    EXPECT_DOUBLE_EQ(legacy.dnsFailureShare("GH", event),
+                     fromSubstrate.dnsFailureShare("GH", event));
+
+    // Derived (scenario) engines rebuild their layers; both spellings
+    // must still agree.
+    phys::SubseaCable extra;
+    extra.name = "MigrationTest";
+    for (const auto code : {"PT", "GH", "NG"}) {
+        extra.landings.push_back(phys::LandingStation{
+            std::string{code},
+            net::CountryTable::world().byCode(code).centroid});
+    }
+    const auto legacyDerived = legacy.withCable(extra);
+    const auto substrateDerived = fromSubstrate.withCable(extra);
+    EXPECT_TRUE(legacyDerived.assess(event) ==
+                substrateDerived.assess(event));
+}
+
+TEST(ApiMigration, ImpactAnalyzerFromSubstrateMatchesHandAssembled) {
+    const auto substrate = makeSubstrate();
+
+    // The legacy spelling: every layer derived by hand, seeds matching
+    // what Substrate does internally.
+    const auto registry = phys::CableRegistry::africanDefaults();
+    net::Rng mapRng{99};
+    const phys::PhysicalLinkMap linkMap{world().topo, registry, mapRng,
+                                        phys::LinkMapConfig{}};
+    const dns::ResolverEcosystem resolvers{world().topo,
+                                           dns::DnsConfig::defaults(), 100};
+    const content::ContentCatalog catalog{
+        world().topo, content::ContentConfig::defaults(), 101};
+    const outage::ImpactAnalyzer legacy{world().topo, linkMap, resolvers,
+                                        catalog};
+
+    const outage::ImpactAnalyzer fromSubstrate = substrate.impactAnalyzer();
+
+    const core::WhatIfEngine engine{substrate};
+    const std::vector<std::string> cables = {"SEACOM", "EASSy"};
+    const auto event = engine.makeCutEvent(cables);
+    net::Rng rngA{106};
+    net::Rng rngB{106};
+    EXPECT_TRUE(legacy.assess(event, rngA) ==
+                fromSubstrate.assess(event, rngB));
+}
+
+TEST(ApiMigration, SupervisorSubstrateCtorMatchesLegacy) {
+    auto& w = world();
+    const route::PathOracle oracle{w.topo};
+    const measure::TracerouteEngine engine{w.topo, oracle};
+    const measure::IxpDetector detector{
+        w.topo, measure::IxpKnowledgeBase::full(w.topo)};
+    core::ProbeFleet fleet;
+    int serial = 0;
+    for (const char* iso2 : {"RW", "KE", "NG", "ZA"}) {
+        const auto ases = w.topo.asesInCountry(iso2);
+        for (std::size_t i = 0; i < 2 && i < ases.size(); ++i) {
+            core::Probe probe;
+            probe.id = "m-" + std::string{iso2} + std::to_string(++serial);
+            probe.hostAs = ases[i];
+            probe.countryCode = iso2;
+            probe.availability = 0.9;
+            probe.monthlyBudgetUsd = 50.0;
+            probe.pricing.kind = core::PricingModel::Kind::FlatPerMb;
+            probe.pricing.perMbUsd = 0.01;
+            fleet.add(probe);
+        }
+    }
+    const core::Observatory observatory{w.topo, engine, detector,
+                                        std::move(fleet)};
+
+    exec::WorkerPool pool{2};
+    route::OracleCache cache{w.topo, 8, &pool};
+    core::Substrate::Options options;
+    options.oracleCache = &cache;
+    options.pool = &pool;
+    const auto substrate = makeSubstrate(options);
+
+    const resilience::CampaignSupervisor legacy{observatory};
+    const resilience::CampaignSupervisor fromSubstrate{observatory,
+                                                       substrate};
+
+    net::Rng planRng{5};
+    const auto tasks = observatory.ixpDiscoveryTasks(planRng);
+    route::LinkFilter scenario;
+    int cut = 0;
+    for (const auto& link : w.topo.links()) {
+        if (++cut % 17 == 0) {
+            scenario.disableLink(link.a, link.b);
+        }
+    }
+    EXPECT_DOUBLE_EQ(
+        legacy.routableTaskShare(tasks, scenario, cache),
+        fromSubstrate.routableTaskShare(tasks, scenario));
+
+    // Both spellings must run campaigns identically.
+    net::Rng rngA{9};
+    net::Rng rngB{9};
+    EXPECT_TRUE(legacy.runFaultFreeOracle(rngA) ==
+                fromSubstrate.runFaultFreeOracle(rngB));
+}
+
+TEST(ApiMigration, SubstrateValidationFailsAsValues) {
+    auto badDns = dns::DnsConfig::defaults();
+    badDns.africa[0].cloudOffshore += 0.5; // shares no longer sum to 1
+    const auto result = core::Substrate::tryCreate(
+        world().topo, phys::CableRegistry::africanDefaults(), badDns,
+        content::ContentConfig::defaults());
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().kind, net::Error::Kind::Precondition);
+    EXPECT_THROW((core::Substrate{world().topo,
+                                  phys::CableRegistry::africanDefaults(),
+                                  badDns,
+                                  content::ContentConfig::defaults()}),
+                 net::PreconditionError);
+
+    auto badContent = content::ContentConfig::defaults();
+    badContent.sitesPerCountry = 0;
+    ASSERT_FALSE(core::Substrate::tryCreate(
+                     world().topo, phys::CableRegistry::africanDefaults(),
+                     dns::DnsConfig::defaults(), badContent)
+                     .hasValue());
+}
+
+TEST(ApiMigration, TryMakeCutEventReturnsErrorsAsValues) {
+    const auto substrate = makeSubstrate();
+    const core::WhatIfEngine engine{substrate};
+
+    const std::vector<std::string> unknown = {"WACS", "Atlantis-9"};
+    const auto bad = engine.tryMakeCutEvent(unknown);
+    ASSERT_FALSE(bad.hasValue());
+    EXPECT_EQ(bad.error().kind, net::Error::Kind::NotFound);
+    EXPECT_THROW((void)engine.makeCutEvent(unknown), net::NotFoundError);
+
+    const auto empty = engine.tryMakeCutEvent({});
+    ASSERT_FALSE(empty.hasValue());
+    EXPECT_EQ(empty.error().kind, net::Error::Kind::Precondition);
+
+    const std::vector<std::string> good = {"WACS"};
+    const auto event = engine.tryMakeCutEvent(good, 10.0);
+    ASSERT_TRUE(event.hasValue());
+    EXPECT_EQ(event.value().cutCables.size(), 1U);
+    EXPECT_DOUBLE_EQ(event.value().durationDays, 10.0);
+}
+
+TEST(ApiMigration, ScenarioSpecValidateCatchesBadSpecs) {
+    const auto substrate = makeSubstrate();
+
+    core::ScenarioSpec good;
+    good.name = "ok";
+    good.cutCables = {"WACS"};
+    EXPECT_TRUE(good.validate(substrate).hasValue());
+
+    core::ScenarioSpec unnamed = good;
+    unnamed.name.clear();
+    EXPECT_EQ(unnamed.validate(substrate).error().kind,
+              net::Error::Kind::Precondition);
+
+    core::ScenarioSpec badRepair = good;
+    badRepair.repairDays = -3.0;
+    EXPECT_FALSE(badRepair.validate(substrate).hasValue());
+
+    core::ScenarioSpec unknownCut = good;
+    unknownCut.cutCables = {"Atlantis-9"};
+    EXPECT_EQ(unknownCut.validate(substrate).error().kind,
+              net::Error::Kind::NotFound);
+
+    // A cut cable may resolve against the scenario's own added cables.
+    core::ScenarioSpec addedCut = good;
+    phys::SubseaCable added;
+    added.name = "Hypothetical";
+    for (const auto code : {"PT", "NG"}) {
+        added.landings.push_back(phys::LandingStation{
+            std::string{code},
+            net::CountryTable::world().byCode(code).centroid});
+    }
+    addedCut.cablesAdded = {added};
+    addedCut.cutCables = {"Hypothetical"};
+    EXPECT_TRUE(addedCut.validate(substrate).hasValue());
+
+    core::ScenarioSpec dupAdded = addedCut;
+    dupAdded.cablesAdded.push_back(added);
+    EXPECT_FALSE(dupAdded.validate(substrate).hasValue());
+}
+
+} // namespace
+} // namespace aio::sweep
