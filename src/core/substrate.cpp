@@ -23,6 +23,55 @@ namespace {
     return std::isfinite(p) && p >= 0.0 && p <= 1.0;
 }
 
+// The per-config validation rules, shared between Substrate::validate
+// (the base bundle) and ScenarioSpec::validate (the per-scenario
+// overrides) so an overlay scenario cannot smuggle in a configuration
+// the substrate itself would have rejected.
+
+[[nodiscard]] net::Expected<void>
+validLinkConfig(const phys::LinkMapConfig& config) {
+    if (!validProbability(config.terrestrialProb) ||
+        !validProbability(config.backupProb) ||
+        !validProbability(config.backupSameCorridorProb)) {
+        return net::Error::precondition(
+            "link-map probabilities must lie in [0, 1]");
+    }
+    return net::Expected<void>::ok();
+}
+
+[[nodiscard]] net::Expected<void>
+validDnsConfig(const dns::DnsConfig& config) {
+    for (const dns::ResolverProfile& profile : config.africa) {
+        if (!validShareSet({profile.localInCountry,
+                            profile.otherAfricanCountry,
+                            profile.cloudInAfrica, profile.cloudOffshore,
+                            profile.ispOffshore})) {
+            return net::Error::precondition(
+                "DNS resolver profile shares must be non-negative and "
+                "sum to 1");
+        }
+    }
+    return net::Expected<void>::ok();
+}
+
+[[nodiscard]] net::Expected<void>
+validContentConfig(const content::ContentConfig& config) {
+    if (config.sitesPerCountry < 1) {
+        return net::Error::precondition(
+            "content config needs sitesPerCountry >= 1");
+    }
+    for (const content::HostingProfile& profile : config.africa) {
+        if (!validShareSet({profile.localDatacenter, profile.ixpOffnetCache,
+                            profile.africanRegionalDc, profile.europeDc,
+                            profile.northAmericaDc})) {
+            return net::Error::precondition(
+                "content hosting profile shares must be non-negative and "
+                "sum to 1");
+        }
+    }
+    return net::Expected<void>::ok();
+}
+
 } // namespace
 
 net::Expected<void>
@@ -41,34 +90,14 @@ Substrate::validate(const topo::Topology& topology,
         return net::Error::precondition(
             "oracle cache bound to a different topology");
     }
-    if (!validProbability(options.linkConfig.terrestrialProb) ||
-        !validProbability(options.linkConfig.backupProb) ||
-        !validProbability(options.linkConfig.backupSameCorridorProb)) {
-        return net::Error::precondition(
-            "link-map probabilities must lie in [0, 1]");
+    if (auto valid = validLinkConfig(options.linkConfig); !valid) {
+        return valid.error();
     }
-    for (const dns::ResolverProfile& profile : dnsConfig.africa) {
-        if (!validShareSet({profile.localInCountry,
-                            profile.otherAfricanCountry,
-                            profile.cloudInAfrica, profile.cloudOffshore,
-                            profile.ispOffshore})) {
-            return net::Error::precondition(
-                "DNS resolver profile shares must be non-negative and "
-                "sum to 1");
-        }
+    if (auto valid = validDnsConfig(dnsConfig); !valid) {
+        return valid.error();
     }
-    if (contentConfig.sitesPerCountry < 1) {
-        return net::Error::precondition(
-            "content config needs sitesPerCountry >= 1");
-    }
-    for (const content::HostingProfile& profile : contentConfig.africa) {
-        if (!validShareSet({profile.localDatacenter, profile.ixpOffnetCache,
-                            profile.africanRegionalDc, profile.europeDc,
-                            profile.northAmericaDc})) {
-            return net::Error::precondition(
-                "content hosting profile shares must be non-negative and "
-                "sum to 1");
-        }
+    if (auto valid = validContentConfig(contentConfig); !valid) {
+        return valid.error();
     }
     return net::Expected<void>::ok();
 }
@@ -76,11 +105,12 @@ Substrate::validate(const topo::Topology& topology,
 Substrate::Substrate(const topo::Topology& topology,
                      phys::CableRegistry registry, dns::DnsConfig dnsConfig,
                      content::ContentConfig contentConfig, Options options)
-    : topo_(&topology), registry_(std::move(registry)),
+    : topo_(&topology),
+      registry_(std::make_unique<phys::CableRegistry>(std::move(registry))),
       dnsConfig_(dnsConfig), contentConfig_(contentConfig),
       options_(options) {
     const auto valid =
-        validate(topology, registry_, dnsConfig_, contentConfig_, options_);
+        validate(topology, *registry_, dnsConfig_, contentConfig_, options_);
     if (!valid) {
         valid.error().raise();
     }
@@ -89,7 +119,7 @@ Substrate::Substrate(const topo::Topology& topology,
     // byte-identical to a legacy-built one.
     net::Rng mapRng{options_.seed};
     linkMap_ = std::make_unique<phys::PhysicalLinkMap>(
-        *topo_, registry_, mapRng, options_.linkConfig);
+        *topo_, *registry_, mapRng, options_.linkConfig);
     resolvers_ = std::make_unique<dns::ResolverEcosystem>(
         *topo_, dnsConfig_, options_.seed + 1);
     catalog_ = std::make_unique<content::ContentCatalog>(
@@ -135,6 +165,37 @@ net::Expected<void> ScenarioSpec::validate(const Substrate& substrate) const {
     if (cutCables.empty()) {
         return net::Error::precondition(
             "scenario '" + name + "': a cut needs at least one cable");
+    }
+    // Overrides obey the same rules Substrate::validate enforces on the
+    // base bundle; a violation here would otherwise surface only when a
+    // sweep lane re-derives the overlay's layers (wrong sampling, or an
+    // exception escaping the lane).
+    const auto checkOverride = [this](const net::Expected<void>& valid)
+        -> net::Expected<void> {
+        if (!valid) {
+            return net::Error{valid.error().kind,
+                              "scenario '" + name + "': " +
+                                  valid.error().message};
+        }
+        return net::Expected<void>::ok();
+    };
+    if (dnsOverride.has_value()) {
+        if (auto valid = checkOverride(validDnsConfig(*dnsOverride));
+            !valid) {
+            return valid;
+        }
+    }
+    if (contentOverride.has_value()) {
+        if (auto valid = checkOverride(validContentConfig(*contentOverride));
+            !valid) {
+            return valid;
+        }
+    }
+    if (linkMapOverride.has_value()) {
+        if (auto valid = checkOverride(validLinkConfig(*linkMapOverride));
+            !valid) {
+            return valid;
+        }
     }
     std::unordered_set<std::string> added;
     for (const phys::SubseaCable& cable : cablesAdded) {

@@ -85,7 +85,7 @@ public:
     // ---- configuration ----
     [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
     [[nodiscard]] const phys::CableRegistry& registry() const {
-        return registry_;
+        return *registry_;
     }
     [[nodiscard]] const dns::DnsConfig& dnsConfig() const {
         return dnsConfig_;
@@ -137,7 +137,14 @@ public:
 
 private:
     const topo::Topology* topo_;
-    phys::CableRegistry registry_;
+    /// Heap-held so its address is stable under Substrate moves: the
+    /// derived layers (PhysicalLinkMap, and through it the analyzer's
+    /// cable-recovery check) hold pointers into this registry, and the
+    /// defaulted move operations — exercised by every tryCreate, whose
+    /// Expected<Substrate> return moves the freshly built value — must
+    /// not invalidate them. The configs below stay by value because the
+    /// layers copy them at construction.
+    std::unique_ptr<phys::CableRegistry> registry_;
     dns::DnsConfig dnsConfig_;
     content::ContentConfig contentConfig_;
     Options options_;
@@ -181,7 +188,9 @@ struct ScenarioSpec {
     /// Checks the spec against `substrate`: non-empty name, at least one
     /// cut, positive finite repairDays, added cables well-formed (name +
     /// >= 2 landings, no duplicate names), every cut cable resolvable in
-    /// registry + cablesAdded.
+    /// registry + cablesAdded, and every set override obeying the same
+    /// share-sum/probability rules Substrate::validate enforces on the
+    /// base bundle.
     [[nodiscard]] net::Expected<void>
     validate(const Substrate& substrate) const;
 };

@@ -95,14 +95,17 @@ PathOracle::PathOracle(const topo::Topology& topology,
 
 PathOracle::PathOracle(const PathOracle& baseline, const LinkFilter& filter,
                        exec::WorkerPool* pool)
+    : PathOracle(baseline, filter,
+                 baseline.dirtyDestinations(filter), pool) {}
+
+PathOracle::PathOracle(const PathOracle& baseline, const LinkFilter& filter,
+                       std::span<const topo::AsIndex> dirty,
+                       exec::WorkerPool* pool)
     : topo_(baseline.topo_), n_(baseline.n_),
       unfiltered_(filter.empty()), nextHop_(baseline.nextHop_),
       klass_(baseline.klass_) {
     AIO_EXPECTS(baseline.unfiltered_,
                 "incremental baseline must be an unfiltered oracle");
-    const std::vector<topo::AsIndex> dirty =
-        baseline.dirtyDestinations(filter);
-
     const auto resolve = [&](topo::AsIndex dst, DestScratch& scratch) {
         // computeDestination assumes a cleared slab (it writes only the
         // nodes it reaches), so reset the copied baseline rows first.

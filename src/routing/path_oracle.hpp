@@ -127,6 +127,16 @@ public:
     PathOracle(const PathOracle& baseline, const LinkFilter& filter,
                exec::WorkerPool* pool = nullptr);
 
+    /// Incremental derivation with the dirty set already extracted:
+    /// `dirty` must be exactly what `baseline.dirtyDestinations(filter)`
+    /// returns. Lets a caller that needs the set anyway (the sweep
+    /// engine reports |dirty| in its stats) scan the next-hop forest
+    /// once instead of twice; the two-argument overload above delegates
+    /// here.
+    PathOracle(const PathOracle& baseline, const LinkFilter& filter,
+               std::span<const topo::AsIndex> dirty,
+               exec::WorkerPool* pool = nullptr);
+
     /// Destinations whose route slab can change under `filter`, read off
     /// this (unfiltered) oracle's next-hop forest: destination d is dirty
     /// iff d itself is disabled, or some failed link (a,b) is on d's

@@ -2,8 +2,10 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/whatif.hpp"
 #include "exec/worker_pool.hpp"
@@ -20,6 +22,12 @@ struct PlainJob {
     std::size_t slot = 0; ///< index into the result vector
     outage::OutageEvent event;
     std::size_t oracleIndex = 0; ///< into the unique-oracle list
+    /// Scoring stream, already advanced through filterFor exactly as
+    /// WhatIfEngine::assess advances it — so scoring matches assess()
+    /// byte for byte even if filter derivation ever starts drawing for
+    /// cable cuts, with no cross-scenario stream sharing to make the
+    /// batch order observable.
+    net::Rng rng{0};
 };
 
 /// One unique cut-set routing state shared by >= 1 plain scenarios.
@@ -78,9 +86,6 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
         std::unordered_map<route::FilterDigest, std::size_t,
                            route::FilterDigestHash>
             oracleByDigest;
-        net::Rng filterRng{0}; // cable-cut filters draw nothing (asserted
-                               // by the rng-stream contract in the
-                               // differential test)
         for (std::size_t i = 0; i < n; ++i) {
             const core::ScenarioSpec& spec = scenarios[i];
             if (auto valid = spec.validate(*substrate_); !valid) {
@@ -100,8 +105,13 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
                 job.event.cutCables.push_back(
                     substrate_->registry().byName(name));
             }
-            route::LinkFilter filter =
-                analyzer.filterFor(job.event, filterRng);
+            // Mirror WhatIfEngine::assess exactly: a fresh seed+7 stream
+            // per scenario, advanced through filterFor, then handed to
+            // scoring — each scenario's draws depend only on the
+            // substrate seed and its own spec, never on batch order.
+            net::Rng rng{substrate_->seed() + 7};
+            route::LinkFilter filter = analyzer.filterFor(job.event, rng);
+            job.rng = rng;
             if (incremental) {
                 const route::FilterDigest digest = filter.digest();
                 if (const auto it = oracleByDigest.find(digest);
@@ -146,11 +156,16 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             const obs::ScopedTimer buildTimer{metrics,
                                               "sweep.build_seconds"};
             if (incremental) {
-                job.dirty = baseline->dirtyDestinations(job.filter).size();
+                const std::vector<topo::AsIndex> dirty =
+                    baseline->dirtyDestinations(job.filter);
+                job.dirty = dirty.size();
                 // pool=nullptr: this may already be inside a pool lane,
-                // and parallelFor is not reentrant.
+                // and parallelFor is not reentrant. The precomputed
+                // dirty set is handed in so the stats scan above is the
+                // only next-hop-forest walk this cut set pays for.
                 job.oracle = std::make_shared<const route::PathOracle>(
-                    *baseline, job.filter, nullptr);
+                    *baseline, job.filter,
+                    std::span<const topo::AsIndex>{dirty}, nullptr);
             } else {
                 job.oracle = std::make_shared<const route::PathOracle>(
                     substrate_->topology(), job.filter);
@@ -183,9 +198,10 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             const obs::ScopedTimer scenarioTimer{
                 metrics, "sweep.scenario_seconds"};
             const PlainJob& job = plain[k];
-            // The rng stream WhatIfEngine::assess uses: seed+7, and
-            // cable-cut filter derivation draws nothing before scoring.
-            net::Rng rng{substrate_->seed() + 7};
+            // The job's stream was advanced through filterFor at plan
+            // time exactly as assess() advances its own; scoring from a
+            // lane-local copy continues it where assess() would.
+            net::Rng rng = job.rng;
             slots[job.slot].emplace(analyzer.assessWithOracle(
                 job.event, *oracles[job.oracleIndex].oracle, rng));
         });

@@ -187,6 +187,34 @@ TEST(ApiMigration, SubstrateValidationFailsAsValues) {
                      .hasValue());
 }
 
+TEST(ApiMigration, TryCreateSubstrateSurvivesMoves) {
+    auto created = core::Substrate::tryCreate(
+        world().topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults());
+    ASSERT_TRUE(created.hasValue());
+    // tryCreate's Expected return already move-constructed the substrate
+    // once; move it twice more (construction + assignment) before using
+    // it, so any derived-layer pointer into the moved-from shell blows
+    // up here rather than in production.
+    core::Substrate substrate = std::move(created).value();
+    core::Substrate parked = makeSubstrate();
+    parked = std::move(substrate);
+
+    // The link map's registry pointer must track the substrate's own
+    // registry through every move.
+    EXPECT_EQ(&parked.linkMap().registry(), &parked.registry());
+
+    // assess() on a cable cut walks the recovery check through
+    // linkMap().registry() — the exact dereference a dangling pointer
+    // would turn into a use-after-free.
+    const auto reference = makeSubstrate();
+    const core::WhatIfEngine fromMoved{parked};
+    const core::WhatIfEngine fromReference{reference};
+    const std::vector<std::string> cables = {"WACS", "MainOne", "ACE"};
+    const auto event = fromMoved.makeCutEvent(cables);
+    EXPECT_TRUE(fromMoved.assess(event) == fromReference.assess(event));
+}
+
 TEST(ApiMigration, TryMakeCutEventReturnsErrorsAsValues) {
     const auto substrate = makeSubstrate();
     const core::WhatIfEngine engine{substrate};
@@ -246,6 +274,46 @@ TEST(ApiMigration, ScenarioSpecValidateCatchesBadSpecs) {
     core::ScenarioSpec dupAdded = addedCut;
     dupAdded.cablesAdded.push_back(added);
     EXPECT_FALSE(dupAdded.validate(substrate).hasValue());
+}
+
+TEST(ApiMigration, ScenarioSpecValidateChecksOverrides) {
+    const auto substrate = makeSubstrate();
+
+    core::ScenarioSpec good;
+    good.name = "ok";
+    good.cutCables = {"WACS"};
+
+    // Each override obeys the same rules Substrate::validate enforces
+    // on the base bundle.
+    core::ScenarioSpec badDns = good;
+    auto dnsOverride = dns::DnsConfig::defaults();
+    dnsOverride.africa[0].cloudOffshore += 0.5; // shares no longer sum to 1
+    badDns.dnsOverride = dnsOverride;
+    EXPECT_EQ(badDns.validate(substrate).error().kind,
+              net::Error::Kind::Precondition);
+
+    core::ScenarioSpec badContent = good;
+    auto contentOverride = content::ContentConfig::defaults();
+    contentOverride.sitesPerCountry = 0;
+    badContent.contentOverride = contentOverride;
+    EXPECT_FALSE(badContent.validate(substrate).hasValue());
+
+    core::ScenarioSpec badLink = good;
+    phys::LinkMapConfig linkOverride;
+    linkOverride.backupProb = 1.5;
+    badLink.linkMapOverride = linkOverride;
+    EXPECT_FALSE(badLink.validate(substrate).hasValue());
+
+    // Well-formed overrides still pass.
+    core::ScenarioSpec localized = good;
+    auto okDns = dns::DnsConfig::defaults();
+    for (auto& profile : okDns.africa) {
+        profile = dns::ResolverProfile{0.6, 0.1, 0.2, 0.05, 0.05};
+    }
+    localized.dnsOverride = okDns;
+    localized.contentOverride = content::ContentConfig::defaults();
+    localized.linkMapOverride = phys::LinkMapConfig{};
+    EXPECT_TRUE(localized.validate(substrate).hasValue());
 }
 
 } // namespace

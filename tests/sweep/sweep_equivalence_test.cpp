@@ -198,7 +198,7 @@ TEST(SweepEquivalence, MalformedScenariosDegradeOnlyTheirSlot) {
         topo, phys::CableRegistry::africanDefaults(),
         dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
 
-    std::vector<core::ScenarioSpec> specs(4);
+    std::vector<core::ScenarioSpec> specs(5);
     specs[0].name = "good";
     specs[0].cutCables = {"WACS", "ACE"};
     specs[1].name = "unknown-cable";
@@ -206,10 +206,15 @@ TEST(SweepEquivalence, MalformedScenariosDegradeOnlyTheirSlot) {
     specs[2].name = "empty-cut";
     specs[3].name = "good-again";
     specs[3].cutCables = {"WACS", "ACE"};
+    specs[4].name = "bad-dns-override";
+    specs[4].cutCables = {"WACS"};
+    auto badDns = dns::DnsConfig::defaults();
+    badDns.africa[0].cloudOffshore += 0.5; // shares no longer sum to 1
+    specs[4].dnsOverride = badDns;
 
     const ScenarioSweepEngine engine{substrate};
     const SweepResult result = engine.run(specs);
-    ASSERT_EQ(result.scenarios.size(), 4U);
+    ASSERT_EQ(result.scenarios.size(), 5U);
     EXPECT_TRUE(result.scenarios[0].outcome.hasValue());
     ASSERT_FALSE(result.scenarios[1].outcome.hasValue());
     EXPECT_EQ(result.scenarios[1].outcome.error().kind,
@@ -220,7 +225,13 @@ TEST(SweepEquivalence, MalformedScenariosDegradeOnlyTheirSlot) {
     EXPECT_TRUE(result.scenarios[3].outcome.hasValue());
     EXPECT_TRUE(result.scenarios[0].outcome.value() ==
                 result.scenarios[3].outcome.value());
-    EXPECT_EQ(result.stats.errors, 2U);
+    // The malformed override is caught at validation, never inside an
+    // overlay lane (where it would re-derive layers from bad shares).
+    ASSERT_FALSE(result.scenarios[4].outcome.hasValue());
+    EXPECT_EQ(result.scenarios[4].outcome.error().kind,
+              net::Error::Kind::Precondition);
+    EXPECT_EQ(result.stats.overlayScenarios, 0U);
+    EXPECT_EQ(result.stats.errors, 3U);
 }
 
 TEST(SweepEquivalence, OverlayScenariosMatchPerScenarioEngines) {
