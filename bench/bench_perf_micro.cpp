@@ -21,6 +21,8 @@
 #include "resilience/supervisor.hpp"
 #include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
+#include "stream/consumer.hpp"
+#include "stream/ingestor.hpp"
 #include "sweep/scenario_sweep.hpp"
 #include "topo/generator.hpp"
 
@@ -392,6 +394,107 @@ BENCHMARK(BM_ObservedSupervisorCampaign)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// ---- streaming ingestion / checkpoint / resume ----------------------
+// The streaming subsystem's cost model: country-sharded ingestion
+// throughput vs thread count (byte-identical results at every count, so
+// the speedup is free), the price of one consumer checkpoint, and the
+// restore-plus-replay cost of a crash resume.
+
+const std::vector<stream::MeasurementEvent>& streamEvents() {
+    static const std::vector<stream::MeasurementEvent> events = [] {
+        static const outage::RadarMonitor monitor{world()};
+        const std::vector<outage::ImpactReport> impacts; // quiet window
+        net::Rng rng{21};
+        return stream::GroundTruthSource{monitor}.emit(30.0, impacts, rng);
+    }();
+    return events;
+}
+
+void BM_StreamIngest(benchmark::State& state) {
+    const auto& events = streamEvents();
+    exec::WorkerPool pool{static_cast<int>(state.range(0))};
+    for (auto _ : state) {
+        stream::OnlineRadarDetector detector{
+            outage::RadarConfig{}, stream::StreamConfig{}, 30.0};
+        detector.ingestSharded(events, pool);
+        benchmark::DoNotOptimize(detector.eventsIngested());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(events.size()));
+    state.SetLabel(std::to_string(state.range(0)) + " threads, " +
+                   std::to_string(events.size()) + " events");
+}
+BENCHMARK(BM_StreamIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamCheckpointWrite(benchmark::State& state) {
+    // One consumer checkpoint: serialize the full detector state and
+    // append it CRC-framed, the way StreamConsumer journals mid-run.
+    stream::OnlineRadarDetector detector{
+        outage::RadarConfig{}, stream::StreamConfig{}, 30.0};
+    detector.ingestAll(streamEvents());
+    persist::MemorySink sink;
+    persist::RecordWriter journal{sink};
+    std::int64_t recordBytes = 0;
+    for (auto _ : state) {
+        persist::ByteWriter payload;
+        payload.u8(2); // checkpoint record type
+        payload.u64(detector.eventsIngested());
+        payload.raw(detector.encodeState());
+        recordBytes = static_cast<std::int64_t>(payload.bytes().size());
+        journal.append(payload.bytes());
+        if (sink.size() > (64U << 20)) {
+            sink.clear();
+        }
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * recordBytes);
+}
+BENCHMARK(BM_StreamCheckpointWrite)->Unit(benchmark::kMicrosecond);
+
+void BM_StreamResume(benchmark::State& state) {
+    // Crash resume end to end: replay the dead run's journal, restore
+    // the last checkpoint and reprocess the uncovered half of the log.
+    struct Setup {
+        std::vector<std::byte> log;
+        std::vector<std::byte> journal;
+    };
+    static const Setup setup = [] {
+        const auto& events = streamEvents();
+        const outage::RadarConfig radar;
+        const stream::StreamConfig cfg;
+        persist::MemorySink logSink;
+        stream::EventLogHeader header;
+        header.configDigest = stream::streamConfigDigest(radar, cfg, 30.0);
+        header.samplesPerDay = radar.samplesPerDay;
+        header.windowDays = 30.0;
+        stream::EventLogWriter writer{logSink, header};
+        for (const auto& event : events) {
+            writer.append(event);
+        }
+        persist::MemorySink journalSink;
+        stream::StreamConsumer consumer{radar, cfg};
+        (void)consumer.run(logSink.bytes(), journalSink, {},
+                           events.size() / 2);
+        return Setup{{logSink.bytes().begin(), logSink.bytes().end()},
+                     {journalSink.bytes().begin(),
+                      journalSink.bytes().end()}};
+    }();
+    for (auto _ : state) {
+        persist::MemorySink continuation;
+        stream::StreamConsumer consumer{outage::RadarConfig{},
+                                        stream::StreamConfig{}};
+        benchmark::DoNotOptimize(
+            consumer.run(setup.log, continuation, setup.journal));
+    }
+    state.SetLabel("resume at 1/2 of " +
+                   std::to_string(streamEvents().size()) + " events");
+}
+BENCHMARK(BM_StreamResume)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

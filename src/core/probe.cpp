@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "netbase/error.hpp"
 
 namespace aio::core {
+
+void ProbeStreamCursor::reconnect() {
+    AIO_EXPECTS(session != std::numeric_limits<std::uint32_t>::max(),
+                "probe session counter exhausted");
+    ++session;
+    nextSeq = 0;
+}
+
+void ProbeStreamCursor::restore(std::uint32_t restoredSession,
+                                std::uint64_t restoredNextSeq) {
+    AIO_EXPECTS(restoredSession >= session,
+                "probe cursor restore rewinds the session");
+    AIO_EXPECTS(restoredSession > session || restoredNextSeq >= nextSeq,
+                "probe cursor restore rewinds the sequence");
+    session = restoredSession;
+    nextSeq = restoredNextSeq;
+}
 
 void PricingModel::validate() const {
     switch (kind) {

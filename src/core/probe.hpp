@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -7,6 +8,36 @@
 #include "topo/as_graph.hpp"
 
 namespace aio::core {
+
+/// Monotonic (session, sequence) counter for one probe's measurement
+/// stream. A probe stamps every event it emits with its current session
+/// and the next sequence number; a disconnect/reconnect opens a new
+/// session and restarts sequencing at zero. The (session, seq) pair
+/// therefore totally orders a probe's lifetime output and never repeats —
+/// which is what lets the stream layer (stream::StreamIngestor) recognise
+/// at-least-once redeliveries and probe churn instead of double-counting
+/// them.
+struct ProbeStreamCursor {
+    std::uint32_t session = 0;
+    std::uint64_t nextSeq = 0;
+
+    /// Stamps one event: returns the sequence number to emit and
+    /// advances the cursor.
+    std::uint64_t issue() { return nextSeq++; }
+
+    /// Disconnect/reconnect: opens the next session and restarts the
+    /// sequence. Throws net::PreconditionError when the session counter
+    /// would wrap — a wrapped session aliases ancient events.
+    void reconnect();
+
+    /// Restores a persisted cursor position. Monotonic only: rewinding
+    /// the session, or the sequence within the current session, throws
+    /// net::PreconditionError — a cursor that moves backwards would
+    /// re-issue (session, seq) pairs and silently alias distinct events.
+    void restore(std::uint32_t session, std::uint64_t nextSeq);
+
+    [[nodiscard]] bool operator==(const ProbeStreamCursor&) const = default;
+};
 
 /// How a probe's (mobile) connectivity is billed. The paper requires the
 /// platform to support multiple pricing models because they differ per

@@ -8,11 +8,87 @@
 
 namespace aio::outage {
 
+void RadarConfig::validate() const {
+    AIO_EXPECTS(std::isfinite(samplesPerDay) && samplesPerDay > 0.0,
+                "samplesPerDay must be positive and finite");
+    AIO_EXPECTS(std::isfinite(noiseStddev) && noiseStddev >= 0.0,
+                "noiseStddev must be non-negative and finite");
+    AIO_EXPECTS(dropThreshold > 0.0 && dropThreshold < 1.0,
+                "dropThreshold must be in (0,1)");
+    AIO_EXPECTS(minConsecutiveSamples >= 1,
+                "minConsecutiveSamples must be at least 1");
+}
+
+double seriesFloor(std::span<const double> values,
+                   std::span<const std::uint8_t> present,
+                   const RadarConfig& config) {
+    config.validate();
+    AIO_EXPECTS(present.empty() || present.size() == values.size(),
+                "presence mask must match the series length");
+    std::vector<double> sample;
+    if (present.empty()) {
+        sample.assign(values.begin(), values.end());
+    } else {
+        sample.reserve(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (present[i] != 0) {
+                sample.push_back(values[i]);
+            }
+        }
+    }
+    if (sample.empty()) {
+        return 0.0;
+    }
+    return net::median(sample) * (1.0 - config.dropThreshold);
+}
+
+std::vector<RadarDetection>
+detectBelowFloor(std::string_view country, std::span<const double> values,
+                 std::span<const std::uint8_t> present, double floor,
+                 double samplesPerDay, const RadarConfig& config) {
+    config.validate();
+    AIO_EXPECTS(std::isfinite(samplesPerDay) && samplesPerDay > 0.0,
+                "samplesPerDay must be positive and finite");
+    AIO_EXPECTS(present.empty() || present.size() == values.size(),
+                "presence mask must match the series length");
+    std::vector<RadarDetection> detections;
+
+    std::size_t runStart = 0;
+    int run = 0;
+    const auto flush = [&](std::size_t endExclusive) {
+        if (run >= config.minConsecutiveSamples) {
+            RadarDetection detection;
+            detection.country = std::string{country};
+            detection.startDay =
+                static_cast<double>(runStart) / samplesPerDay;
+            detection.durationDays =
+                static_cast<double>(endExclusive - runStart) /
+                samplesPerDay;
+            detections.push_back(std::move(detection));
+        }
+        run = 0;
+    };
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const bool sampled = present.empty() || present[i] != 0;
+        if (sampled && values[i] < floor) {
+            if (run == 0) {
+                runStart = i;
+            }
+            ++run;
+        } else {
+            flush(i);
+        }
+    }
+    // Tail boundary: a drop still below the floor at the end of the
+    // series is an outage in progress — report it once it already spans
+    // the minimum, with its duration truncated at the window edge.
+    flush(values.size());
+    return detections;
+}
+
 RadarMonitor::RadarMonitor(const topo::Topology& topology, RadarConfig config)
     : topo_(&topology), config_(config) {
-    AIO_EXPECTS(config.samplesPerDay > 0.0, "samplesPerDay must be positive");
-    AIO_EXPECTS(config.dropThreshold > 0.0 && config.dropThreshold < 1.0,
-                "dropThreshold must be in (0,1)");
+    config_.validate();
 }
 
 TrafficSeries
@@ -61,40 +137,12 @@ RadarMonitor::seriesFor(std::string_view country, double windowDays,
 
 std::vector<RadarDetection>
 RadarMonitor::detect(const TrafficSeries& series) const {
-    std::vector<RadarDetection> detections;
     if (series.values.empty()) {
-        return detections;
+        return {};
     }
-    const double baseline = net::median(series.values);
-    const double floor = baseline * (1.0 - config_.dropThreshold);
-
-    std::size_t runStart = 0;
-    int run = 0;
-    const auto flush = [&](std::size_t endExclusive) {
-        if (run >= config_.minConsecutiveSamples) {
-            RadarDetection detection;
-            detection.country = series.country;
-            detection.startDay =
-                static_cast<double>(runStart) / series.samplesPerDay;
-            detection.durationDays =
-                static_cast<double>(endExclusive - runStart) /
-                series.samplesPerDay;
-            detections.push_back(std::move(detection));
-        }
-        run = 0;
-    };
-    for (std::size_t i = 0; i < series.values.size(); ++i) {
-        if (series.values[i] < floor) {
-            if (run == 0) {
-                runStart = i;
-            }
-            ++run;
-        } else {
-            flush(i);
-        }
-    }
-    flush(series.values.size());
-    return detections;
+    const double floor = seriesFloor(series.values, {}, config_);
+    return detectBelowFloor(series.country, series.values, {}, floor,
+                            series.samplesPerDay, config_);
 }
 
 std::vector<RadarDetection>

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <span>
 
 #include "outage/impact.hpp"
 
@@ -11,6 +13,8 @@ struct TrafficSeries {
     std::string country;
     double samplesPerDay = 4.0;
     std::vector<double> values;
+
+    [[nodiscard]] bool operator==(const TrafficSeries&) const = default;
 };
 
 struct RadarConfig {
@@ -18,14 +22,52 @@ struct RadarConfig {
     double noiseStddev = 0.04;    ///< multiplicative sampling noise
     double dropThreshold = 0.25;  ///< relative drop that counts as outage
     int minConsecutiveSamples = 2;
+
+    /// Throws net::PreconditionError when any field is out of range
+    /// (mirrors SupervisorConfig::validate): non-positive/non-finite
+    /// samplesPerDay, negative or non-finite noiseStddev, dropThreshold
+    /// outside (0,1), minConsecutiveSamples < 1. The last check matters:
+    /// a zero/negative minimum makes the run-scan emit a zero-length
+    /// "detection" at every recovered sample. Called by RadarMonitor and
+    /// stream::OnlineRadarDetector so a bad config fails at construction,
+    /// not mid-window.
+    void validate() const;
 };
 
-/// One detection, as the Radar outage center would list it.
+/// One detection, as the Radar outage center would list it. Exact
+/// (bitwise on doubles) equality — the streaming layer's differential
+/// harness compares online-replay detections against the batch monitor
+/// with ==.
 struct RadarDetection {
     std::string country;
     double startDay = 0.0;
     double durationDays = 0.0;
+
+    [[nodiscard]] bool operator==(const RadarDetection&) const = default;
 };
+
+/// Drop floor for one series: median of the present samples scaled by the
+/// config's drop threshold. `present` flags which slots hold a sample
+/// (empty span = every slot does); slots marked absent are excluded from
+/// the baseline, which is how the online detector prices an incomplete
+/// event log. Returns 0 when no sample is present (nothing can be below
+/// an empty baseline).
+[[nodiscard]] double seriesFloor(std::span<const double> values,
+                                 std::span<const std::uint8_t> present,
+                                 const RadarConfig& config);
+
+/// Threshold run-scan shared by the batch RadarMonitor and the streaming
+/// OnlineRadarDetector: a maximal run of at least `minConsecutiveSamples`
+/// consecutive present samples below `floor` yields one detection. The
+/// tail boundary is part of the contract: a drop still in progress when
+/// the series ends is flushed and reported once it already spans the
+/// minimum — an outage is not hidden just because the window closed on
+/// top of it. Absent slots (`present[i] == 0`) break runs; an empty
+/// `present` span means every slot holds a sample.
+[[nodiscard]] std::vector<RadarDetection>
+detectBelowFloor(std::string_view country, std::span<const double> values,
+                 std::span<const std::uint8_t> present, double floor,
+                 double samplesPerDay, const RadarConfig& config);
 
 /// Cloudflare-Radar-style outage detection: build per-country traffic
 /// series from ground-truth events (traffic drops by each event's

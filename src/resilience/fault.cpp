@@ -1,6 +1,7 @@
 #include "resilience/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "netbase/error.hpp"
@@ -285,6 +286,23 @@ void FaultInjector::restoreMeterStates(
     std::span<const persist::ProbeMeterState> states) {
     AIO_EXPECTS(states.size() == meters_.size(),
                 "meter snapshot does not match the fleet");
+    // Validate the whole snapshot before touching any meter so a bad
+    // checkpoint leaves the injector untouched instead of half-restored.
+    for (std::size_t p = 0; p < states.size(); ++p) {
+        const persist::ProbeMeterState& state = states[p];
+        AIO_EXPECTS(std::isfinite(state.peakMb) && state.peakMb >= 0.0 &&
+                        std::isfinite(state.offPeakMb) &&
+                        state.offPeakMb >= 0.0,
+                    "meter snapshot holds a negative or non-finite volume");
+        // Consumption and bundle exhaustion only ever grow within a
+        // campaign; a snapshot that rewinds either describes a different
+        // (earlier or foreign) run and must not be silently accepted.
+        AIO_EXPECTS(state.peakMb >= meters_[p].peakMbConsumed() &&
+                        state.offPeakMb >= meters_[p].offPeakMbConsumed(),
+                    "meter snapshot rewinds consumed traffic");
+        AIO_EXPECTS(state.exhausted || !exhausted_[p],
+                    "meter snapshot clears a sticky bundle-dry flag");
+    }
     for (std::size_t p = 0; p < states.size(); ++p) {
         meters_[p].restoreConsumption(states[p].peakMb,
                                       states[p].offPeakMb);
@@ -295,6 +313,121 @@ void FaultInjector::restoreMeterStates(
 int FaultInjector::exhaustedCount() const {
     return static_cast<int>(
         std::count(exhausted_.begin(), exhausted_.end(), true));
+}
+
+std::string_view streamFaultClassName(StreamFaultClass cls) {
+    switch (cls) {
+    case StreamFaultClass::DeliveryDrop: return "delivery drop";
+    case StreamFaultClass::DeliveryDuplicate: return "delivery duplicate";
+    case StreamFaultClass::DeliveryReorder: return "delivery reorder";
+    case StreamFaultClass::ChurnBurst: return "churn burst";
+    case StreamFaultClass::ConsumerCrash: return "consumer crash";
+    }
+    return "?";
+}
+
+namespace {
+
+void requireProbability(double value, const char* what) {
+    if (!(std::isfinite(value) && value >= 0.0 && value <= 1.0)) {
+        throw net::PreconditionError{std::string{what} +
+                                     " must be a probability in [0,1]"};
+    }
+}
+
+} // namespace
+
+void StreamFaultConfig::validate() const {
+    requireProbability(dropProb, "dropProb");
+    requireProbability(duplicateProb, "duplicateProb");
+    requireProbability(reorderProb, "reorderProb");
+    requireProbability(lateProb, "lateProb");
+    requireProbability(churnBurstProb, "churnBurstProb");
+    AIO_EXPECTS(std::isfinite(maxSkewDays) && maxSkewDays >= 0.0,
+                "maxSkewDays must be non-negative and finite");
+    AIO_EXPECTS(std::isfinite(lateDelayDays) && lateDelayDays >= 0.0,
+                "lateDelayDays must be non-negative and finite");
+    AIO_EXPECTS(churnReconnects >= 0,
+                "churnReconnects must be non-negative");
+}
+
+StreamFaultInjector::StreamFaultInjector(
+    StreamFaultConfig config, std::span<const std::uint64_t> probeIds,
+    double windowDays, net::Rng& rng)
+    : config_(config) {
+    config_.validate();
+    AIO_EXPECTS(std::isfinite(windowDays) && windowDays > 0.0,
+                "windowDays must be positive and finite");
+    // std::map keys iterate sorted, so the draw order below is a pure
+    // function of the probe-id set, not of the span's ordering.
+    for (const std::uint64_t id : probeIds) {
+        reconnects_[id];
+    }
+    for (auto& [id, days] : reconnects_) {
+        if (!rng.bernoulli(config_.churnBurstProb)) {
+            continue;
+        }
+        const double burstStart = rng.uniformReal(0.0, windowDays);
+        for (int i = 0; i < config_.churnReconnects; ++i) {
+            // Flaps cluster: reconnects land within a tenth of the
+            // window after the burst starts ("Day in the Life of RIPE
+            // Atlas"-style session churn).
+            days.push_back(std::min(
+                windowDays,
+                burstStart + rng.uniformReal(0.0, windowDays * 0.1)));
+        }
+        std::ranges::sort(days);
+    }
+}
+
+StreamFaultInjector::DeliveryFate
+StreamFaultInjector::fateFor(net::Rng& rng) const {
+    DeliveryFate fate;
+    // One uniform draw picks among the mutually exclusive delay fates so
+    // raising one probability never perturbs another fate's draw stream.
+    const double roll = rng.uniform01();
+    const double skew = rng.uniformReal(0.0, config_.maxSkewDays);
+    if (roll < config_.dropProb) {
+        fate.dropped = true;
+        fate.delayDays = skew;
+    } else if (roll < config_.dropProb + config_.reorderProb) {
+        fate.reordered = true;
+        fate.delayDays = skew;
+    } else if (roll <
+               config_.dropProb + config_.reorderProb + config_.lateProb) {
+        fate.late = true;
+        fate.delayDays = config_.lateDelayDays + skew;
+    }
+    if (rng.bernoulli(config_.duplicateProb)) {
+        fate.duplicate = true;
+        fate.duplicateDelayDays =
+            rng.uniformReal(0.0, config_.maxSkewDays);
+    }
+    return fate;
+}
+
+std::span<const double>
+StreamFaultInjector::reconnectDaysFor(std::uint64_t probeId) const {
+    const auto it = reconnects_.find(probeId);
+    AIO_EXPECTS(it != reconnects_.end(),
+                "probe id not covered by the stream fault schedule");
+    return it->second;
+}
+
+std::uint32_t StreamFaultInjector::sessionAt(std::uint64_t probeId,
+                                             double day) const {
+    const auto schedule = reconnectDaysFor(probeId);
+    const auto firstAfter =
+        std::upper_bound(schedule.begin(), schedule.end(), day);
+    return static_cast<std::uint32_t>(firstAfter - schedule.begin());
+}
+
+std::size_t StreamFaultInjector::reconnectCount() const {
+    std::size_t count = 0;
+    for (const auto& [id, days] : reconnects_) {
+        count += days.size();
+    }
+    return count;
 }
 
 } // namespace aio::resilience

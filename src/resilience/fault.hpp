@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -162,6 +164,93 @@ private:
     std::vector<core::TariffMeter> meters_;
     std::vector<double> budgets_;
     std::vector<bool> exhausted_;
+};
+
+/// Ways the *delivery path* between a probe and the stream consumer
+/// misbehaves. The probe fault classes above model the vantage point
+/// itself dying; these model what "Day in the Life of RIPE Atlas"
+/// documents about the result stream even when probes are healthy:
+/// results lost and retransmitted, delivered twice, arriving out of
+/// order, probes flapping through disconnect/reconnect sessions, and the
+/// collector process itself being killed mid-stream.
+enum class StreamFaultClass : std::uint8_t {
+    DeliveryDrop,      ///< first copy lost; redelivered later (at-least-once)
+    DeliveryDuplicate, ///< a second copy arrives after the first
+    DeliveryReorder,   ///< delayed past later events, within a skew bound
+    ChurnBurst,        ///< probe disconnect/reconnect burst (new sessions)
+    ConsumerCrash      ///< the stream consumer dies and must resume
+};
+
+[[nodiscard]] std::string_view streamFaultClassName(StreamFaultClass cls);
+
+/// Rates and bounds for an adversarial-delivery schedule. The skew bound
+/// is the contract with the consumer's watermark: drop/duplicate/reorder
+/// displacement stays within `maxSkewDays`, so a consumer whose watermark
+/// exceeds it absorbs those faults without changing any final detection.
+/// `lateProb` events are the deliberate exception — displaced by
+/// `lateDelayDays` (set it beyond the watermark), they must surface in
+/// the stream DegradationReport instead.
+struct StreamFaultConfig {
+    double dropProb = 0.0;      ///< lost first copy, redelivered within skew
+    double duplicateProb = 0.0; ///< extra copy delivered within skew
+    double reorderProb = 0.0;   ///< delayed within skew
+    double maxSkewDays = 0.5;   ///< displacement bound for the three above
+    double lateProb = 0.0;      ///< delivered hopelessly late (lost)
+    double lateDelayDays = 2.0; ///< displacement for late events
+    double churnBurstProb = 0.0; ///< per-probe chance of a reconnect burst
+    int churnReconnects = 3;     ///< reconnects per burst
+
+    /// Throws net::PreconditionError when any probability is outside
+    /// [0,1], a delay/skew is negative or non-finite, or the reconnect
+    /// count is negative (mirrors SupervisorConfig::validate).
+    void validate() const;
+};
+
+/// Deterministic delivery-fault source for one stream window: a fixed
+/// per-probe reconnect schedule drawn at construction, plus a per-event
+/// fate sampler. The injector is deliberately ignorant of event types —
+/// the stream layer owns what an event is; resilience owns how delivery
+/// fails — so the same injector could misdeliver any future stream.
+class StreamFaultInjector {
+public:
+    /// Draws the reconnect schedule for `probeIds` over `windowDays`
+    /// from `rng` (same seed => identical schedule).
+    StreamFaultInjector(StreamFaultConfig config,
+                        std::span<const std::uint64_t> probeIds,
+                        double windowDays, net::Rng& rng);
+
+    [[nodiscard]] const StreamFaultConfig& config() const { return config_; }
+
+    /// What the delivery layer does to one event emitted at
+    /// `emissionDay`. At most one of {drop, reorder, late} applies; a
+    /// duplicate ride-along is drawn independently. Deterministic given
+    /// the rng state; callers draw once per event in emission order.
+    struct DeliveryFate {
+        double delayDays = 0.0; ///< added to the emission day
+        bool dropped = false;   ///< the delay is a drop + redelivery
+        bool reordered = false; ///< the delay is in-flight reordering
+        bool late = false;      ///< delayed past any reasonable watermark
+        bool duplicate = false; ///< deliver a second copy as well
+        double duplicateDelayDays = 0.0;
+    };
+    [[nodiscard]] DeliveryFate fateFor(net::Rng& rng) const;
+
+    /// Reconnect days (sorted ascending) for one probe; empty when the
+    /// probe drew no churn burst.
+    [[nodiscard]] std::span<const double>
+    reconnectDaysFor(std::uint64_t probeId) const;
+
+    /// The session a probe is in at `day`: the number of reconnects at
+    /// or before it (session 0 until the first reconnect).
+    [[nodiscard]] std::uint32_t sessionAt(std::uint64_t probeId,
+                                          double day) const;
+
+    /// Total reconnects across every probe's schedule.
+    [[nodiscard]] std::size_t reconnectCount() const;
+
+private:
+    StreamFaultConfig config_;
+    std::map<std::uint64_t, std::vector<double>> reconnects_;
 };
 
 } // namespace aio::resilience

@@ -1,0 +1,108 @@
+#include "stream/event.hpp"
+
+#include <cmath>
+
+#include "netbase/error.hpp"
+
+namespace aio::stream {
+
+void encodeEvent(persist::ByteWriter& writer, const MeasurementEvent& event) {
+    writer.u64(event.probe);
+    writer.u32(event.session);
+    writer.u64(event.seq);
+    writer.str(event.country);
+    writer.u32(event.slot);
+    writer.f64(event.value);
+}
+
+MeasurementEvent decodeEvent(persist::ByteReader& reader) {
+    MeasurementEvent event;
+    event.probe = reader.u64();
+    event.session = reader.u32();
+    event.seq = reader.u64();
+    event.country = reader.str();
+    event.slot = reader.u32();
+    event.value = reader.f64();
+    return event;
+}
+
+void StreamConfig::validate() const {
+    AIO_EXPECTS(std::isfinite(watermarkDays) && watermarkDays >= 0.0,
+                "watermarkDays must be non-negative and finite");
+    AIO_EXPECTS(queueCapacity >= 1, "queueCapacity must be at least 1");
+    AIO_EXPECTS(dedupeWindow >= 1, "dedupeWindow must be at least 1");
+    AIO_EXPECTS(checkpointEveryEvents >= 1,
+                "checkpointEveryEvents must be at least 1");
+}
+
+std::uint64_t streamConfigDigest(const outage::RadarConfig& radar,
+                                 const StreamConfig& stream,
+                                 double windowDays) {
+    radar.validate();
+    stream.validate();
+    persist::ByteWriter writer;
+    writer.f64(radar.samplesPerDay);
+    writer.f64(radar.noiseStddev);
+    writer.f64(radar.dropThreshold);
+    writer.i32(radar.minConsecutiveSamples);
+    writer.f64(stream.watermarkDays);
+    writer.u64(stream.queueCapacity);
+    writer.u64(stream.dedupeWindow);
+    writer.u64(stream.checkpointEveryEvents);
+    writer.f64(windowDays);
+    return persist::fnv1a64(writer.bytes());
+}
+
+void DegradationReport::merge(const DegradationReport& other) {
+    eventsDelivered += other.eventsDelivered;
+    eventsAccepted += other.eventsAccepted;
+    duplicatesDropped += other.duplicatesDropped;
+    staleSessions += other.staleSessions;
+    reconnects += other.reconnects;
+    backpressureStalls += other.backpressureStalls;
+    duplicateSlots += other.duplicateSlots;
+    lateDropped += other.lateDropped;
+    sealedGaps += other.sealedGaps;
+    for (const auto& [country, count] : other.lateByCountry) {
+        lateByCountry[country] += count;
+    }
+}
+
+void encodeDegradation(persist::ByteWriter& writer,
+                       const DegradationReport& report) {
+    writer.u64(report.eventsDelivered);
+    writer.u64(report.eventsAccepted);
+    writer.u64(report.duplicatesDropped);
+    writer.u64(report.staleSessions);
+    writer.u64(report.reconnects);
+    writer.u64(report.backpressureStalls);
+    writer.u64(report.duplicateSlots);
+    writer.u64(report.lateDropped);
+    writer.u64(report.sealedGaps);
+    writer.u32(static_cast<std::uint32_t>(report.lateByCountry.size()));
+    for (const auto& [country, count] : report.lateByCountry) {
+        writer.str(country);
+        writer.u64(count);
+    }
+}
+
+DegradationReport decodeDegradation(persist::ByteReader& reader) {
+    DegradationReport report;
+    report.eventsDelivered = reader.u64();
+    report.eventsAccepted = reader.u64();
+    report.duplicatesDropped = reader.u64();
+    report.staleSessions = reader.u64();
+    report.reconnects = reader.u64();
+    report.backpressureStalls = reader.u64();
+    report.duplicateSlots = reader.u64();
+    report.lateDropped = reader.u64();
+    report.sealedGaps = reader.u64();
+    const std::uint32_t entries = reader.u32();
+    for (std::uint32_t i = 0; i < entries; ++i) {
+        std::string country = reader.str();
+        report.lateByCountry[std::move(country)] = reader.u64();
+    }
+    return report;
+}
+
+} // namespace aio::stream

@@ -1,0 +1,394 @@
+#include "stream/online_radar.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "netbase/error.hpp"
+#include "netbase/region.hpp"
+
+namespace aio::stream {
+
+namespace {
+
+constexpr std::uint32_t kStateVersion = 1;
+
+/// Lag buckets in days: fractions of the watermark up to "hopeless".
+constexpr std::array<double, 6> kLagBoundsDays{0.25, 0.5, 1.0,
+                                               2.0,  4.0, 8.0};
+
+/// Median of an already-sorted sample; matches net::median's
+/// rank-interpolation for the 50th percentile.
+double sortedMedian(const std::vector<double>& sorted) {
+    const std::size_t n = sorted.size();
+    if (n % 2 == 1) {
+        return sorted[n / 2];
+    }
+    return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+} // namespace
+
+OnlineRadarDetector::OnlineRadarDetector(outage::RadarConfig radar,
+                                         StreamConfig stream,
+                                         double windowDays,
+                                         obs::MetricsRegistry* metrics)
+    : radar_(radar), stream_(stream), windowDays_(windowDays),
+      slotCount_(static_cast<std::size_t>(windowDays *
+                                          radar.samplesPerDay)),
+      watermarkSlots_(stream.watermarkDays * radar.samplesPerDay),
+      digest_(streamConfigDigest(radar, stream, windowDays)),
+      metrics_(metrics) {
+    AIO_EXPECTS(std::isfinite(windowDays) && windowDays > 0.0,
+                "windowDays must be positive and finite");
+    AIO_EXPECTS(slotCount_ >= 1, "window shorter than one sample slot");
+}
+
+OnlineRadarDetector::Lane&
+OnlineRadarDetector::laneFor(const std::string& country) {
+    const auto it = lanes_.find(country);
+    if (it != lanes_.end()) {
+        return it->second;
+    }
+    Lane& lane = lanes_[country];
+    lane.country = country;
+    lane.values.assign(slotCount_, 0.0);
+    lane.present.assign(slotCount_, 0);
+    return lane;
+}
+
+void OnlineRadarDetector::laneIngest(Lane& lane,
+                                     const MeasurementEvent& event) {
+    AIO_EXPECTS(event.slot < slotCount_,
+                "event slot lies beyond the configured window");
+    ++lane.events;
+    // Lag relative to the country's own frontier, before this event
+    // moves it: a pure function of per-country event order, so it is
+    // identical under sequential and sharded ingestion.
+    const double lagDays =
+        lane.any && lane.maxSlot > event.slot
+            ? static_cast<double>(lane.maxSlot - event.slot) /
+                  radar_.samplesPerDay
+            : 0.0;
+    lane.pendingLags.push_back(lagDays);
+    if (event.slot < lane.sealedThrough) {
+        // Behind the watermark: the slot's fate is already decided.
+        // Merging now would make results depend on delivery order, so
+        // the event is counted and dropped — the honesty ledger.
+        ++lane.lateDropped;
+        return;
+    }
+    if (lane.present[event.slot] != 0) {
+        ++lane.duplicateSlots;
+        return;
+    }
+    lane.present[event.slot] = 1;
+    lane.values[event.slot] = event.value;
+    if (!lane.any || event.slot > lane.maxSlot) {
+        lane.maxSlot = event.slot;
+        lane.any = true;
+        sealLane(lane);
+    }
+}
+
+void OnlineRadarDetector::sealLane(Lane& lane) {
+    // Slot s seals once the frontier passes its watermark:
+    // s < maxSlot - watermarkSlots. The epsilon dodges float fuzz when
+    // the watermark is a fractional number of slots.
+    const double limit =
+        static_cast<double>(lane.maxSlot) - watermarkSlots_;
+    const auto sealCount = static_cast<std::size_t>(std::clamp(
+        std::ceil(limit - 1e-9), 0.0, static_cast<double>(slotCount_)));
+    while (lane.sealedThrough < sealCount) {
+        const std::size_t slot = lane.sealedThrough;
+        if (lane.present[slot] == 0) {
+            // Sealed with no sample: a permanent hole in the series.
+            ++lane.sealedGaps;
+            lane.runLen = 0;
+            lane.alertOpen = false;
+        } else {
+            const double value = lane.values[slot];
+            lane.sortedSealed.insert(
+                std::ranges::lower_bound(lane.sortedSealed, value), value);
+            // Provisional floor: running median over what has sealed so
+            // far. Cheap, causal, and close to the final floor once a
+            // few quiet days are in — but only finalDetections() is
+            // authoritative.
+            const double floor = sortedMedian(lane.sortedSealed) *
+                                 (1.0 - radar_.dropThreshold);
+            if (value < floor) {
+                if (lane.runLen == 0) {
+                    lane.runStart = slot;
+                }
+                ++lane.runLen;
+                if (lane.runLen >= radar_.minConsecutiveSamples &&
+                    !lane.alertOpen) {
+                    OnlineAlert alert;
+                    alert.country = lane.country;
+                    alert.startDay = static_cast<double>(lane.runStart) /
+                                     radar_.samplesPerDay;
+                    alert.detectedAtDay =
+                        static_cast<double>(lane.maxSlot) /
+                        radar_.samplesPerDay;
+                    lane.alerts.push_back(std::move(alert));
+                    lane.alertOpen = true;
+                }
+            } else {
+                lane.runLen = 0;
+                lane.alertOpen = false;
+            }
+        }
+        ++lane.sealedThrough;
+    }
+}
+
+void OnlineRadarDetector::publishPending() {
+    if (metrics_ == nullptr) {
+        for (auto& [country, lane] : lanes_) {
+            lane.pendingLags.clear();
+        }
+        return;
+    }
+    obs::Histogram& lag =
+        metrics_->histogram("stream.detector.lag_days", kLagBoundsDays);
+    for (auto& [country, lane] : lanes_) {
+        for (const double sample : lane.pendingLags) {
+            lag.record(sample);
+        }
+        lane.pendingLags.clear();
+    }
+    const DegradationReport now = degradation();
+    metrics_->counter("stream.detector.events")
+        .add(eventsIngested() - published_.eventsDelivered);
+    metrics_->counter("stream.detector.late_dropped")
+        .add(now.lateDropped - published_.lateDropped);
+    metrics_->counter("stream.detector.duplicate_slots")
+        .add(now.duplicateSlots - published_.duplicateSlots);
+    metrics_->counter("stream.detector.sealed_gaps")
+        .add(now.sealedGaps - published_.sealedGaps);
+    published_ = now;
+    published_.eventsDelivered = eventsIngested();
+}
+
+void OnlineRadarDetector::ingest(const MeasurementEvent& event) {
+    laneIngest(laneFor(event.country), event);
+    publishPending();
+}
+
+void OnlineRadarDetector::ingestAll(
+    std::span<const MeasurementEvent> events) {
+    for (const MeasurementEvent& event : events) {
+        laneIngest(laneFor(event.country), event);
+    }
+    publishPending();
+}
+
+void OnlineRadarDetector::ingestSharded(
+    std::span<const MeasurementEvent> events, exec::WorkerPool& pool) {
+    // Group by country, preserving each country's internal order. Lanes
+    // are created here, sequentially — the parallel phase only ever
+    // touches pre-existing, disjoint lanes.
+    std::vector<std::pair<Lane*, std::vector<const MeasurementEvent*>>>
+        groups;
+    std::map<std::string_view, std::size_t> groupOf;
+    for (const MeasurementEvent& event : events) {
+        const auto it = groupOf.find(event.country);
+        std::size_t index;
+        if (it == groupOf.end()) {
+            index = groups.size();
+            groups.emplace_back(&laneFor(event.country),
+                                std::vector<const MeasurementEvent*>{});
+            groupOf.emplace(groups[index].first->country, index);
+        } else {
+            index = it->second;
+        }
+        groups[index].second.push_back(&event);
+    }
+    pool.parallelFor(groups.size(),
+                     [&](std::size_t index, std::size_t /*lane*/) {
+                         auto& [lanePtr, group] = groups[index];
+                         for (const MeasurementEvent* event : group) {
+                             laneIngest(*lanePtr, *event);
+                         }
+                     });
+    // Metrics were buffered per lane during the parallel phase; publish
+    // them in stable map order so histogram contents are bit-identical
+    // at any thread count.
+    publishPending();
+}
+
+std::vector<const OnlineRadarDetector::Lane*>
+OnlineRadarDetector::orderedLanes() const {
+    std::vector<const Lane*> ordered;
+    ordered.reserve(lanes_.size());
+    std::vector<const Lane*> african;
+    for (const auto* country : net::CountryTable::world().african()) {
+        const auto it = lanes_.find(country->iso2);
+        if (it != lanes_.end()) {
+            ordered.push_back(&it->second);
+        }
+    }
+    for (const auto& [name, lane] : lanes_) {
+        if (std::ranges::find(ordered, &lane) == ordered.end()) {
+            ordered.push_back(&lane);
+        }
+    }
+    return ordered;
+}
+
+std::vector<OnlineAlert> OnlineRadarDetector::alerts() const {
+    std::vector<OnlineAlert> out;
+    for (const Lane* lane : orderedLanes()) {
+        out.insert(out.end(), lane->alerts.begin(), lane->alerts.end());
+    }
+    return out;
+}
+
+std::vector<outage::RadarDetection>
+OnlineRadarDetector::finalDetections() const {
+    std::vector<outage::RadarDetection> out;
+    for (const Lane* lane : orderedLanes()) {
+        const double floor =
+            outage::seriesFloor(lane->values, lane->present, radar_);
+        auto detections = outage::detectBelowFloor(
+            lane->country, lane->values, lane->present, floor,
+            radar_.samplesPerDay, radar_);
+        for (auto& detection : detections) {
+            out.push_back(std::move(detection));
+        }
+    }
+    return out;
+}
+
+DegradationReport OnlineRadarDetector::degradation() const {
+    DegradationReport report;
+    for (const auto& [country, lane] : lanes_) {
+        report.duplicateSlots += lane.duplicateSlots;
+        report.lateDropped += lane.lateDropped;
+        report.sealedGaps += lane.sealedGaps;
+        if (lane.lateDropped > 0) {
+            report.lateByCountry[country] += lane.lateDropped;
+        }
+    }
+    return report;
+}
+
+std::uint64_t OnlineRadarDetector::eventsIngested() const {
+    std::uint64_t total = 0;
+    for (const auto& [country, lane] : lanes_) {
+        total += lane.events;
+    }
+    return total;
+}
+
+std::vector<std::byte> OnlineRadarDetector::encodeState() const {
+    persist::ByteWriter writer;
+    writer.u32(kStateVersion);
+    writer.u64(digest_);
+    writer.u64(slotCount_);
+    writer.u32(static_cast<std::uint32_t>(lanes_.size()));
+    for (const auto& [country, lane] : lanes_) {
+        writer.str(country);
+        writer.boolean(lane.any);
+        writer.u32(lane.maxSlot);
+        writer.u64(lane.sealedThrough);
+        writer.u64(lane.runStart);
+        writer.i32(lane.runLen);
+        writer.boolean(lane.alertOpen);
+        writer.u64(lane.events);
+        writer.u64(lane.duplicateSlots);
+        writer.u64(lane.lateDropped);
+        writer.u64(lane.sealedGaps);
+        for (std::size_t s = 0; s < slotCount_; ++s) {
+            writer.u8(lane.present[s]);
+        }
+        for (std::size_t s = 0; s < slotCount_; ++s) {
+            writer.f64(lane.values[s]);
+        }
+        writer.u32(static_cast<std::uint32_t>(lane.alerts.size()));
+        for (const OnlineAlert& alert : lane.alerts) {
+            writer.f64(alert.startDay);
+            writer.f64(alert.detectedAtDay);
+        }
+    }
+    const auto bytes = writer.bytes();
+    return {bytes.begin(), bytes.end()};
+}
+
+void OnlineRadarDetector::restoreState(std::span<const std::byte> bytes) {
+    persist::ByteReader reader{bytes};
+    const std::uint32_t version = reader.u32();
+    if (version != kStateVersion) {
+        throw net::CorruptionError{
+            "detector checkpoint has state version " +
+            std::to_string(version) + ", reader understands " +
+            std::to_string(kStateVersion)};
+    }
+    const std::uint64_t digest = reader.u64();
+    AIO_EXPECTS(digest == digest_,
+                "detector checkpoint was written under a different "
+                "radar/stream configuration");
+    const std::uint64_t slots = reader.u64();
+    if (slots != slotCount_) {
+        throw net::CorruptionError{
+            "detector checkpoint disagrees about the slot count"};
+    }
+    std::map<std::string, Lane, std::less<>> lanes;
+    const std::uint32_t laneCount = reader.u32();
+    for (std::uint32_t i = 0; i < laneCount; ++i) {
+        std::string country = reader.str();
+        Lane lane;
+        lane.country = country;
+        lane.any = reader.boolean();
+        lane.maxSlot = reader.u32();
+        lane.sealedThrough = reader.u64();
+        lane.runStart = reader.u64();
+        lane.runLen = reader.i32();
+        lane.alertOpen = reader.boolean();
+        lane.events = reader.u64();
+        lane.duplicateSlots = reader.u64();
+        lane.lateDropped = reader.u64();
+        lane.sealedGaps = reader.u64();
+        lane.values.assign(slotCount_, 0.0);
+        lane.present.assign(slotCount_, 0);
+        for (std::size_t s = 0; s < slotCount_; ++s) {
+            lane.present[s] = reader.u8();
+        }
+        for (std::size_t s = 0; s < slotCount_; ++s) {
+            lane.values[s] = reader.f64();
+        }
+        if (lane.sealedThrough > slotCount_ ||
+            (lane.any && lane.maxSlot >= slotCount_)) {
+            throw net::CorruptionError{
+                "detector checkpoint lane state is out of range"};
+        }
+        // The sorted sealed sample is derived state: rebuild instead of
+        // trusting (or shipping) a second copy of the same numbers.
+        for (std::size_t s = 0; s < lane.sealedThrough; ++s) {
+            if (lane.present[s] != 0) {
+                lane.sortedSealed.push_back(lane.values[s]);
+            }
+        }
+        std::ranges::sort(lane.sortedSealed);
+        const std::uint32_t alertCount = reader.u32();
+        for (std::uint32_t a = 0; a < alertCount; ++a) {
+            OnlineAlert alert;
+            alert.country = country;
+            alert.startDay = reader.f64();
+            alert.detectedAtDay = reader.f64();
+            lane.alerts.push_back(std::move(alert));
+        }
+        lanes.emplace(std::move(country), std::move(lane));
+    }
+    if (!reader.atEnd()) {
+        throw net::CorruptionError{
+            "detector checkpoint carries trailing bytes"};
+    }
+    lanes_ = std::move(lanes);
+    // Metrics stay incremental from here: a resumed process reports the
+    // work it does, not the work the crashed process already reported.
+    published_ = degradation();
+    published_.eventsDelivered = eventsIngested();
+}
+
+} // namespace aio::stream

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/worker_pool.hpp"
+#include "obs/metrics.hpp"
+#include "outage/radar.hpp"
+#include "stream/event.hpp"
+
+namespace aio::stream {
+
+/// A provisional, low-latency alarm: the online detector saw a run of
+/// below-floor sealed samples reach the configured minimum and rang the
+/// bell at `detectedAtDay` (the country's stream frontier at that
+/// moment). Provisional because the floor it used was the running median
+/// of the samples sealed *so far*; the authoritative list is
+/// finalDetections(), which re-scans against the full-window floor.
+struct OnlineAlert {
+    std::string country;
+    double startDay = 0.0;      ///< first slot of the below-floor run
+    double detectedAtDay = 0.0; ///< frontier when the alarm fired
+
+    [[nodiscard]] bool operator==(const OnlineAlert&) const = default;
+};
+
+/// Incremental, watermark-driven refactor of outage::RadarMonitor's
+/// detection half: events arrive per (country, slot) in any order, each
+/// country's watermark trails its own stream frontier by
+/// StreamConfig::watermarkDays, and a slot "seals" once the frontier
+/// moves past its watermark. Late events aimed at a sealed slot are
+/// counted and dropped — never merged — which is the determinism
+/// contract: any delivery schedule whose skew stays inside the watermark
+/// produces byte-identical state, alerts and final detections.
+///
+/// Watermarks are per-country on purpose: lateness then depends only on
+/// the order of one country's own events, so country-sharded parallel
+/// ingestion (ingestSharded) is bit-equivalent to sequential ingestion at
+/// any thread count.
+///
+/// Differential guarantee: after ingesting any complete event log (every
+/// slot of every country, in any within-watermark order),
+/// finalDetections() equals RadarMonitor::detect over the same series —
+/// both paths call the shared outage::detectBelowFloor core.
+class OnlineRadarDetector {
+public:
+    /// `metrics` (optional, not owned) receives stream.detector.*
+    /// counters and the `stream.detector.lag_days` histogram.
+    OnlineRadarDetector(outage::RadarConfig radar, StreamConfig stream,
+                        double windowDays,
+                        obs::MetricsRegistry* metrics = nullptr);
+
+    /// Sequential ingestion of one event (the checkpointed consumer's
+    /// path).
+    void ingest(const MeasurementEvent& event);
+
+    /// Sequential ingestion of a batch.
+    void ingestAll(std::span<const MeasurementEvent> events);
+
+    /// Country-sharded parallel ingestion: events are grouped by country
+    /// (preserving per-country order) and each group runs on one pool
+    /// lane. Bit-equivalent to ingestAll at any thread count — including
+    /// the metrics, which are buffered per lane and published
+    /// sequentially in stable order after the join. Not compatible with
+    /// mid-stream checkpoints (state between events is unordered across
+    /// countries); checkpointing consumers use ingest().
+    void ingestSharded(std::span<const MeasurementEvent> events,
+                       exec::WorkerPool& pool);
+
+    /// Provisional alarms fired so far, grouped by country in
+    /// country-table order, chronological within a country.
+    [[nodiscard]] std::vector<OnlineAlert> alerts() const;
+
+    /// Authoritative detections over everything ingested: the shared
+    /// batch core (outage::detectBelowFloor) run per country with the
+    /// full-window floor and the slot-presence mask. On a complete log
+    /// this equals the batch RadarMonitor byte for byte.
+    [[nodiscard]] std::vector<outage::RadarDetection> finalDetections() const;
+
+    /// Detector-side degradation counters (late drops, duplicate slots,
+    /// sealed gaps) accumulated so far.
+    [[nodiscard]] DegradationReport degradation() const;
+
+    [[nodiscard]] std::uint64_t eventsIngested() const;
+    [[nodiscard]] std::uint64_t configDigest() const { return digest_; }
+    [[nodiscard]] const outage::RadarConfig& radarConfig() const {
+        return radar_;
+    }
+    [[nodiscard]] const StreamConfig& streamConfig() const {
+        return stream_;
+    }
+
+    /// Serialized detector state for a consumer checkpoint: config
+    /// digest, every lane's slots/frontier/run state, alerts and
+    /// counters. Restoring the bytes into a fresh detector reproduces
+    /// this one exactly (operator==-equal state, identical subsequent
+    /// behavior).
+    [[nodiscard]] std::vector<std::byte> encodeState() const;
+
+    /// Replaces this detector's state with a previously encoded one.
+    /// Throws net::PreconditionError when the checkpoint's config digest
+    /// differs (resuming under a different config would silently
+    /// diverge); net::CorruptionError when the bytes don't decode.
+    void restoreState(std::span<const std::byte> bytes);
+
+private:
+    struct Lane {
+        std::string country;
+        std::vector<double> values;        ///< slotCount_ entries
+        std::vector<std::uint8_t> present; ///< slotCount_ entries
+        std::uint32_t maxSlot = 0;
+        bool any = false;
+        std::size_t sealedThrough = 0; ///< slots [0, here) are sealed
+        std::vector<double> sortedSealed; ///< present sealed values, sorted
+        std::size_t runStart = 0;
+        int runLen = 0;
+        bool alertOpen = false;
+        std::uint64_t events = 0;
+        std::uint64_t duplicateSlots = 0;
+        std::uint64_t lateDropped = 0;
+        std::uint64_t sealedGaps = 0;
+        std::vector<OnlineAlert> alerts;
+        std::vector<double> pendingLags; ///< unpublished lag samples
+    };
+
+    [[nodiscard]] Lane& laneFor(const std::string& country);
+    void laneIngest(Lane& lane, const MeasurementEvent& event);
+    void sealLane(Lane& lane);
+    /// Flushes buffered lag samples and counter deltas to the registry.
+    /// Sequential contexts only.
+    void publishPending();
+    /// Lanes in readout order: country-table order first, then any
+    /// non-African stragglers in name order.
+    [[nodiscard]] std::vector<const Lane*> orderedLanes() const;
+
+    outage::RadarConfig radar_;
+    StreamConfig stream_;
+    double windowDays_;
+    std::size_t slotCount_;
+    double watermarkSlots_;
+    std::uint64_t digest_;
+    obs::MetricsRegistry* metrics_;
+    std::map<std::string, Lane, std::less<>> lanes_;
+    DegradationReport published_; ///< counter totals already in metrics
+};
+
+} // namespace aio::stream

@@ -1,0 +1,115 @@
+#include "stream/source.hpp"
+
+#include <algorithm>
+
+#include "core/probe.hpp"
+#include "netbase/error.hpp"
+#include "netbase/region.hpp"
+
+namespace aio::stream {
+
+std::vector<MeasurementEvent>
+GroundTruthSource::emit(double windowDays,
+                        const std::vector<outage::ImpactReport>& impacts,
+                        net::Rng& rng) const {
+    AIO_EXPECTS(windowDays > 0.0, "window must be positive");
+    std::vector<MeasurementEvent> out;
+    std::uint64_t probeId = 0;
+    for (const auto* country : net::CountryTable::world().african()) {
+        // Same call, same order, same rng as RadarMonitor::detectAll —
+        // the series doubles must be bit-identical to the batch path.
+        const outage::TrafficSeries series =
+            monitor_->seriesFor(country->iso2, windowDays, impacts, rng);
+        core::ProbeStreamCursor cursor;
+        for (std::size_t slot = 0; slot < series.values.size(); ++slot) {
+            MeasurementEvent event;
+            event.probe = probeId;
+            event.session = cursor.session;
+            event.seq = cursor.issue();
+            event.country = series.country;
+            event.slot = static_cast<std::uint32_t>(slot);
+            event.value = series.values[slot];
+            out.push_back(std::move(event));
+        }
+        ++probeId;
+    }
+    return out;
+}
+
+std::vector<std::uint64_t> GroundTruthSource::probeIds() {
+    const std::size_t countries =
+        net::CountryTable::world().african().size();
+    std::vector<std::uint64_t> ids(countries);
+    for (std::size_t i = 0; i < countries; ++i) {
+        ids[i] = i;
+    }
+    return ids;
+}
+
+std::vector<DeliveredEvent>
+simulateDelivery(std::vector<MeasurementEvent> events,
+                 const resilience::StreamFaultInjector& faults,
+                 double samplesPerDay, net::Rng& rng,
+                 DeliveryStats* stats) {
+    AIO_EXPECTS(samplesPerDay > 0.0, "samplesPerDay must be positive");
+    DeliveryStats local;
+    local.emitted = events.size();
+    std::vector<DeliveredEvent> copies;
+    copies.reserve(events.size());
+    // Re-stamp (session, seq) in canonical emission order: churn decides
+    // which session each emission falls into, and the cursor re-issues
+    // sequence numbers from zero within each session — exactly what a
+    // real probe does across a disconnect.
+    std::map<std::uint64_t, core::ProbeStreamCursor> cursors;
+    std::uint64_t ordinal = 0;
+    for (MeasurementEvent& event : events) {
+        const double emissionDay = event.dayAt(samplesPerDay);
+        core::ProbeStreamCursor& cursor = cursors[event.probe];
+        const std::uint32_t session =
+            faults.sessionAt(event.probe, emissionDay);
+        while (cursor.session < session) {
+            cursor.reconnect();
+            ++local.reconnects;
+        }
+        event.session = cursor.session;
+        event.seq = cursor.issue();
+
+        const auto fate = faults.fateFor(rng);
+        if (fate.dropped) {
+            ++local.delayedDrops;
+        } else if (fate.reordered) {
+            ++local.reordered;
+        } else if (fate.late) {
+            ++local.lateCopies;
+        }
+        DeliveredEvent copy;
+        copy.event = event;
+        copy.deliveryDay = emissionDay + fate.delayDays;
+        copy.ordinal = ordinal++;
+        copies.push_back(copy);
+        ++local.copies;
+        if (fate.duplicate) {
+            DeliveredEvent dup;
+            dup.event = std::move(event);
+            dup.deliveryDay = emissionDay + fate.duplicateDelayDays;
+            dup.ordinal = ordinal++;
+            copies.push_back(std::move(dup));
+            ++local.duplicates;
+            ++local.copies;
+        }
+    }
+    // Ordinals are unique, so this order is total and deterministic.
+    std::ranges::sort(copies,
+                      [](const DeliveredEvent& a, const DeliveredEvent& b) {
+                          if (a.deliveryDay != b.deliveryDay) {
+                              return a.deliveryDay < b.deliveryDay;
+                          }
+                          return a.ordinal < b.ordinal;
+                      });
+    if (stats != nullptr) {
+        *stats = local;
+    }
+    return copies;
+}
+
+} // namespace aio::stream

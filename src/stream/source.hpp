@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "outage/radar.hpp"
+#include "resilience/fault.hpp"
+#include "stream/event.hpp"
+
+namespace aio::stream {
+
+/// One delivered copy of an event: what the collector actually receives,
+/// possibly delayed, duplicated or re-sessioned relative to emission.
+/// `ordinal` is the copy's position in the canonical emission order —
+/// the stable-sort tiebreaker that makes a simulated delivery schedule a
+/// pure function of (events, faults, rng seed).
+struct DeliveredEvent {
+    MeasurementEvent event;
+    double deliveryDay = 0.0;
+    std::uint64_t ordinal = 0;
+
+    [[nodiscard]] bool operator==(const DeliveredEvent&) const = default;
+};
+
+/// Emits the ground-truth measurement stream for one window: per African
+/// country (country-table order, one virtual probe per country), the
+/// exact per-slot values outage::RadarMonitor::seriesFor would build —
+/// same rng draw order as RadarMonitor::detectAll, so a batch monitor
+/// run from the same rng state sees bit-identical series. That shared
+/// draw order is the foundation of the online-vs-batch differential
+/// guarantee.
+class GroundTruthSource {
+public:
+    explicit GroundTruthSource(const outage::RadarMonitor& monitor)
+        : monitor_(&monitor) {}
+
+    /// Events in canonical emission order: countries in table order,
+    /// slots ascending within a country; (session 0, seq = slot) stamped
+    /// through a core::ProbeStreamCursor per probe.
+    [[nodiscard]] std::vector<MeasurementEvent>
+    emit(double windowDays,
+         const std::vector<outage::ImpactReport>& impacts,
+         net::Rng& rng) const;
+
+    /// The virtual probe ids `emit` stamps, one per African country, in
+    /// the same order — what a StreamFaultInjector's schedule covers.
+    [[nodiscard]] static std::vector<std::uint64_t> probeIds();
+
+private:
+    const outage::RadarMonitor* monitor_;
+};
+
+/// What delivery did to the stream, for the example's report card.
+struct DeliveryStats {
+    std::uint64_t emitted = 0;
+    std::uint64_t copies = 0;      ///< delivered copies, duplicates included
+    std::uint64_t duplicates = 0;  ///< extra copies injected
+    std::uint64_t delayedDrops = 0;///< first copies lost then redelivered
+    std::uint64_t reordered = 0;   ///< copies displaced within the skew
+    std::uint64_t lateCopies = 0;  ///< copies displaced beyond the watermark
+    std::uint64_t reconnects = 0;  ///< session changes stamped by churn
+};
+
+/// Runs the emission stream through a delivery-fault schedule: each event
+/// draws a fate (drop-and-redeliver, reorder, late, plus an independent
+/// duplicate), churn re-stamps (session, seq) via the injector's
+/// reconnect schedule, and the copies are stable-sorted by
+/// (deliveryDay, ordinal). Deterministic given the rng state — the
+/// adversarial tests replay the same schedule against different
+/// consumers.
+[[nodiscard]] std::vector<DeliveredEvent>
+simulateDelivery(std::vector<MeasurementEvent> events,
+                 const resilience::StreamFaultInjector& faults,
+                 double samplesPerDay, net::Rng& rng,
+                 DeliveryStats* stats = nullptr);
+
+} // namespace aio::stream

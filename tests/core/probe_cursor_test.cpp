@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "core/probe.hpp"
+#include "netbase/error.hpp"
+
+namespace aio::core {
+namespace {
+
+TEST(ProbeStreamCursor, IssuesMonotonicSequenceNumbers) {
+    ProbeStreamCursor cursor;
+    EXPECT_EQ(cursor.issue(), 0U);
+    EXPECT_EQ(cursor.issue(), 1U);
+    EXPECT_EQ(cursor.issue(), 2U);
+    EXPECT_EQ(cursor.session, 0U);
+}
+
+TEST(ProbeStreamCursor, ReconnectOpensNextSessionAndRestartsSequence) {
+    ProbeStreamCursor cursor;
+    (void)cursor.issue();
+    (void)cursor.issue();
+    cursor.reconnect();
+    EXPECT_EQ(cursor.session, 1U);
+    EXPECT_EQ(cursor.issue(), 0U);
+}
+
+TEST(ProbeStreamCursor, RestoreAcceptsForwardPositions) {
+    ProbeStreamCursor cursor;
+    cursor.restore(0, 5);
+    EXPECT_EQ(cursor.nextSeq, 5U);
+    cursor.restore(2, 0); // later session may restart sequencing
+    EXPECT_EQ(cursor.session, 2U);
+    EXPECT_EQ(cursor.nextSeq, 0U);
+    cursor.restore(2, 7); // same session, forward sequence
+    EXPECT_EQ(cursor.nextSeq, 7U);
+}
+
+TEST(ProbeStreamCursor, RestoreRejectsSessionRewind) {
+    ProbeStreamCursor cursor;
+    cursor.restore(3, 4);
+    EXPECT_THROW(cursor.restore(2, 100), net::PreconditionError);
+    // The failed restore must not have moved the cursor.
+    EXPECT_EQ(cursor.session, 3U);
+    EXPECT_EQ(cursor.nextSeq, 4U);
+}
+
+TEST(ProbeStreamCursor, RestoreRejectsSequenceRewindWithinSession) {
+    ProbeStreamCursor cursor;
+    cursor.restore(1, 10);
+    EXPECT_THROW(cursor.restore(1, 9), net::PreconditionError);
+    EXPECT_EQ(cursor.nextSeq, 10U);
+}
+
+TEST(ProbeStreamCursor, ReconnectRefusesSessionWraparound) {
+    ProbeStreamCursor cursor;
+    cursor.restore(std::numeric_limits<std::uint32_t>::max(), 0);
+    EXPECT_THROW(cursor.reconnect(), net::PreconditionError);
+}
+
+} // namespace
+} // namespace aio::core

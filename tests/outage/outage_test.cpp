@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <vector>
 
+#include "netbase/error.hpp"
 #include "outage/events.hpp"
 #include "outage/impact.hpp"
 #include "outage/radar.hpp"
@@ -199,6 +202,78 @@ TEST(RadarMonitor, QuietSeriesYieldsNoDetections) {
     net::Rng rng{9};
     const auto series = radar.seriesFor("KE", 30.0, {}, rng);
     EXPECT_TRUE(radar.detect(series).empty());
+}
+
+TEST(RadarConfig, ValidateRejectsOutOfRangeKnobs) {
+    RadarConfig config;
+    EXPECT_NO_THROW(config.validate());
+    config.samplesPerDay = 0.0;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+    config = RadarConfig{};
+    config.noiseStddev = -0.1;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+    config = RadarConfig{};
+    config.dropThreshold = 1.0;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+    config = RadarConfig{};
+    config.dropThreshold = 0.0;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+    // minConsecutiveSamples < 1 would make the run-scan emit zero-length
+    // detections at every above-floor sample; the constructor must
+    // refuse it up front.
+    config = RadarConfig{};
+    config.minConsecutiveSamples = 0;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+    auto& w = world();
+    EXPECT_THROW(RadarMonitor(w.topo, config), net::PreconditionError);
+}
+
+TEST(RadarMonitor, DropInProgressAtSeriesEndIsReported) {
+    // Tail-boundary contract: an outage still below the floor when the
+    // window closes must be flushed, not silently swallowed.
+    RadarConfig config;
+    config.minConsecutiveSamples = 2;
+    TrafficSeries series;
+    series.country = "KE";
+    series.samplesPerDay = 1.0;
+    series.values = {10.0, 10.0, 10.0, 10.0, 10.0, 10.0,
+                     1.0,  1.0,  1.0}; // drop runs into the edge
+    auto& w = world();
+    const RadarMonitor radar{w.topo, config};
+    const auto detections = radar.detect(series);
+    ASSERT_EQ(detections.size(), 1U);
+    EXPECT_DOUBLE_EQ(detections[0].startDay, 6.0);
+    EXPECT_DOUBLE_EQ(detections[0].durationDays, 3.0);
+}
+
+TEST(RadarFreeFunctions, PresenceMaskExcludesAbsentSlotsAndBreaksRuns) {
+    RadarConfig config;
+    config.minConsecutiveSamples = 2;
+    const std::vector<double> values = {10.0, 10.0, 10.0, 10.0,
+                                        1.0,  0.0,  1.0,  10.0};
+    // Slot 5 (value 0.0) never arrived: it must not drag the median
+    // down, and it must break the below-floor run around it.
+    const std::vector<std::uint8_t> present = {1, 1, 1, 1, 1, 0, 1, 1};
+    const double floorAll = seriesFloor(values, {}, config);
+    const double floorMasked = seriesFloor(values, present, config);
+    EXPECT_GT(floorMasked, 0.0);
+    EXPECT_GE(floorMasked, floorAll);
+    const auto unmasked =
+        detectBelowFloor("KE", values, {}, floorMasked, 1.0, config);
+    ASSERT_EQ(unmasked.size(), 1U);
+    EXPECT_DOUBLE_EQ(unmasked[0].durationDays, 3.0);
+    const auto masked =
+        detectBelowFloor("KE", values, present, floorMasked, 1.0, config);
+    // With slot 5 absent the run splits into two 1-sample runs, both
+    // under the minimum.
+    EXPECT_TRUE(masked.empty());
+}
+
+TEST(RadarFreeFunctions, EmptyPresenceYieldsZeroFloor) {
+    RadarConfig config;
+    const std::vector<double> values = {1.0, 2.0, 3.0};
+    const std::vector<std::uint8_t> present = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(seriesFloor(values, present, config), 0.0);
 }
 
 TEST(RadarMonitor, MildDegradationBelowThresholdIsMissed) {

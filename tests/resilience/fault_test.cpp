@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "netbase/error.hpp"
 #include "topo/generator.hpp"
 
@@ -233,6 +237,135 @@ TEST(FaultPlan, CableCutOverlayOnlyProducesTransitLoss) {
             EXPECT_EQ(window.cls, FaultClass::TransitLoss);
         }
     }
+}
+
+TEST(FaultInjector, MeterRestoreRoundTrips) {
+    const auto fleet = smallFleet(3);
+    FaultInjector injector{fleet, FaultPlan::none(fleet.size())};
+    EXPECT_TRUE(injector.chargeTask(0, 10.0, false));
+    const auto states = injector.meterStates();
+    FaultInjector fresh{fleet, FaultPlan::none(fleet.size())};
+    fresh.restoreMeterStates(states);
+    EXPECT_DOUBLE_EQ(fresh.spentUsd(0), injector.spentUsd(0));
+}
+
+TEST(FaultInjector, MeterRestoreRejectsNonFiniteAndNegativeVolumes) {
+    const auto fleet = smallFleet(2);
+    FaultInjector injector{fleet, FaultPlan::none(fleet.size())};
+    auto states = injector.meterStates();
+    states[0].peakMb = -1.0;
+    EXPECT_THROW(injector.restoreMeterStates(states),
+                 net::PreconditionError);
+    states[0].peakMb = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(injector.restoreMeterStates(states),
+                 net::PreconditionError);
+}
+
+TEST(FaultInjector, MeterRestoreRejectsConsumptionRewind) {
+    const auto fleet = smallFleet(2);
+    FaultInjector injector{fleet, FaultPlan::none(fleet.size())};
+    EXPECT_TRUE(injector.chargeTask(0, 20.0, false));
+    auto states = injector.meterStates();
+    states[0].peakMb = 5.0; // snapshot from an earlier point in time
+    EXPECT_THROW(injector.restoreMeterStates(states),
+                 net::PreconditionError);
+    // The refused restore must leave the meter untouched.
+    EXPECT_DOUBLE_EQ(injector.spentUsd(0), 0.2);
+}
+
+TEST(FaultInjector, MeterRestoreRejectsClearingStickyExhaustion) {
+    const auto fleet = smallFleet(1); // $1 budget, $0.01/MB
+    FaultInjector injector{fleet, FaultPlan::none(fleet.size())};
+    EXPECT_FALSE(injector.chargeTask(0, 500.0, false)); // goes dry
+    ASSERT_EQ(injector.exhaustedCount(), 1);
+    auto states = injector.meterStates();
+    states[0].exhausted = false;
+    EXPECT_THROW(injector.restoreMeterStates(states),
+                 net::PreconditionError);
+    EXPECT_EQ(injector.exhaustedCount(), 1);
+}
+
+TEST(StreamFaultConfig, ValidateRejectsBadKnobs) {
+    StreamFaultConfig config;
+    EXPECT_NO_THROW(config.validate());
+    config.dropProb = 1.5;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+    config = StreamFaultConfig{};
+    config.maxSkewDays = -0.1;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+    config = StreamFaultConfig{};
+    config.churnReconnects = -1;
+    EXPECT_THROW(config.validate(), net::PreconditionError);
+}
+
+TEST(StreamFaultInjector, ScheduleIsDeterministicForAFixedSeed) {
+    StreamFaultConfig config;
+    config.dropProb = 0.1;
+    config.duplicateProb = 0.1;
+    config.reorderProb = 0.1;
+    config.churnBurstProb = 0.5;
+    const std::vector<std::uint64_t> probes{0, 1, 2, 3, 4, 5, 6, 7};
+    net::Rng rngA{21};
+    net::Rng rngB{21};
+    const StreamFaultInjector a{config, probes, 30.0, rngA};
+    const StreamFaultInjector b{config, probes, 30.0, rngB};
+    EXPECT_EQ(a.reconnectCount(), b.reconnectCount());
+    for (const std::uint64_t probe : probes) {
+        const auto daysA = a.reconnectDaysFor(probe);
+        const auto daysB = b.reconnectDaysFor(probe);
+        ASSERT_EQ(daysA.size(), daysB.size());
+        for (std::size_t i = 0; i < daysA.size(); ++i) {
+            EXPECT_DOUBLE_EQ(daysA[i], daysB[i]);
+        }
+    }
+    for (int i = 0; i < 100; ++i) {
+        const auto fateA = a.fateFor(rngA);
+        const auto fateB = b.fateFor(rngB);
+        EXPECT_EQ(fateA.dropped, fateB.dropped);
+        EXPECT_EQ(fateA.duplicate, fateB.duplicate);
+        EXPECT_DOUBLE_EQ(fateA.delayDays, fateB.delayDays);
+    }
+}
+
+TEST(StreamFaultInjector, SessionAdvancesAcrossReconnects) {
+    StreamFaultConfig config;
+    config.churnBurstProb = 1.0;
+    config.churnReconnects = 3;
+    const std::vector<std::uint64_t> probes{7};
+    net::Rng rng{5};
+    const StreamFaultInjector injector{config, probes, 30.0, rng};
+    const auto days = injector.reconnectDaysFor(7);
+    ASSERT_EQ(days.size(), 3U);
+    EXPECT_EQ(injector.sessionAt(7, 0.0), 0U);
+    EXPECT_EQ(injector.sessionAt(7, 30.0), 3U);
+    EXPECT_EQ(injector.sessionAt(7, days[0]), 1U);
+}
+
+TEST(StreamFaultInjector, SkewBoundIsRespected) {
+    StreamFaultConfig config;
+    config.dropProb = 0.3;
+    config.reorderProb = 0.3;
+    config.duplicateProb = 0.3;
+    config.maxSkewDays = 0.5;
+    const std::vector<std::uint64_t> probes{0};
+    net::Rng rng{11};
+    const StreamFaultInjector injector{config, probes, 30.0, rng};
+    for (int i = 0; i < 500; ++i) {
+        const auto fate = injector.fateFor(rng);
+        if (!fate.late) {
+            EXPECT_LE(fate.delayDays, config.maxSkewDays);
+        }
+        EXPECT_LE(fate.duplicateDelayDays, config.maxSkewDays);
+    }
+}
+
+TEST(StreamFaultInjector, UnknownProbeIsRefused) {
+    const std::vector<std::uint64_t> probes{1};
+    net::Rng rng{3};
+    const StreamFaultInjector injector{StreamFaultConfig{}, probes, 10.0,
+                                       rng};
+    EXPECT_THROW((void)injector.reconnectDaysFor(99),
+                 net::PreconditionError);
 }
 
 } // namespace

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "resilience/fault.hpp"
+#include "stream/ingestor.hpp"
+#include "stream/online_radar.hpp"
+#include "stream_world.hpp"
+
+namespace aio::stream {
+namespace {
+
+using testing::batchDetections;
+using testing::emittedEvents;
+using testing::world;
+
+constexpr double kWindowDays = 10.0;
+
+/// Faulty-but-within-watermark delivery: drops (with redelivery),
+/// duplicates, reordering and churn bursts, all with skew strictly inside
+/// the default one-day watermark and no beyond-watermark lateness.
+resilience::StreamFaultConfig withinWatermarkFaults() {
+    resilience::StreamFaultConfig config;
+    config.dropProb = 0.1;
+    config.duplicateProb = 0.15;
+    config.reorderProb = 0.3;
+    config.maxSkewDays = 0.5; // < StreamConfig::watermarkDays == 1.0
+    config.lateProb = 0.0;
+    config.churnBurstProb = 0.4;
+    config.churnReconnects = 3;
+    return config;
+}
+
+struct PipelineResult {
+    std::vector<outage::RadarDetection> detections;
+    DegradationReport degradation;
+    DeliveryStats delivery;
+};
+
+/// Full capture pipeline for one seed: emit ground truth, run it through
+/// the fault schedule, ingest the delivered copies (ring + dedupe), then
+/// replay the resulting event log through the online detector.
+PipelineResult
+runPipeline(std::uint64_t seed,
+            const resilience::StreamFaultConfig& faultConfig) {
+    auto events = emittedEvents(kWindowDays, seed);
+    const double samplesPerDay = world().radar.samplesPerDay;
+
+    net::Rng faultRng{seed * 7919 + 1};
+    const auto probes = GroundTruthSource::probeIds();
+    const resilience::StreamFaultInjector faults{
+        faultConfig, probes, kWindowDays, faultRng};
+
+    PipelineResult result;
+    const auto delivered = simulateDelivery(std::move(events), faults,
+                                            samplesPerDay, faultRng,
+                                            &result.delivery);
+
+    persist::MemorySink sink;
+    EventLogHeader header;
+    header.samplesPerDay = samplesPerDay;
+    header.windowDays = kWindowDays;
+    EventLogWriter log{sink, header};
+    StreamIngestor ingestor{StreamConfig{}};
+    ingestor.capture(delivered, log);
+
+    OnlineRadarDetector detector{world().radar, StreamConfig{},
+                                 kWindowDays};
+    detector.ingestAll(readEventLog(sink.bytes()).events);
+    result.detections = detector.finalDetections();
+    result.degradation = detector.degradation();
+    result.degradation.merge(ingestor.stats());
+    return result;
+}
+
+TEST(AdversarialDelivery, WithinWatermarkChaosIsByteIdenticalToBatch) {
+    // The determinism contract of the tentpole: ANY delivery schedule
+    // whose skew stays inside the watermark — drops with redelivery,
+    // duplicates, reordering, probe churn — converges to the exact batch
+    // detections, bit for bit.
+    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL, 44ULL, 55ULL}) {
+        const PipelineResult result =
+            runPipeline(seed, withinWatermarkFaults());
+        EXPECT_EQ(result.detections, batchDetections(kWindowDays, seed))
+            << "seed " << seed;
+        EXPECT_TRUE(result.degradation.lossless()) << "seed " << seed;
+        EXPECT_EQ(result.degradation.lateDropped, 0U);
+        EXPECT_EQ(result.degradation.sealedGaps, 0U);
+    }
+}
+
+TEST(AdversarialDelivery, FaultsActuallyFired) {
+    // Guard against a vacuous pass: the schedule above must really have
+    // duplicated, reordered and churned.
+    const PipelineResult result = runPipeline(11, withinWatermarkFaults());
+    EXPECT_GT(result.delivery.duplicates, 0U);
+    EXPECT_GT(result.delivery.reordered, 0U);
+    EXPECT_GT(result.delivery.reconnects, 0U);
+    EXPECT_GT(result.degradation.duplicatesDropped, 0U);
+    EXPECT_GT(result.degradation.reconnects, 0U);
+}
+
+TEST(AdversarialDelivery, BeyondWatermarkLatenessIsCountedNotMerged) {
+    resilience::StreamFaultConfig config = withinWatermarkFaults();
+    config.lateProb = 0.2;
+    config.lateDelayDays = 3.0; // > watermarkDays == 1.0: will miss seals
+    const PipelineResult result = runPipeline(11, config);
+    EXPECT_GT(result.degradation.lateDropped, 0U);
+    EXPECT_FALSE(result.degradation.lossless());
+    EXPECT_FALSE(result.degradation.lateByCountry.empty());
+    std::uint64_t perCountry = 0;
+    for (const auto& [country, count] : result.degradation.lateByCountry) {
+        EXPECT_FALSE(country.empty());
+        perCountry += count;
+    }
+    EXPECT_EQ(perCountry, result.degradation.lateDropped);
+}
+
+TEST(AdversarialDelivery, DegradedRunStillDetectsTheHardOutage) {
+    // Losing beyond-watermark slots degrades the series but must not
+    // blind the detector to KE's 90% three-day shutdown.
+    resilience::StreamFaultConfig config = withinWatermarkFaults();
+    config.lateProb = 0.1;
+    config.lateDelayDays = 3.0;
+    const double windowDays = 30.0;
+
+    auto events = emittedEvents(windowDays, 11);
+    net::Rng faultRng{99};
+    const resilience::StreamFaultInjector faults{
+        config, GroundTruthSource::probeIds(), windowDays, faultRng};
+    const auto delivered =
+        simulateDelivery(std::move(events), faults,
+                         world().radar.samplesPerDay, faultRng, nullptr);
+
+    persist::MemorySink sink;
+    EventLogHeader header;
+    header.samplesPerDay = world().radar.samplesPerDay;
+    header.windowDays = windowDays;
+    EventLogWriter log{sink, header};
+    StreamIngestor ingestor{StreamConfig{}};
+    ingestor.capture(delivered, log);
+
+    OnlineRadarDetector detector{world().radar, StreamConfig{}, windowDays};
+    detector.ingestAll(readEventLog(sink.bytes()).events);
+    bool sawKenya = false;
+    for (const auto& detection : detector.finalDetections()) {
+        if (detection.country == "KE" && detection.startDay >= 9.0 &&
+            detection.startDay <= 12.0) {
+            sawKenya = true;
+        }
+    }
+    EXPECT_TRUE(sawKenya);
+}
+
+TEST(AdversarialDelivery, DeliveryScheduleIsDeterministic) {
+    const resilience::StreamFaultConfig config = withinWatermarkFaults();
+    auto once = [&] {
+        auto events = emittedEvents(kWindowDays, 7);
+        net::Rng rng{123};
+        const resilience::StreamFaultInjector faults{
+            config, GroundTruthSource::probeIds(), kWindowDays, rng};
+        return simulateDelivery(std::move(events), faults,
+                                world().radar.samplesPerDay, rng, nullptr);
+    };
+    EXPECT_EQ(once(), once());
+}
+
+} // namespace
+} // namespace aio::stream

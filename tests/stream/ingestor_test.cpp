@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/ingestor.hpp"
+
+namespace aio::stream {
+namespace {
+
+DeliveredEvent copyOf(std::uint64_t probe, std::uint32_t session,
+                      std::uint64_t seq, std::uint32_t slot,
+                      std::uint64_t ordinal) {
+    DeliveredEvent copy;
+    copy.event.probe = probe;
+    copy.event.session = session;
+    copy.event.seq = seq;
+    copy.event.country = "KE";
+    copy.event.slot = slot;
+    copy.event.value = 1.0;
+    copy.deliveryDay = static_cast<double>(slot) / 4.0;
+    copy.ordinal = ordinal;
+    return copy;
+}
+
+EventLogHeader header() {
+    EventLogHeader h;
+    h.samplesPerDay = 4.0;
+    h.windowDays = 30.0;
+    return h;
+}
+
+struct Harness {
+    persist::MemorySink sink;
+    EventLogWriter log;
+    StreamIngestor ingestor;
+
+    explicit Harness(StreamConfig config = {})
+        : log(sink, header()), ingestor(config) {}
+
+    [[nodiscard]] std::size_t loggedEvents() {
+        return readEventLog(sink.bytes()).events.size();
+    }
+};
+
+TEST(StreamIngestor, AcceptsFreshEventsInDeliveryOrder) {
+    Harness h;
+    std::vector<DeliveredEvent> copies;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        copies.push_back(copyOf(0, 0, i, i, i));
+    }
+    h.ingestor.capture(copies, h.log);
+    EXPECT_EQ(h.loggedEvents(), 10U);
+    EXPECT_EQ(h.ingestor.stats().eventsAccepted, 10U);
+    EXPECT_EQ(h.ingestor.stats().duplicatesDropped, 0U);
+}
+
+TEST(StreamIngestor, DropsExactRedeliveries) {
+    Harness h;
+    const std::vector<DeliveredEvent> copies{
+        copyOf(0, 0, 0, 0, 0), copyOf(0, 0, 1, 1, 1),
+        copyOf(0, 0, 0, 0, 2), // the at-least-once second copy
+        copyOf(0, 0, 1, 1, 3)};
+    h.ingestor.capture(copies, h.log);
+    EXPECT_EQ(h.loggedEvents(), 2U);
+    EXPECT_EQ(h.ingestor.stats().duplicatesDropped, 2U);
+}
+
+TEST(StreamIngestor, ReconnectOpensNewSessionAndCounts) {
+    Harness h;
+    const std::vector<DeliveredEvent> copies{
+        copyOf(0, 0, 0, 0, 0), copyOf(0, 0, 1, 1, 1),
+        copyOf(0, 1, 0, 2, 2), // session 1 restarts seq at 0
+        copyOf(0, 1, 1, 3, 3)};
+    h.ingestor.capture(copies, h.log);
+    EXPECT_EQ(h.loggedEvents(), 4U);
+    EXPECT_EQ(h.ingestor.stats().reconnects, 1U);
+}
+
+TEST(StreamIngestor, PreReconnectStragglersWithinRetentionAreAccepted) {
+    Harness h;
+    const std::vector<DeliveredEvent> copies{
+        copyOf(0, 0, 0, 0, 0),
+        copyOf(0, 1, 0, 2, 1), // reconnect already visible...
+        copyOf(0, 0, 1, 1, 2), // ...then a session-0 straggler arrives
+    };
+    h.ingestor.capture(copies, h.log);
+    EXPECT_EQ(h.loggedEvents(), 3U);
+    EXPECT_EQ(h.ingestor.stats().staleSessions, 0U);
+}
+
+TEST(StreamIngestor, SessionsBeyondRetentionAreStale) {
+    Harness h;
+    const std::vector<DeliveredEvent> copies{
+        copyOf(0, 20, 0, 0, 0), // probe far into its session history
+        copyOf(0, 2, 0, 1, 1),  // ancient residue
+    };
+    h.ingestor.capture(copies, h.log);
+    EXPECT_EQ(h.loggedEvents(), 1U);
+    EXPECT_EQ(h.ingestor.stats().staleSessions, 1U);
+    EXPECT_EQ(h.ingestor.stats().reconnects, 20U);
+}
+
+TEST(StreamIngestor, SequenceBelowDedupeWindowIsDroppedConservatively) {
+    StreamConfig config;
+    config.dedupeWindow = 4;
+    Harness h{config};
+    std::vector<DeliveredEvent> copies;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        copies.push_back(copyOf(0, 0, i, i, i));
+    }
+    copies.push_back(copyOf(0, 0, 1, 1, 10)); // far below the floor now
+    h.ingestor.capture(copies, h.log);
+    EXPECT_EQ(h.loggedEvents(), 10U);
+    EXPECT_EQ(h.ingestor.stats().duplicatesDropped, 1U);
+}
+
+TEST(StreamIngestor, FullRingCountsBackpressureStalls) {
+    StreamConfig config;
+    config.queueCapacity = 4;
+    Harness h{config};
+    std::vector<DeliveredEvent> copies;
+    for (std::uint32_t i = 0; i < 20; ++i) {
+        copies.push_back(copyOf(0, 0, i, i, i));
+    }
+    h.ingestor.capture(copies, h.log);
+    EXPECT_EQ(h.loggedEvents(), 20U);
+    EXPECT_EQ(h.ingestor.stats().backpressureStalls, 4U);
+}
+
+TEST(StreamIngestor, StallCountIsAPureFunctionOfTheSchedule) {
+    StreamConfig config;
+    config.queueCapacity = 4;
+    std::vector<DeliveredEvent> copies;
+    for (std::uint32_t i = 0; i < 17; ++i) {
+        copies.push_back(copyOf(0, 0, i, i, i));
+    }
+    Harness a{config};
+    Harness b{config};
+    a.ingestor.capture(copies, a.log);
+    b.ingestor.capture(copies, b.log);
+    EXPECT_EQ(a.ingestor.stats(), b.ingestor.stats());
+}
+
+TEST(StreamIngestor, DedupeStatePersistsAcrossCaptureCalls) {
+    Harness h;
+    const std::vector<DeliveredEvent> first{copyOf(0, 0, 0, 0, 0)};
+    const std::vector<DeliveredEvent> second{copyOf(0, 0, 0, 0, 1)};
+    h.ingestor.capture(first, h.log);
+    h.ingestor.capture(second, h.log);
+    EXPECT_EQ(h.loggedEvents(), 1U);
+    EXPECT_EQ(h.ingestor.stats().duplicatesDropped, 1U);
+}
+
+} // namespace
+} // namespace aio::stream

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "outage/radar.hpp"
+#include "stream/source.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::stream::testing {
+
+/// Shared world for the stream tests: one generated topology, a batch
+/// RadarMonitor over it, and hand-built ground-truth impacts (a hard
+/// three-day shutdown in KE and a softer one in NG) that the default
+/// radar config detects.
+struct StreamWorld {
+    topo::Topology topo;
+    outage::RadarConfig radar;
+    outage::RadarMonitor monitor;
+    std::vector<outage::ImpactReport> impacts;
+
+    StreamWorld()
+        : topo(topo::TopologyGenerator{topo::GeneratorConfig::defaults()}
+                   .generate()),
+          radar(), monitor(topo, radar) {
+        impacts.push_back(impact("KE", 10.0, 0.9, 3.0));
+        impacts.push_back(impact("NG", 4.0, 0.7, 2.0));
+    }
+
+    static outage::ImpactReport impact(const std::string& country,
+                                       double startDay,
+                                       double pageLoadLoss,
+                                       double outageDays) {
+        outage::ImpactReport report;
+        report.event.startDay = startDay;
+        report.event.durationDays = outageDays;
+        report.countries.push_back(
+            outage::CountryImpact{country, pageLoadLoss, 0.5, outageDays});
+        return report;
+    }
+};
+
+inline StreamWorld& world() {
+    static StreamWorld w;
+    return w;
+}
+
+/// Batch reference: RadarMonitor::detectAll from a fresh rng seed.
+inline std::vector<outage::RadarDetection>
+batchDetections(double windowDays, std::uint64_t seed) {
+    auto& w = world();
+    net::Rng rng{seed};
+    return w.monitor.detectAll(windowDays, w.impacts, rng);
+}
+
+/// Streaming emission from the same seed: bit-identical series values.
+inline std::vector<MeasurementEvent> emittedEvents(double windowDays,
+                                                   std::uint64_t seed) {
+    auto& w = world();
+    net::Rng rng{seed};
+    const GroundTruthSource source{w.monitor};
+    return source.emit(windowDays, w.impacts, rng);
+}
+
+} // namespace aio::stream::testing
