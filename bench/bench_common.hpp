@@ -11,17 +11,18 @@
 
 #include "content/catalog.hpp"
 #include "core/observatory.hpp"
-#include "exec/worker_pool.hpp"
 #include "core/setcover.hpp"
 #include "core/studies.hpp"
 #include "core/whatif.hpp"
 #include "dns/resolver.hpp"
+#include "exec/worker_pool.hpp"
 #include "measure/geoloc.hpp"
 #include "measure/ixp_detect.hpp"
 #include "measure/scanner.hpp"
 #include "nautilus/inference.hpp"
 #include "netbase/stats.hpp"
 #include "outage/radar.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 #include "topo/growth.hpp"
 

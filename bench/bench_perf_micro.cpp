@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <map>
 
 #include "core/budget.hpp"
 #include "core/observatory.hpp"
@@ -21,6 +22,7 @@
 #include "resilience/supervisor.hpp"
 #include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
+#include "routing/sharded_oracle.hpp"
 #include "stream/consumer.hpp"
 #include "stream/ingestor.hpp"
 #include "sweep/scenario_sweep.hpp"
@@ -211,6 +213,153 @@ BENCHMARK(BM_ScenarioSweep)
     ->Args({1, 256})
     ->Args({0, 1024})
     ->Args({1, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- continent-scale storage: dense vs sharded ----------------------
+// Paired rows pricing the StoragePolicy switch at continental targets.
+// Dense rows (policy 0) time the full all-pairs matrix build; sharded
+// rows (policy 1) time construction plus materialization of a ~256-row
+// destination sample — the steady-state shape of a sweep, where only the
+// destinations a scenario actually queries are ever solved. The
+// sharded_equivalence suite proves the two policies byte-identical; the
+// bytes_per_as counters here price the memory gap (dense is 5n bytes/AS
+// and is absent at 50k, where it would cross its 4 GiB capacity ceiling).
+
+const topo::Topology& continent(int target) {
+    static std::map<int, topo::Topology> topos;
+    auto it = topos.find(target);
+    if (it == topos.end()) {
+        it = topos
+                 .emplace(target,
+                          topo::TopologyGenerator{
+                              topo::GeneratorConfig::continental(target,
+                                                                 20250704)}
+                              .generate())
+                 .first;
+    }
+    return it->second;
+}
+
+void BM_ContinentOracleBuild(benchmark::State& state) {
+    const bool sharded = state.range(0) != 0;
+    const auto& topo = continent(static_cast<int>(state.range(1)));
+
+    // ~256 destinations, evenly strided across the index space.
+    std::vector<topo::AsIndex> sample;
+    const std::size_t stride =
+        std::max<std::size_t>(1, topo.asCount() / 256);
+    for (topo::AsIndex dst = 0; dst < topo.asCount(); dst += stride) {
+        sample.push_back(dst);
+    }
+
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        if (sharded) {
+            const route::ShardedOracle oracle{topo};
+            oracle.materializeDestinations(sample);
+            bytes = oracle.memoryBytes();
+            benchmark::DoNotOptimize(&oracle);
+        } else {
+            const route::PathOracle oracle{topo};
+            bytes = oracle.memoryBytes();
+            benchmark::DoNotOptimize(&oracle);
+        }
+    }
+    state.counters["resident_mb"] =
+        static_cast<double>(bytes) / (1024.0 * 1024.0);
+    state.counters["bytes_per_as"] =
+        static_cast<double>(bytes) / static_cast<double>(topo.asCount());
+    state.SetLabel(std::to_string(topo.asCount()) + " ASes, " +
+                   (sharded ? "sharded x" + std::to_string(sample.size()) +
+                                  " dests"
+                            : "dense"));
+}
+BENCHMARK(BM_ContinentOracleBuild)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({0, 10000})
+    ->Args({1, 10000})
+    ->Args({1, 50000}) // dense 50k would cross its capacity ceiling
+    ->Unit(benchmark::kMillisecond);
+
+// Scenario throughput under the sharded policy at continental scale: the
+// same sweep engine and specs as BM_ScenarioSweep, run over a substrate
+// whose impact.routeStorage is Sharded. items/sec is scenarios/sec.
+void BM_ShardedSweepScenarios(benchmark::State& state) {
+    const int target = static_cast<int>(state.range(0));
+    const auto& topo = continent(target);
+    static exec::WorkerPool pool;
+    static std::map<int, std::unique_ptr<core::Substrate>> substrates;
+    auto it = substrates.find(target);
+    if (it == substrates.end()) {
+        core::Substrate::Options opts;
+        opts.pool = &pool;
+        opts.impact.routeStorage = route::StoragePolicy::Sharded;
+        // Scoring queries scatter across the destination index space
+        // (site hosts + resolvers), so the eviction granule must be
+        // fine: at 50k the default 1024-destination slabs hold only ~4
+        // resident under the auto budget and every client's query fan
+        // would thrash them. 8-destination slabs keep the granule
+        // proportionate, and at continental scale the queried working
+        // set itself outgrows the auto budget (a 24th of dense), so the
+        // 50k row runs a 2 GiB resident budget — still >6x below the
+        // 12.5 GB dense extrapolation.
+        opts.impact.shardedRouting.shardDestinations = 8;
+        if (target > 10000) {
+            opts.impact.shardedRouting.residentByteBudget =
+                std::size_t{2} << 30;
+        }
+        it = substrates
+                 .emplace(target,
+                          std::make_unique<core::Substrate>(
+                              topo, phys::CableRegistry::africanDefaults(),
+                              dns::DnsConfig::defaults(),
+                              content::ContentConfig::defaults(), opts))
+                 .first;
+    }
+    const core::Substrate& substrate = *it->second;
+
+    const std::vector<std::string> cables = {
+        "WACS",  "MainOne", "SAT-3", "ACE",     "Glo-1",  "SEACOM",
+        "EASSy", "EIG",     "AAE-1", "Equiano", "2Africa"};
+    net::Rng rng{2718};
+    std::vector<core::ScenarioSpec> scenarios;
+    // One scenario is the whole story at 50k: scoring issues ~n route
+    // queries whose destination working set (local resolvers + site
+    // hosts) spans most of the index space, and a corridor cut dirties
+    // most of those rows — per-scenario cost is row re-solves, and it
+    // repeats per scenario. More scenarios would just multiply minutes.
+    const int sets = target > 10000 ? 1 : 16;
+    for (int set = 0; set < sets; ++set) {
+        std::vector<std::string> cuts;
+        const std::size_t k = 1 + rng.uniformInt(3);
+        for (std::size_t c = 0; c < k; ++c) {
+            const auto& cable = cables[rng.uniformInt(cables.size())];
+            if (std::find(cuts.begin(), cuts.end(), cable) == cuts.end()) {
+                cuts.push_back(cable);
+            }
+        }
+        core::ScenarioSpec spec;
+        spec.name = "cont-cut-" + std::to_string(set);
+        spec.cutCables = cuts;
+        scenarios.push_back(std::move(spec));
+    }
+
+    const sweep::ScenarioSweepEngine engine{substrate};
+    for (auto _ : state) {
+        const auto result = engine.run(scenarios);
+        benchmark::DoNotOptimize(&result);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(scenarios.size()));
+    state.SetLabel(std::to_string(topo.asCount()) + " ASes, " +
+                   std::to_string(scenarios.size()) +
+                   " scenarios, sharded");
+}
+BENCHMARK(BM_ShardedSweepScenarios)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PathQuery(benchmark::State& state) {

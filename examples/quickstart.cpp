@@ -11,6 +11,7 @@
 #include "netbase/error.hpp"
 #include "netbase/stats.hpp"
 #include "routing/detour.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 using namespace aio;

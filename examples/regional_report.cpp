@@ -13,6 +13,7 @@
 #include "measure/latency.hpp"
 #include "netbase/error.hpp"
 #include "netbase/stats.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 using namespace aio;

@@ -17,6 +17,7 @@
 #include "netbase/stats.hpp"
 #include "persist/journal.hpp"
 #include "resilience/supervisor.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 using namespace aio;

@@ -230,7 +230,7 @@ double LocalityAnalyzer::overallLocalShare() const {
 double
 LocalityAnalyzer::reachableShare(topo::AsIndex client,
                                  std::string_view countryCode,
-                                 const route::PathOracle& oracle) const {
+                                 const route::RouteOracle& oracle) const {
     double ok = 0.0;
     double total = 0.0;
     for (const Website& site : catalog_->sitesFor(countryCode)) {

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "netbase/rng.hpp"
-#include "routing/path_oracle.hpp"
+#include "routing/route_oracle.hpp"
 
 namespace aio::content {
 
@@ -83,7 +83,7 @@ public:
     /// client AS under the given routing state.
     [[nodiscard]] double reachableShare(topo::AsIndex client,
                                         std::string_view countryCode,
-                                        const route::PathOracle& oracle) const;
+                                        const route::RouteOracle& oracle) const;
 
 private:
     const ContentCatalog* catalog_;

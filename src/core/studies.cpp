@@ -18,7 +18,7 @@ double DetourReport::euTier1OrIxpShare() const {
 }
 
 ConnectivityStudies::ConnectivityStudies(const topo::Topology& topology,
-                                         const route::PathOracle& oracle)
+                                         const route::RouteOracle& oracle)
     : topo_(&topology), oracle_(&oracle), analyzer_(topology) {}
 
 std::vector<topo::AsIndex>

@@ -42,7 +42,7 @@ struct IxpPrevalenceReport {
 class ConnectivityStudies {
 public:
     ConnectivityStudies(const topo::Topology& topology,
-                        const route::PathOracle& oracle);
+                        const route::RouteOracle& oracle);
 
     /// Samples intra-African eyeball pairs (source and destination in
     /// different countries) and classifies their routes.
@@ -59,7 +59,7 @@ private:
     eyeballsInRegion(net::Region region) const;
 
     const topo::Topology* topo_;
-    const route::PathOracle* oracle_;
+    const route::RouteOracle* oracle_;
     route::DetourAnalyzer analyzer_;
 };
 

@@ -90,6 +90,16 @@ Substrate::validate(const topo::Topology& topology,
         return net::Error::precondition(
             "oracle cache bound to a different topology");
     }
+    if (options.oracleCache != nullptr &&
+        options.oracleCache->storagePolicy() != options.impact.routeStorage) {
+        // A cache miss builds under the cache's policy; letting it
+        // disagree with the substrate's would silently mix dense and
+        // sharded states across one sweep (identical answers, but the
+        // memory/latency profile the caller chose would not hold).
+        return net::Error::precondition(
+            "oracle cache storage policy disagrees with the substrate's "
+            "impact.routeStorage");
+    }
     if (auto valid = validLinkConfig(options.linkConfig); !valid) {
         return valid.error();
     }

@@ -100,6 +100,11 @@ public:
     [[nodiscard]] const outage::ImpactConfig& impactConfig() const {
         return options_.impact;
     }
+    /// Storage policy of every route oracle built on this substrate's
+    /// behalf (validated to agree with a wired-in cache's policy).
+    [[nodiscard]] route::StoragePolicy storagePolicy() const {
+        return options_.impact.routeStorage;
+    }
 
     // ---- accelerators ----
     [[nodiscard]] route::OracleCache* oracleCache() const {

@@ -189,7 +189,7 @@ ResolutionSimulator::ResolutionSimulator(const ResolverEcosystem& ecosystem)
 
 ResolutionOutcome
 ResolutionSimulator::resolve(topo::AsIndex client,
-                             const route::PathOracle& oracle) const {
+                             const route::RouteOracle& oracle) const {
     const auto assignment = ecosystem_->resolverOf(client);
     ResolutionOutcome outcome;
     if (!assignment) {
@@ -207,7 +207,7 @@ ResolutionSimulator::resolve(topo::AsIndex client,
 
 double
 ResolutionSimulator::resolvableShare(std::string_view countryCode,
-                                     const route::PathOracle& oracle) const {
+                                     const route::RouteOracle& oracle) const {
     const auto& topo = ecosystem_->topology();
     int total = 0;
     int ok = 0;

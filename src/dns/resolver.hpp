@@ -5,7 +5,7 @@
 #include <optional>
 
 #include "netbase/rng.hpp"
-#include "routing/path_oracle.hpp"
+#include "routing/route_oracle.hpp"
 
 namespace aio::dns {
 
@@ -85,12 +85,12 @@ public:
     ResolutionSimulator(const ResolverEcosystem& ecosystem);
 
     [[nodiscard]] ResolutionOutcome
-    resolve(topo::AsIndex client, const route::PathOracle& oracle) const;
+    resolve(topo::AsIndex client, const route::RouteOracle& oracle) const;
 
     /// Fraction of eyeball ASes in a country that can resolve.
     [[nodiscard]] double
     resolvableShare(std::string_view countryCode,
-                    const route::PathOracle& oracle) const;
+                    const route::RouteOracle& oracle) const;
 
 private:
     const ResolverEcosystem* ecosystem_;

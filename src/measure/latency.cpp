@@ -6,7 +6,7 @@
 namespace aio::measure {
 
 LatencyStudy::LatencyStudy(const topo::Topology& topology,
-                           const route::PathOracle& oracle,
+                           const route::RouteOracle& oracle,
                            const TracerouteEngine& engine)
     : topo_(&topology), oracle_(&oracle), engine_(&engine),
       analyzer_(topology) {}

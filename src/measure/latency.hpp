@@ -35,7 +35,7 @@ struct RegionPairLatency {
 class LatencyStudy {
 public:
     LatencyStudy(const topo::Topology& topology,
-                 const route::PathOracle& oracle,
+                 const route::RouteOracle& oracle,
                  const TracerouteEngine& engine);
 
     /// Samples eyeball pairs between two countries. Throws NotFoundError
@@ -59,7 +59,7 @@ private:
     eyeballs(std::string_view country) const;
 
     const topo::Topology* topo_;
-    const route::PathOracle* oracle_;
+    const route::RouteOracle* oracle_;
     const TracerouteEngine* engine_;
     route::DetourAnalyzer analyzer_;
 };

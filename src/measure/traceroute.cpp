@@ -32,7 +32,7 @@ double TracerouteResult::lastRttMs() const {
 }
 
 TracerouteEngine::TracerouteEngine(const topo::Topology& topology,
-                                   const route::PathOracle& oracle,
+                                   const route::RouteOracle& oracle,
                                    TracerouteConfig config)
     : topo_(&topology), oracle_(&oracle), config_(config) {
     AIO_EXPECTS(topology.finalized(), "topology must be finalized");

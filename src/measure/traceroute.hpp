@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "netbase/rng.hpp"
-#include "routing/path_oracle.hpp"
+#include "routing/route_oracle.hpp"
 
 namespace aio::measure {
 
@@ -50,7 +50,7 @@ struct TracerouteConfig {
 class TracerouteEngine {
 public:
     TracerouteEngine(const topo::Topology& topology,
-                     const route::PathOracle& oracle,
+                     const route::RouteOracle& oracle,
                      TracerouteConfig config = {});
 
     /// Traceroute from an AS toward an arbitrary address. `targetResponds`
@@ -69,7 +69,7 @@ public:
 
 private:
     const topo::Topology* topo_;
-    const route::PathOracle* oracle_;
+    const route::RouteOracle* oracle_;
     TracerouteConfig config_;
 };
 

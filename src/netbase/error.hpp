@@ -56,6 +56,19 @@ public:
     explicit TransientError(const std::string& what) : AioError(what) {}
 };
 
+/// Raised when a request would exceed a configured resource ceiling — a
+/// dense route matrix past its memory limit, a sharded oracle whose fixed
+/// overhead alone overruns its resident budget. Distinct from
+/// PreconditionError: the call is well-formed, the *size* is the problem,
+/// and callers typically respond by switching storage policy (dense ->
+/// sharded) rather than by fixing an argument. Thrown before the
+/// allocation is attempted, so an oversized request fails with a
+/// diagnosable type instead of std::bad_alloc mid-build.
+class CapacityError : public AioError {
+public:
+    explicit CapacityError(const std::string& what) : AioError(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throwPrecondition(const char* expr, const char* msg,
                                     const std::source_location& where);

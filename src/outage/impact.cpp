@@ -41,12 +41,11 @@ ImpactAnalyzer::ImpactAnalyzer(const topo::Topology& topology,
         // The baseline (no-failure) state is the cache's natural seed:
         // every analyzer sharing the cache then shares one baseline build.
         baselineOracle_ = oracleCache_->get(route::LinkFilter{});
-    } else if (pool_) {
-        baselineOracle_ = std::make_shared<const route::PathOracle>(
-            topology, route::LinkFilter{}, *pool_);
     } else {
         baselineOracle_ =
-            std::make_shared<const route::PathOracle>(topology);
+            route::buildOracle(topology, config_.routeStorage,
+                               route::LinkFilter{}, pool_,
+                               config_.shardedRouting);
     }
     for (const auto* country : net::CountryTable::world().african()) {
         baselineSuccess_.emplace(
@@ -57,7 +56,7 @@ ImpactAnalyzer::ImpactAnalyzer(const topo::Topology& topology,
 
 double
 ImpactAnalyzer::pageLoadSuccess(std::string_view country,
-                                const route::PathOracle& oracle) const {
+                                const route::RouteOracle& oracle) const {
     const dns::ResolutionSimulator dnsSim{*resolvers_};
     double success = 0.0;
     double weight = 0.0;
@@ -144,23 +143,20 @@ ImpactReport ImpactAnalyzer::assess(const OutageEvent& event,
     }
     const route::LinkFilter filter = filterFor(event, rng);
     // Reuse the cached scenario oracle when a cache is wired in; rebuild
-    // (parallel if a pool is wired) otherwise. The routing state depends
-    // only on the filter, so cached and cold results are identical.
-    std::shared_ptr<const route::PathOracle> cached;
-    std::optional<route::PathOracle> local;
-    if (oracleCache_) {
-        cached = oracleCache_->get(filter);
-    } else if (pool_) {
-        local.emplace(*topo_, filter, *pool_);
-    } else {
-        local.emplace(*topo_, filter);
-    }
-    return scoreImpact(event, cached ? *cached : *local, rng);
+    // under the configured storage policy (parallel if a pool is wired)
+    // otherwise. The routing state depends only on the filter, so cached
+    // and cold results are identical.
+    const std::shared_ptr<const route::RouteOracle> degraded =
+        oracleCache_ ? oracleCache_->get(filter)
+                     : route::buildOracle(*topo_, config_.routeStorage,
+                                          filter, pool_,
+                                          config_.shardedRouting);
+    return scoreImpact(event, *degraded, rng);
 }
 
 ImpactReport
 ImpactAnalyzer::assessWithOracle(const OutageEvent& event,
-                                 const route::PathOracle& degraded,
+                                 const route::RouteOracle& degraded,
                                  net::Rng& rng) const {
     const obs::ScopedTimer timer{metrics_, "impact.assess_seconds"};
     if (metrics_ != nullptr) {
@@ -169,9 +165,10 @@ ImpactAnalyzer::assessWithOracle(const OutageEvent& event,
     return scoreImpact(event, degraded, rng);
 }
 
-ImpactReport ImpactAnalyzer::scoreImpact(const OutageEvent& event,
-                                         const route::PathOracle& degraded,
-                                         net::Rng& rng) const {
+ImpactReport
+ImpactAnalyzer::scoreImpact(const OutageEvent& event,
+                            const route::RouteOracle& degraded,
+                            net::Rng& rng) const {
     ImpactReport report;
     report.event = event;
     if (event.macroRegion != net::MacroRegion::Africa) {

@@ -7,7 +7,8 @@
 #include "dns/resolver.hpp"
 #include "outage/events.hpp"
 #include "routing/oracle_cache.hpp"
-#include "routing/path_oracle.hpp"
+#include "routing/route_oracle.hpp"
+#include "routing/sharded_oracle.hpp"
 
 namespace aio::outage {
 
@@ -54,6 +55,14 @@ struct ImpactConfig {
     double routingIncidentLinkShare = 0.3;
     /// Top-site sample per eyeball AS when scoring page loads.
     int siteSample = 30;
+    /// Storage policy of the route oracles the analyzer builds itself
+    /// (baseline and per-event, when no cache is wired in; a wired-in
+    /// cache builds with its own policy, which the Substrate keeps in
+    /// agreement with this one). Both policies answer queries
+    /// byte-identically; sharded is the continent-scale choice.
+    route::StoragePolicy routeStorage = route::StoragePolicy::Dense;
+    /// Sharded-build tuning, used when routeStorage == Sharded.
+    route::ShardedOracleConfig shardedRouting = {};
 };
 
 /// Scores ground-truth events into per-country impact, combining the
@@ -81,7 +90,7 @@ public:
     [[nodiscard]] route::LinkFilter filterFor(const OutageEvent& event,
                                               net::Rng& rng) const;
 
-    /// Full impact assessment (computes a degraded PathOracle).
+    /// Full impact assessment (computes a degraded route oracle).
     [[nodiscard]] ImpactReport assess(const OutageEvent& event,
                                       net::Rng& rng) const;
 
@@ -95,19 +104,20 @@ public:
     /// equals the filter's recomputed oracle.
     [[nodiscard]] ImpactReport
     assessWithOracle(const OutageEvent& event,
-                     const route::PathOracle& degraded,
+                     const route::RouteOracle& degraded,
                      net::Rng& rng) const;
 
     /// The shared no-failure routing state this analyzer scores against
     /// (also the natural baseline for incremental scenario recomputes).
-    [[nodiscard]] const std::shared_ptr<const route::PathOracle>&
+    [[nodiscard]] const std::shared_ptr<const route::RouteOracle>&
     baselineOracle() const {
         return baselineOracle_;
     }
 
     /// Page-load success share for one country under a routing state.
-    [[nodiscard]] double pageLoadSuccess(std::string_view country,
-                                         const route::PathOracle& oracle) const;
+    [[nodiscard]] double
+    pageLoadSuccess(std::string_view country,
+                    const route::RouteOracle& oracle) const;
 
     [[nodiscard]] const ImpactConfig& config() const { return config_; }
 
@@ -116,8 +126,8 @@ private:
     /// page-load loss, DNS failure and recovery sampling against
     /// `degraded`. Uninstrumented; callers own the timer/counter.
     [[nodiscard]] ImpactReport
-    scoreImpact(const OutageEvent& event, const route::PathOracle& degraded,
-                net::Rng& rng) const;
+    scoreImpact(const OutageEvent& event,
+                const route::RouteOracle& degraded, net::Rng& rng) const;
 
     const topo::Topology* topo_;
     const phys::PhysicalLinkMap* linkMap_;
@@ -127,7 +137,7 @@ private:
     route::OracleCache* oracleCache_;
     exec::WorkerPool* pool_;
     obs::MetricsRegistry* metrics_;
-    std::shared_ptr<const route::PathOracle> baselineOracle_;
+    std::shared_ptr<const route::RouteOracle> baselineOracle_;
     std::map<std::string, double, std::less<>> baselineSuccess_;
 };
 

@@ -622,7 +622,7 @@ double CampaignSupervisor::routableTaskShare(
     const obs::Span preflight = obs::Trace::enter(trace_, "preflight");
     const obs::ScopedTimer timer{metrics_,
                                  "supervisor.routable_share_seconds"};
-    const std::shared_ptr<const route::PathOracle> oracle =
+    const std::shared_ptr<const route::RouteOracle> oracle =
         cache.get(scenario);
     std::size_t routable = 0;
     for (const core::CampaignTask& task : tasks) {

@@ -7,14 +7,16 @@ namespace aio::route {
 
 OracleCache::OracleCache(const topo::Topology& topology, std::size_t capacity,
                          exec::WorkerPool* pool,
-                         obs::MetricsRegistry* metrics)
+                         obs::MetricsRegistry* metrics,
+                         const OracleCacheConfig& config)
     : topo_(&topology), capacity_(capacity), pool_(pool),
-      metrics_(metrics) {
+      metrics_(metrics), config_(config) {
     AIO_EXPECTS(capacity >= 1, "oracle cache needs capacity >= 1");
     AIO_EXPECTS(topology.finalized(), "topology must be finalized");
 }
 
-std::shared_ptr<const PathOracle> OracleCache::get(const LinkFilter& filter) {
+std::shared_ptr<const RouteOracle>
+OracleCache::get(const LinkFilter& filter) {
     const FilterDigest key = filter.digest();
     const std::lock_guard<std::mutex> lock{mutex_};
     if (const auto it = index_.find(key); it != index_.end()) {
@@ -29,19 +31,18 @@ std::shared_ptr<const PathOracle> OracleCache::get(const LinkFilter& filter) {
     if (metrics_ != nullptr) {
         metrics_->counter("cache.oracle.misses").add();
     }
-    std::shared_ptr<const PathOracle> oracle;
+    std::shared_ptr<const RouteOracle> oracle;
     {
         const obs::ScopedTimer timer{metrics_,
                                      "cache.oracle.build_seconds"};
-        oracle = pool_ ? std::make_shared<const PathOracle>(*topo_, filter,
-                                                            *pool_)
-                       : std::make_shared<const PathOracle>(*topo_, filter);
+        oracle = buildOracle(*topo_, config_.policy, filter, pool_,
+                             config_.sharded);
     }
     insertLocked(key, oracle);
     return oracle;
 }
 
-std::shared_ptr<const PathOracle>
+std::shared_ptr<const RouteOracle>
 OracleCache::peek(const LinkFilter& filter) {
     const FilterDigest key = filter.digest();
     const std::lock_guard<std::mutex> lock{mutex_};
@@ -61,7 +62,7 @@ OracleCache::peek(const LinkFilter& filter) {
 }
 
 void OracleCache::seed(const LinkFilter& filter,
-                       std::shared_ptr<const PathOracle> oracle) {
+                       std::shared_ptr<const RouteOracle> oracle) {
     AIO_EXPECTS(oracle != nullptr, "cannot seed a null oracle");
     AIO_EXPECTS(&oracle->topology() == topo_,
                 "seeded oracle belongs to a different topology");
@@ -70,10 +71,10 @@ void OracleCache::seed(const LinkFilter& filter,
     if (const auto it = index_.find(key); it != index_.end()) {
         // Replacement, not eviction: the old entry's bytes leave the
         // retained set, the eviction counters stay untouched.
-        stats_.retainedBytes -= it->second->oracle->memoryBytes();
-        stats_.retainedBytes += oracle->memoryBytes();
         it->second->oracle = std::move(oracle);
         lru_.splice(lru_.begin(), lru_, it->second);
+        recomputeBytesLocked();
+        enforceByteBudgetLocked();
         publishGaugesLocked();
         return;
     }
@@ -81,24 +82,50 @@ void OracleCache::seed(const LinkFilter& filter,
 }
 
 void OracleCache::insertLocked(const FilterDigest& key,
-                               std::shared_ptr<const PathOracle> oracle) {
-    stats_.retainedBytes += oracle->memoryBytes();
+                               std::shared_ptr<const RouteOracle> oracle) {
     lru_.push_front(Entry{key, std::move(oracle)});
     index_.emplace(key, lru_.begin());
     if (lru_.size() > capacity_) {
-        const std::uint64_t bytes = lru_.back().oracle->memoryBytes();
-        stats_.retainedBytes -= bytes;
-        stats_.evictedBytes += bytes;
-        index_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++stats_.evictions;
-        if (metrics_ != nullptr) {
-            metrics_->counter("cache.oracle.evictions").add();
-            metrics_->counter("cache.oracle.evicted_bytes").add(bytes);
-        }
+        evictTailLocked();
     }
+    recomputeBytesLocked();
+    enforceByteBudgetLocked();
     stats_.entries = lru_.size();
     publishGaugesLocked();
+}
+
+void OracleCache::evictTailLocked() {
+    const std::uint64_t bytes = lru_.back().oracle->memoryBytes();
+    stats_.evictedBytes += bytes;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (metrics_ != nullptr) {
+        metrics_->counter("cache.oracle.evictions").add();
+        metrics_->counter("cache.oracle.evicted_bytes").add(bytes);
+    }
+}
+
+void OracleCache::enforceByteBudgetLocked() {
+    if (config_.byteBudget == 0) {
+        return;
+    }
+    // Live entry bytes against the budget; keep at least one entry so a
+    // single over-budget oracle (the baseline, typically) still caches.
+    recomputeBytesLocked();
+    while (stats_.retainedBytes > config_.byteBudget && lru_.size() > 1) {
+        evictTailLocked();
+        recomputeBytesLocked();
+    }
+    stats_.entries = lru_.size();
+}
+
+void OracleCache::recomputeBytesLocked() const {
+    std::uint64_t total = 0;
+    for (const Entry& entry : lru_) {
+        total += entry.oracle->memoryBytes();
+    }
+    stats_.retainedBytes = total;
 }
 
 void OracleCache::publishGaugesLocked() {
@@ -112,16 +139,16 @@ void OracleCache::publishGaugesLocked() {
 
 OracleCacheStats OracleCache::stats() const {
     const std::lock_guard<std::mutex> lock{mutex_};
+    recomputeBytesLocked();
     return stats_;
 }
 
 void OracleCache::resetStats() {
     const std::lock_guard<std::mutex> lock{mutex_};
     const std::size_t entries = stats_.entries;
-    const std::uint64_t retained = stats_.retainedBytes;
     stats_ = OracleCacheStats{};
     stats_.entries = entries;
-    stats_.retainedBytes = retained;
+    recomputeBytesLocked();
 }
 
 void OracleCache::clear() {

@@ -6,17 +6,21 @@
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
-#include "routing/path_oracle.hpp"
+#include "routing/route_oracle.hpp"
+#include "routing/sharded_oracle.hpp"
 
 namespace aio::route {
 
 /// Hit/miss/eviction accounting, exposed for the failure-sweep benches.
-/// Byte fields track the dense route matrices of the entries (see
-/// PathOracle::memoryBytes): `retainedBytes` is what the cache currently
-/// keeps alive, `evictedBytes` the cumulative size of entries LRU-evicted
-/// over capacity. Replacing an entry for an existing digest (seed())
-/// swaps the byte accounting but is NOT an eviction — nothing was pushed
-/// out for capacity reasons.
+/// Byte fields track the routing state of the entries (see
+/// RouteOracle::memoryBytes): `retainedBytes` is what the cache currently
+/// keeps alive, `evictedBytes` the cumulative size of entries evicted for
+/// capacity or byte-budget reasons. Sharded entries resize themselves as
+/// rows materialize and evict, so `retainedBytes` is recomputed from the
+/// live entries at every read — a snapshot taken at insertion time would
+/// drift arbitrarily far from reality. Replacing an entry for an existing
+/// digest (seed()) swaps the byte accounting but is NOT an eviction —
+/// nothing was pushed out for capacity reasons.
 struct OracleCacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -33,7 +37,20 @@ struct OracleCacheStats {
     }
 };
 
-/// Capacity-bounded LRU cache of failure-scenario PathOracles for one
+/// Storage and budget policy of the cache's miss-path builds.
+struct OracleCacheConfig {
+    /// Policy every miss-path build uses (and that seeded entries are
+    /// expected to match — the Substrate wiring validates the agreement).
+    StoragePolicy policy = StoragePolicy::Dense;
+    /// Sharded-build tuning, used when policy == Sharded.
+    ShardedOracleConfig sharded = {};
+    /// Total retained-byte budget across entries; LRU entries are
+    /// evicted (down to one) when the live sum exceeds it. 0 = no byte
+    /// budget (entry-count capacity only).
+    std::size_t byteBudget = 0;
+};
+
+/// Capacity-bounded LRU cache of failure-scenario route oracles for one
 /// topology, keyed by the canonical LinkFilter digest. A what-if sweep,
 /// the outage impact analyzer and the campaign supervisor all re-derive
 /// the same degraded routing states (same cut set => same filter => same
@@ -50,13 +67,15 @@ public:
     /// `pool` (optional, not owned, must outlive the cache) parallelizes
     /// miss-path construction. `metrics` (optional, not owned) mirrors
     /// the stats onto registry counters/gauges and records a build-time
-    /// histogram for the miss path.
+    /// histogram for the miss path. `config` selects the storage policy
+    /// of miss-path builds and an optional retained-byte budget.
     OracleCache(const topo::Topology& topology, std::size_t capacity,
                 exec::WorkerPool* pool = nullptr,
-                obs::MetricsRegistry* metrics = nullptr);
+                obs::MetricsRegistry* metrics = nullptr,
+                const OracleCacheConfig& config = {});
 
     /// The oracle for `filter`, building (and caching) it on a miss.
-    [[nodiscard]] std::shared_ptr<const PathOracle>
+    [[nodiscard]] std::shared_ptr<const RouteOracle>
     get(const LinkFilter& filter);
 
     /// Lookup without the miss-path build: returns the cached oracle (a
@@ -65,33 +84,46 @@ public:
     /// can build misses *incrementally* from the baseline instead of
     /// paying the cache's from-scratch rebuild, and so it never nests a
     /// pool-parallel build inside a worker lane.
-    [[nodiscard]] std::shared_ptr<const PathOracle>
+    [[nodiscard]] std::shared_ptr<const RouteOracle>
     peek(const LinkFilter& filter);
 
     /// Pre-inserts an already-built oracle for `filter` without touching
     /// the hit/miss counters. Replaces any existing entry for the digest
     /// (byte accounting swaps to the new entry; no eviction is counted).
     void seed(const LinkFilter& filter,
-              std::shared_ptr<const PathOracle> oracle);
+              std::shared_ptr<const RouteOracle> oracle);
 
     [[nodiscard]] OracleCacheStats stats() const;
     void resetStats();
     void clear();
 
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] const OracleCacheConfig& config() const { return config_; }
+    [[nodiscard]] StoragePolicy storagePolicy() const {
+        return config_.policy;
+    }
     [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
 
 private:
     struct Entry {
         FilterDigest key;
-        std::shared_ptr<const PathOracle> oracle;
+        std::shared_ptr<const RouteOracle> oracle;
     };
     using Lru = std::list<Entry>; ///< front = most recently used
 
-    /// Inserts at the LRU front, evicting the tail when over capacity.
-    /// Caller holds mutex_.
+    /// Inserts at the LRU front, evicting the tail when over capacity or
+    /// byte budget. Caller holds mutex_.
     void insertLocked(const FilterDigest& key,
-                      std::shared_ptr<const PathOracle> oracle);
+                      std::shared_ptr<const RouteOracle> oracle);
+    /// Evicts the LRU tail entry. Caller holds mutex_.
+    void evictTailLocked();
+    /// Evicts down to the byte budget (never below one entry). Caller
+    /// holds mutex_.
+    void enforceByteBudgetLocked();
+    /// Re-sums live entry bytes into stats_.retainedBytes (sharded
+    /// entries shrink and grow behind the cache's back). Caller holds
+    /// mutex_.
+    void recomputeBytesLocked() const;
 
     /// Pushes entry/byte gauges to the registry. Caller holds mutex_.
     void publishGaugesLocked();
@@ -100,11 +132,12 @@ private:
     std::size_t capacity_;
     exec::WorkerPool* pool_;
     obs::MetricsRegistry* metrics_;
+    OracleCacheConfig config_;
 
     mutable std::mutex mutex_;
     Lru lru_;
     std::unordered_map<FilterDigest, Lru::iterator, FilterDigestHash> index_;
-    OracleCacheStats stats_;
+    mutable OracleCacheStats stats_;
 };
 
 } // namespace aio::route

@@ -1,95 +1,45 @@
 #include "routing/path_oracle.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <string>
 
 #include "exec/worker_pool.hpp"
 #include "netbase/error.hpp"
+#include "routing/route_kernel.hpp"
 
 namespace aio::route {
 
 namespace {
 
-/// splitmix64 finalizer: full-avalanche 64-bit mixer.
-std::uint64_t mix64(std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-// Domain salts so a disabled AS never aliases a disabled link.
-constexpr std::uint64_t kLinkSalt = 0xa5a5a5a5a5a5a5a5ULL;
-constexpr std::uint64_t kAsSalt = 0x5a5a5a5a5a5a5a5aULL;
-
-} // namespace
-
-std::size_t FilterDigestHash::operator()(const FilterDigest& digest) const {
-    std::uint64_t h = mix64(digest.sum);
-    h = mix64(h ^ digest.product);
-    h = mix64(h ^ (digest.linkCount << 32 | digest.asCount));
-    return static_cast<std::size_t>(h);
-}
-
-void LinkFilter::disableLink(topo::AsIndex a, topo::AsIndex b) {
-    links_.insert(key(a, b));
-}
-
-void LinkFilter::disableAs(topo::AsIndex as) { ases_.insert(as); }
-
-bool LinkFilter::linkAllowed(topo::AsIndex a, topo::AsIndex b) const {
-    return !links_.contains(key(a, b));
-}
-
-bool LinkFilter::asAllowed(topo::AsIndex as) const {
-    return !ases_.contains(as);
-}
-
-std::vector<std::pair<topo::AsIndex, topo::AsIndex>>
-LinkFilter::disabledLinks() const {
-    std::vector<std::pair<topo::AsIndex, topo::AsIndex>> out;
-    out.reserve(links_.size());
-    for (const std::uint64_t packed : links_) {
-        out.emplace_back(static_cast<topo::AsIndex>(packed & 0xffffffffULL),
-                         static_cast<topo::AsIndex>(packed >> 32));
+/// Typed guard against bad_alloc: refuse a dense build whose matrices
+/// alone would blow past the ceiling, before touching the allocator.
+void checkDenseCeiling(std::size_t n, std::size_t ceilingBytes) {
+    const std::size_t bytes =
+        n * n * (sizeof(std::int32_t) + sizeof(std::uint8_t));
+    if (bytes > ceilingBytes) {
+        throw net::CapacityError(
+            "dense route matrices need " + std::to_string(bytes) +
+            " bytes for " + std::to_string(n) +
+            " ASes, over the ceiling of " + std::to_string(ceilingBytes) +
+            " — use StoragePolicy::Sharded at this scale");
     }
-    return out;
 }
 
-FilterDigest LinkFilter::digest() const {
-    FilterDigest digest;
-    digest.linkCount = links_.size();
-    digest.asCount = ases_.size();
-    // Commutative combiners (integer sum; product of odd mixes) make the
-    // digest a pure function of the *sets*, independent of both the hash
-    // table's iteration order and the caller's insertion order.
-    for (const std::uint64_t link : links_) {
-        const std::uint64_t h = mix64(link ^ kLinkSalt);
-        digest.sum += h;
-        digest.product *= (mix64(h) | 1ULL);
-    }
-    for (const topo::AsIndex as : ases_) {
-        const std::uint64_t h =
-            mix64(static_cast<std::uint64_t>(as) ^ kAsSalt);
-        digest.sum += h;
-        digest.product *= (mix64(h) | 1ULL);
-    }
-    return digest;
-}
-
-namespace {
-constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
 } // namespace
 
 PathOracle::PathOracle(const topo::Topology& topology,
-                       const LinkFilter& filter)
-    : topo_(&topology), n_(topology.asCount()) {
+                       const LinkFilter& filter,
+                       std::size_t memoryCeilingBytes)
+    : RouteOracle(topology) {
+    checkDenseCeiling(n_, memoryCeilingBytes);
     build(filter, nullptr);
 }
 
 PathOracle::PathOracle(const topo::Topology& topology,
-                       const LinkFilter& filter, exec::WorkerPool& pool)
-    : topo_(&topology), n_(topology.asCount()) {
+                       const LinkFilter& filter, exec::WorkerPool& pool,
+                       std::size_t memoryCeilingBytes)
+    : RouteOracle(topology) {
+    checkDenseCeiling(n_, memoryCeilingBytes);
     build(filter, &pool);
 }
 
@@ -101,42 +51,38 @@ PathOracle::PathOracle(const PathOracle& baseline, const LinkFilter& filter,
 PathOracle::PathOracle(const PathOracle& baseline, const LinkFilter& filter,
                        std::span<const topo::AsIndex> dirty,
                        exec::WorkerPool* pool)
-    : topo_(baseline.topo_), n_(baseline.n_),
-      unfiltered_(filter.empty()), nextHop_(baseline.nextHop_),
-      klass_(baseline.klass_) {
+    : RouteOracle(*baseline.topo_) {
     AIO_EXPECTS(baseline.unfiltered_,
                 "incremental baseline must be an unfiltered oracle");
-    const auto resolve = [&](topo::AsIndex dst, DestScratch& scratch) {
-        // computeDestination assumes a cleared slab (it writes only the
-        // nodes it reaches), so reset the copied baseline rows first.
+    unfiltered_ = filter.empty();
+    resolvedDirty_ = dirty.size();
+    nextHop_ = baseline.nextHop_;
+    klass_ = baseline.klass_;
+    const auto resolve = [&](topo::AsIndex dst,
+                             kernel::DestScratch& scratch) {
+        // The kernel assumes a cleared slab (it writes only the nodes it
+        // reaches), so reset the copied baseline rows first.
         std::fill_n(nextHop_.begin() +
                         static_cast<std::ptrdiff_t>(dst * n_),
                     n_, -1);
         std::fill_n(klass_.begin() + static_cast<std::ptrdiff_t>(dst * n_),
                     n_, static_cast<std::uint8_t>(RouteClass::None));
-        computeDestination(dst, filter, scratch);
-    };
-    const auto makeScratch = [this] {
-        DestScratch scratch;
-        scratch.dist.assign(n_, kUnreached);
-        scratch.frontier.reserve(n_);
-        scratch.nextFrontier.reserve(n_);
-        scratch.buckets.resize(n_ + 2);
-        return scratch;
+        kernel::solveDestination(*topo_, filter, dst, &nextHop_[dst * n_],
+                                 &klass_[dst * n_], scratch);
     };
 
     if (pool == nullptr) {
-        DestScratch scratch = makeScratch();
+        kernel::DestScratch scratch;
+        scratch.prepare(n_);
         for (const topo::AsIndex dst : dirty) {
             resolve(dst, scratch);
         }
         return;
     }
     const auto lanes = static_cast<std::size_t>(pool->threadCount());
-    std::vector<DestScratch> scratch;
-    scratch.reserve(lanes);
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-        scratch.push_back(makeScratch());
+    std::vector<kernel::DestScratch> scratch(lanes);
+    for (auto& s : scratch) {
+        s.prepare(n_);
     }
     pool->parallelFor(dirty.size(), [&](std::size_t i, std::size_t lane) {
         resolve(dirty[i], scratch[lane]);
@@ -183,173 +129,34 @@ void PathOracle::build(const LinkFilter& filter, exec::WorkerPool* pool) {
     nextHop_.assign(n_ * n_, -1);
     klass_.assign(n_ * n_, static_cast<std::uint8_t>(RouteClass::None));
 
-    const auto makeScratch = [this] {
-        DestScratch scratch;
-        scratch.dist.assign(n_, kUnreached);
-        scratch.frontier.reserve(n_);
-        scratch.nextFrontier.reserve(n_);
-        scratch.buckets.resize(n_ + 2);
-        return scratch;
-    };
-
     if (pool == nullptr) {
         // Sequential reference: the plain destination loop the parallel
         // build is differential-tested against. A 1-thread pool goes
         // through parallelFor instead — same inline loop, same order,
         // but the pool's dispatch metrics see the build, keeping the
         // observability readout invariant across pool widths.
-        DestScratch scratch = makeScratch();
+        kernel::DestScratch scratch;
+        scratch.prepare(n_);
         for (topo::AsIndex dst = 0; dst < n_; ++dst) {
-            computeDestination(dst, filter, scratch);
+            kernel::solveDestination(*topo_, filter, dst,
+                                     &nextHop_[dst * n_], &klass_[dst * n_],
+                                     scratch);
         }
         return;
     }
 
     const auto lanes = static_cast<std::size_t>(pool->threadCount());
-    std::vector<DestScratch> scratch;
-    scratch.reserve(lanes);
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-        scratch.push_back(makeScratch());
+    std::vector<kernel::DestScratch> scratch(lanes);
+    for (auto& s : scratch) {
+        s.prepare(n_);
     }
     // Each destination owns its row slab of nextHop_/klass_, and each lane
     // owns its scratch: no two lanes ever touch the same bytes, so the
     // result is independent of the chunk schedule.
     pool->parallelFor(n_, [&](std::size_t dst, std::size_t lane) {
-        computeDestination(dst, filter, scratch[lane]);
+        kernel::solveDestination(*topo_, filter, dst, &nextHop_[dst * n_],
+                                 &klass_[dst * n_], scratch[lane]);
     });
-}
-
-void PathOracle::computeDestination(topo::AsIndex dst,
-                                    const LinkFilter& filter,
-                                    DestScratch& scratch) {
-    std::uint8_t* klass = &klass_[dst * n_];
-    std::int32_t* next = &nextHop_[dst * n_];
-    std::vector<std::uint16_t>& dist = scratch.dist;
-    std::fill(dist.begin(), dist.end(), kUnreached);
-
-    if (!filter.asAllowed(dst)) {
-        return;
-    }
-    const auto byAsn = [this](topo::AsIndex a, topo::AsIndex b) {
-        return topo_->as(a).asn < topo_->as(b).asn;
-    };
-
-    // Phase 1: customer routes propagate up customer->provider edges.
-    // Level-synchronous BFS; each level is processed in ASN order so the
-    // lowest-ASN next hop wins ties deterministically.
-    dist[dst] = 0;
-    klass[dst] = static_cast<std::uint8_t>(RouteClass::Self);
-    next[dst] = static_cast<std::int32_t>(dst);
-    std::vector<topo::AsIndex>& frontier = scratch.frontier;
-    frontier.clear();
-    frontier.push_back(dst);
-    while (!frontier.empty()) {
-        std::ranges::sort(frontier, byAsn);
-        scratch.nextFrontier.clear();
-        for (const topo::AsIndex x : frontier) {
-            for (const topo::AsIndex p : topo_->providersOf(x)) {
-                if (!filter.asAllowed(p) || !filter.linkAllowed(x, p)) {
-                    continue;
-                }
-                if (klass[p] ==
-                    static_cast<std::uint8_t>(RouteClass::None)) {
-                    dist[p] = static_cast<std::uint16_t>(dist[x] + 1);
-                    klass[p] = static_cast<std::uint8_t>(RouteClass::Customer);
-                    next[p] = static_cast<std::int32_t>(x);
-                    scratch.nextFrontier.push_back(p);
-                }
-            }
-        }
-        frontier.swap(scratch.nextFrontier);
-    }
-
-    // Phase 2: one optional peer hop off the customer cone. Peer routes
-    // never chain, so this is a single pass.
-    for (topo::AsIndex y = 0; y < n_; ++y) {
-        if (klass[y] != static_cast<std::uint8_t>(RouteClass::None) ||
-            !filter.asAllowed(y)) {
-            continue;
-        }
-        std::uint16_t bestDist = kUnreached;
-        std::int32_t bestVia = -1;
-        for (const topo::AsIndex z : topo_->peersOf(y)) {
-            if (!filter.linkAllowed(y, z)) {
-                continue;
-            }
-            const auto zk = klass[z];
-            if (zk != static_cast<std::uint8_t>(RouteClass::Customer) &&
-                zk != static_cast<std::uint8_t>(RouteClass::Self)) {
-                continue;
-            }
-            if (dist[z] + 1 < bestDist) { // peers sorted by ASN: first wins
-                bestDist = static_cast<std::uint16_t>(dist[z] + 1);
-                bestVia = static_cast<std::int32_t>(z);
-            }
-        }
-        if (bestVia >= 0) {
-            dist[y] = bestDist;
-            klass[y] = static_cast<std::uint8_t>(RouteClass::Peer);
-            next[y] = bestVia;
-        }
-    }
-
-    // Phase 3: provider routes propagate down provider->customer edges
-    // from every routed node. Bucket Dijkstra over small integer
-    // distances; buckets are processed in ASN order for deterministic
-    // tie-breaking. Buckets are reused across destinations (every bucket
-    // ends the loop cleared).
-    std::vector<std::vector<topo::AsIndex>>& buckets = scratch.buckets;
-    for (topo::AsIndex x = 0; x < n_; ++x) {
-        if (klass[x] != static_cast<std::uint8_t>(RouteClass::None)) {
-            buckets[dist[x]].push_back(x);
-        }
-    }
-    for (std::size_t b = 0; b < buckets.size(); ++b) {
-        auto& bucket = buckets[b];
-        std::ranges::sort(bucket, byAsn);
-        for (std::size_t i = 0; i < bucket.size(); ++i) {
-            const topo::AsIndex p = bucket[i];
-            for (const topo::AsIndex y : topo_->customersOf(p)) {
-                if (!filter.asAllowed(y) || !filter.linkAllowed(p, y)) {
-                    continue;
-                }
-                if (klass[y] ==
-                    static_cast<std::uint8_t>(RouteClass::None)) {
-                    dist[y] = static_cast<std::uint16_t>(b + 1);
-                    klass[y] = static_cast<std::uint8_t>(RouteClass::Provider);
-                    next[y] = static_cast<std::int32_t>(p);
-                    buckets[b + 1].push_back(y);
-                }
-            }
-        }
-        bucket.clear();
-    }
-}
-
-std::vector<topo::AsIndex> PathOracle::path(topo::AsIndex src,
-                                            topo::AsIndex dst) const {
-    AIO_EXPECTS(src < n_ && dst < n_, "AS index OOB");
-    std::vector<topo::AsIndex> out;
-    if (klass_[dst * n_ + src] ==
-        static_cast<std::uint8_t>(RouteClass::None)) {
-        return out;
-    }
-    topo::AsIndex cur = src;
-    out.push_back(cur);
-    while (cur != dst) {
-        const std::int32_t nh = nextHopOf(cur, dst);
-        AIO_EXPECTS(nh >= 0, "broken next-hop chain");
-        cur = static_cast<topo::AsIndex>(nh);
-        out.push_back(cur);
-        AIO_EXPECTS(out.size() <= n_ + 1, "routing loop detected");
-    }
-    return out;
-}
-
-bool PathOracle::reachable(topo::AsIndex src, topo::AsIndex dst) const {
-    AIO_EXPECTS(src < n_ && dst < n_, "AS index OOB");
-    return klass_[dst * n_ + src] !=
-           static_cast<std::uint8_t>(RouteClass::None);
 }
 
 RouteClass PathOracle::routeClass(topo::AsIndex src,
@@ -358,11 +165,10 @@ RouteClass PathOracle::routeClass(topo::AsIndex src,
     return static_cast<RouteClass>(klass_[dst * n_ + src]);
 }
 
-int PathOracle::pathLength(topo::AsIndex src, topo::AsIndex dst) const {
-    if (!reachable(src, dst)) {
-        return -1;
-    }
-    return static_cast<int>(path(src, dst).size()) - 1;
+std::shared_ptr<const RouteOracle>
+PathOracle::deriveFiltered(const LinkFilter& filter,
+                           exec::WorkerPool* pool) const {
+    return std::make_shared<const PathOracle>(*this, filter, pool);
 }
 
 bool isValleyFree(const topo::Topology& topology,

@@ -2,10 +2,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_set>
-#include <utility>
 #include <vector>
 
+#include "routing/route_oracle.hpp"
 #include "topo/as_graph.hpp"
 
 namespace aio::exec {
@@ -14,73 +13,13 @@ class WorkerPool;
 
 namespace aio::route {
 
-/// Order-independent 128-bit summary of a LinkFilter's disabled sets —
-/// the canonical key of the failure-scenario route cache. Two filters
-/// holding the same link/AS sets produce the same digest no matter the
-/// insertion order; distinct sets collide only with hash probability
-/// (~2^-128, since the combiners — a sum and a product of independently
-/// mixed element hashes — are both commutative and set-determined).
-struct FilterDigest {
-    std::uint64_t sum = 0;
-    std::uint64_t product = 1;
-    std::uint64_t linkCount = 0;
-    std::uint64_t asCount = 0;
-
-    [[nodiscard]] bool operator==(const FilterDigest&) const = default;
-};
-
-struct FilterDigestHash {
-    [[nodiscard]] std::size_t operator()(const FilterDigest& digest) const;
-};
-
-/// Set of disabled links/ASes used for failure analysis. A link is
-/// identified by its unordered endpoint pair.
-class LinkFilter {
-public:
-    void disableLink(topo::AsIndex a, topo::AsIndex b);
-    void disableAs(topo::AsIndex as);
-
-    [[nodiscard]] bool linkAllowed(topo::AsIndex a, topo::AsIndex b) const;
-    [[nodiscard]] bool asAllowed(topo::AsIndex as) const;
-
-    /// Disabled links as endpoint pairs (a < b). Set-determined content;
-    /// iteration order is unspecified (hash-set backed).
-    [[nodiscard]] std::vector<std::pair<topo::AsIndex, topo::AsIndex>>
-    disabledLinks() const;
-
-
-    [[nodiscard]] bool empty() const {
-        return links_.empty() && ases_.empty();
-    }
-    [[nodiscard]] std::size_t disabledLinkCount() const {
-        return links_.size();
-    }
-    [[nodiscard]] std::size_t disabledAsCount() const {
-        return ases_.size();
-    }
-
-    /// Canonical digest of the disabled sets (see FilterDigest).
-    [[nodiscard]] FilterDigest digest() const;
-
-private:
-    static std::uint64_t key(topo::AsIndex a, topo::AsIndex b) {
-        const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
-        const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
-        return (hi << 32) | lo;
-    }
-    std::unordered_set<std::uint64_t> links_;
-    std::unordered_set<topo::AsIndex> ases_;
-};
-
-/// Gao-Rexford route preference class of the best route (order matters:
-/// higher enum value = less preferred).
-enum class RouteClass : std::uint8_t {
-    Self = 0,
-    Customer = 1,
-    Peer = 2,
-    Provider = 3,
-    None = 255,
-};
+/// Dense matrices cost 5 bytes per AS pair; past this ceiling (default
+/// 4 GiB ≈ 29 k ASes) the constructor throws net::CapacityError instead
+/// of letting the allocator fail with bad_alloc mid-build. Raiseable for
+/// machines that really want a bigger dense reference; the supported
+/// answer at continent scale is StoragePolicy::Sharded.
+inline constexpr std::size_t kDefaultDenseCeilingBytes =
+    std::size_t{4} * 1024 * 1024 * 1024;
 
 /// All-pairs stable policy routes under the standard Gao-Rexford model:
 ///
@@ -92,7 +31,8 @@ enum class RouteClass : std::uint8_t {
 /// Computed with the classic three-phase per-destination BFS (customer
 /// routes propagate up provider links, one optional peer hop, provider
 /// routes propagate down customer links), which yields exactly the
-/// valley-free paths. Construction cost is O(D * (V + E)); the result is
+/// valley-free paths — see route_kernel.hpp, the solver shared with the
+/// sharded oracle. Construction cost is O(D * (V + E)); the result is
 /// a dense next-hop matrix, so path queries are O(path length).
 ///
 /// Destinations are independent — each writes only its own row slab of
@@ -101,16 +41,22 @@ enum class RouteClass : std::uint8_t {
 /// by arrival order, so the matrices are byte-identical whichever lane
 /// computes which destination: the pool-built oracle equals the
 /// sequential reference bit for bit (tests/routing/oracle_equivalence_test
-/// holds both constructors to that contract).
-class PathOracle {
+/// holds both constructors to that contract, and
+/// tests/routing/sharded_equivalence_test holds ShardedOracle to the same
+/// bytes through the query surface).
+class PathOracle : public RouteOracle {
 public:
-    /// Sequential reference construction.
+    /// Sequential reference construction. Throws net::CapacityError when
+    /// the dense matrices would exceed `memoryCeilingBytes`.
     explicit PathOracle(const topo::Topology& topology,
-                        const LinkFilter& filter = {});
+                        const LinkFilter& filter = {},
+                        std::size_t memoryCeilingBytes =
+                            kDefaultDenseCeilingBytes);
 
     /// Parallel construction: per-destination slabs sharded across `pool`.
     PathOracle(const topo::Topology& topology, const LinkFilter& filter,
-               exec::WorkerPool& pool);
+               exec::WorkerPool& pool,
+               std::size_t memoryCeilingBytes = kDefaultDenseCeilingBytes);
 
     /// Incremental derivation from an unfiltered baseline: copies the
     /// baseline matrices and re-solves only the destinations
@@ -151,28 +97,35 @@ public:
     [[nodiscard]] std::vector<topo::AsIndex>
     dirtyDestinations(const LinkFilter& filter) const;
 
-    /// AS-level route from src to dst, inclusive of both endpoints.
-    /// Empty when dst is unreachable; {src} when src == dst.
-    [[nodiscard]] std::vector<topo::AsIndex> path(topo::AsIndex src,
-                                                  topo::AsIndex dst) const;
+    // ---- RouteOracle surface ----
 
-    [[nodiscard]] bool reachable(topo::AsIndex src, topo::AsIndex dst) const;
-
-    /// Preference class of src's best route towards dst.
+    [[nodiscard]] std::int32_t nextHopOf(topo::AsIndex src,
+                                         topo::AsIndex dst) const override {
+        return nextHop_[dst * n_ + src];
+    }
     [[nodiscard]] RouteClass routeClass(topo::AsIndex src,
-                                        topo::AsIndex dst) const;
-
-    /// AS-path length in hops (edges); 0 when src==dst, -1 if unreachable.
-    [[nodiscard]] int pathLength(topo::AsIndex src, topo::AsIndex dst) const;
-
-    [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+                                        topo::AsIndex dst) const override;
 
     /// Resident bytes of the dense route matrices — what a cache entry
     /// actually retains. Struct/vector overhead is excluded (constant,
     /// dwarfed by the n^2 slabs).
-    [[nodiscard]] std::size_t memoryBytes() const {
+    [[nodiscard]] std::size_t memoryBytes() const override {
         return nextHop_.size() * sizeof(std::int32_t) +
                klass_.size() * sizeof(std::uint8_t);
+    }
+
+    [[nodiscard]] StoragePolicy storagePolicy() const override {
+        return StoragePolicy::Dense;
+    }
+
+    [[nodiscard]] bool unfiltered() const override { return unfiltered_; }
+
+    [[nodiscard]] std::shared_ptr<const RouteOracle>
+    deriveFiltered(const LinkFilter& filter,
+                   exec::WorkerPool* pool = nullptr) const override;
+
+    [[nodiscard]] std::size_t resolvedDirtyDestinations() const override {
+        return resolvedDirty_;
     }
 
     /// Raw matrices ([dst * asCount + src] layout) for differential tests
@@ -185,28 +138,11 @@ public:
     }
 
 private:
-    /// Reusable per-lane working set: one of these per pool lane, so the
-    /// hot loop never allocates and lanes never share mutable state.
-    struct DestScratch {
-        std::vector<std::uint16_t> dist;
-        std::vector<topo::AsIndex> frontier;
-        std::vector<topo::AsIndex> nextFrontier;
-        std::vector<std::vector<topo::AsIndex>> buckets;
-    };
-
     void build(const LinkFilter& filter, exec::WorkerPool* pool);
-    void computeDestination(topo::AsIndex dst, const LinkFilter& filter,
-                            DestScratch& scratch);
 
-    [[nodiscard]] std::int32_t nextHopOf(topo::AsIndex src,
-                                         topo::AsIndex dst) const {
-        return nextHop_[dst * n_ + src];
-    }
-
-    const topo::Topology* topo_;
-    std::size_t n_ = 0;
     bool unfiltered_ = false; ///< built with an empty filter (valid
                               ///< incremental baseline)
+    std::size_t resolvedDirty_ = 0; ///< |dirty| of an incremental build
     std::vector<std::int32_t> nextHop_;  ///< [dst*n + src], -1 = none
     std::vector<std::uint8_t> klass_;    ///< RouteClass per (dst,src)
 };

@@ -1,0 +1,439 @@
+#include "routing/sharded_oracle.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "exec/worker_pool.hpp"
+#include "netbase/error.hpp"
+
+namespace aio::route {
+
+namespace {
+
+// uint16 hop sentinels, carved off the top of the slot range. Real slots
+// are < kHopWide, which the narrow-slot clamp in layout() guarantees.
+constexpr std::uint16_t kHopNone = 0xFFFF; ///< unreachable (class None)
+constexpr std::uint16_t kHopSelf = 0xFFFE; ///< src == dst (class Self)
+constexpr std::uint16_t kHopWide = 0xFFFD; ///< next hop in the wide arena
+
+constexpr std::uint32_t kNotWide =
+    std::numeric_limits<std::uint32_t>::max();
+
+} // namespace
+
+ShardedOracle::ShardedOracle(const topo::Topology& topology,
+                             const LinkFilter& filter,
+                             const ShardedOracleConfig& config)
+    : RouteOracle(topology),
+      csr_(std::make_shared<const topo::CsrAdjacency>(
+          topo::CsrAdjacency::fromTopology(topology))),
+      filter_(filter) {
+    layout(config);
+}
+
+ShardedOracle::ShardedOracle(DerivedTag,
+                             std::shared_ptr<const ShardedOracle> baseline,
+                             const LinkFilter& filter)
+    : RouteOracle(baseline->topology()), csr_(baseline->csr_),
+      filter_(filter), baseline_(std::move(baseline)) {
+    AIO_EXPECTS(baseline_->unfiltered(),
+                "incremental baseline must be an unfiltered oracle");
+    allRowsDirty_ = filter_.disabledAsCount() > 0;
+    if (!allRowsDirty_) {
+        // Group the failed links by endpoint (both directions — my next
+        // hop onto you, yours onto me), ordered for determinism.
+        std::map<topo::AsIndex, std::vector<topo::AsIndex>> grouped;
+        for (const auto& [a, b] : filter_.disabledLinks()) {
+            if (a < n_ && b < n_) {
+                grouped[a].push_back(b);
+                grouped[b].push_back(a);
+            }
+        }
+        failedPartnerOffsets_.push_back(0);
+        for (auto& [endpoint, partners] : grouped) {
+            std::ranges::sort(partners);
+            failedEndpoints_.push_back(endpoint);
+            failedPartners_.insert(failedPartners_.end(), partners.begin(),
+                                   partners.end());
+            failedPartnerOffsets_.push_back(
+                static_cast<std::uint32_t>(failedPartners_.size()));
+        }
+    }
+    layout(baseline_->config_);
+}
+
+void ShardedOracle::layout(const ShardedOracleConfig& config) {
+    config_ = config;
+    config_.narrowSlotLimit =
+        std::min<std::uint32_t>(config_.narrowSlotLimit, kHopWide);
+    if (config_.shardDestinations == 0) {
+        config_.shardDestinations = 1;
+    }
+    if (config_.residentByteBudget == 0) {
+        // Auto budget: a 24th of the dense extrapolation (5 bytes/pair),
+        // floored at 32 MiB so small topologies never evict.
+        config_.residentByteBudget = std::max<std::size_t>(
+            std::size_t{32} << 20,
+            n_ * n_ * (sizeof(std::int32_t) + sizeof(std::uint8_t)) / 24);
+    }
+
+    hopBytesPerRow_ = n_ * sizeof(std::uint16_t);
+    packBytesPerRow_ = (n_ + 3) / 4;
+    wideRank_.assign(n_, kNotWide);
+    for (topo::AsIndex src = 0; src < n_; ++src) {
+        if (csr_->degree(src) >= config_.narrowSlotLimit) {
+            wideRank_[src] = static_cast<std::uint32_t>(wideSrcs_.size());
+            wideSrcs_.push_back(static_cast<std::uint32_t>(src));
+        }
+    }
+
+    rowState_.assign(n_, kRowUnknown);
+    const std::size_t per = config_.shardDestinations;
+    shards_.resize(n_ == 0 ? 0 : (n_ + per - 1) / per);
+    std::size_t maxShardBytes = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        shards_[i].firstDst = i * per;
+        shards_[i].rows = std::min(per, n_ - shards_[i].firstDst);
+        maxShardBytes =
+            std::max(maxShardBytes, shards_[i].rows * rowBytes());
+    }
+
+    // A derived oracle shares the baseline's CSR: counting those bytes
+    // once (on the root) keeps cache byte-accounting honest.
+    fixedBytes_ = (baseline_ ? 0 : csr_->memoryBytes()) +
+                  wideRank_.size() * sizeof(std::uint32_t) +
+                  wideSrcs_.size() * sizeof(std::uint32_t) +
+                  rowState_.size() +
+                  failedEndpoints_.size() * sizeof(topo::AsIndex) +
+                  failedPartnerOffsets_.size() * sizeof(std::uint32_t) +
+                  failedPartners_.size() * sizeof(topo::AsIndex);
+    residentBytes_.store(fixedBytes_, std::memory_order_relaxed);
+
+    if (fixedBytes_ + maxShardBytes > config_.residentByteBudget) {
+        throw net::CapacityError(
+            "sharded oracle needs " +
+            std::to_string(fixedBytes_ + maxShardBytes) +
+            " resident bytes (fixed overhead + one shard) for " +
+            std::to_string(n_) + " ASes, over the budget of " +
+            std::to_string(config_.residentByteBudget) +
+            " — raise residentByteBudget or shrink shardDestinations");
+    }
+
+    scratch_.prepare(n_);
+    rowNext_.resize(n_);
+    rowKlass_.resize(n_);
+}
+
+std::size_t ShardedOracle::shardArenaBytes(const Shard& shard) const {
+    return shard.rows * rowBytes();
+}
+
+std::size_t ShardedOracle::residentShardCount() const {
+    std::scoped_lock lock(mutex_);
+    std::size_t count = 0;
+    for (const Shard& shard : shards_) {
+        count += shard.resident() ? 1 : 0;
+    }
+    return count;
+}
+
+bool ShardedOracle::classifyDirty(topo::AsIndex dst) const {
+    if (allRowsDirty_) {
+        return true;
+    }
+    // A row is dirty iff some failed link carries a selected route of
+    // the baseline forest for this destination — the same exactness
+    // argument as PathOracle::dirtyDestinations, probed per endpoint:
+    // endpoint e's baseline next hop toward dst landing on one of its
+    // failed partners is exactly "some failed (e, b) carries a selected
+    // route". The probes batch through the baseline row in chunks so
+    // the baseline lock is taken per chunk, not per failed link.
+    std::array<std::int32_t, 128> hops;
+    const std::span<const topo::AsIndex> endpoints{failedEndpoints_};
+    for (std::size_t base = 0; base < endpoints.size();
+         base += hops.size()) {
+        const std::size_t chunk =
+            std::min(hops.size(), endpoints.size() - base);
+        baseline_->nextHopsBatch(endpoints.subspan(base, chunk), dst,
+                                 hops.data());
+        for (std::size_t i = 0; i < chunk; ++i) {
+            if (hops[i] < 0) {
+                continue;
+            }
+            const auto first = failedPartners_.begin() +
+                               failedPartnerOffsets_[base + i];
+            const auto last = failedPartners_.begin() +
+                              failedPartnerOffsets_[base + i + 1];
+            if (std::binary_search(
+                    first, last,
+                    static_cast<topo::AsIndex>(hops[i]))) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void ShardedOracle::nextHopsBatch(std::span<const topo::AsIndex> srcs,
+                                  topo::AsIndex dst,
+                                  std::int32_t* out) const {
+    std::unique_lock lock(mutex_);
+    if (ensureRowLocked(dst)) {
+        lock.unlock();
+        baseline_->nextHopsBatch(srcs, dst, out);
+        return;
+    }
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+        out[i] = lookupLocked(srcs[i], dst).first;
+    }
+}
+
+ShardedOracle::Shard&
+ShardedOracle::residentShardLocked(topo::AsIndex dst) const {
+    const std::size_t index = dst / config_.shardDestinations;
+    Shard& shard = shards_[index];
+    if (!shard.resident()) {
+        shard.hops.assign(shard.rows * n_, 0);
+        shard.pack.assign(shard.rows * packBytesPerRow_, 0);
+        shard.wide.assign(shard.rows * wideSrcs_.size(), -1);
+        residentBytes_.fetch_add(shardArenaBytes(shard),
+                                 std::memory_order_relaxed);
+        shard.lastUse = ++useClock_;
+        enforceBudgetLocked(index);
+    }
+    return shard;
+}
+
+void ShardedOracle::enforceBudgetLocked(std::size_t protectedShard) const {
+    while (residentBytes_.load(std::memory_order_relaxed) >
+           config_.residentByteBudget) {
+        std::size_t victim = shards_.size();
+        std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            if (i != protectedShard && shards_[i].resident() &&
+                shards_[i].lastUse < oldest) {
+                oldest = shards_[i].lastUse;
+                victim = i;
+            }
+        }
+        if (victim == shards_.size()) {
+            return; // only the protected shard is resident
+        }
+        evictShardLocked(victim);
+    }
+}
+
+void ShardedOracle::evictShardLocked(std::size_t shardIndex) const {
+    Shard& shard = shards_[shardIndex];
+    residentBytes_.fetch_sub(shardArenaBytes(shard),
+                             std::memory_order_relaxed);
+    std::vector<std::uint16_t>().swap(shard.hops);
+    std::vector<std::uint8_t>().swap(shard.pack);
+    std::vector<std::int32_t>().swap(shard.wide);
+    for (std::size_t r = 0; r < shard.rows; ++r) {
+        // Solved rows lose their bytes, never their classification:
+        // kRowEvicted re-solves on touch without re-counting dirtiness.
+        if (rowState_[shard.firstDst + r] == kRowSolved) {
+            rowState_[shard.firstDst + r] = kRowEvicted;
+        }
+    }
+    shardEvictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedOracle::encodeRow(topo::AsIndex dst,
+                              const std::int32_t* rowNext,
+                              const std::uint8_t* rowKlass) const {
+    Shard& shard = residentShardLocked(dst);
+    const std::size_t r = dst - shard.firstDst;
+    std::uint16_t* hops = shard.hops.data() + r * n_;
+    std::uint8_t* pack = shard.pack.data() + r * packBytesPerRow_;
+    std::int32_t* wide =
+        wideSrcs_.empty() ? nullptr
+                          : shard.wide.data() + r * wideSrcs_.size();
+    std::fill_n(pack, packBytesPerRow_, std::uint8_t{0});
+    for (topo::AsIndex src = 0; src < n_; ++src) {
+        const std::uint8_t k = rowKlass[src];
+        if (k == static_cast<std::uint8_t>(RouteClass::None)) {
+            hops[src] = kHopNone;
+            continue;
+        }
+        if (src == dst) {
+            hops[src] = kHopSelf;
+            continue;
+        }
+        pack[src >> 2] |= static_cast<std::uint8_t>(
+            (k & 3u) << ((src & 3u) * 2));
+        const std::int32_t nh = rowNext[src];
+        if (wideRank_[src] != kNotWide) {
+            hops[src] = kHopWide;
+            wide[wideRank_[src]] = nh;
+        } else {
+            const std::int32_t slot =
+                csr_->slotOf(src, static_cast<topo::AsIndex>(nh));
+            AIO_EXPECTS(slot >= 0, "next hop is not a CSR neighbor");
+            hops[src] = static_cast<std::uint16_t>(slot);
+        }
+    }
+}
+
+void ShardedOracle::solveRow(topo::AsIndex dst, std::int32_t* rowNext,
+                             std::uint8_t* rowKlass,
+                             kernel::DestScratch& scratch) const {
+    std::fill_n(rowNext, n_, std::int32_t{-1});
+    std::fill_n(rowKlass, n_,
+                static_cast<std::uint8_t>(RouteClass::None));
+    kernel::solveDestination(*topo_, filter_, dst, rowNext, rowKlass,
+                             scratch);
+    encodeRow(dst, rowNext, rowKlass);
+}
+
+bool ShardedOracle::ensureRowLocked(topo::AsIndex dst) const {
+    const std::uint8_t state = rowState_[dst];
+    if (state == kRowClean) {
+        return true;
+    }
+    const std::size_t index = dst / config_.shardDestinations;
+    if (state == kRowSolved && shards_[index].resident()) {
+        shards_[index].lastUse = ++useClock_;
+        return false;
+    }
+    if (baseline_ != nullptr && state == kRowUnknown) {
+        if (!classifyDirty(dst)) {
+            rowState_[dst] = kRowClean;
+            return true;
+        }
+        resolvedDirty_.fetch_add(1, std::memory_order_relaxed);
+    }
+    solveRow(dst, rowNext_.data(), rowKlass_.data(), scratch_);
+    rowState_[dst] = kRowSolved;
+    shards_[index].lastUse = ++useClock_;
+    return false;
+}
+
+std::int32_t ShardedOracle::nextHopOf(topo::AsIndex src,
+                                      topo::AsIndex dst) const {
+    AIO_EXPECTS(src < n_ && dst < n_, "AS index OOB");
+    std::unique_lock lock(mutex_);
+    if (ensureRowLocked(dst)) {
+        lock.unlock();
+        return baseline_->nextHopOf(src, dst);
+    }
+    return lookupLocked(src, dst).first;
+}
+
+RouteClass ShardedOracle::routeClass(topo::AsIndex src,
+                                     topo::AsIndex dst) const {
+    AIO_EXPECTS(src < n_ && dst < n_, "AS index OOB");
+    std::unique_lock lock(mutex_);
+    if (ensureRowLocked(dst)) {
+        lock.unlock();
+        return baseline_->routeClass(src, dst);
+    }
+    return lookupLocked(src, dst).second;
+}
+
+std::pair<std::int32_t, RouteClass>
+ShardedOracle::lookupLocked(topo::AsIndex src, topo::AsIndex dst) const {
+    const Shard& shard = shards_[dst / config_.shardDestinations];
+    const std::size_t r = dst - shard.firstDst;
+    const std::uint16_t hop = shard.hops[r * n_ + src];
+    if (hop == kHopNone) {
+        return {-1, RouteClass::None};
+    }
+    if (hop == kHopSelf) {
+        return {static_cast<std::int32_t>(src), RouteClass::Self};
+    }
+    const auto klass = static_cast<RouteClass>(
+        (shard.pack[r * packBytesPerRow_ + (src >> 2)] >>
+         ((src & 3u) * 2)) &
+        3u);
+    if (hop == kHopWide) {
+        return {shard.wide[r * wideSrcs_.size() + wideRank_[src]], klass};
+    }
+    return {static_cast<std::int32_t>(csr_->neighborAt(src, hop)), klass};
+}
+
+std::shared_ptr<const RouteOracle>
+ShardedOracle::deriveFiltered(const LinkFilter& filter,
+                              exec::WorkerPool* /*pool*/) const {
+    auto self = std::static_pointer_cast<const ShardedOracle>(
+        shared_from_this());
+    return std::shared_ptr<const ShardedOracle>(
+        new ShardedOracle(DerivedTag{}, std::move(self), filter));
+}
+
+void ShardedOracle::materializeDestinations(
+    std::span<const topo::AsIndex> dsts) const {
+    std::scoped_lock lock(mutex_);
+    for (const topo::AsIndex dst : dsts) {
+        AIO_EXPECTS(dst < n_, "AS index OOB");
+        (void)ensureRowLocked(dst);
+    }
+}
+
+void ShardedOracle::materializeAll(exec::WorkerPool* pool) const {
+    std::scoped_lock lock(mutex_);
+    if (pool == nullptr) {
+        for (topo::AsIndex dst = 0; dst < n_; ++dst) {
+            (void)ensureRowLocked(dst);
+        }
+        return;
+    }
+    // Shard-parallel build: the coordinator allocates one shard's arena,
+    // the pool solves its rows (disjoint arena slices, disjoint state
+    // bytes, per-lane scratch — no shared mutable state between lanes),
+    // then the budget is enforced before moving on, so a bulk build at
+    // continent scale streams through the budget instead of blowing it.
+    const auto lanes = static_cast<std::size_t>(pool->threadCount());
+    std::vector<kernel::DestScratch> scratch(lanes);
+    std::vector<std::vector<std::int32_t>> laneNext(lanes);
+    std::vector<std::vector<std::uint8_t>> laneKlass(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        scratch[lane].prepare(n_);
+        laneNext[lane].resize(n_);
+        laneKlass[lane].resize(n_);
+    }
+    for (std::size_t index = 0; index < shards_.size(); ++index) {
+        Shard& shard = shards_[index];
+        (void)residentShardLocked(shard.firstDst);
+        pool->parallelFor(shard.rows, [&](std::size_t r, std::size_t lane) {
+            const auto dst = static_cast<topo::AsIndex>(shard.firstDst + r);
+            const std::uint8_t state = rowState_[dst];
+            if (state == kRowClean || state == kRowSolved) {
+                return;
+            }
+            if (baseline_ != nullptr && state == kRowUnknown) {
+                if (!classifyDirty(dst)) {
+                    rowState_[dst] = kRowClean;
+                    return;
+                }
+                resolvedDirty_.fetch_add(1, std::memory_order_relaxed);
+            }
+            solveRow(dst, laneNext[lane].data(), laneKlass[lane].data(),
+                     scratch[lane]);
+            rowState_[dst] = kRowSolved;
+        });
+        shard.lastUse = ++useClock_;
+        enforceBudgetLocked(index);
+    }
+}
+
+std::shared_ptr<const RouteOracle>
+buildOracle(const topo::Topology& topology, StoragePolicy policy,
+            const LinkFilter& filter, exec::WorkerPool* pool,
+            const ShardedOracleConfig& shardedConfig) {
+    if (policy == StoragePolicy::Dense) {
+        if (pool != nullptr) {
+            return std::make_shared<const PathOracle>(topology, filter,
+                                                      *pool);
+        }
+        return std::make_shared<const PathOracle>(topology, filter);
+    }
+    return std::make_shared<const ShardedOracle>(topology, filter,
+                                                 shardedConfig);
+}
+
+} // namespace aio::route

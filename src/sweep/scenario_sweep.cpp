@@ -11,7 +11,8 @@
 #include "exec/worker_pool.hpp"
 #include "netbase/rng.hpp"
 #include "routing/oracle_cache.hpp"
-#include "routing/path_oracle.hpp"
+#include "routing/route_oracle.hpp"
+#include "routing/sharded_oracle.hpp"
 
 namespace aio::sweep {
 
@@ -33,9 +34,8 @@ struct PlainJob {
 /// One unique cut-set routing state shared by >= 1 plain scenarios.
 struct OracleJob {
     route::LinkFilter filter;
-    std::shared_ptr<const route::PathOracle> oracle; ///< resolved
+    std::shared_ptr<const route::RouteOracle> oracle; ///< resolved
     bool fromCache = false;
-    std::size_t dirty = 0; ///< destinations re-solved (incremental only)
 };
 
 /// Runs fn(i) for every i in [0, count), across the pool when one is
@@ -146,7 +146,7 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
                 }
             }
         }
-        const std::shared_ptr<const route::PathOracle>& baseline =
+        const std::shared_ptr<const route::RouteOracle>& baseline =
             analyzer.baselineOracle();
         forEach(pool, oracles.size(), [&](std::size_t j) {
             OracleJob& job = oracles[j];
@@ -156,19 +156,18 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             const obs::ScopedTimer buildTimer{metrics,
                                               "sweep.build_seconds"};
             if (incremental) {
-                const std::vector<topo::AsIndex> dirty =
-                    baseline->dirtyDestinations(job.filter);
-                job.dirty = dirty.size();
-                // pool=nullptr: this may already be inside a pool lane,
-                // and parallelFor is not reentrant. The precomputed
-                // dirty set is handed in so the stats scan above is the
-                // only next-hop-forest walk this cut set pays for.
-                job.oracle = std::make_shared<const route::PathOracle>(
-                    *baseline, job.filter,
-                    std::span<const topo::AsIndex>{dirty}, nullptr);
+                // Storage-policy neutral incremental rebuild: dense
+                // re-solves its dirty set eagerly here; sharded defers
+                // per-row work to the scoring queries. pool=nullptr —
+                // this may already be inside a pool lane, and
+                // parallelFor is not reentrant.
+                job.oracle = baseline->deriveFiltered(job.filter, nullptr);
             } else {
-                job.oracle = std::make_shared<const route::PathOracle>(
-                    substrate_->topology(), job.filter);
+                job.oracle = route::buildOracle(
+                    substrate_->topology(),
+                    substrate_->impactConfig().routeStorage, job.filter,
+                    nullptr,
+                    substrate_->impactConfig().shardedRouting);
             }
         });
         for (const OracleJob& job : oracles) {
@@ -177,7 +176,6 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             }
             if (incremental) {
                 ++result.stats.incrementalBuilds;
-                result.stats.dirtyDestinations += job.dirty;
             } else {
                 ++result.stats.fullBuilds;
             }
@@ -207,6 +205,19 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
         });
         if (trace != nullptr && !plain.empty()) {
             trace->count("scenario", plain.size());
+        }
+    }
+
+    // Dirty-destination accounting happens *after* scoring: a dense
+    // incremental oracle resolved its whole dirty set at build time, but
+    // a sharded one resolves rows lazily as scoring queries touch them —
+    // reading the counter here reports what the batch actually paid.
+    if (incremental) {
+        for (const OracleJob& job : oracles) {
+            if (!job.fromCache) {
+                result.stats.dirtyDestinations +=
+                    job.oracle->resolvedDirtyDestinations();
+            }
         }
     }
 

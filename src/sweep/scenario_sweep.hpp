@@ -74,9 +74,10 @@ struct SweepResult {
 ///    (and the substrate's OracleCache, when wired, shares them across
 ///    sweeps);
 ///  * unique cut sets are re-solved *incrementally* from the substrate's
-///    baseline oracle — only destinations whose selected route forest
-///    crosses a failed link (PathOracle::dirtyDestinations) are
-///    recomputed;
+///    baseline oracle (RouteOracle::deriveFiltered) — only destinations
+///    whose selected route forest crosses a failed link are recomputed,
+///    eagerly under the dense policy, lazily per queried row under the
+///    sharded one;
 ///  * independent scenarios are scheduled across the substrate's
 ///    WorkerPool (oracle builds never nest inside pool lanes — the inner
 ///    recomputes run sequentially per lane).

@@ -80,6 +80,36 @@ GeneratorConfig GeneratorConfig::defaults() {
     return cfg;
 }
 
+GeneratorConfig GeneratorConfig::continental(int targetAses,
+                                             std::uint64_t seed) {
+    AIO_EXPECTS(targetAses >= 1, "continental target must be >= 1");
+    GeneratorConfig cfg = defaults();
+    cfg.seed = seed;
+    // Predict the eyeball count the default densities would produce
+    // (min-clamped, uncapped) and rescale every region's density so the
+    // African eyeball layer alone lands near the target.
+    double predicted = 0.0;
+    for (const auto* c : net::CountryTable::world().african()) {
+        for (const RegionProfile& prof : cfg.africa) {
+            if (prof.region == c->region) {
+                predicted += std::max(
+                    static_cast<double>(prof.minAsesPerCountry),
+                    c->populationMillions * prof.asPerMillionPeople);
+                break;
+            }
+        }
+    }
+    const double scale = static_cast<double>(targetAses) / predicted;
+    for (RegionProfile& prof : cfg.africa) {
+        prof.asPerMillionPeople *= scale;
+    }
+    cfg.maxAsesPerCountry = targetAses; // effectively uncapped
+    cfg.domesticPeerFanout = 4;
+    cfg.ixpMeshFanout = 8;
+    cfg.prefixLengthAdjust = 6; // eyeball prefixes clamp to /24
+    return cfg;
+}
+
 namespace {
 
 constexpr int kMaxAsesPerCountry = 35;
@@ -372,12 +402,15 @@ private:
 
     void createAfricanEyeballs() {
         Asn asn = 37001;
+        const int perCountryCap = cfg_.maxAsesPerCountry > 0
+                                      ? cfg_.maxAsesPerCountry
+                                      : kMaxAsesPerCountry;
         for (const auto* c : net::CountryTable::world().african()) {
             const RegionProfile& prof = profileOf(c->region);
             const int count = std::clamp(
                 static_cast<int>(c->populationMillions *
                                  prof.asPerMillionPeople),
-                prof.minAsesPerCountry, kMaxAsesPerCountry);
+                prof.minAsesPerCountry, perCountryCap);
             std::vector<AsIndex> domestic;
             for (int i = 0; i < count; ++i) {
                 Asn thisAsn = asn++;
@@ -407,6 +440,8 @@ private:
                 }
                 const double weight =
                     rng_.pareto(1.1, 1.0) * (c->populationMillions / 30.0);
+                prefixLength =
+                    std::min(prefixLength + cfg_.prefixLengthAdjust, 24);
                 const AsIndex idx = makeAs(type, *c, thisAsn, mobile,
                                            prefixCount, prefixLength, weight);
 
@@ -449,9 +484,22 @@ private:
                         linkTransit(idx, pickEuUpstream());
                     }
                 }
-                for (const AsIndex other : domestic) {
-                    if (rng_.bernoulli(prof.domesticPeerProb)) {
-                        linkPeer(idx, other);
+                if (cfg_.domesticPeerFanout > 0 &&
+                    domestic.size() >
+                        static_cast<std::size_t>(cfg_.domesticPeerFanout)) {
+                    // Bounded-fanout sampling: linear edge growth at
+                    // continent scale (the full scan is O(country²)).
+                    for (int t = 0; t < cfg_.domesticPeerFanout; ++t) {
+                        const AsIndex other = rng_.pick(domestic);
+                        if (rng_.bernoulli(prof.domesticPeerProb)) {
+                            linkPeer(idx, other);
+                        }
+                    }
+                } else {
+                    for (const AsIndex other : domestic) {
+                        if (rng_.bernoulli(prof.domesticPeerProb)) {
+                            linkPeer(idx, other);
+                        }
                     }
                 }
                 domestic.push_back(idx);
@@ -463,6 +511,22 @@ private:
 
     void meshIxp(IxpIndex ixpIdx, double density) {
         const auto& members = topo_.ixp(ixpIdx).members;
+        if (cfg_.ixpMeshFanout > 0 &&
+            members.size() >
+                static_cast<std::size_t>(cfg_.ixpMeshFanout)) {
+            // Bounded route-server mesh: each member samples a handful
+            // of candidate sessions instead of the member² scan, so a
+            // 2500-member exchange costs 20k draws, not 3M.
+            for (const AsIndex member : members) {
+                for (int t = 0; t < cfg_.ixpMeshFanout; ++t) {
+                    const AsIndex other = rng_.pick(members);
+                    if (rng_.bernoulli(density)) {
+                        linkPeer(member, other, ixpIdx);
+                    }
+                }
+            }
+            return;
+        }
         for (std::size_t i = 0; i < members.size(); ++i) {
             for (std::size_t j = i + 1; j < members.size(); ++j) {
                 if (rng_.bernoulli(density)) {

@@ -103,8 +103,36 @@ struct GeneratorConfig {
     /// peering fabric that keeps most EU-transit paths off the Tier-1s).
     double euTier2PeerProb = 0.9;
 
+    // ---- continent-scale knobs ----
+    // All default to 0 = "legacy behavior": the generator draws the
+    // exact same rng sequence as before these knobs existed, so seeded
+    // topologies stay byte-identical. Non-zero values trade the O(n²)
+    // pair scans for bounded-fanout sampling so 50–100k-AS continents
+    // generate in seconds with linear edge counts.
+
+    /// Cap on eyeball ASes per African country (0 = legacy cap of 35).
+    int maxAsesPerCountry = 0;
+    /// When > 0, each new domestic AS samples at most this many peering
+    /// candidates instead of scanning every earlier in-country AS.
+    int domesticPeerFanout = 0;
+    /// When > 0, IXP route-server meshes sample this many candidate
+    /// sessions per member instead of the full member × member scan
+    /// (only at exchanges with more members than the fanout).
+    int ixpMeshFanout = 0;
+    /// Added to African eyeball prefix lengths (clamped to /24) so a
+    /// 50k-AS continent fits AfriNIC's ~84M-address pool.
+    int prefixLengthAdjust = 0;
+
     /// Calibrated defaults reproducing the paper's qualitative structure.
     static GeneratorConfig defaults();
+
+    /// A continent-scale config: the calibrated default structure with
+    /// per-region AS densities rescaled so the African eyeball layer
+    /// alone is ~targetAses networks, bounded-fanout peering/mesh knobs
+    /// engaged (4 domestic / 8 IXP), and /24 eyeball prefixes. Same
+    /// seed + target => byte-identical topology (digest-stable).
+    static GeneratorConfig continental(int targetAses,
+                                       std::uint64_t seed = 20250704);
 };
 
 /// Generates a Topology from a GeneratorConfig. Deterministic for a given

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::dns {

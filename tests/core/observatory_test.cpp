@@ -4,6 +4,7 @@
 
 #include "core/setcover.hpp"
 #include "core/studies.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::core {

@@ -11,6 +11,7 @@
 #include "core/whatif.hpp"
 #include "exec/worker_pool.hpp"
 #include "routing/oracle_cache.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::core {

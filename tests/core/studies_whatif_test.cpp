@@ -2,6 +2,7 @@
 
 #include "core/studies.hpp"
 #include "core/whatif.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::core {

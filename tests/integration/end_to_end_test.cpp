@@ -13,6 +13,7 @@
 #include "core/whatif.hpp"
 #include "measure/scanner.hpp"
 #include "outage/radar.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio {

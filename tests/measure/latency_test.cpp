@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "netbase/error.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::measure {

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "measure/ixp_detect.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::measure {

@@ -4,6 +4,7 @@
 
 #include "netbase/stats.hpp"
 #include "routing/detour.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::measure {

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "nautilus/inference.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::nautilus {

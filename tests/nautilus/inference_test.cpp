@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "routing/detour.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 namespace aio::nautilus {

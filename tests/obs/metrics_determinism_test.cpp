@@ -10,6 +10,7 @@
 #include "persist/record.hpp"
 #include "resilience/supervisor.hpp"
 #include "routing/oracle_cache.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 // The observability determinism contract: a fixed-seed campaign driven

@@ -10,6 +10,7 @@
 
 #include "netbase/error.hpp"
 #include "persist/record.hpp"
+#include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
 
 // The acceptance harness for crash-safe campaigns: a deterministic

@@ -294,6 +294,69 @@ TEST(OracleCache, ResetStatsKeepsByteResidency) {
     EXPECT_EQ(cache.stats().evictedBytes, 0U);
 }
 
+TEST(OracleCache, ByteBudgetEvictsDownToOneEntry) {
+    const topo::Topology topo = diamondTopology();
+    const std::size_t oracleBytes = PathOracle{topo}.memoryBytes();
+
+    // Budget fits exactly two dense entries: the third get must push the
+    // LRU one out even though the entry-count capacity (8) has room.
+    OracleCacheConfig config;
+    config.byteBudget = 2 * oracleBytes;
+    OracleCache cache{topo, 8, nullptr, nullptr, config};
+
+    LinkFilter f1;
+    f1.disableLink(0, 1);
+    LinkFilter f2;
+    f2.disableLink(0, 2);
+    LinkFilter f3;
+    f3.disableAs(2);
+
+    (void)cache.get(f1);
+    (void)cache.get(f2);
+    EXPECT_EQ(cache.stats().entries, 2U);
+    EXPECT_EQ(cache.stats().evictions, 0U);
+
+    (void)cache.get(f3);
+    OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2U);
+    EXPECT_EQ(stats.evictions, 1U);
+    EXPECT_LE(stats.retainedBytes, config.byteBudget);
+
+    // A budget below a single oracle still keeps one entry resident —
+    // the cache never evicts itself empty.
+    OracleCacheConfig tiny;
+    tiny.byteBudget = 1;
+    OracleCache small{topo, 8, nullptr, nullptr, tiny};
+    (void)small.get(f1);
+    EXPECT_EQ(small.stats().entries, 1U);
+}
+
+TEST(OracleCache, ShardedEntriesReportLiveBytes) {
+    // A sharded entry's memoryBytes() changes after insertion as rows
+    // materialize lazily; the cache must re-poll the live entries
+    // instead of trusting an insertion-time snapshot.
+    const topo::Topology topo = diamondTopology();
+    OracleCacheConfig config;
+    config.policy = StoragePolicy::Sharded;
+    OracleCache cache{topo, 4, nullptr, nullptr, config};
+
+    const auto oracle = cache.get(LinkFilter{});
+    EXPECT_EQ(oracle->storagePolicy(), StoragePolicy::Sharded);
+    const std::uint64_t before = cache.stats().retainedBytes;
+
+    // Touch every row: the entry's resident set grows behind the
+    // cache's back, and stats() must see the growth.
+    for (AsIndex src = 0; src < topo.asCount(); ++src) {
+        for (AsIndex dst = 0; dst < topo.asCount(); ++dst) {
+            (void)oracle->nextHopOf(src, dst);
+        }
+    }
+    const std::uint64_t after = cache.stats().retainedBytes;
+    EXPECT_GT(after, before)
+        << "retainedBytes must be recomputed from live entries";
+    EXPECT_EQ(after, oracle->memoryBytes());
+}
+
 TEST(OracleCache, ResetStatsKeepsEntries) {
     const topo::Topology topo = diamondTopology();
     OracleCache cache{topo, 4};

@@ -75,6 +75,20 @@ void expectByteIdentical(const PathOracle& reference,
         << "route-class matrix mismatch: " << label;
 }
 
+/// Polymorphic flavor for cache-returned oracles: full-matrix CRCs
+/// streamed through the query surface (still every byte, not a spot
+/// check).
+void expectByteIdentical(const PathOracle& reference,
+                         const RouteOracle& candidate,
+                         const std::string& label) {
+    const RouteMatrixDigest want = routeMatrixDigest(reference);
+    const RouteMatrixDigest got = routeMatrixDigest(candidate);
+    EXPECT_EQ(want.nextHop, got.nextHop)
+        << "next-hop matrix mismatch: " << label;
+    EXPECT_EQ(want.routeClass, got.routeClass)
+        << "route-class matrix mismatch: " << label;
+}
+
 void runGridPoint(std::uint64_t seed, bool small) {
     const topo::Topology topo =
         topo::TopologyGenerator{sizedConfig(seed, small)}.generate();

@@ -12,6 +12,7 @@
 #include "core/whatif.hpp"
 #include "netbase/error.hpp"
 #include "resilience/supervisor.hpp"
+#include "routing/path_oracle.hpp"
 #include "sweep/scenario_sweep.hpp"
 #include "topo/generator.hpp"
 

@@ -283,5 +283,80 @@ TEST(SweepEquivalence, OverlayScenariosMatchPerScenarioEngines) {
     }
 }
 
+TEST(SweepEquivalence, ShardedStoragePolicyIsByteIdentical) {
+    // The whole sweep stack — ImpactAnalyzer, WhatIfEngine,
+    // ScenarioSweepEngine, OracleCache — runs unmodified behind the
+    // Substrate's storage-policy switch, and every report must stay
+    // bitwise equal to the dense-policy reference.
+    const topo::Topology topo =
+        topo::TopologyGenerator{sizedConfig(7, true)}.generate();
+    const auto specs = cutGrid(7, 16);
+
+    const core::Substrate dense{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+    const auto refs = referenceReports(dense, specs);
+
+    // Sharded substrate, no accelerators: incremental + full modes.
+    core::Substrate::Options options;
+    options.impact.routeStorage = route::StoragePolicy::Sharded;
+    const core::Substrate sharded{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+        options};
+    EXPECT_EQ(sharded.storagePolicy(), route::StoragePolicy::Sharded);
+    const ScenarioSweepEngine engine{sharded};
+    const SweepResult result = engine.run(specs);
+    expectMatchesReference(result, refs, "sharded seq");
+    EXPECT_GT(result.stats.dirtyDestinations, 0U)
+        << "lazy sharded derivation still reports the rows it re-solved";
+    const ScenarioSweepEngine full{
+        sharded, SweepOptions{.mode = RecomputeMode::Full}};
+    expectMatchesReference(full.run(specs), refs, "sharded full");
+
+    // Sharded substrate with a sharded cache and a pool; the second run
+    // hits the warm cache and must still be identical.
+    exec::WorkerPool pool{4};
+    route::OracleCacheConfig cacheConfig;
+    cacheConfig.policy = route::StoragePolicy::Sharded;
+    route::OracleCache cache{topo, 64, &pool, nullptr, cacheConfig};
+    core::Substrate::Options accel;
+    accel.impact.routeStorage = route::StoragePolicy::Sharded;
+    accel.oracleCache = &cache;
+    accel.pool = &pool;
+    const core::Substrate cached{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+        accel};
+    const ScenarioSweepEngine cachedEngine{cached};
+    expectMatchesReference(cachedEngine.run(specs), refs, "sharded cold");
+    expectMatchesReference(cachedEngine.run(specs), refs, "sharded warm");
+}
+
+TEST(SweepEquivalence, MismatchedCachePolicyIsRejected) {
+    // A dense-policy cache wired into a sharded-policy substrate would
+    // silently build dense oracles on every miss; the bundle validation
+    // refuses the disagreement up front.
+    const topo::Topology topo =
+        topo::TopologyGenerator{sizedConfig(3, true)}.generate();
+    route::OracleCache denseCache{topo, 4};
+    core::Substrate::Options options;
+    options.impact.routeStorage = route::StoragePolicy::Sharded;
+    options.oracleCache = &denseCache;
+
+    const auto attempt = core::Substrate::tryCreate(
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+        options);
+    ASSERT_FALSE(attempt.hasValue());
+    EXPECT_EQ(attempt.error().kind, net::Error::Kind::Precondition);
+    EXPECT_THROW((core::Substrate{topo,
+                                  phys::CableRegistry::africanDefaults(),
+                                  dns::DnsConfig::defaults(),
+                                  content::ContentConfig::defaults(),
+                                  options}),
+                 net::PreconditionError);
+}
+
 } // namespace
 } // namespace aio::sweep

@@ -1,0 +1,251 @@
+// Property and fuzz coverage for the CSR adjacency arena: round-trip
+// against the topology's per-AS vectors, structural invariants
+// (degree-sum, symmetry, sorted rows), typed rejection of malformed edge
+// lists, and a deterministic fuzz corpus of random / mutated inputs that
+// must either build a valid arena or degrade to an Error — never crash
+// (CI runs this suite under ASan/UBSan and TSan).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "topo/csr_adjacency.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::topo {
+namespace {
+
+Topology smallTopology(std::uint64_t seed) {
+    auto config = GeneratorConfig::defaults();
+    config.seed = seed;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    return TopologyGenerator{config}.generate();
+}
+
+/// The row-owner-relative relation the CSR must report for (owner, nbr).
+CsrRel expectedRel(const Topology& topo, AsIndex owner, AsIndex nbr) {
+    const auto& providers = topo.providersOf(owner);
+    if (std::ranges::find(providers, nbr) != providers.end()) {
+        return CsrRel::Provider;
+    }
+    const auto& customers = topo.customersOf(owner);
+    if (std::ranges::find(customers, nbr) != customers.end()) {
+        return CsrRel::Customer;
+    }
+    return CsrRel::Peer;
+}
+
+TEST(CsrAdjacency, RoundTripsTopologyAdjacency) {
+    const Topology topo = smallTopology(42);
+    const CsrAdjacency csr = CsrAdjacency::fromTopology(topo);
+    ASSERT_EQ(csr.asCount(), topo.asCount());
+    ASSERT_EQ(csr.edgeCount(), topo.links().size());
+
+    for (AsIndex idx = 0; idx < topo.asCount(); ++idx) {
+        // Row = providers + customers + peers of the AS, sorted.
+        std::vector<AsIndex> expected;
+        for (const AsIndex p : topo.providersOf(idx)) expected.push_back(p);
+        for (const AsIndex c : topo.customersOf(idx)) expected.push_back(c);
+        for (const AsIndex p : topo.peersOf(idx)) expected.push_back(p);
+        std::ranges::sort(expected);
+
+        const auto row = csr.neighbors(idx);
+        ASSERT_EQ(row.size(), expected.size()) << "AS " << idx;
+        EXPECT_TRUE(std::ranges::equal(row, expected)) << "AS " << idx;
+        EXPECT_TRUE(std::ranges::is_sorted(row)) << "AS " << idx;
+
+        for (std::uint32_t slot = 0; slot < row.size(); ++slot) {
+            const AsIndex nbr = csr.neighborAt(idx, slot);
+            EXPECT_EQ(csr.relationAt(idx, slot),
+                      expectedRel(topo, idx, nbr))
+                << "AS " << idx << " slot " << slot;
+            EXPECT_EQ(csr.slotOf(idx, nbr),
+                      static_cast<std::int32_t>(slot));
+        }
+        // Absent neighbors resolve to -1, including the AS itself.
+        EXPECT_EQ(csr.slotOf(idx, idx), -1);
+    }
+}
+
+TEST(CsrAdjacency, StructuralInvariants) {
+    const Topology topo = smallTopology(43);
+    const CsrAdjacency csr = CsrAdjacency::fromTopology(topo);
+
+    // Degree sum = 2 * edges (every undirected edge fills two slots).
+    std::uint64_t degreeSum = 0;
+    std::uint32_t maxDegree = 0;
+    for (AsIndex idx = 0; idx < csr.asCount(); ++idx) {
+        degreeSum += csr.degree(idx);
+        maxDegree = std::max(maxDegree, csr.degree(idx));
+    }
+    EXPECT_EQ(degreeSum, 2 * csr.edgeCount());
+    EXPECT_EQ(maxDegree, csr.maxDegree());
+
+    // Symmetry: b in row(a) <=> a in row(b), with complementary
+    // relations (my provider sees me as its customer; peers symmetric).
+    for (AsIndex a = 0; a < csr.asCount(); ++a) {
+        const auto row = csr.neighbors(a);
+        for (std::uint32_t slot = 0; slot < row.size(); ++slot) {
+            const AsIndex b = csr.neighborAt(a, slot);
+            const std::int32_t back = csr.slotOf(b, a);
+            ASSERT_GE(back, 0) << a << " -> " << b;
+            const CsrRel mine = csr.relationAt(a, slot);
+            const CsrRel theirs =
+                csr.relationAt(b, static_cast<std::uint32_t>(back));
+            if (mine == CsrRel::Peer) {
+                EXPECT_EQ(theirs, CsrRel::Peer);
+            } else {
+                EXPECT_EQ(theirs, mine == CsrRel::Provider
+                                      ? CsrRel::Customer
+                                      : CsrRel::Provider);
+            }
+        }
+    }
+
+    // Same structure => same digest; different seed => (here) different.
+    EXPECT_EQ(csr.digest(), CsrAdjacency::fromTopology(topo).digest());
+    EXPECT_NE(csr.digest(),
+              CsrAdjacency::fromTopology(smallTopology(44)).digest());
+}
+
+TEST(CsrAdjacency, RoundTripsExplicitEdgeList) {
+    // 0 -(c2p)-> 1, 0 <-> 2 peer, 1 -(c2p)-> 2.
+    const std::vector<AsLink> edges = {
+        AsLink{.a = 0, .b = 1, .kind = LinkKind::CustomerToProvider},
+        AsLink{.a = 0, .b = 2, .kind = LinkKind::PeerToPeer},
+        AsLink{.a = 1, .b = 2, .kind = LinkKind::CustomerToProvider},
+    };
+    const auto built = CsrAdjacency::fromEdges(3, edges);
+    ASSERT_TRUE(built.hasValue()) << built.error().message;
+    const CsrAdjacency& csr = *built;
+    EXPECT_EQ(csr.edgeCount(), 3U);
+    EXPECT_EQ(csr.degree(0), 2U);
+    // a-side of CustomerToProvider sees the provider.
+    EXPECT_EQ(csr.relationAt(0, static_cast<std::uint32_t>(csr.slotOf(0, 1))),
+              CsrRel::Provider);
+    EXPECT_EQ(csr.relationAt(1, static_cast<std::uint32_t>(csr.slotOf(1, 0))),
+              CsrRel::Customer);
+    EXPECT_EQ(csr.relationAt(0, static_cast<std::uint32_t>(csr.slotOf(0, 2))),
+              CsrRel::Peer);
+    EXPECT_EQ(csr.relationAt(2, static_cast<std::uint32_t>(csr.slotOf(2, 0))),
+              CsrRel::Peer);
+}
+
+TEST(CsrAdjacency, RejectsMalformedEdgeLists) {
+    const AsLink ok{.a = 0, .b = 1, .kind = LinkKind::PeerToPeer};
+
+    // Endpoint out of range.
+    {
+        const std::vector<AsLink> edges = {
+            ok, AsLink{.a = 1, .b = 7, .kind = LinkKind::PeerToPeer}};
+        const auto built = CsrAdjacency::fromEdges(3, edges);
+        EXPECT_FALSE(built.hasValue());
+    }
+    // Self loop.
+    {
+        const std::vector<AsLink> edges = {
+            ok, AsLink{.a = 2, .b = 2, .kind = LinkKind::PeerToPeer}};
+        EXPECT_FALSE(CsrAdjacency::fromEdges(3, edges).hasValue());
+    }
+    // Duplicate pair, same orientation.
+    {
+        const std::vector<AsLink> edges = {ok, ok};
+        EXPECT_FALSE(CsrAdjacency::fromEdges(3, edges).hasValue());
+    }
+    // Duplicate pair, flipped orientation and different kind.
+    {
+        const std::vector<AsLink> edges = {
+            ok,
+            AsLink{.a = 1, .b = 0, .kind = LinkKind::CustomerToProvider}};
+        EXPECT_FALSE(CsrAdjacency::fromEdges(3, edges).hasValue());
+    }
+    // Empty graph is fine.
+    {
+        const auto built = CsrAdjacency::fromEdges(0, {});
+        ASSERT_TRUE(built.hasValue());
+        EXPECT_EQ((*built).asCount(), 0U);
+        EXPECT_EQ((*built).edgeCount(), 0U);
+    }
+}
+
+/// Deterministic fuzz corpus: random node counts, random edges (some
+/// valid, some malformed by construction), plus mutation passes that
+/// corrupt endpoints/kinds. Every input must produce either a valid
+/// arena (round-trip verified) or an Error value. Run under sanitizers
+/// in CI, this is the memory-safety net for the arena construction.
+TEST(CsrFuzz, RandomAndMutatedEdgeListsNeverCorrupt) {
+    net::Rng rng{0xC5Au};
+    for (int iter = 0; iter < 300; ++iter) {
+        const std::size_t n = 1 + rng.uniformInt(40);
+        const std::size_t m = rng.uniformInt(120);
+        std::vector<AsLink> edges;
+        edges.reserve(m);
+        for (std::size_t e = 0; e < m; ++e) {
+            AsLink link;
+            // ~10% deliberately out-of-range endpoints.
+            const std::size_t hi = rng.bernoulli(0.1) ? n + 4 : n;
+            link.a = static_cast<AsIndex>(rng.uniformInt(hi));
+            link.b = static_cast<AsIndex>(rng.uniformInt(hi));
+            link.kind = rng.bernoulli(0.5) ? LinkKind::PeerToPeer
+                                           : LinkKind::CustomerToProvider;
+            edges.push_back(link);
+        }
+        const auto built = CsrAdjacency::fromEdges(n, edges);
+        if (!built.hasValue()) {
+            continue; // rejected cleanly — fine
+        }
+        // Accepted: the arena must be structurally sound.
+        const CsrAdjacency& csr = *built;
+        std::uint64_t degreeSum = 0;
+        for (AsIndex idx = 0; idx < csr.asCount(); ++idx) {
+            const auto row = csr.neighbors(idx);
+            EXPECT_TRUE(std::ranges::is_sorted(row));
+            EXPECT_TRUE(std::ranges::adjacent_find(row) == row.end());
+            degreeSum += row.size();
+            for (std::uint32_t slot = 0; slot < row.size(); ++slot) {
+                const AsIndex nbr = csr.neighborAt(idx, slot);
+                ASSERT_LT(nbr, csr.asCount());
+                EXPECT_GE(csr.slotOf(nbr, idx), 0);
+            }
+        }
+        EXPECT_EQ(degreeSum, 2 * csr.edgeCount());
+    }
+}
+
+TEST(CsrFuzz, SlotOfNeverReadsOutOfRow) {
+    // Probing every (a, b) pair including non-edges: slotOf must answer
+    // from the row's own span only (ASan would catch a stray read).
+    net::Rng rng{0xF00Du};
+    std::vector<AsLink> edges;
+    const std::size_t n = 24;
+    for (AsIndex a = 0; a < n; ++a) {
+        for (AsIndex b = a + 1; b < n; ++b) {
+            if (rng.bernoulli(0.2)) {
+                edges.push_back(AsLink{
+                    .a = a, .b = b, .kind = LinkKind::PeerToPeer});
+            }
+        }
+    }
+    const auto built = CsrAdjacency::fromEdges(n, edges);
+    ASSERT_TRUE(built.hasValue());
+    const CsrAdjacency& csr = *built;
+    for (AsIndex a = 0; a < n; ++a) {
+        for (AsIndex b = 0; b < n; ++b) {
+            const std::int32_t slot = csr.slotOf(a, b);
+            if (slot >= 0) {
+                EXPECT_EQ(csr.neighborAt(a,
+                                         static_cast<std::uint32_t>(slot)),
+                          b);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace aio::topo
