@@ -23,6 +23,7 @@
 #include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
 #include "routing/sharded_oracle.hpp"
+#include "service/service.hpp"
 #include "stream/consumer.hpp"
 #include "stream/ingestor.hpp"
 #include "sweep/scenario_sweep.hpp"
@@ -644,6 +645,136 @@ void BM_StreamResume(benchmark::State& state) {
                    std::to_string(streamEvents().size()) + " events");
 }
 BENCHMARK(BM_StreamResume)->Unit(benchmark::kMillisecond);
+
+// ---- resident service: throughput and epoch/admission overhead ------
+// One warm continental-scale snapshot (digest off — O(n^2) at this AS
+// count) shared by every service row.
+const std::shared_ptr<const service::ServiceSnapshot>& serviceWorld() {
+    static const std::shared_ptr<const service::ServiceSnapshot> snapshot =
+        [] {
+            service::SnapshotConfig config;
+            config.computeDigest = false;
+            auto built = service::ServiceSnapshot::build(
+                world(), phys::CableRegistry::africanDefaults(),
+                dns::DnsConfig::defaults(),
+                content::ContentConfig::defaults(), config);
+            return std::move(built).value();
+        }();
+    return snapshot;
+}
+
+service::ServiceConfig openServiceConfig() {
+    service::ServiceConfig config;
+    config.admission.queueCapacity = 4096;
+    config.admission.shedQueueDepth = 4096;
+    return config;
+}
+
+service::TenantQuota benchTenant() {
+    service::TenantQuota quota;
+    quota.tenant = "bench";
+    quota.budgetUsd = 1e12;
+    return quota;
+}
+
+// Query throughput through the full resident path (admission + ledgerless
+// metering + epoch pin + promise round-trip) at 1/2/8 handler threads
+// against the warm snapshot.
+void BM_ServiceThroughput(benchmark::State& state) {
+    static obs::SteadyClock clock;
+    const auto& snapshot = serviceWorld();
+    const std::size_t asCount = snapshot->topology().asCount();
+    service::ObservatoryService svc{snapshot, openServiceConfig(), &clock};
+    svc.registerTenant(benchTenant());
+    svc.start(static_cast<std::size_t>(state.range(0)));
+
+    constexpr std::size_t kBatch = 512;
+    std::vector<std::future<service::ServiceResponse>> futures;
+    futures.reserve(kBatch);
+    std::uint64_t mix = 1;
+    for (auto _ : state) {
+        futures.clear();
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            mix = mix * 6364136223846793005ULL + 1442695040888963407ULL;
+            service::ServiceRequest request;
+            request.tenant = "bench";
+            request.kind = service::RequestKind::Query;
+            request.src = static_cast<topo::AsIndex>(mix % asCount);
+            request.dst =
+                static_cast<topo::AsIndex>((mix >> 17) % asCount);
+            futures.push_back(svc.submit(std::move(request)));
+        }
+        for (auto& future : futures) {
+            benchmark::DoNotOptimize(future.get());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kBatch));
+    svc.stop();
+    state.SetLabel(std::to_string(state.range(0)) + " handler thread(s)");
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Paired rows pricing what the resident path adds on top of a direct
+// single-tenant sweep over the same substrate: mode 0 calls the sweep
+// engine directly, mode 1 routes the identical batch through
+// submit/admission/epoch-pin/drain. Acceptance: <5% overhead.
+void BM_ServiceSweepOverhead(benchmark::State& state) {
+    static obs::SteadyClock clock;
+    const auto& snapshot = serviceWorld();
+    const bool throughService = state.range(0) != 0;
+
+    const std::vector<std::string> cables = {"WACS", "SEACOM", "ACE",
+                                             "EASSy"};
+    std::vector<core::ScenarioSpec> batch;
+    for (const auto& cable : cables) {
+        for (const double repairDays : {7.0, 14.0, 30.0}) {
+            core::ScenarioSpec spec;
+            spec.name = cable + "@" + std::to_string(repairDays);
+            spec.cutCables = {cable};
+            spec.repairDays = {repairDays};
+            batch.push_back(std::move(spec));
+        }
+    }
+
+    // Warm the snapshot's oracle cache outside the timed region so both
+    // modes price steady-state work, not first-touch route builds.
+    {
+        const sweep::ScenarioSweepEngine warmer{snapshot->substrate()};
+        (void)warmer.run(batch);
+    }
+
+    if (throughService) {
+        service::ObservatoryService svc{snapshot, openServiceConfig(),
+                                        &clock};
+        svc.registerTenant(benchTenant());
+        for (auto _ : state) {
+            service::ServiceRequest request;
+            request.tenant = "bench";
+            request.kind = service::RequestKind::Sweep;
+            request.scenarios = batch;
+            auto future = svc.submit(std::move(request));
+            (void)svc.drain();
+            benchmark::DoNotOptimize(future.get());
+        }
+        svc.stop();
+    } else {
+        const sweep::ScenarioSweepEngine engine{snapshot->substrate()};
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(engine.run(batch));
+        }
+    }
+    state.SetLabel(throughService ? "via service" : "direct sweep");
+}
+BENCHMARK(BM_ServiceSweepOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

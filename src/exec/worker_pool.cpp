@@ -67,6 +67,25 @@ void WorkerPool::runChunks(std::size_t lane) {
         }
     };
     for (;;) {
+        // Cancellation is polled at chunk granularity: a fired token
+        // parks as the loop's first error (unless a real exception got
+        // there first) and the barrier drains exactly as it does for a
+        // throwing task.
+        if (cancel_ != nullptr && cancel_->stopRequested()) {
+            {
+                const std::lock_guard<std::mutex> lock{mutex_};
+                if (!error_) {
+                    try {
+                        cancel_->checkpoint();
+                    } catch (...) {
+                        error_ = std::current_exception();
+                    }
+                }
+            }
+            next_.store(count_);
+            settleBusy();
+            return;
+        }
         const std::size_t begin = next_.fetch_add(chunk_);
         if (begin >= count_) {
             settleBusy();
@@ -95,7 +114,8 @@ void WorkerPool::runChunks(std::size_t lane) {
 
 void WorkerPool::parallelFor(
     std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    const CancelToken* cancel) {
     if (count == 0) {
         return;
     }
@@ -129,7 +149,14 @@ void WorkerPool::parallelFor(
     if (threads_ == 1) {
         const std::uint64_t laneStart = loopStart;
         try {
+            // Poll the token on the same granularity the chunked path
+            // uses, so a cancelled 1-thread loop stops within one
+            // chunk's work rather than one clock read per index.
+            const std::size_t stride = std::max<std::size_t>(1, count / 64);
             for (std::size_t i = 0; i < count; ++i) {
+                if (cancel != nullptr && i % stride == 0) {
+                    cancel->checkpoint();
+                }
                 fn(i, 0);
             }
         } catch (...) {
@@ -148,9 +175,22 @@ void WorkerPool::parallelFor(
         settleLoop();
         return;
     }
+    // A nested or concurrent loop would wedge the drained-lane barrier
+    // (helper lanes are single-generation) or tear the shared job slots;
+    // fail typed and immediately instead. exchange() makes the guard
+    // race-free between caller threads sharing one pool. The 1-thread
+    // inline path above is exempt: it is a plain for loop with no
+    // barrier to wedge, and nesting it was always legal.
+    AIO_EXPECTS(!loopActive_.exchange(true, std::memory_order_acquire),
+                "parallelFor is not reentrant: one loop at a time per pool");
+    struct LoopGuard {
+        std::atomic<bool>* active;
+        ~LoopGuard() { active->store(false, std::memory_order_release); }
+    } loopGuard{&loopActive_};
     {
         const std::lock_guard<std::mutex> lock{mutex_};
         fn_ = &fn;
+        cancel_ = cancel;
         count_ = count;
         // Chunks several times smaller than a fair share keep lanes busy
         // when per-index cost is skewed, without contending on the atomic.
@@ -166,6 +206,7 @@ void WorkerPool::parallelFor(
     std::unique_lock<std::mutex> lock{mutex_};
     done_.wait(lock, [&] { return active_ == 0; });
     fn_ = nullptr;
+    cancel_ = nullptr;
     std::exception_ptr error = error_;
     error_ = nullptr;
     lock.unlock();

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
 
 namespace aio::exec {
@@ -53,14 +54,26 @@ public:
     /// standard permits it to return 0 when the count is unknowable).
     [[nodiscard]] static int defaultThreadCount();
 
-    /// Runs fn(index, lane) exactly once for every index in [0, count),
-    /// distributing contiguous chunks across lanes. Blocks until every
-    /// index is done. The first exception thrown by `fn` is rethrown on
-    /// the calling thread after the loop drains; remaining chunks are
-    /// abandoned. Not reentrant: one loop at a time per pool.
+    /// Runs fn(index, lane) exactly once for every completed index in
+    /// [0, count), distributing contiguous chunks across lanes. Blocks
+    /// until the loop drains. A task that throws cannot wedge the chunk
+    /// barrier: the first exception is captured, the remaining chunks
+    /// are abandoned, every lane drains, and parallelFor rethrows that
+    /// first error on the calling thread. `cancel` (optional, not
+    /// owned) is polled at every chunk boundary; a fired token abandons
+    /// the remaining chunks the same way and parallelFor raises
+    /// net::CancelledError — the cooperative-cancellation path service
+    /// deadlines propagate through.
+    ///
+    /// One loop at a time per pool: a nested or concurrent parallelFor
+    /// on a multi-thread pool throws net::PreconditionError immediately
+    /// instead of deadlocking on the drained-lane barrier (the silent
+    /// wedge a cancellation path must never hit). A 1-thread pool runs
+    /// inline with no barrier and stays freely reentrant.
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t index,
-                                              std::size_t lane)>& fn);
+                                              std::size_t lane)>& fn,
+                     const CancelToken* cancel = nullptr);
 
 private:
     void workerLoop(std::size_t lane);
@@ -80,6 +93,8 @@ private:
 
     // Current job, written under mutex_ before the generation bump.
     const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+    const CancelToken* cancel_ = nullptr;
+    std::atomic<bool> loopActive_{false}; ///< reentrancy/concurrency guard
     std::size_t count_ = 0;
     std::size_t chunk_ = 1;
     std::atomic<std::size_t> next_{0};

@@ -56,6 +56,18 @@ public:
     explicit TransientError(const std::string& what) : AioError(what) {}
 };
 
+/// Raised when cooperative cancellation stops work before it finishes —
+/// a caller cancelled the token, or the request's deadline passed while
+/// it was executing. Distinct from TransientError: nothing failed, the
+/// work was *abandoned on purpose*, and the right response is to report
+/// a typed cancellation to whoever set the deadline, not to retry
+/// blindly. Thrown by exec::CancelToken::checkpoint and everything that
+/// propagates it (WorkerPool loops, scenario sweeps, service handlers).
+class CancelledError : public AioError {
+public:
+    explicit CancelledError(const std::string& what) : AioError(what) {}
+};
+
 /// Raised when a request would exceed a configured resource ceiling — a
 /// dense route matrix past its memory limit, a sharded oracle whose fixed
 /// overhead alone overruns its resident budget. Distinct from

@@ -21,6 +21,10 @@ void SupervisorConfig::validate() const {
     AIO_EXPECTS(retry.jitterFraction >= 0.0 &&
                     retry.jitterFraction < 1.0,
                 "jitter fraction must be in [0, 1)");
+    AIO_EXPECTS(retry.maxBackoffHours >= retry.baseBackoffHours,
+                "backoff cap must not undercut the base backoff");
+    AIO_EXPECTS(deadlineBudgetHours > 0.0,
+                "deadline budget must be a positive horizon");
     AIO_EXPECTS(taskSpacingHours > 0.0, "task spacing must be positive");
     AIO_EXPECTS(taskMb >= 0.0, "task volume must be non-negative");
     AIO_EXPECTS(budgetFraction > 0.0 && budgetFraction <= 1.0,
@@ -109,6 +113,8 @@ std::uint64_t configDigest(const SupervisorConfig& config) {
     w.f64(config.retry.baseBackoffHours);
     w.f64(config.retry.backoffMultiplier);
     w.f64(config.retry.jitterFraction);
+    w.f64(config.retry.maxBackoffHours);
+    w.f64(config.deadlineBudgetHours);
     w.boolean(config.reassignOnFailure);
     w.f64(config.taskSpacingHours);
     w.f64(config.taskMb);
@@ -265,8 +271,26 @@ public:
                 const double jitter =
                     1.0 + config_->retry.jitterFraction *
                               (2.0 * rng_->uniform01() - 1.0);
-                const double backoff =
-                    config_->retry.baseBackoffHours * exponent * jitter;
+                // Clamp the exponential term *before* jitter: at high
+                // attempt counts pow() overflows double to inf, which
+                // would poison the f64 journal field and wrap the u64
+                // nanosecond deadline conversion downstream. The
+                // !(x <= cap) form also catches NaN. Post-clamp jitter
+                // keeps capped retries spread instead of thundering in
+                // on one instant.
+                double scaled =
+                    config_->retry.baseBackoffHours * exponent;
+                if (!(scaled <= config_->retry.maxBackoffHours)) {
+                    scaled = config_->retry.maxBackoffHours;
+                }
+                const double backoff = scaled * jitter;
+                if (clock + backoff >= config_->deadlineBudgetHours) {
+                    // The retry could never settle inside the deadline
+                    // budget: spending bytes on it would bill the
+                    // tenant for an answer nobody can use.
+                    abandon(cause);
+                    return;
+                }
                 ++report.retries;
                 push({clock + backoff, seq_++, item.taskIdx, item.attempt,
                       item.reassignments});

@@ -26,6 +26,14 @@ struct RetryPolicy {
     /// Backoff is scaled by a factor uniform in [1-j, 1+j] so a fleet's
     /// retries don't thunder back in lockstep after a shared outage.
     double jitterFraction = 0.25;
+    /// Ceiling on the *pre-jitter* exponential term. At high attempt
+    /// counts pow(multiplier, attempts) overflows double to inf, which
+    /// would poison every downstream consumer of the launch hour (f64
+    /// journal fields, u64 nanosecond deadline conversions). Clamping
+    /// before jitter keeps retries spread at the cap instead of
+    /// collapsing onto one instant. Default 30 days — far beyond any
+    /// campaign horizon, so existing schedules are byte-identical.
+    double maxBackoffHours = 720.0;
 
     [[nodiscard]] int attemptBudget() const {
         return enabled ? maxAttempts : 1;
@@ -52,14 +60,23 @@ struct SupervisorConfig {
     /// smaller = less re-execution after a crash, larger = less journal
     /// I/O. Only consulted by the journaled entry points.
     int checkpointInterval = 16;
+    /// Campaign-hour deadline budget: a retry whose backed-off launch
+    /// would land at or past this horizon is abandoned instead of
+    /// scheduled (it could never settle in time anyway). Defaults to
+    /// kNeverEnds — no deadline — which leaves every existing schedule
+    /// untouched. A zero-length budget is rejected by validate():
+    /// "every task abandoned before its first retry" is always a
+    /// misconfiguration, never a policy.
+    double deadlineBudgetHours = kNeverEnds;
 
     /// Throws net::PreconditionError when any field is out of range
     /// (mirrors PricingModel::validate): maxAttempts < 1, non-positive
-    /// backoff, shrinking multiplier, jitter outside [0,1), non-positive
-    /// task spacing, negative task volume, budgetFraction outside (0,1],
-    /// negative reassignment cap, checkpointInterval < 1. Called by the
-    /// CampaignSupervisor constructor so a bad config fails at build
-    /// time, not hours into a campaign.
+    /// backoff, shrinking multiplier, jitter outside [0,1), backoff cap
+    /// below the base backoff, non-positive task spacing, negative task
+    /// volume, budgetFraction outside (0,1], negative reassignment cap,
+    /// checkpointInterval < 1, zero-length (or negative/NaN) deadline
+    /// budget. Called by the CampaignSupervisor constructor so a bad
+    /// config fails at build time, not hours into a campaign.
     void validate() const;
 };
 

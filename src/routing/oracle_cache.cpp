@@ -160,4 +160,13 @@ void OracleCache::clear() {
     publishGaugesLocked();
 }
 
+void OracleCache::setByteBudget(std::size_t byteBudget) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    config_.byteBudget = byteBudget;
+    recomputeBytesLocked();
+    enforceByteBudgetLocked();
+    stats_.entries = lru_.size();
+    publishGaugesLocked();
+}
+
 } // namespace aio::route

@@ -97,6 +97,13 @@ public:
     void resetStats();
     void clear();
 
+    /// Re-targets the retained-byte budget at runtime and immediately
+    /// evicts LRU entries down to it (never below one). The service's
+    /// graceful-degradation ladder shrinks cache budgets under memory
+    /// pressure instead of dying; 0 removes the byte budget. Counted
+    /// evictions are real evictions — entries pushed out for capacity.
+    void setByteBudget(std::size_t byteBudget);
+
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
     [[nodiscard]] const OracleCacheConfig& config() const { return config_; }
     [[nodiscard]] StoragePolicy storagePolicy() const {

@@ -39,14 +39,20 @@ struct OracleJob {
 };
 
 /// Runs fn(i) for every i in [0, count), across the pool when one is
-/// wired in. fn must write only to index-owned slots.
+/// wired in. fn must write only to index-owned slots. A fired `cancel`
+/// token stops the loop with net::CancelledError (between chunks on the
+/// pool path, between indices sequentially).
 void forEach(exec::WorkerPool* pool, std::size_t count,
-             const std::function<void(std::size_t)>& fn) {
+             const std::function<void(std::size_t)>& fn,
+             const exec::CancelToken* cancel) {
     if (pool != nullptr && count > 1) {
-        pool->parallelFor(count,
-                          [&](std::size_t i, std::size_t) { fn(i); });
+        pool->parallelFor(
+            count, [&](std::size_t i, std::size_t) { fn(i); }, cancel);
     } else {
         for (std::size_t i = 0; i < count; ++i) {
+            if (cancel != nullptr) {
+                cancel->checkpoint();
+            }
             fn(i);
         }
     }
@@ -70,6 +76,15 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
     exec::WorkerPool* pool = substrate_->pool();
     route::OracleCache* cache = substrate_->oracleCache();
     const bool incremental = options_.mode == RecomputeMode::Incremental;
+
+    // Checked at every phase boundary (and inside forEach); a fired
+    // token surfaces as net::CancelledError before any result assembly.
+    const auto checkpoint = [&] {
+        if (options_.cancel != nullptr) {
+            options_.cancel->checkpoint();
+        }
+    };
+    checkpoint();
 
     SweepResult result;
     result.stats.scenarios = n;
@@ -134,6 +149,7 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
 
     // ---- build: resolve each unique degraded routing state ----
     {
+        checkpoint();
         const obs::Span buildSpan = obs::Trace::enter(trace, "build");
         if (cache != nullptr && incremental) {
             // Cache lookups stay on the coordinating thread: a peek never
@@ -169,7 +185,7 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
                     nullptr,
                     substrate_->impactConfig().shardedRouting);
             }
-        });
+        }, options_.cancel);
         for (const OracleJob& job : oracles) {
             if (job.fromCache) {
                 continue;
@@ -191,6 +207,7 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
 
     // ---- score: assess every plain scenario against its oracle ----
     {
+        checkpoint();
         const obs::Span scoreSpan = obs::Trace::enter(trace, "score");
         forEach(pool, plain.size(), [&](std::size_t k) {
             const obs::ScopedTimer scenarioTimer{
@@ -202,7 +219,7 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             net::Rng rng = job.rng;
             slots[job.slot].emplace(analyzer.assessWithOracle(
                 job.event, *oracles[job.oracleIndex].oracle, rng));
-        });
+        }, options_.cancel);
         if (trace != nullptr && !plain.empty()) {
             trace->count("scenario", plain.size());
         }
@@ -223,6 +240,7 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
 
     // ---- overlay: scenarios that change a derived layer re-derive it ----
     {
+        checkpoint();
         const obs::Span overlaySpan = obs::Trace::enter(trace, "overlay");
         forEach(pool, overlay.size(), [&](std::size_t k) {
             const obs::ScopedTimer scenarioTimer{
@@ -256,7 +274,7 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
                 return;
             }
             slots[slot].emplace(engine.assess(*event));
-        });
+        }, options_.cancel);
         result.stats.overlayScenarios = overlay.size();
         if (trace != nullptr && !overlay.empty()) {
             trace->count("scenario", overlay.size());

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/substrate.hpp"
+#include "exec/cancel.hpp"
 #include "netbase/expected.hpp"
 #include "obs/span.hpp"
 #include "outage/impact.hpp"
@@ -30,6 +31,14 @@ struct SweepOptions {
     /// design, so the sweep touches it only from the coordinating
     /// thread: phase spans plus an aggregated per-scenario count node.
     obs::Trace* trace = nullptr;
+    /// Optional cancellation/deadline token (not owned). Checked at
+    /// every phase boundary and between scenarios/oracle builds; a
+    /// fired token makes run() raise net::CancelledError after the
+    /// in-flight parallel region drains — the deadline-propagation
+    /// path the observatory service routes request deadlines through.
+    /// Results are never partially returned: a cancelled batch yields
+    /// the typed error, not a half-filled SweepResult.
+    const exec::CancelToken* cancel = nullptr;
 };
 
 /// What the batch actually cost, beyond per-scenario outcomes. Mirrored

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "netbase/error.hpp"
+#include "obs/clock.hpp"
 
 namespace aio::exec {
 namespace {
@@ -96,6 +97,117 @@ TEST(WorkerPool, PerLaneSlabsNeedNoSynchronization) {
     for (std::size_t i = 0; i < kCount; ++i) {
         EXPECT_EQ(out[i], i * i + 1);
     }
+}
+
+TEST(WorkerPool, ThrowingTaskDrainsEveryLaneAndRethrowsFirstError) {
+    // The chunk-barrier robustness contract: a task that throws must not
+    // wedge the pool — remaining chunks are abandoned, every lane
+    // drains, the first error comes back typed, and the pool keeps
+    // working afterwards. Repeated across many loops so a latent wedge
+    // (a lane stuck on the generation barrier) would hang the test.
+    WorkerPool pool{4};
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> ran{0};
+        EXPECT_THROW(
+            pool.parallelFor(512,
+                             [&](std::size_t i, std::size_t) {
+                                 if (i == 100) {
+                                     throw net::TransientError{"boom"};
+                                 }
+                                 ran.fetch_add(1);
+                             }),
+            net::TransientError);
+        EXPECT_LT(ran.load(), 512);
+    }
+    std::atomic<int> clean{0};
+    pool.parallelFor(64, [&](std::size_t, std::size_t) {
+        clean.fetch_add(1);
+    });
+    EXPECT_EQ(clean.load(), 64);
+}
+
+TEST(WorkerPool, CancelTokenStopsLoopWithTypedError) {
+    obs::ManualClock clock;
+    for (const int threads : {1, 4}) {
+        WorkerPool pool{threads};
+        // Pre-cancelled token: the loop must stop without covering every
+        // index and surface CancelledError on the caller.
+        CancelToken cancelled;
+        cancelled.cancel();
+        std::atomic<std::size_t> ran{0};
+        EXPECT_THROW(pool.parallelFor(
+                         4096,
+                         [&](std::size_t, std::size_t) {
+                             ran.fetch_add(1);
+                         },
+                         &cancelled),
+                     net::CancelledError);
+        EXPECT_LT(ran.load(), 4096U);
+
+        // Deadline token on a manual clock: quiet until the clock
+        // passes the deadline, then typed.
+        CancelToken deadline{&clock, clock.nowNanos() + 1000};
+        pool.parallelFor(
+            64, [&](std::size_t, std::size_t) {}, &deadline);
+        clock.advance(2000);
+        EXPECT_THROW(pool.parallelFor(
+                         4096, [&](std::size_t, std::size_t) {},
+                         &deadline),
+                     net::CancelledError);
+
+        // A task cancelling the token mid-loop drains cleanly too.
+        CancelToken midway;
+        EXPECT_THROW(pool.parallelFor(
+                         1 << 16,
+                         [&](std::size_t i, std::size_t) {
+                             if (i == 7) {
+                                 midway.cancel();
+                             }
+                         },
+                         &midway),
+                     net::CancelledError);
+
+        // Null token and a quiet token behave identically to no token.
+        CancelToken quiet;
+        std::atomic<std::size_t> covered{0};
+        pool.parallelFor(
+            500,
+            [&](std::size_t, std::size_t) { covered.fetch_add(1); },
+            &quiet);
+        EXPECT_EQ(covered.load(), 500U);
+    }
+}
+
+TEST(WorkerPool, NestedLoopOnMultiThreadPoolFailsTypedNotWedged) {
+    WorkerPool pool{4};
+    // A task that re-enters parallelFor on its own pool must get a
+    // typed precondition failure (propagated as the loop's first
+    // error), never a deadlock.
+    EXPECT_THROW(pool.parallelFor(8,
+                                  [&](std::size_t, std::size_t) {
+                                      pool.parallelFor(
+                                          4,
+                                          [](std::size_t, std::size_t) {});
+                                  }),
+                 net::PreconditionError);
+    // The pool survives the violation.
+    std::atomic<int> ran{0};
+    pool.parallelFor(32, [&](std::size_t, std::size_t) {
+        ran.fetch_add(1);
+    });
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(WorkerPool, SingleThreadPoolStaysReentrant) {
+    // The 1-thread inline path has no barrier to wedge and remains the
+    // sequential reference schedule — nesting it is legal.
+    WorkerPool pool{1};
+    std::size_t total = 0;
+    pool.parallelFor(4, [&](std::size_t, std::size_t) {
+        pool.parallelFor(3,
+                         [&](std::size_t, std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total, 12U);
 }
 
 } // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "netbase/error.hpp"
 #include "routing/path_oracle.hpp"
 #include "topo/generator.hpp"
@@ -305,6 +307,78 @@ TEST(SupervisorConfig, ValidateRejectsEachBadField) {
     rejects([](SupervisorConfig& c) { c.budgetFraction = 1.5; });
     rejects([](SupervisorConfig& c) { c.maxReassignments = -1; });
     rejects([](SupervisorConfig& c) { c.checkpointInterval = 0; });
+    rejects([](SupervisorConfig& c) { c.retry.maxBackoffHours = 0.0; });
+    // A cap below the base backoff could never be honoured.
+    rejects([](SupervisorConfig& c) { c.retry.maxBackoffHours = 0.4; });
+    rejects([](SupervisorConfig& c) { c.deadlineBudgetHours = 0.0; });
+    rejects([](SupervisorConfig& c) { c.deadlineBudgetHours = -5.0; });
+}
+
+TEST(CampaignSupervisor, BackoffClampKeepsExplosiveSchedulesFinite) {
+    // multiplier^attempt overflows double to inf long before 40 attempts
+    // at multiplier 10; the pre-jitter clamp must keep every scheduled
+    // launch hour finite and at or below the cap, so the full attempt
+    // budget is actually spent instead of one retry shooting off past
+    // every horizon.
+    const auto obs = makeObservatory(smallFleet());
+    SupervisorConfig config;
+    config.retry.maxAttempts = 40;
+    config.retry.backoffMultiplier = 10.0;
+    config.retry.jitterFraction = 0.0;
+    config.retry.maxBackoffHours = 2.0;
+    obs::MetricsRegistry metrics;
+    const CampaignSupervisor supervisor{obs, config, &metrics};
+    auto plan = FaultPlan::none(obs.fleet().size());
+    for (std::size_t p = 0; p < obs.fleet().size(); ++p) {
+        plan.addWindow(p, {FaultClass::PowerLoss, 0.0, kNeverEnds});
+    }
+    net::Rng rng{171};
+    const auto result = supervisor.runIxpDiscovery(plan, rng);
+    const auto& rep = result.degradation;
+    EXPECT_EQ(rep.attempts,
+              rep.tasksPlanned * config.retry.maxAttempts);
+    EXPECT_EQ(rep.abandoned, rep.tasksPlanned);
+    const auto backoff =
+        metrics.histogram("supervisor.backoff_hours").snapshot();
+    EXPECT_GT(backoff.count, 0U);
+    EXPECT_TRUE(std::isfinite(backoff.max));
+    EXPECT_LE(backoff.max, config.retry.maxBackoffHours);
+    EXPECT_GE(backoff.min, config.retry.baseBackoffHours);
+}
+
+TEST(CampaignSupervisor, DeadlineBudgetAbandonsRetriesPastTheHorizon) {
+    const auto obs = makeObservatory(smallFleet());
+    const auto runWith = [&](double deadlineBudgetHours) {
+        SupervisorConfig config;
+        config.retry.jitterFraction = 0.0;
+        config.deadlineBudgetHours = deadlineBudgetHours;
+        const CampaignSupervisor supervisor{obs, config};
+        auto plan = FaultPlan::none(obs.fleet().size());
+        for (std::size_t p = 0; p < obs.fleet().size(); ++p) {
+            plan.addWindow(p, {FaultClass::PowerLoss, 0.0, kNeverEnds});
+        }
+        net::Rng rng{181};
+        return supervisor.runIxpDiscovery(plan, rng);
+    };
+
+    // No horizon: every task burns its full retry budget.
+    const auto open = runWith(kNeverEnds);
+    SupervisorConfig defaults;
+    EXPECT_EQ(open.degradation.retries,
+              open.degradation.tasksPlanned *
+                  (defaults.retry.maxAttempts - 1));
+
+    // A one-hour horizon: the second retry (base 0.5h then 1.0h) would
+    // land past it, so tasks are abandoned with attempts still in their
+    // budget — strictly fewer retries, everything still abandoned.
+    const auto tight = runWith(1.0);
+    EXPECT_EQ(tight.degradation.abandoned,
+              tight.degradation.tasksPlanned);
+    EXPECT_LT(tight.degradation.retries, open.degradation.retries);
+    EXPECT_LT(tight.degradation.attempts, open.degradation.attempts);
+
+    // The horizon is part of the deterministic schedule.
+    EXPECT_TRUE(tight == runWith(1.0));
 }
 
 TEST(CampaignSupervisor, JournaledRunMatchesPlainRunExactly) {

@@ -331,6 +331,46 @@ TEST(OracleCache, ByteBudgetEvictsDownToOneEntry) {
     EXPECT_EQ(small.stats().entries, 1U);
 }
 
+TEST(OracleCache, SetByteBudgetShrinksResidencyImmediately) {
+    const topo::Topology topo = diamondTopology();
+    const std::size_t oracleBytes = PathOracle{topo}.memoryBytes();
+    OracleCache cache{topo, 8};
+
+    LinkFilter f1;
+    f1.disableLink(0, 1);
+    LinkFilter f2;
+    f2.disableLink(0, 2);
+    LinkFilter f3;
+    f3.disableAs(2);
+    (void)cache.get(f1);
+    (void)cache.get(f2);
+    (void)cache.get(f3);
+    EXPECT_EQ(cache.stats().entries, 3U);
+
+    // Degradation-ladder shrink: re-targeting to two entries' worth
+    // evicts the LRU entry (f1) right away, not on the next insert.
+    cache.setByteBudget(2 * oracleBytes);
+    OracleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2U);
+    EXPECT_EQ(stats.evictions, 1U);
+    EXPECT_LE(stats.retainedBytes, 2 * oracleBytes);
+    cache.resetStats();
+    (void)cache.get(f2);
+    (void)cache.get(f3);
+    EXPECT_EQ(cache.stats().hits, 2U);
+    EXPECT_EQ(cache.stats().misses, 0U);
+
+    // A budget below one oracle still keeps one entry resident.
+    cache.setByteBudget(1);
+    EXPECT_EQ(cache.stats().entries, 1U);
+
+    // 0 removes the byte budget: the cache refills to entry capacity.
+    cache.setByteBudget(0);
+    (void)cache.get(f1);
+    (void)cache.get(f2);
+    EXPECT_EQ(cache.stats().entries, 3U);
+}
+
 TEST(OracleCache, ShardedEntriesReportLiveBytes) {
     // A sharded entry's memoryBytes() changes after insertion as rows
     // materialize lazily; the cache must re-poll the live entries

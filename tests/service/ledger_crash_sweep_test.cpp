@@ -1,0 +1,171 @@
+#include "service/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netbase/error.hpp"
+#include "obs/clock.hpp"
+#include "persist/record.hpp"
+#include "service/service.hpp"
+#include "service_test_util.hpp"
+
+// The billing crash sweep: kill the charge ledger's sink at EVERY byte
+// budget of a reference journal and prove resume never double-charges a
+// tenant and never loses an acknowledged charge. This is the service's
+// half of the crash-resumability contract (the campaign journal has the
+// other half in tests/resilience).
+namespace aio::service {
+namespace {
+
+using testutil::queryRequest;
+using testutil::quotaFor;
+using testutil::tinySnapshot;
+
+TEST(TenantLedger, ReplaySumsAndDedupesByTenantSeq) {
+    persist::MemorySink sink;
+    TenantLedger ledger{sink};
+    ledger.recordCharge("a", 1, 2.0, false);
+    ledger.recordCharge("a", 2, 3.0, true);
+    ledger.recordCharge("b", 3, 5.0, false);
+    // A crash between append and ack re-appends the same (tenant, seq):
+    ledger.recordCharge("a", 2, 3.0, true);
+
+    const auto replay = TenantLedger::replay(sink.bytes());
+    EXPECT_FALSE(replay.tornTail);
+    EXPECT_EQ(replay.maxSeq, 3u);
+    EXPECT_EQ(replay.duplicates, 1u);
+    ASSERT_EQ(replay.tenants.size(), 2u);
+    EXPECT_DOUBLE_EQ(replay.tenants.at("a").peakMb, 2.0);
+    EXPECT_DOUBLE_EQ(replay.tenants.at("a").offPeakMb, 3.0);
+    EXPECT_EQ(replay.tenants.at("a").charges, 2u);
+    EXPECT_DOUBLE_EQ(replay.tenants.at("b").peakMb, 5.0);
+}
+
+TEST(TenantLedger, ReplayToleratesTornTailAndRejectsCorruption) {
+    persist::MemorySink sink;
+    TenantLedger ledger{sink};
+    ledger.recordCharge("a", 1, 2.0, false);
+    ledger.recordCharge("a", 2, 3.0, false);
+
+    // Torn tail: the last record lost its final byte mid-crash.
+    const auto journal = sink.bytes();
+    const auto torn = journal.subspan(0, journal.size() - 1);
+    const auto replay = TenantLedger::replay(torn);
+    EXPECT_TRUE(replay.tornTail);
+    EXPECT_EQ(replay.maxSeq, 1u);
+    EXPECT_DOUBLE_EQ(replay.tenants.at("a").peakMb, 2.0);
+
+    // Mid-stream corruption is NOT a crash signature: typed error.
+    std::vector<std::byte> damaged{journal.begin(), journal.end()};
+    damaged[journal.size() / 4] ^= std::byte{0x40};
+    EXPECT_THROW((void)TenantLedger::replay(damaged),
+                 net::CorruptionError);
+}
+
+// The sweep itself. Reference run: one service, two tenants, a fixed
+// request schedule, journal into a plain MemorySink. Then for every
+// byte budget B of that journal, replay the same schedule against a
+// CrashingSink that dies at B, resume a fresh service from the inner
+// sink's surviving bytes, finish the schedule, and require the final
+// per-tenant spend to exactly equal the reference. Any double charge
+// (replaying a record the meter already holds) or lost acknowledged
+// charge would break the equality.
+TEST(TenantLedger, CrashAtEveryByteBudgetNeverDoubleCharges) {
+    const auto snapshot = tinySnapshot(41);
+    const auto schedule = [] {
+        std::vector<ServiceRequest> requests;
+        for (int i = 0; i < 6; ++i) {
+            requests.push_back(
+                queryRequest(i % 2 == 0 ? "even" : "odd", 0,
+                             static_cast<topo::AsIndex>(i + 1)));
+        }
+        return requests;
+    }();
+
+    const auto runSchedule = [&](ObservatoryService& service,
+                                 std::size_t from) {
+        // Returns the index of the first request whose charge did NOT
+        // become durable (where a crashed run must resume from).
+        for (std::size_t i = from; i < schedule.size(); ++i) {
+            try {
+                auto future = service.submit(schedule[i]);
+                (void)service.drain();
+                (void)future.get();
+            } catch (const persist::SinkFailure&) {
+                return i;
+            }
+        }
+        return schedule.size();
+    };
+
+    obs::ManualClock clock;
+    persist::MemorySink reference;
+    double expectedEven = 0.0;
+    double expectedOdd = 0.0;
+    {
+        ObservatoryService service{snapshot, {}, &clock, nullptr,
+                                   &reference};
+        service.registerTenant(quotaFor("even"));
+        service.registerTenant(quotaFor("odd"));
+        ASSERT_EQ(runSchedule(service, 0), schedule.size());
+        expectedEven = service.admission().spentUsd("even");
+        expectedOdd = service.admission().spentUsd("odd");
+    }
+    ASSERT_GT(reference.size(), 0u);
+
+    for (std::size_t budget = 0; budget <= reference.size(); ++budget) {
+        persist::MemorySink surviving;
+        persist::CrashingSink crashing{surviving, budget};
+        std::size_t resumeFrom = 0;
+        {
+            ObservatoryService service{snapshot, {}, &clock, nullptr,
+                                       &crashing};
+            service.registerTenant(quotaFor("even"));
+            service.registerTenant(quotaFor("odd"));
+            resumeFrom = runSchedule(service, 0);
+        }
+        if (budget == reference.size()) {
+            // The whole journal fit, but the final flush still threw at
+            // exact exhaustion — the durable-but-unacknowledged corner.
+            ASSERT_EQ(resumeFrom, schedule.size() - 1);
+        } else {
+            ASSERT_LT(resumeFrom, schedule.size())
+                << "budget " << budget << " should have crashed";
+        }
+
+        // Resume: the surviving journal is the authority on what was
+        // billed. A crash can land on either side of the ack — the
+        // record durable but the submitter never told (flush threw at
+        // exact exhaustion), or torn mid-record — so the resume point
+        // is the count of durable charges, NOT where the crashed run
+        // threw. Requests with a durable charge are not re-submitted;
+        // everything after re-runs and is charged exactly once.
+        const auto replay = TenantLedger::replay(surviving.bytes());
+        std::size_t durableCharges = 0;
+        for (const auto& [tenant, consumption] : replay.tenants) {
+            durableCharges += consumption.charges;
+        }
+        ASSERT_GE(resumeFrom, durableCharges == 0 ? 0 : durableCharges - 1)
+            << "budget " << budget;
+        persist::MemorySink resumedJournal;
+        ObservatoryService resumed{snapshot, {}, &clock, nullptr,
+                                   &resumedJournal};
+        resumed.registerTenant(quotaFor("even"));
+        resumed.registerTenant(quotaFor("odd"));
+        resumed.restoreLedger(surviving.bytes());
+        ASSERT_EQ(runSchedule(resumed, durableCharges), schedule.size())
+            << "resume must complete cleanly at budget " << budget;
+
+        EXPECT_DOUBLE_EQ(resumed.admission().spentUsd("even"),
+                         expectedEven)
+            << "budget " << budget << " (replayed "
+            << replay.tenants.size() << " tenants, torn="
+            << replay.tornTail << ")";
+        EXPECT_DOUBLE_EQ(resumed.admission().spentUsd("odd"), expectedOdd)
+            << "budget " << budget;
+    }
+}
+
+} // namespace
+} // namespace aio::service

@@ -1,0 +1,121 @@
+// Cancellation/deadline propagation through the batched sweep: a fired
+// token makes run() raise net::CancelledError (never a half-filled
+// SweepResult), a quiet token leaves every outcome byte-identical to an
+// untokened run, and cancellation mid-flight still drains the pool so
+// the engine stays usable. This is the path the observatory service
+// routes request deadlines through.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/cancel.hpp"
+#include "exec/worker_pool.hpp"
+#include "netbase/error.hpp"
+#include "obs/clock.hpp"
+#include "sweep/scenario_sweep.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::sweep {
+namespace {
+
+topo::GeneratorConfig tinyConfig(std::uint64_t seed) {
+    auto config = topo::GeneratorConfig::defaults();
+    config.seed = seed;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    config.europe.accessPerCountry = 2;
+    config.northAmerica.accessPerCountry = 2;
+    config.southAmerica.accessPerCountry = 2;
+    config.asiaPacific.accessPerCountry = 2;
+    return config;
+}
+
+std::vector<core::ScenarioSpec> smallBatch() {
+    std::vector<core::ScenarioSpec> specs;
+    for (const char* cable : {"WACS", "SEACOM", "ACE", "EASSy"}) {
+        core::ScenarioSpec spec;
+        spec.name = std::string{"cut-"} + cable;
+        spec.cutCables = {cable};
+        spec.repairDays = {14.0};
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+TEST(SweepCancel, PreCancelledTokenRaisesBeforeAnyWork) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{tinyConfig(5)}.generate();
+    const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+    exec::CancelToken token;
+    token.cancel();
+    const ScenarioSweepEngine engine{substrate,
+                                     SweepOptions{.cancel = &token}};
+    EXPECT_THROW((void)engine.run(smallBatch()), net::CancelledError);
+}
+
+TEST(SweepCancel, ExpiredDeadlineRaisesTypedError) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{tinyConfig(5)}.generate();
+    const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+    obs::ManualClock clock;
+    const exec::CancelToken deadline{&clock, clock.nowNanos() + 1000};
+    clock.advance(2000); // already past due when the batch starts
+    const ScenarioSweepEngine engine{substrate,
+                                     SweepOptions{.cancel = &deadline}};
+    EXPECT_THROW((void)engine.run(smallBatch()), net::CancelledError);
+}
+
+TEST(SweepCancel, QuietTokenLeavesOutcomesIdentical) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{tinyConfig(7)}.generate();
+    const auto specs = smallBatch();
+    for (const int threads : {0, 4}) {
+        exec::WorkerPool pool{std::max(threads, 1)};
+        core::Substrate::Options options;
+        if (threads > 0) {
+            options.pool = &pool;
+        }
+        const core::Substrate substrate{
+            topo, phys::CableRegistry::africanDefaults(),
+            dns::DnsConfig::defaults(),
+            content::ContentConfig::defaults(), options};
+
+        const ScenarioSweepEngine plain{substrate};
+        const SweepResult expected = plain.run(specs);
+
+        obs::ManualClock clock;
+        exec::CancelToken token{&clock, clock.nowNanos() + 1};
+        const ScenarioSweepEngine tokened{
+            substrate, SweepOptions{.cancel = &token}};
+        const SweepResult got = tokened.run(specs);
+
+        ASSERT_EQ(got.scenarios.size(), expected.scenarios.size());
+        for (std::size_t i = 0; i < expected.scenarios.size(); ++i) {
+            ASSERT_TRUE(got.scenarios[i].outcome.hasValue());
+            EXPECT_TRUE(got.scenarios[i].outcome.value() ==
+                        expected.scenarios[i].outcome.value())
+                << "threads=" << threads << " scenario " << i;
+        }
+
+        // The token fires between batches: the next run is refused, the
+        // engine and its pool stay usable afterwards.
+        token.cancel();
+        EXPECT_THROW((void)tokened.run(specs), net::CancelledError);
+        const SweepResult after = plain.run(specs);
+        ASSERT_EQ(after.scenarios.size(), expected.scenarios.size());
+        EXPECT_TRUE(after.scenarios[0].outcome.value() ==
+                    expected.scenarios[0].outcome.value());
+    }
+}
+
+} // namespace
+} // namespace aio::sweep
