@@ -23,6 +23,7 @@
 #include "routing/oracle_cache.hpp"
 #include "routing/path_oracle.hpp"
 #include "routing/sharded_oracle.hpp"
+#include "scenario/catalog.hpp"
 #include "service/service.hpp"
 #include "stream/consumer.hpp"
 #include "stream/ingestor.hpp"
@@ -214,6 +215,94 @@ BENCHMARK(BM_ScenarioSweep)
     ->Args({1, 256})
     ->Args({0, 1024})
     ->Args({1, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- catalog-compiled batches: hand-written vs Monte-Carlo ----------
+// Paired rows for the scenario-generation layer: a hand-written cut
+// grid (the BM_ScenarioSweep shape, wrapped in WeightedSpecs) vs a
+// catalog-compiled Monte-Carlo block of the same size, both through
+// runBatch (sweep + importance-weighted aggregation). The sampled rows
+// dedupe far harder — thousands of correlated draws collapse onto a few
+// hundred unique cut sets — so scenarios/sec is the honest comparison,
+// not per-batch wall clock. Mode 0: hand-written; mode 1: sampled.
+void BM_CatalogSweep(benchmark::State& state) {
+    const auto& topo = world();
+    static exec::WorkerPool pool;
+    static core::Substrate::Options options = [] {
+        core::Substrate::Options opts;
+        opts.pool = &pool;
+        return opts;
+    }();
+    static const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+        options};
+
+    const bool sampled = state.range(0) != 0;
+    const auto batchSize = static_cast<std::size_t>(state.range(1));
+
+    sweep::ScenarioBatch batch;
+    if (sampled) {
+        scenario::ScenarioCatalog catalog;
+        scenario::SampledTemplate mc;
+        mc.name = "mc";
+        mc.config.seed = 2025;
+        mc.config.count = batchSize;
+        mc.config.importanceBoost = 2.0;
+        mc.config.correlation.sameCorridorProb = 0.02;
+        mc.config.correlation.sharedLandingProb = 0.002;
+        catalog.add(mc);
+        batch = catalog.compile(substrate).valueOrRaise();
+    } else {
+        const std::vector<std::string> cables = {
+            "WACS",  "MainOne", "SAT-3", "ACE",     "Glo-1",  "SEACOM",
+            "EASSy", "EIG",     "AAE-1", "Equiano", "2Africa"};
+        const std::vector<double> repairPolicies = {7.0, 14.0, 21.0, 30.0};
+        net::Rng rng{314};
+        for (std::size_t set = 0; batch.entries.size() < batchSize; ++set) {
+            std::vector<std::string> cuts;
+            const std::size_t k = 1 + rng.uniformInt(4);
+            for (std::size_t c = 0; c < k; ++c) {
+                const auto& cable = cables[rng.uniformInt(cables.size())];
+                if (std::find(cuts.begin(), cuts.end(), cable) ==
+                    cuts.end()) {
+                    cuts.push_back(cable);
+                }
+            }
+            for (const double repairDays : repairPolicies) {
+                if (batch.entries.size() == batchSize) break;
+                sweep::WeightedSpec entry;
+                entry.spec.name = "cut-" + std::to_string(set) + "-r" +
+                                  std::to_string(
+                                      static_cast<int>(repairDays));
+                entry.spec.cutCables = cuts;
+                entry.spec.repairDays = repairDays;
+                batch.entries.push_back(std::move(entry));
+            }
+        }
+    }
+
+    const sweep::ScenarioSweepEngine engine{substrate};
+    sweep::BatchSweepResult result;
+    for (auto _ : state) {
+        result = engine.runBatch(batch);
+        benchmark::DoNotOptimize(&result);
+    }
+    state.counters["scenarios_per_sec"] = result.sweep.stats.scenariosPerSec();
+    state.counters["oracle_builds"] =
+        static_cast<double>(result.sweep.stats.incrementalBuilds);
+    state.counters["dedupe_rate"] =
+        static_cast<double>(result.sweep.stats.dedupHits) /
+        static_cast<double>(result.sweep.stats.scenarios);
+    state.counters["weighted_loss"] = result.aggregate.meanPageLoadLoss;
+    state.SetLabel(std::to_string(batchSize) + " scenarios, " +
+                   (sampled ? "sampled" : "hand-written"));
+}
+BENCHMARK(BM_CatalogSweep)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({0, 10000})
+    ->Args({1, 10000})
     ->Unit(benchmark::kMillisecond);
 
 // ---- continent-scale storage: dense vs sharded ----------------------

@@ -1,5 +1,6 @@
 #include "core/substrate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -164,6 +165,50 @@ Substrate::impactAnalyzer(std::optional<outage::ImpactConfig> config) const {
                                   options_.metrics};
 }
 
+net::Expected<std::vector<phys::CableId>>
+canonicalCutSet(const phys::CableRegistry& registry,
+                std::span<const std::string> names) {
+    std::vector<phys::CableId> ids;
+    ids.reserve(names.size());
+    for (const std::string& name : names) {
+        try {
+            ids.push_back(registry.byName(name));
+        } catch (const net::NotFoundError&) {
+            return net::Error::notFound("unknown cable: '" + name + "'");
+        }
+    }
+    std::ranges::sort(ids);
+    const auto dupes = std::ranges::unique(ids);
+    ids.erase(dupes.begin(), dupes.end());
+    return ids;
+}
+
+net::Expected<outage::OutageEvent>
+ScenarioSpec::makeEvent(const phys::CableRegistry& registry) const {
+    outage::OutageEvent event;
+    event.type = eventType;
+    event.macroRegion = net::MacroRegion::Africa;
+    event.startDay = startDay;
+    event.countries = countries;
+    if (eventType == outage::OutageType::CableCut && cutCables.empty()) {
+        // Add-only build-out future: nothing breaks, duration zero — the
+        // scenario is scored against its (augmented) baseline.
+        event.durationDays = 0.0;
+        return event;
+    }
+    event.durationDays = repairDays;
+    if (eventType == outage::OutageType::CableCut) {
+        auto cuts = canonicalCutSet(registry, cutCables);
+        if (!cuts) {
+            return net::Error{cuts.error().kind,
+                              "scenario '" + name + "': " +
+                                  cuts.error().message};
+        }
+        event.cutCables = std::move(cuts.value());
+    }
+    return event;
+}
+
 net::Expected<void> ScenarioSpec::validate(const Substrate& substrate) const {
     if (name.empty()) {
         return net::Error::precondition("scenario needs a non-empty name");
@@ -172,9 +217,45 @@ net::Expected<void> ScenarioSpec::validate(const Substrate& substrate) const {
         return net::Error::precondition(
             "scenario '" + name + "': repairDays must be positive");
     }
-    if (cutCables.empty()) {
+    if (!(startDay >= 0.0) || !std::isfinite(startDay)) {
         return net::Error::precondition(
-            "scenario '" + name + "': a cut needs at least one cable");
+            "scenario '" + name + "': startDay must be finite and >= 0");
+    }
+    if (eventType == outage::OutageType::CableCut) {
+        if (!countries.empty()) {
+            return net::Error::precondition(
+                "scenario '" + name + "': cable cuts derive their blast "
+                "radius from the physical layer; countries must be empty");
+        }
+        if (cutCables.empty() && !hasOverlay()) {
+            // The former unconditional "a cut needs at least one cable"
+            // rule, now scoped to specs with no damage surface at all:
+            // cut-free specs with an overlay are build-out futures scored
+            // against their augmented baseline.
+            return net::Error::precondition(
+                "scenario '" + name +
+                "': a cut scenario needs at least one cable or an overlay");
+        }
+    } else {
+        if (!cutCables.empty()) {
+            return net::Error::precondition(
+                "scenario '" + name + "': " +
+                std::string{outage::outageTypeName(eventType)} +
+                " events scope by country; cutCables must be empty");
+        }
+        if (countries.empty()) {
+            return net::Error::precondition(
+                "scenario '" + name + "': " +
+                std::string{outage::outageTypeName(eventType)} +
+                " events need at least one country");
+        }
+        for (const std::string& country : countries) {
+            if (substrate.topology().asesInCountry(country).empty()) {
+                return net::Error::notFound(
+                    "scenario '" + name + "': no ASes in country '" +
+                    country + "'");
+            }
+        }
     }
     // Overrides obey the same rules Substrate::validate enforces on the
     // base bundle; a violation here would otherwise surface only when a

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "exec/worker_pool.hpp"
 #include "netbase/expected.hpp"
 #include "obs/metrics.hpp"
+#include "outage/events.hpp"
 #include "outage/impact.hpp"
 #include "phys/cable.hpp"
 #include "phys/linkmap.hpp"
@@ -170,11 +172,23 @@ private:
 struct ScenarioSpec {
     std::string name;
 
+    /// Event class this scenario models. CableCut scenarios damage the
+    /// physical layer through `cutCables` (or, cut-free, express add-only
+    /// build-out futures); the other classes — power outage, government
+    /// shutdown, routing incident, the later phases of a compound cascade
+    /// — scope their damage through `countries` instead.
+    outage::OutageType eventType = outage::OutageType::CableCut;
+
     /// Hypothetical cables added to the registry before the cut.
     std::vector<phys::SubseaCable> cablesAdded;
     /// Cable names to cut (resolved against registry + cablesAdded).
     std::vector<std::string> cutCables;
-    /// Ground-truth ship-repair time for the cut event.
+    /// Countries in scope for the non-cable event classes.
+    std::vector<std::string> countries;
+    /// Day the event starts — the phase offset on a cascade timeline
+    /// (informational for scoring, which models the event in isolation).
+    double startDay = 0.0;
+    /// Ground-truth repair/restoration time for the event.
     double repairDays = 21.0;
 
     /// Layer overrides; unset means "use the substrate's config".
@@ -190,14 +204,41 @@ struct ScenarioSpec {
                contentOverride.has_value() || linkMapOverride.has_value();
     }
 
-    /// Checks the spec against `substrate`: non-empty name, at least one
-    /// cut, positive finite repairDays, added cables well-formed (name +
-    /// >= 2 landings, no duplicate names), every cut cable resolvable in
-    /// registry + cablesAdded, and every set override obeying the same
-    /// share-sum/probability rules Substrate::validate enforces on the
-    /// base bundle.
+    /// True when the spec applies no damage at all: a cut-free CableCut
+    /// spec — a build-out future (cables added and/or config overrides)
+    /// scored against its own augmented baseline.
+    [[nodiscard]] bool addOnly() const {
+        return eventType == outage::OutageType::CableCut && cutCables.empty();
+    }
+
+    /// Compiles the spec into the outage event the analyzers score.
+    /// `registry` must already include `cablesAdded` when the spec has
+    /// any (the sweep's overlay lane passes the augmented registry). Cut
+    /// names are canonicalized — resolved, sorted by id, deduplicated —
+    /// so permuted or duplicated cut lists compile to the same event;
+    /// add-only specs compile to a zero-duration no-damage event.
+    [[nodiscard]] net::Expected<outage::OutageEvent>
+    makeEvent(const phys::CableRegistry& registry) const;
+
+    /// Checks the spec against `substrate`: non-empty name; a damage
+    /// surface matching the event type (CableCut needs cuts or an
+    /// overlay, the country-scoped classes need countries and no cuts);
+    /// positive finite repairDays and finite non-negative startDay; added
+    /// cables well-formed (name + >= 2 landings, no duplicate names);
+    /// every cut cable resolvable in registry + cablesAdded; and every
+    /// set override obeying the same share-sum/probability rules
+    /// Substrate::validate enforces on the base bundle.
     [[nodiscard]] net::Expected<void>
     validate(const Substrate& substrate) const;
 };
+
+/// Resolves cable names against `registry` into the canonical cut set:
+/// sorted by CableId, duplicates removed. Every event-construction path
+/// digests and filters this canonical form, so permuted or duplicated cut
+/// lists are one scenario to the sweep's dedupe cache and produce
+/// byte-identical reports.
+[[nodiscard]] net::Expected<std::vector<phys::CableId>>
+canonicalCutSet(const phys::CableRegistry& registry,
+                std::span<const std::string> names);
 
 } // namespace aio::core

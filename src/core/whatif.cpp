@@ -115,13 +115,13 @@ WhatIfEngine::tryMakeCutEvent(std::span<const std::string> cableNames,
     event.type = outage::OutageType::CableCut;
     event.macroRegion = net::MacroRegion::Africa;
     event.durationDays = repairDays;
-    for (const std::string& name : cableNames) {
-        try {
-            event.cutCables.push_back(registry_.byName(name));
-        } catch (const net::NotFoundError&) {
-            return net::Error::notFound("unknown cable '" + name + "'");
-        }
+    // Canonical (sorted, deduplicated) so permuted or duplicated cut
+    // lists build the same event and hence byte-identical reports.
+    auto cuts = canonicalCutSet(registry_, cableNames);
+    if (!cuts) {
+        return cuts.error();
     }
+    event.cutCables = std::move(cuts.value());
     return event;
 }
 

@@ -99,6 +99,34 @@ CableId CableRegistry::byName(std::string_view name) const {
     throw net::NotFoundError{"unknown cable: '" + std::string{name} + "'"};
 }
 
+std::size_t CableRegistry::sharedLandingCount(CableId a, CableId b) const {
+    const SubseaCable& left = cable(a);
+    const SubseaCable& right = cable(b);
+    std::vector<std::string_view> seen;
+    for (const LandingStation& station : left.landings) {
+        if (right.landsIn(station.countryCode) &&
+            std::ranges::find(seen, station.countryCode) == seen.end()) {
+            seen.push_back(station.countryCode);
+        }
+    }
+    return seen.size();
+}
+
+double CableRegistry::cutCorrelation(
+    CableId primary, CableId other,
+    const CableCorrelationConfig& config) const {
+    if (primary == other) {
+        return 1.0;
+    }
+    double prob = 0.0;
+    if (cable(primary).corridor == cable(other).corridor) {
+        prob += config.sameCorridorProb;
+    }
+    prob += config.sharedLandingProb *
+            static_cast<double>(sharedLandingCount(primary, other));
+    return std::clamp(prob, 0.0, config.maxProb);
+}
+
 namespace {
 
 LandingStation landing(std::string_view iso2) {

@@ -35,6 +35,23 @@ struct Corridor {
     std::string name;
 };
 
+/// Failure-correlation model over the registry's geographic metadata: two
+/// cables are correlated when they share a corridor (co-located seabed
+/// paths — the §5.1 rock-slide bundles) and/or landing countries (a shore
+/// event hits every system terminating there). This is the target model
+/// the Monte-Carlo scenario sampler estimates under.
+struct CableCorrelationConfig {
+    /// Probability that a same-corridor neighbour of the primary victim
+    /// is cut by the same event (matches OutageConfig's corridor default).
+    double sameCorridorProb = 0.65;
+    /// Additional probability per landing country shared with the
+    /// primary victim.
+    double sharedLandingProb = 0.05;
+    /// Upper clamp for the combined probability; must stay below 1 so
+    /// importance reweighting is always well-defined.
+    double maxProb = 0.95;
+};
+
 /// Registry of subsea cables and their corridors. `africanDefaults()`
 /// provides a curated model of the cables serving Africa (names, landing
 /// sequences and corridors approximating the real systems the paper
@@ -69,6 +86,17 @@ public:
 
     /// Cable id by name; throws NotFoundError when unknown.
     [[nodiscard]] CableId byName(std::string_view name) const;
+
+    /// Number of distinct countries where both cables land (symmetric).
+    [[nodiscard]] std::size_t sharedLandingCount(CableId a, CableId b) const;
+
+    /// P(`other` is also cut | `primary` is cut) under `config`:
+    /// sameCorridorProb when the two share a corridor, plus
+    /// sharedLandingProb per shared landing country, clamped to
+    /// [0, maxProb]. Returns 1 for `primary == other`.
+    [[nodiscard]] double cutCorrelation(CableId primary, CableId other,
+                                        const CableCorrelationConfig& config)
+        const;
 
     static CableRegistry africanDefaults();
 

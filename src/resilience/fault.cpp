@@ -18,6 +18,16 @@ std::string_view faultClassName(FaultClass cls) {
     return "?";
 }
 
+FaultClass faultClassFor(outage::OutageType type) {
+    switch (type) {
+    case outage::OutageType::PowerOutage: return FaultClass::PowerLoss;
+    case outage::OutageType::CableCut:
+    case outage::OutageType::GovernmentShutdown:
+    case outage::OutageType::RoutingIncident: break;
+    }
+    return FaultClass::TransitLoss;
+}
+
 std::string_view probeStatusName(ProbeStatus status) {
     switch (status) {
     case ProbeStatus::Up: return "up";
@@ -121,10 +131,9 @@ void FaultPlan::overlayOutages(std::span<const outage::OutageEvent> events,
             continue; // the campaign never sees this event
         }
 
-        FaultClass cls = FaultClass::TransitLoss;
+        const FaultClass cls = faultClassFor(event.type);
         std::unordered_set<std::uint64_t> failedLinks;
-        switch (event.type) {
-        case outage::OutageType::CableCut: {
+        if (event.type == outage::OutageType::CableCut) {
             const std::unordered_set<phys::CableId> cuts{
                 event.cutCables.begin(), event.cutCables.end()};
             if (cuts.empty()) {
@@ -133,14 +142,6 @@ void FaultPlan::overlayOutages(std::span<const outage::OutageEvent> events,
             for (const auto& [a, b] : linkMap.failedLinks(cuts)) {
                 failedLinks.insert(pairKey(a, b));
             }
-            break;
-        }
-        case outage::OutageType::PowerOutage:
-            cls = FaultClass::PowerLoss;
-            break;
-        case outage::OutageType::GovernmentShutdown:
-        case outage::OutageType::RoutingIncident:
-            break;
         }
 
         for (std::size_t p = 0; p < fleet.size(); ++p) {

@@ -28,6 +28,12 @@ enum class FaultClass {
 
 [[nodiscard]] std::string_view faultClassName(FaultClass cls);
 
+/// The fault class probes in an outage's scope experience — the taxonomy
+/// bridge shared by FaultPlan::overlayOutages and the scenario catalog's
+/// cascade phases: a cable cut or shutdown/routing incident manifests as
+/// transit loss, a power outage as power loss.
+[[nodiscard]] FaultClass faultClassFor(outage::OutageType type);
+
 /// One fault interval on one probe's campaign timeline. `endHour` of
 /// `kNeverEnds` marks a permanent fault.
 struct FaultWindow {

@@ -1,0 +1,187 @@
+#include "scenario/catalog.hpp"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "netbase/error.hpp"
+
+namespace aio::scenario {
+
+namespace {
+
+/// Prefixes a nested failure with the template it came from.
+[[nodiscard]] net::Error inTemplate(const std::string& name,
+                                    const net::Error& error) {
+    return net::Error{error.kind,
+                      "template '" + name + "': " + error.message};
+}
+
+} // namespace
+
+CascadeTemplate
+CascadeTemplate::phasedRecovery(std::string name,
+                                std::vector<std::string> cutCables,
+                                double repairSpacingDays) {
+    AIO_EXPECTS(!cutCables.empty(),
+                "phased recovery needs at least one cable");
+    AIO_EXPECTS(repairSpacingDays > 0.0 && std::isfinite(repairSpacingDays),
+                "repair spacing must be positive");
+    CascadeTemplate cascade;
+    cascade.name = std::move(name);
+    // Each phase lists its remaining cut set explicitly.
+    cascade.cumulativeCuts = false;
+    const std::size_t total = cutCables.size();
+    for (std::size_t i = 0; i < total; ++i) {
+        PhaseSpec phase;
+        phase.name = "repair-" + std::to_string(i);
+        phase.type = outage::OutageType::CableCut;
+        phase.cutCables.assign(cutCables.begin() +
+                                   static_cast<std::ptrdiff_t>(i),
+                               cutCables.end());
+        phase.startDay = repairSpacingDays * static_cast<double>(i);
+        // Until the last remaining cable repairs.
+        phase.durationDays =
+            repairSpacingDays * static_cast<double>(total - i);
+        cascade.phases.push_back(std::move(phase));
+    }
+    return cascade;
+}
+
+void ScenarioCatalog::add(CascadeTemplate cascade) {
+    cascades_.push_back(std::move(cascade));
+}
+
+void ScenarioCatalog::add(BuildoutTemplate buildout) {
+    buildouts_.push_back(std::move(buildout));
+}
+
+void ScenarioCatalog::add(SampledTemplate sampled) {
+    sampled_.push_back(std::move(sampled));
+}
+
+net::Expected<sweep::ScenarioBatch>
+ScenarioCatalog::compile(const core::Substrate& substrate) const {
+    sweep::ScenarioBatch batch;
+    std::unordered_set<std::string> names;
+    const auto claimName =
+        [&names](const std::string& name) -> net::Expected<void> {
+        if (name.empty()) {
+            return net::Error::precondition(
+                "catalog template needs a non-empty name");
+        }
+        if (!names.insert(name).second) {
+            return net::Error::precondition("duplicate catalog template '" +
+                                            name + "'");
+        }
+        return net::Expected<void>::ok();
+    };
+    const auto validWeight = [](double weight) {
+        return std::isfinite(weight) && weight > 0.0;
+    };
+
+    for (const CascadeTemplate& cascade : cascades_) {
+        if (auto claimed = claimName(cascade.name); !claimed) {
+            return claimed.error();
+        }
+        if (cascade.phases.empty()) {
+            return net::Error::precondition(
+                "template '" + cascade.name + "': needs at least one phase");
+        }
+        if (!validWeight(cascade.weight)) {
+            return net::Error::precondition(
+                "template '" + cascade.name +
+                "': weight must be finite and positive");
+        }
+        std::unordered_set<std::string> phaseNames;
+        double prevStart = 0.0;
+        for (std::size_t k = 0; k < cascade.phases.size(); ++k) {
+            const PhaseSpec& phase = cascade.phases[k];
+            if (phase.name.empty() || !phaseNames.insert(phase.name).second) {
+                return net::Error::precondition(
+                    "template '" + cascade.name +
+                    "': phases need unique non-empty names");
+            }
+            if (k > 0 && phase.startDay < prevStart) {
+                return net::Error::precondition(
+                    "template '" + cascade.name + "': phase '" + phase.name +
+                    "' starts before its predecessor (timeline must be "
+                    "non-decreasing)");
+            }
+            prevStart = phase.startDay;
+
+            core::ScenarioSpec spec;
+            spec.name = cascade.name + "@" + phase.name;
+            spec.eventType = phase.type;
+            spec.startDay = phase.startDay;
+            spec.repairDays = phase.durationDays;
+            spec.countries = phase.countries;
+            if (phase.type == outage::OutageType::CableCut) {
+                spec.cutCables = phase.cutCables;
+                if (cascade.cumulativeCuts) {
+                    // Earlier cuts whose repair window still covers this
+                    // phase's start ride along; duplicates are fine — the
+                    // sweep canonicalizes cut sets.
+                    for (std::size_t j = 0; j < k; ++j) {
+                        const PhaseSpec& prior = cascade.phases[j];
+                        if (prior.type == outage::OutageType::CableCut &&
+                            prior.startDay + prior.durationDays >
+                                phase.startDay) {
+                            spec.cutCables.insert(spec.cutCables.end(),
+                                                  prior.cutCables.begin(),
+                                                  prior.cutCables.end());
+                        }
+                    }
+                }
+            }
+            if (auto valid = spec.validate(substrate); !valid) {
+                return inTemplate(cascade.name, valid.error());
+            }
+            batch.entries.push_back(
+                sweep::WeightedSpec{std::move(spec), cascade.weight});
+        }
+    }
+
+    for (const BuildoutTemplate& buildout : buildouts_) {
+        if (auto claimed = claimName(buildout.name); !claimed) {
+            return claimed.error();
+        }
+        if (!validWeight(buildout.weight)) {
+            return net::Error::precondition(
+                "template '" + buildout.name +
+                "': weight must be finite and positive");
+        }
+        core::ScenarioSpec spec;
+        spec.name = buildout.name;
+        spec.cablesAdded = buildout.cablesAdded;
+        spec.cutCables = buildout.stressCuts;
+        spec.repairDays = buildout.repairDays;
+        spec.dnsOverride = buildout.dnsOverride;
+        spec.contentOverride = buildout.contentOverride;
+        spec.linkMapOverride = buildout.linkMapOverride;
+        if (auto valid = spec.validate(substrate); !valid) {
+            return inTemplate(buildout.name, valid.error());
+        }
+        batch.entries.push_back(
+            sweep::WeightedSpec{std::move(spec), buildout.weight});
+    }
+
+    for (const SampledTemplate& sampled : sampled_) {
+        if (auto claimed = claimName(sampled.name); !claimed) {
+            return claimed.error();
+        }
+        if (auto valid = sampled.config.validate(); !valid) {
+            return inTemplate(sampled.name, valid.error());
+        }
+        const MonteCarloSampler sampler{substrate.registry(), sampled.config};
+        for (sweep::WeightedSpec& drawn : sampler.sample(sampled.name)) {
+            if (auto valid = drawn.spec.validate(substrate); !valid) {
+                return inTemplate(sampled.name, valid.error());
+            }
+            batch.entries.push_back(std::move(drawn));
+        }
+    }
+    return batch;
+}
+
+} // namespace aio::scenario

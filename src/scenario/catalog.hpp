@@ -1,0 +1,111 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/substrate.hpp"
+#include "netbase/expected.hpp"
+#include "outage/events.hpp"
+#include "resilience/fault.hpp"
+#include "scenario/sampler.hpp"
+#include "sweep/scenario_sweep.hpp"
+
+namespace aio::scenario {
+
+/// One phase on a compound-scenario timeline: an event class, its damage
+/// surface, and its [startDay, startDay + durationDays) window.
+struct PhaseSpec {
+    std::string name; ///< phase label; the compiled spec is "<tpl>@<name>"
+    outage::OutageType type = outage::OutageType::CableCut;
+    std::vector<std::string> cutCables; ///< CableCut phases
+    std::vector<std::string> countries; ///< country-scoped classes
+    double startDay = 0.0;
+    double durationDays = 21.0;
+
+    /// The resilience fault class probes in this phase's scope would
+    /// experience — the shared outage→fault taxonomy bridge, so cascade
+    /// phases and campaign fault overlays speak the same language.
+    [[nodiscard]] resilience::FaultClass faultClass() const {
+        return resilience::faultClassFor(type);
+    }
+};
+
+/// A cascading failure or phased recovery: ordered phases (startDay
+/// non-decreasing), each compiled to its own ScenarioSpec. With
+/// `cumulativeCuts`, a CableCut phase also carries every earlier phase's
+/// cuts whose repair window still covers its start day — the §5.1
+/// cascade shape (cable cut → power outage → shutdown riding on the
+/// multi-week repair tail).
+struct CascadeTemplate {
+    std::string name;
+    std::vector<PhaseSpec> phases;
+    bool cumulativeCuts = true;
+    /// Importance weight every compiled phase carries into aggregates.
+    double weight = 1.0;
+
+    /// Phased-recovery helper: all of `cutCables` go down on day 0 and
+    /// repair one at a time every `repairSpacingDays` days, producing
+    /// one phase per remaining cut set (the shrinking repair tail).
+    [[nodiscard]] static CascadeTemplate
+    phasedRecovery(std::string name, std::vector<std::string> cutCables,
+                   double repairSpacingDays);
+};
+
+/// A build-out future: hypothetical cables and/or config mandates
+/// (resolver localization, content localization), optionally
+/// stress-tested by replaying a reference cut against the augmented
+/// registry. With no stressCuts the compiled spec is add-only — legal
+/// under the relaxed ScenarioSpec contract — and scores against its own
+/// augmented baseline.
+struct BuildoutTemplate {
+    std::string name;
+    std::vector<phys::SubseaCable> cablesAdded;
+    std::optional<dns::DnsConfig> dnsOverride;
+    std::optional<content::ContentConfig> contentOverride;
+    std::optional<phys::LinkMapConfig> linkMapOverride;
+    std::vector<std::string> stressCuts;
+    double repairDays = 21.0;
+    double weight = 1.0;
+};
+
+/// A Monte-Carlo block: `config.count` correlated-corridor scenarios
+/// drawn by MonteCarloSampler under this template's name. The name keys
+/// the draw streams, so two sampled templates with identical configs
+/// still draw independent scenario sets.
+struct SampledTemplate {
+    std::string name;
+    SamplerConfig config;
+};
+
+/// The declarative scenario catalog: named what-if templates in, one
+/// weighted ScenarioSpec batch out (feed it to
+/// ScenarioSweepEngine::runBatch). compile() is deterministic and
+/// per-template — catalog entry order changes only batch order (which
+/// sweep outcomes are independent of), never any template's compiled
+/// specs or draw streams.
+class ScenarioCatalog {
+public:
+    void add(CascadeTemplate cascade);
+    void add(BuildoutTemplate buildout);
+    void add(SampledTemplate sampled);
+
+    [[nodiscard]] std::size_t templateCount() const {
+        return cascades_.size() + buildouts_.size() + sampled_.size();
+    }
+
+    /// Compiles every template into one batch, validating template
+    /// structure (unique names, sane timelines, sampler configs) and
+    /// every compiled spec against `substrate`. The first failure is
+    /// returned as the error with the template named, so a catalog typo
+    /// fails at compile time, not mid-sweep.
+    [[nodiscard]] net::Expected<sweep::ScenarioBatch>
+    compile(const core::Substrate& substrate) const;
+
+private:
+    std::vector<CascadeTemplate> cascades_;
+    std::vector<BuildoutTemplate> buildouts_;
+    std::vector<SampledTemplate> sampled_;
+};
+
+} // namespace aio::scenario

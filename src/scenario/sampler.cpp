@@ -1,0 +1,121 @@
+#include "scenario/sampler.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "netbase/error.hpp"
+#include "netbase/rng.hpp"
+
+namespace aio::scenario {
+
+std::uint64_t tagHash(std::string_view text) {
+    std::uint64_t hash = 1469598103934665603ULL; // FNV-1a offset basis
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL; // FNV-1a prime
+    }
+    return hash;
+}
+
+net::Expected<void> SamplerConfig::validate() const {
+    if (count < 1) {
+        return net::Error::precondition("sampler needs count >= 1");
+    }
+    const auto validProb = [](double p) {
+        return std::isfinite(p) && p >= 0.0;
+    };
+    if (!validProb(correlation.sameCorridorProb) ||
+        !validProb(correlation.sharedLandingProb)) {
+        return net::Error::precondition(
+            "correlation probabilities must be finite and >= 0");
+    }
+    if (!std::isfinite(correlation.maxProb) || correlation.maxProb <= 0.0 ||
+        correlation.maxProb >= 1.0) {
+        // maxProb == 1 would let a tilted draw hit q == 1 with p < 1,
+        // whose failure branch has likelihood ratio (1-p)/0.
+        return net::Error::precondition(
+            "correlation maxProb must lie in (0, 1)");
+    }
+    if (!std::isfinite(importanceBoost) || importanceBoost < 1.0) {
+        return net::Error::precondition(
+            "importanceBoost must be finite and >= 1");
+    }
+    if (!(repairMeanDays > 0.0) || !std::isfinite(repairMeanDays)) {
+        return net::Error::precondition("repairMeanDays must be positive");
+    }
+    if (!(repairFloorDays >= 0.0) || !std::isfinite(repairFloorDays)) {
+        return net::Error::precondition(
+            "repairFloorDays must be finite and >= 0");
+    }
+    return net::Expected<void>::ok();
+}
+
+MonteCarloSampler::MonteCarloSampler(const phys::CableRegistry& registry,
+                                     SamplerConfig config)
+    : registry_(&registry), config_(config) {
+    if (const auto valid = config_.validate(); !valid) {
+        valid.error().raise();
+    }
+    AIO_EXPECTS(registry.cableCount() > 0,
+                "sampler needs a registry with at least one cable");
+}
+
+std::vector<sweep::WeightedSpec>
+MonteCarloSampler::sample(std::string_view tag) const {
+    std::vector<sweep::WeightedSpec> out;
+    out.reserve(config_.count);
+    for (std::size_t i = 0; i < config_.count; ++i) {
+        out.push_back(sampleOne(tag, i));
+    }
+    return out;
+}
+
+sweep::WeightedSpec MonteCarloSampler::sampleOne(std::string_view tag,
+                                                 std::size_t index) const {
+    // Per-scenario stream derivation: fork the (seed, tag) base stream by
+    // index, so scenario i's draws are a pure function of (seed, tag, i).
+    net::Rng base{config_.seed ^ tagHash(tag)};
+    net::Rng rng = base.fork(index);
+
+    const std::size_t cables = registry_->cableCount();
+    const auto primary = static_cast<phys::CableId>(rng.uniformInt(cables));
+    std::vector<phys::CableId> cuts{primary};
+    double logWeight = 0.0;
+    // Casualty draws walk cable ids in fixed order, so the stream layout
+    // depends only on the registry, never on which primary was picked.
+    for (phys::CableId other = 0; other < cables; ++other) {
+        if (other == primary) {
+            continue;
+        }
+        const double p =
+            registry_->cutCorrelation(primary, other, config_.correlation);
+        // boost == 1 short-circuits to q == p so the log-ratios cancel
+        // exactly (1 - (1-p) can be an ulp off p) and weights stay 1.0.
+        const double q =
+            config_.importanceBoost == 1.0
+                ? p
+                : 1.0 - std::pow(1.0 - p, config_.importanceBoost);
+        if (q <= 0.0) {
+            continue; // p == 0: never cut under target or proposal
+        }
+        if (rng.bernoulli(q)) {
+            cuts.push_back(other);
+            logWeight += std::log(p) - std::log(q);
+        } else {
+            logWeight += std::log1p(-p) - std::log1p(-q);
+        }
+    }
+
+    sweep::WeightedSpec out;
+    out.spec.name = std::string{tag} + "#" + std::to_string(index);
+    out.spec.cutCables.reserve(cuts.size());
+    for (const phys::CableId id : cuts) {
+        out.spec.cutCables.push_back(registry_->cable(id).name);
+    }
+    out.spec.repairDays = std::max(config_.repairFloorDays,
+                                   rng.exponential(config_.repairMeanDays));
+    out.weight = std::exp(logWeight);
+    return out;
+}
+
+} // namespace aio::scenario

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netbase/expected.hpp"
+#include "phys/cable.hpp"
+#include "sweep/scenario_sweep.hpp"
+
+namespace aio::scenario {
+
+/// Monte-Carlo scenario generation knobs. The *target* model is the
+/// registry's geographic correlation structure
+/// (phys::CableCorrelationConfig); `importanceBoost` tilts the *proposal*
+/// so the rare multi-cable tails — the scenarios the paper's Observatory
+/// pitch actually worries about — are drawn often enough to measure, and
+/// the per-scenario likelihood ratio undoes the tilt in aggregates.
+struct SamplerConfig {
+    /// Base seed of the draw streams; combined with the template tag and
+    /// scenario index, so neither catalog entry order nor batch
+    /// composition changes any scenario's draws.
+    std::uint64_t seed = 2025;
+    /// Scenarios to draw.
+    std::size_t count = 1000;
+    /// Target correlation model (the ground truth weighted aggregates
+    /// estimate under).
+    phys::CableCorrelationConfig correlation{};
+    /// Proposal tilt >= 1: each correlated-casualty probability p is
+    /// boosted to q = 1 - (1-p)^importanceBoost. Every scenario carries
+    /// weight Π target/proposal over its draws; 1 keeps proposal ==
+    /// target (all weights exactly 1).
+    double importanceBoost = 1.0;
+    /// Exponential ship-repair tail (mean days), floored below.
+    double repairMeanDays = 21.0;
+    double repairFloorDays = 3.0;
+
+    [[nodiscard]] net::Expected<void> validate() const;
+};
+
+/// Seeded correlated-corridor scenario sampler over a CableRegistry:
+/// scenario i picks a uniform primary victim, then draws every other
+/// cable as a correlated casualty with probability
+/// cutCorrelation(primary, other) (tilted by importanceBoost), plus an
+/// exponential repair tail. Deterministic and order-independent —
+/// scenario i of template `tag` depends only on (seed, tag, i).
+class MonteCarloSampler {
+public:
+    /// `registry` is borrowed and must outlive the sampler. Throws
+    /// net::PreconditionError on an invalid config or a cable-less
+    /// registry.
+    MonteCarloSampler(const phys::CableRegistry& registry,
+                      SamplerConfig config);
+
+    /// The full `config().count`-scenario batch for one template tag,
+    /// importance weights included.
+    [[nodiscard]] std::vector<sweep::WeightedSpec>
+    sample(std::string_view tag) const;
+
+    [[nodiscard]] const SamplerConfig& config() const { return config_; }
+
+private:
+    [[nodiscard]] sweep::WeightedSpec sampleOne(std::string_view tag,
+                                                std::size_t index) const;
+
+    const phys::CableRegistry* registry_;
+    SamplerConfig config_;
+};
+
+/// FNV-1a over a string — the stable tag hash the sampler (and catalog)
+/// use to derive per-template draw streams from names.
+[[nodiscard]] std::uint64_t tagHash(std::string_view text);
+
+} // namespace aio::scenario

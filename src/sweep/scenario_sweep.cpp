@@ -1,5 +1,7 @@
 #include "sweep/scenario_sweep.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <span>
@@ -7,7 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "content/catalog.hpp"
+#include "core/studies.hpp"
 #include "core/whatif.hpp"
+#include "netbase/error.hpp"
 #include "exec/worker_pool.hpp"
 #include "netbase/rng.hpp"
 #include "routing/oracle_cache.hpp"
@@ -36,7 +41,23 @@ struct OracleJob {
     route::LinkFilter filter;
     std::shared_ptr<const route::RouteOracle> oracle; ///< resolved
     bool fromCache = false;
+    /// Sampled detour share of this routing state; computed once per
+    /// unique oracle when scenarioAggregates is requested.
+    double detourShare = 0.0;
 };
+
+/// Mean page-load loss over the countries a report lists (they are the
+/// loss > 0 set; no country means no loss).
+double meanCountryLoss(const outage::ImpactReport& report) {
+    if (report.countries.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const outage::CountryImpact& impact : report.countries) {
+        sum += impact.pageLoadLoss;
+    }
+    return sum / static_cast<double>(report.countries.size());
+}
 
 /// Runs fn(i) for every i in [0, count), across the pool when one is
 /// wired in. fn must write only to index-owned slots. A fired `cancel`
@@ -86,11 +107,20 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
     };
     checkpoint();
 
+    const auto startedAt = std::chrono::steady_clock::now();
     SweepResult result;
     result.stats.scenarios = n;
     // Per-slot outcome staging: lanes write only their own slot, the
     // coordinating thread assembles the vector afterwards.
     std::vector<std::optional<net::Expected<outage::ImpactReport>>> slots(n);
+    std::vector<std::optional<ScenarioAggregates>> aggSlots(n);
+    // Content locality of the substrate's baseline catalog — shared by
+    // every scenario that does not override content config.
+    const double baselineLocalShare =
+        options_.scenarioAggregates
+            ? content::LocalityAnalyzer{substrate_->catalog()}
+                  .overallLocalShare()
+            : 0.0;
 
     // ---- plan: validate, split plain vs overlay, dedupe cut sets ----
     std::vector<PlainJob> plain;
@@ -113,13 +143,15 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             }
             PlainJob job;
             job.slot = i;
-            job.event.type = outage::OutageType::CableCut;
-            job.event.macroRegion = net::MacroRegion::Africa;
-            job.event.durationDays = spec.repairDays;
-            for (const std::string& name : spec.cutCables) {
-                job.event.cutCables.push_back(
-                    substrate_->registry().byName(name));
+            // makeEvent canonicalizes the cut set (sorted, deduplicated),
+            // so permuted or duplicated cut lists digest to one oracle
+            // below instead of triggering redundant rebuilds.
+            auto event = spec.makeEvent(substrate_->registry());
+            if (!event) {
+                slots[i].emplace(event.error());
+                continue;
             }
+            job.event = std::move(event.value());
             // Mirror WhatIfEngine::assess exactly: a fresh seed+7 stream
             // per scenario, advanced through filterFor, then handed to
             // scoring — each scenario's draws depend only on the
@@ -205,6 +237,24 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
         }
     }
 
+    // ---- aggregates: one detour study per unique routing state ----
+    if (options_.scenarioAggregates) {
+        checkpoint();
+        const obs::Span aggSpan = obs::Trace::enter(trace, "aggregates");
+        forEach(pool, oracles.size(), [&](std::size_t j) {
+            OracleJob& job = oracles[j];
+            const core::ConnectivityStudies studies{substrate_->topology(),
+                                                    *job.oracle};
+            // Fixed stream per routing state: the share depends only on
+            // the substrate and the oracle's filter, never on batch
+            // order, thread count or cache temperature.
+            net::Rng rng{substrate_->seed() + 11};
+            job.detourShare =
+                studies.detourStudy(options_.detourSamplePairs, rng)
+                    .overallDetourShare;
+        }, options_.cancel);
+    }
+
     // ---- score: assess every plain scenario against its oracle ----
     {
         checkpoint();
@@ -219,6 +269,13 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             net::Rng rng = job.rng;
             slots[job.slot].emplace(analyzer.assessWithOracle(
                 job.event, *oracles[job.oracleIndex].oracle, rng));
+            if (options_.scenarioAggregates) {
+                const outage::ImpactReport& report = slots[job.slot]->value();
+                aggSlots[job.slot].emplace(ScenarioAggregates{
+                    meanCountryLoss(report), report.resolutionDays(),
+                    oracles[job.oracleIndex].detourShare,
+                    baselineLocalShare});
+            }
         }, options_.cancel);
         if (trace != nullptr && !plain.empty()) {
             trace->count("scenario", plain.size());
@@ -267,13 +324,50 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
                 nullptr,
                 metrics,
                 substrate_->impactConfig()};
-            auto event =
-                engine.tryMakeCutEvent(spec.cutCables, spec.repairDays);
+            // makeEvent resolves against the *augmented* registry and
+            // canonicalizes the cut set; a cut-free event is an add-only
+            // build-out future, scored against the overlay's own
+            // (augmented) baseline.
+            auto event = spec.makeEvent(engine.registry());
             if (!event) {
                 slots[slot].emplace(event.error());
                 return;
             }
-            slots[slot].emplace(engine.assess(*event));
+            // Mirror engine.assess() draw for draw — a fresh seed+7
+            // stream advanced through filterFor, then scoring — but
+            // resolve the degraded oracle incrementally from the
+            // overlay's baseline (oracle content depends only on
+            // topology + filter, so results are byte-identical to a
+            // from-scratch build).
+            const outage::ImpactAnalyzer& overlayAnalyzer = engine.analyzer();
+            net::Rng rng{substrate_->seed() + 7};
+            const route::LinkFilter filter =
+                overlayAnalyzer.filterFor(*event, rng);
+            std::shared_ptr<const route::RouteOracle> degraded;
+            if (filter.empty()) {
+                degraded = overlayAnalyzer.baselineOracle();
+            } else if (incremental) {
+                degraded = overlayAnalyzer.baselineOracle()->deriveFiltered(
+                    filter, nullptr);
+            } else {
+                degraded = route::buildOracle(
+                    substrate_->topology(),
+                    substrate_->impactConfig().routeStorage, filter, nullptr,
+                    substrate_->impactConfig().shardedRouting);
+            }
+            slots[slot].emplace(
+                overlayAnalyzer.assessWithOracle(*event, *degraded, rng));
+            if (options_.scenarioAggregates) {
+                const outage::ImpactReport& report = slots[slot]->value();
+                const core::ConnectivityStudies studies{
+                    substrate_->topology(), *degraded};
+                net::Rng detourRng{substrate_->seed() + 11};
+                aggSlots[slot].emplace(ScenarioAggregates{
+                    meanCountryLoss(report), report.resolutionDays(),
+                    studies.detourStudy(options_.detourSamplePairs, detourRng)
+                        .overallDetourShare,
+                    engine.contentLocalShare()});
+            }
         }, options_.cancel);
         result.stats.overlayScenarios = overlay.size();
         if (trace != nullptr && !overlay.empty()) {
@@ -287,9 +381,14 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
         if (!slots[i]->hasValue()) {
             ++result.stats.errors;
         }
-        result.scenarios.push_back(
-            ScenarioResult{scenarios[i].name, std::move(*slots[i])});
+        result.scenarios.push_back(ScenarioResult{scenarios[i].name,
+                                                  std::move(*slots[i]),
+                                                  std::move(aggSlots[i])});
     }
+    result.stats.elapsedSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startedAt)
+            .count();
     if (metrics != nullptr) {
         metrics->counter("sweep.scenarios").add(result.stats.scenarios);
         metrics->counter("sweep.errors").add(result.stats.errors);
@@ -301,8 +400,79 @@ ScenarioSweepEngine::run(std::span<const core::ScenarioSpec> scenarios) const {
             .add(result.stats.dirtyDestinations);
         metrics->counter("sweep.overlay_scenarios")
             .add(result.stats.overlayScenarios);
+        metrics->gauge("sweep.scenarios_per_sec")
+            .set(result.stats.scenariosPerSec());
     }
     return result;
+}
+
+std::vector<core::ScenarioSpec> ScenarioBatch::specs() const {
+    std::vector<core::ScenarioSpec> out;
+    out.reserve(entries.size());
+    for (const WeightedSpec& entry : entries) {
+        out.push_back(entry.spec);
+    }
+    return out;
+}
+
+std::vector<double> ScenarioBatch::weights() const {
+    std::vector<double> out;
+    out.reserve(entries.size());
+    for (const WeightedSpec& entry : entries) {
+        out.push_back(entry.weight);
+    }
+    return out;
+}
+
+BatchSweepResult
+ScenarioSweepEngine::runBatch(const ScenarioBatch& batch) const {
+    BatchSweepResult out{run(batch.specs()), {}};
+    out.aggregate = aggregate(out.sweep, batch.weights());
+    if (obs::MetricsRegistry* metrics = substrate_->metrics()) {
+        metrics->gauge("sweep.weighted_page_load_loss")
+            .set(out.aggregate.meanPageLoadLoss);
+        metrics->gauge("sweep.weighted_resolution_days")
+            .set(out.aggregate.meanResolutionDays);
+    }
+    return out;
+}
+
+WeightedAggregate
+ScenarioSweepEngine::aggregate(const SweepResult& result,
+                               std::span<const double> weights) {
+    AIO_EXPECTS(weights.size() == result.scenarios.size(),
+                "weights must be 1:1 with scenarios");
+    WeightedAggregate agg;
+    for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
+        const ScenarioResult& scenario = result.scenarios[i];
+        if (!scenario.outcome.hasValue()) {
+            ++agg.errors;
+            continue;
+        }
+        const double weight = weights[i];
+        AIO_EXPECTS(std::isfinite(weight) && weight > 0.0,
+                    "scenario weights must be finite and positive");
+        agg.totalWeight += weight;
+        ++agg.scored;
+        const outage::ImpactReport& report = scenario.outcome.value();
+        agg.meanPageLoadLoss += weight * meanCountryLoss(report);
+        agg.meanResolutionDays += weight * report.resolutionDays();
+        agg.meanImpactedCountries +=
+            weight * static_cast<double>(report.impactedCountries().size());
+        if (scenario.aggregates.has_value()) {
+            agg.meanDetourShare += weight * scenario.aggregates->detourShare;
+            agg.meanContentLocalShare +=
+                weight * scenario.aggregates->contentLocalShare;
+        }
+    }
+    if (agg.totalWeight > 0.0) {
+        agg.meanPageLoadLoss /= agg.totalWeight;
+        agg.meanResolutionDays /= agg.totalWeight;
+        agg.meanImpactedCountries /= agg.totalWeight;
+        agg.meanDetourShare /= agg.totalWeight;
+        agg.meanContentLocalShare /= agg.totalWeight;
+    }
+    return agg;
 }
 
 } // namespace aio::sweep

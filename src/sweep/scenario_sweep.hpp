@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -27,6 +28,13 @@ enum class RecomputeMode {
 
 struct SweepOptions {
     RecomputeMode mode = RecomputeMode::Incremental;
+    /// Compute per-scenario ScenarioAggregates (detour / content-locality
+    /// shares) — the inputs of weighted batch aggregation. Off by
+    /// default: plain impact sweeps don't pay the path-sampling cost.
+    bool scenarioAggregates = false;
+    /// Eyeball pairs sampled per unique routing state for detourShare
+    /// (fixed seed, so the share is deterministic for a given substrate).
+    std::size_t detourSamplePairs = 128;
     /// Optional trace (not owned). obs::Trace is single-threaded by
     /// design, so the sweep touches it only from the coordinating
     /// thread: phase spans plus an aggregated per-scenario count node.
@@ -58,6 +66,39 @@ struct SweepStats {
     /// Scenarios that changed a derived layer (cables added / config
     /// overrides) and therefore re-derived their stack per scenario.
     std::size_t overlayScenarios = 0;
+    /// Wall-clock seconds the batch took, measured around run() (also
+    /// published as the `sweep.scenarios_per_sec` gauge). Timing only —
+    /// excluded from determinism comparisons, which go through the
+    /// per-scenario outcomes and aggregates.
+    double elapsedSeconds = 0.0;
+
+    [[nodiscard]] double scenariosPerSec() const {
+        return elapsedSeconds > 0.0
+                   ? static_cast<double>(scenarios) / elapsedSeconds
+                   : 0.0;
+    }
+};
+
+/// Cheap per-scenario summary metrics, computed when
+/// SweepOptions::scenarioAggregates is set: impact summaries from the
+/// report plus the detour share of the scenario's (degraded) routing
+/// state and the content-locality share of its catalog. Deterministic —
+/// fixed sampling seed per routing state, independent of batch order,
+/// thread count and cache temperature — so weighted batch aggregates are
+/// byte-stable too.
+struct ScenarioAggregates {
+    /// Mean page-load loss over the countries the report lists (0 when
+    /// no country crossed the loss floor).
+    double meanPageLoadLoss = 0.0;
+    /// Longest country recovery (ImpactReport::resolutionDays).
+    double resolutionDays = 0.0;
+    /// Sampled intra-African detour share under this scenario's routing.
+    double detourShare = 0.0;
+    /// Content-locality share under this scenario's catalog (baseline
+    /// catalog unless the scenario overrides content config).
+    double contentLocalShare = 0.0;
+
+    [[nodiscard]] bool operator==(const ScenarioAggregates&) const = default;
 };
 
 /// One scenario's outcome: the impact report, or the error that degraded
@@ -66,11 +107,60 @@ struct SweepStats {
 struct ScenarioResult {
     std::string scenario; ///< ScenarioSpec::name
     net::Expected<outage::ImpactReport> outcome;
+    /// Set iff the scenario scored and scenarioAggregates was requested.
+    std::optional<ScenarioAggregates> aggregates;
 };
 
 struct SweepResult {
     std::vector<ScenarioResult> scenarios; ///< 1:1 with the input order
     SweepStats stats;
+};
+
+/// One scenario plus its importance weight — the unit a compiled
+/// ScenarioBatch carries. Hand-written batches leave the weight at 1;
+/// the Monte-Carlo sampler sets it to the target/proposal likelihood
+/// ratio of its tilted draws.
+struct WeightedSpec {
+    core::ScenarioSpec spec;
+    double weight = 1.0;
+};
+
+/// What a scenario catalog compiles to: an ordered list of weighted
+/// specs, evaluated in one sweep.
+struct ScenarioBatch {
+    std::vector<WeightedSpec> entries;
+
+    [[nodiscard]] std::vector<core::ScenarioSpec> specs() const;
+    [[nodiscard]] std::vector<double> weights() const;
+};
+
+/// Importance-weighted batch aggregates: scored scenario i contributes
+/// weight w_i / Σw to each mean (errored scenarios drop out of both
+/// sums). When the batch came from the Monte-Carlo sampler the weights
+/// are importance ratios, so the means are unbiased estimates under the
+/// target correlation model even though high-impact tails were
+/// oversampled. Accumulated in input order on the coordinating thread —
+/// byte-stable across thread counts.
+struct WeightedAggregate {
+    double totalWeight = 0.0; ///< Σ w_i over scored scenarios
+    std::size_t scored = 0;
+    std::size_t errors = 0;
+    double meanPageLoadLoss = 0.0;
+    double meanResolutionDays = 0.0;
+    double meanImpactedCountries = 0.0;
+    /// Weighted means of the per-scenario detour / content shares; left
+    /// at 0 unless the sweep ran with scenarioAggregates set.
+    double meanDetourShare = 0.0;
+    double meanContentLocalShare = 0.0;
+
+    [[nodiscard]] bool operator==(const WeightedAggregate&) const = default;
+};
+
+/// A batch evaluation's full outcome: the per-scenario sweep result plus
+/// the weighted aggregate over it.
+struct BatchSweepResult {
+    SweepResult sweep;
+    WeightedAggregate aggregate;
 };
 
 /// Batched what-if evaluation over one Substrate: takes N ScenarioSpecs
@@ -103,6 +193,18 @@ public:
     /// cache state.
     [[nodiscard]] SweepResult
     run(std::span<const core::ScenarioSpec> scenarios) const;
+
+    /// Evaluates a compiled (catalog / sampler) batch and folds the
+    /// outcomes into the importance-weighted aggregate. Determinism is
+    /// run()'s plus: the aggregate depends only on per-scenario outcomes
+    /// and the batch's weights.
+    [[nodiscard]] BatchSweepResult runBatch(const ScenarioBatch& batch) const;
+
+    /// The aggregation rule behind runBatch, exposed for re-aggregating
+    /// an existing result under different weights. `weights` must be 1:1
+    /// with `result.scenarios`; every weight must be finite and > 0.
+    [[nodiscard]] static WeightedAggregate
+    aggregate(const SweepResult& result, std::span<const double> weights);
 
     [[nodiscard]] const core::Substrate& substrate() const {
         return *substrate_;

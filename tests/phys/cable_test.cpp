@@ -69,6 +69,57 @@ TEST(CableRegistry, CorridorQueries) {
     }
 }
 
+TEST(CableRegistry, SharedLandingCountIsSymmetric) {
+    const auto reg = CableRegistry::africanDefaults();
+    const CableId wacs = reg.byName("WACS");
+    const CableId sat3 = reg.byName("SAT-3");
+    const CableId seacom = reg.byName("SEACOM");
+    // Both legacy west-coast systems land in several shared countries.
+    EXPECT_GE(reg.sharedLandingCount(wacs, sat3), 2U);
+    EXPECT_EQ(reg.sharedLandingCount(wacs, sat3),
+              reg.sharedLandingCount(sat3, wacs));
+    // Opposite coasts touch at most the South-African junction — far
+    // less shared shore than corridor mates.
+    EXPECT_LT(reg.sharedLandingCount(wacs, seacom),
+              reg.sharedLandingCount(wacs, sat3));
+    EXPECT_EQ(reg.sharedLandingCount(wacs, seacom),
+              reg.sharedLandingCount(seacom, wacs));
+}
+
+TEST(CableRegistry, CutCorrelationReflectsGeography) {
+    const auto reg = CableRegistry::africanDefaults();
+    const CableCorrelationConfig config;
+    const CableId wacs = reg.byName("WACS");
+    const CableId sat3 = reg.byName("SAT-3");
+    const CableId mainOne = reg.byName("MainOne");
+    const CableId seacom = reg.byName("SEACOM");
+    const CableId equiano = reg.byName("Equiano");
+
+    // Self-correlation is certain; everything else is capped.
+    EXPECT_DOUBLE_EQ(reg.cutCorrelation(wacs, wacs, config), 1.0);
+    // Same corridor dominates: a WACS anchor drag threatens SAT-3 far
+    // more than the east-coast SEACOM.
+    const double corridorMate = reg.cutCorrelation(wacs, sat3, config);
+    const double oppositeCoast = reg.cutCorrelation(wacs, seacom, config);
+    EXPECT_GE(corridorMate, config.sameCorridorProb);
+    EXPECT_LE(corridorMate, config.maxProb);
+    EXPECT_LT(oppositeCoast, config.sameCorridorProb);
+    // Shared landings add correlation even across corridors: Equiano
+    // shares west-coast shore with WACS but not WACS's corridor.
+    EXPECT_GT(reg.cutCorrelation(wacs, equiano, config), 0.0);
+    // Symmetric in its shared-geography inputs for same-corridor pairs.
+    EXPECT_DOUBLE_EQ(corridorMate, reg.cutCorrelation(sat3, wacs, config));
+    EXPECT_DOUBLE_EQ(reg.cutCorrelation(wacs, mainOne, config),
+                     reg.cutCorrelation(mainOne, wacs, config));
+
+    // The cap clamps a heavily-tilted configuration.
+    CableCorrelationConfig hot;
+    hot.sameCorridorProb = 0.9;
+    hot.sharedLandingProb = 0.5;
+    hot.maxProb = 0.95;
+    EXPECT_DOUBLE_EQ(reg.cutCorrelation(wacs, sat3, hot), 0.95);
+}
+
 TEST(CableRegistry, UnknownNameThrows) {
     const auto reg = CableRegistry::africanDefaults();
     EXPECT_THROW(reg.byName("NoSuchCable"), net::NotFoundError);

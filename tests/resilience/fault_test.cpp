@@ -210,6 +210,20 @@ TEST(FaultPlan, EventsOutsideTheCampaignWindowAreIgnored) {
     EXPECT_TRUE(plan.empty());
 }
 
+TEST(FaultTaxonomy, OutageTypesMapToFaultClasses) {
+    // The shared outage -> fault bridge the scenario catalog's phase
+    // specs and the campaign overlay both use: power events take probes
+    // down as PowerLoss, every connectivity-class event as TransitLoss.
+    EXPECT_EQ(faultClassFor(outage::OutageType::PowerOutage),
+              FaultClass::PowerLoss);
+    EXPECT_EQ(faultClassFor(outage::OutageType::CableCut),
+              FaultClass::TransitLoss);
+    EXPECT_EQ(faultClassFor(outage::OutageType::GovernmentShutdown),
+              FaultClass::TransitLoss);
+    EXPECT_EQ(faultClassFor(outage::OutageType::RoutingIncident),
+              FaultClass::TransitLoss);
+}
+
 TEST(FaultPlan, CableCutOverlayOnlyProducesTransitLoss) {
     const auto topo =
         topo::TopologyGenerator{topo::GeneratorConfig::defaults()}

@@ -1,0 +1,135 @@
+// The ISSUE's acceptance scenario at full scale: a seeded 10k-scenario
+// Monte-Carlo sweep compiled from a catalog completes, reports a
+// throughput figure, and is byte-identical across 1/2/8 worker threads.
+// Sanitizer builds run a reduced batch (same shape, smaller count) so
+// TSan/ASan stay within CI budgets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exec/worker_pool.hpp"
+#include "routing/oracle_cache.hpp"
+#include "scenario/catalog.hpp"
+#include "sweep/scenario_sweep.hpp"
+#include "topo/generator.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define AIO_SCALE_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define AIO_SCALE_SANITIZED 1
+#endif
+
+namespace aio::scenario {
+namespace {
+
+#if defined(AIO_SCALE_SANITIZED)
+constexpr std::size_t kScenarioCount = 1500;
+#else
+constexpr std::size_t kScenarioCount = 10000;
+#endif
+
+topo::GeneratorConfig tinyConfig(std::uint64_t seed) {
+    auto config = topo::GeneratorConfig::defaults();
+    config.seed = seed;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    config.europe.accessPerCountry = 2;
+    config.northAmerica.accessPerCountry = 2;
+    config.southAmerica.accessPerCountry = 2;
+    config.asiaPacific.accessPerCountry = 2;
+    return config;
+}
+
+TEST(CatalogScale, TenThousandScenarioSweepIsByteIdenticalAcrossThreads) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{tinyConfig(29)}.generate();
+
+    ScenarioCatalog catalog;
+    SampledTemplate mc;
+    mc.name = "mc10k";
+    mc.config.seed = 2025;
+    mc.config.count = kScenarioCount;
+    mc.config.importanceBoost = 2.0;
+    // Mild correlation keeps the unique-cut-set count (and thus the
+    // oracle-build bill) bounded while still drawing multi-cable tails;
+    // dedupe carries the rest of the batch.
+    mc.config.correlation.sameCorridorProb = 0.02;
+    mc.config.correlation.sharedLandingProb = 0.002;
+    catalog.add(mc);
+
+    const core::Substrate plain{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+    const auto batch = catalog.compile(plain);
+    ASSERT_TRUE(batch.hasValue()) << batch.error().message;
+    ASSERT_EQ(batch.value().entries.size(), kScenarioCount);
+
+    std::vector<sweep::BatchSweepResult> runs;
+    for (const int threads : {1, 2, 8}) {
+        exec::WorkerPool pool{threads};
+        route::OracleCache cache{topo, 512, &pool};
+        core::Substrate::Options accel;
+        accel.oracleCache = &cache;
+        accel.pool = &pool;
+        const core::Substrate substrate{
+            topo, phys::CableRegistry::africanDefaults(),
+            dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+            accel};
+        const sweep::ScenarioSweepEngine engine{substrate};
+        runs.push_back(engine.runBatch(batch.value()));
+
+        const sweep::SweepStats& stats = runs.back().sweep.stats;
+        EXPECT_EQ(stats.scenarios, kScenarioCount);
+        EXPECT_EQ(stats.errors, 0U);
+        EXPECT_GT(stats.elapsedSeconds, 0.0);
+        EXPECT_GT(stats.scenariosPerSec(), 0.0);
+        // Dedupe is what makes the batch tractable: far fewer unique
+        // routing states than scenarios.
+        EXPECT_GT(stats.dedupHits, kScenarioCount / 2);
+        EXPECT_LT(stats.incrementalBuilds, kScenarioCount / 4);
+        const double hitRate = static_cast<double>(stats.dedupHits) /
+                               static_cast<double>(stats.scenarios);
+        RecordProperty("threads_" + std::to_string(threads) +
+                           "_scenarios_per_sec",
+                       std::to_string(stats.scenariosPerSec()));
+        RecordProperty("threads_" + std::to_string(threads) +
+                           "_dedupe_hit_rate",
+                       std::to_string(hitRate));
+        std::cout << "[catalog-scale] threads=" << threads
+                  << " scenarios=" << stats.scenarios
+                  << " scenarios/sec=" << stats.scenariosPerSec()
+                  << " dedupe_hit_rate=" << hitRate
+                  << " unique_builds=" << stats.incrementalBuilds << "\n";
+    }
+
+    const sweep::BatchSweepResult& reference = runs.front();
+    EXPECT_GT(reference.aggregate.totalWeight, 0.0);
+    EXPECT_EQ(reference.aggregate.scored, kScenarioCount);
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].sweep.scenarios.size(),
+                  reference.sweep.scenarios.size());
+        for (std::size_t i = 0; i < reference.sweep.scenarios.size(); ++i) {
+            ASSERT_TRUE(runs[r].sweep.scenarios[i].outcome.hasValue())
+                << "run " << r << " scenario " << i;
+            ASSERT_TRUE(runs[r].sweep.scenarios[i].outcome.value() ==
+                        reference.sweep.scenarios[i].outcome.value())
+                << "run " << r << " scenario " << i << " ("
+                << reference.sweep.scenarios[i].scenario << ")";
+        }
+        EXPECT_TRUE(runs[r].aggregate == reference.aggregate)
+            << "run " << r;
+    }
+}
+
+} // namespace
+} // namespace aio::scenario

@@ -1,0 +1,202 @@
+// Property/fuzz coverage for the Monte-Carlo sampler and catalog
+// compiler, run under ASan/UBSan in CI (the job filters on
+// *Fuzz*:*Property*): randomized configs must either be rejected by
+// validate() or produce batches whose every spec validates, with finite
+// positive weights — and resampling must be bit-reproducible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/sampler.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::scenario {
+namespace {
+
+topo::GeneratorConfig tinyConfig(std::uint64_t seed) {
+    auto config = topo::GeneratorConfig::defaults();
+    config.seed = seed;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    config.europe.accessPerCountry = 2;
+    config.northAmerica.accessPerCountry = 2;
+    config.southAmerica.accessPerCountry = 2;
+    config.asiaPacific.accessPerCountry = 2;
+    return config;
+}
+
+SamplerConfig randomConfig(net::Rng& rng) {
+    SamplerConfig config;
+    config.seed = rng.next();
+    config.count = 1 + rng.uniformInt(24);
+    config.correlation.sameCorridorProb = rng.uniformReal(0.0, 1.2);
+    config.correlation.sharedLandingProb = rng.uniformReal(0.0, 0.3);
+    config.correlation.maxProb = rng.uniformReal(0.05, 0.99);
+    config.importanceBoost = rng.uniformReal(1.0, 4.0);
+    config.repairMeanDays = rng.uniformReal(1.0, 40.0);
+    config.repairFloorDays = rng.uniformReal(0.0, 5.0);
+    return config;
+}
+
+TEST(SamplerProperty, RandomConfigsYieldValidWeightedSpecs) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{tinyConfig(31)}.generate();
+    const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+    const auto& registry = substrate.registry();
+
+    net::Rng rng{20250808};
+    for (int round = 0; round < 40; ++round) {
+        const SamplerConfig config = randomConfig(rng);
+        ASSERT_TRUE(config.validate().hasValue()) << round;
+        const MonteCarloSampler sampler{registry, config};
+        const auto batch = sampler.sample("prop-" + std::to_string(round));
+        ASSERT_EQ(batch.size(), config.count) << round;
+        for (const sweep::WeightedSpec& drawn : batch) {
+            ASSERT_TRUE(std::isfinite(drawn.weight)) << drawn.spec.name;
+            ASSERT_GT(drawn.weight, 0.0) << drawn.spec.name;
+            ASSERT_FALSE(drawn.spec.cutCables.empty()) << drawn.spec.name;
+            ASSERT_GE(drawn.spec.repairDays, config.repairFloorDays)
+                << drawn.spec.name;
+            const auto valid = drawn.spec.validate(substrate);
+            ASSERT_TRUE(valid.hasValue())
+                << drawn.spec.name << ": " << valid.error().message;
+            // The drawn cut set resolves and canonicalizes cleanly.
+            ASSERT_TRUE(drawn.spec.makeEvent(registry).hasValue())
+                << drawn.spec.name;
+        }
+    }
+}
+
+TEST(SamplerProperty, ResamplingIsBitReproducible) {
+    const auto registry = phys::CableRegistry::africanDefaults();
+    net::Rng rng{777};
+    for (int round = 0; round < 10; ++round) {
+        const SamplerConfig config = randomConfig(rng);
+        const MonteCarloSampler first{registry, config};
+        const MonteCarloSampler second{registry, config};
+        const std::string tag = "bits-" + std::to_string(round);
+        const auto a = first.sample(tag);
+        const auto b = second.sample(tag);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a[i].spec.name, b[i].spec.name);
+            ASSERT_EQ(a[i].spec.cutCables, b[i].spec.cutCables);
+            // Bitwise, not approximate: the draws are pure functions of
+            // (seed, tag, index).
+            ASSERT_EQ(a[i].spec.repairDays, b[i].spec.repairDays);
+            ASSERT_EQ(a[i].weight, b[i].weight);
+        }
+    }
+}
+
+TEST(CatalogFuzz, RandomCatalogsCompileOrFailCleanly) {
+    // Randomized cascades mixing valid cable names with typos and
+    // occasional timeline mistakes: compile() must either return a batch
+    // whose every entry validates, or a typed error naming a template —
+    // never crash, never return a half-validated batch.
+    const topo::Topology topo =
+        topo::TopologyGenerator{tinyConfig(37)}.generate();
+    const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+
+    const std::vector<std::string> pool = {
+        "WACS", "MainOne", "SAT-3", "ACE",     "Glo-1",   "SEACOM",
+        "EASSy", "EIG",    "AAE-1", "Equiano", "2Africa", "Atlantis-9"};
+
+    net::Rng rng{4242};
+    for (int round = 0; round < 60; ++round) {
+        ScenarioCatalog catalog;
+        const std::size_t cascades = 1 + rng.uniformInt(3);
+        for (std::size_t c = 0; c < cascades; ++c) {
+            CascadeTemplate cascade;
+            cascade.name =
+                "fz-" + std::to_string(round) + "-" + std::to_string(c);
+            cascade.cumulativeCuts = rng.bernoulli(0.5);
+            double day = 0.0;
+            const std::size_t phases = 1 + rng.uniformInt(4);
+            for (std::size_t p = 0; p < phases; ++p) {
+                PhaseSpec phase;
+                phase.name = "p" + std::to_string(p);
+                const std::size_t cuts = 1 + rng.uniformInt(3);
+                for (std::size_t k = 0; k < cuts; ++k) {
+                    phase.cutCables.push_back(
+                        pool[rng.uniformInt(pool.size())]);
+                }
+                day += rng.uniformReal(0.0, 10.0);
+                // Occasionally break the timeline on purpose.
+                phase.startDay = rng.bernoulli(0.1) ? -day : day;
+                phase.durationDays = rng.uniformReal(1.0, 30.0);
+                cascade.phases.push_back(std::move(phase));
+            }
+            catalog.add(std::move(cascade));
+        }
+        if (rng.bernoulli(0.5)) {
+            SampledTemplate mc;
+            mc.name = "fz-mc-" + std::to_string(round);
+            net::Rng configRng{rng.next()};
+            mc.config = randomConfig(configRng);
+            mc.config.count = 1 + rng.uniformInt(8);
+            catalog.add(std::move(mc));
+        }
+
+        const auto batch = catalog.compile(substrate);
+        if (!batch.hasValue()) {
+            EXPECT_NE(batch.error().message.find("template"),
+                      std::string::npos)
+                << batch.error().message;
+            continue;
+        }
+        for (const sweep::WeightedSpec& entry : batch.value().entries) {
+            ASSERT_TRUE(entry.spec.validate(substrate).hasValue())
+                << entry.spec.name;
+            ASSERT_TRUE(std::isfinite(entry.weight));
+            ASSERT_GT(entry.weight, 0.0);
+        }
+    }
+}
+
+TEST(CatalogFuzz, CompileIsDeterministic) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{tinyConfig(41)}.generate();
+    const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+
+    ScenarioCatalog catalog;
+    catalog.add(CascadeTemplate::phasedRecovery(
+        "rec", {"WACS", "ACE", "SEACOM"}, 6.0));
+    SampledTemplate mc;
+    mc.name = "mc";
+    mc.config.count = 20;
+    mc.config.importanceBoost = 2.5;
+    catalog.add(mc);
+
+    const auto a = catalog.compile(substrate);
+    const auto b = catalog.compile(substrate);
+    ASSERT_TRUE(a.hasValue());
+    ASSERT_TRUE(b.hasValue());
+    ASSERT_EQ(a.value().entries.size(), b.value().entries.size());
+    for (std::size_t i = 0; i < a.value().entries.size(); ++i) {
+        const auto& ea = a.value().entries[i];
+        const auto& eb = b.value().entries[i];
+        ASSERT_EQ(ea.spec.name, eb.spec.name);
+        ASSERT_EQ(ea.spec.cutCables, eb.spec.cutCables);
+        ASSERT_EQ(ea.spec.repairDays, eb.spec.repairDays);
+        ASSERT_EQ(ea.weight, eb.weight);
+    }
+}
+
+} // namespace
+} // namespace aio::scenario

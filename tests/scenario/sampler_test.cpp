@@ -1,0 +1,244 @@
+// MonteCarloSampler: seeded correlated-corridor scenario generation with
+// importance weighting, plus the differential harness the ISSUE asks
+// for — the same catalog + seed must produce byte-identical batches and
+// weighted aggregates at 1/2/8 threads, cold and warm cache.
+
+#include "scenario/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exec/worker_pool.hpp"
+#include "netbase/error.hpp"
+#include "routing/oracle_cache.hpp"
+#include "scenario/catalog.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::scenario {
+namespace {
+
+topo::GeneratorConfig smallConfig(std::uint64_t seed) {
+    auto config = topo::GeneratorConfig::defaults();
+    config.seed = seed;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    config.europe.accessPerCountry = 2;
+    config.northAmerica.accessPerCountry = 2;
+    config.southAmerica.accessPerCountry = 2;
+    config.asiaPacific.accessPerCountry = 2;
+    return config;
+}
+
+TEST(MonteCarloSampler, SameSeedAndTagReproduceEveryDraw) {
+    const auto registry = phys::CableRegistry::africanDefaults();
+    SamplerConfig config;
+    config.seed = 99;
+    config.count = 64;
+    config.importanceBoost = 2.0;
+    const MonteCarloSampler sampler{registry, config};
+    const auto first = sampler.sample("mc");
+    const auto second = sampler.sample("mc");
+    ASSERT_EQ(first.size(), 64U);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].spec.name, "mc#" + std::to_string(i));
+        EXPECT_EQ(first[i].spec.cutCables, second[i].spec.cutCables);
+        EXPECT_DOUBLE_EQ(first[i].spec.repairDays,
+                         second[i].spec.repairDays);
+        EXPECT_DOUBLE_EQ(first[i].weight, second[i].weight);
+        EXPECT_GE(first[i].spec.repairDays, config.repairFloorDays);
+        EXPECT_FALSE(first[i].spec.cutCables.empty());
+    }
+    // A different tag is an unrelated stream.
+    const auto other = sampler.sample("other");
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        if (first[i].spec.cutCables != other[i].spec.cutCables) {
+            ++differing;
+        }
+    }
+    EXPECT_GT(differing, 32U);
+}
+
+TEST(MonteCarloSampler, UnitBoostKeepsEveryWeightExactlyOne) {
+    // boost == 1: proposal == target, so the likelihood ratio collapses
+    // to exactly 1.0 for every scenario (pow(x, 1.0) == x in IEEE; the
+    // log-ratios cancel term by term).
+    const auto registry = phys::CableRegistry::africanDefaults();
+    SamplerConfig config;
+    config.count = 200;
+    config.importanceBoost = 1.0;
+    const MonteCarloSampler sampler{registry, config};
+    for (const sweep::WeightedSpec& drawn : sampler.sample("flat")) {
+        EXPECT_EQ(drawn.weight, 1.0) << drawn.spec.name;
+    }
+}
+
+TEST(MonteCarloSampler, BoostOversamplesMultiCableTails) {
+    const auto registry = phys::CableRegistry::africanDefaults();
+    SamplerConfig flat;
+    flat.count = 400;
+    flat.importanceBoost = 1.0;
+    SamplerConfig tilted = flat;
+    tilted.importanceBoost = 3.0;
+
+    const auto countMulti = [](const std::vector<sweep::WeightedSpec>& batch) {
+        std::size_t multi = 0;
+        for (const sweep::WeightedSpec& drawn : batch) {
+            if (drawn.spec.cutCables.size() > 2) {
+                ++multi;
+            }
+        }
+        return multi;
+    };
+    const auto flatBatch =
+        MonteCarloSampler{registry, flat}.sample("tails");
+    const auto tiltedBatch =
+        MonteCarloSampler{registry, tilted}.sample("tails");
+    EXPECT_GT(countMulti(tiltedBatch), countMulti(flatBatch));
+    // Every importance weight is a usable likelihood ratio, and the tilt
+    // actually discounts at least the oversampled tails (some weight
+    // must fall below 1 once any correlated casualty was drawn).
+    double minWeight = 1.0;
+    for (const sweep::WeightedSpec& drawn : tiltedBatch) {
+        ASSERT_TRUE(std::isfinite(drawn.weight)) << drawn.spec.name;
+        ASSERT_GT(drawn.weight, 0.0) << drawn.spec.name;
+        minWeight = std::min(minWeight, drawn.weight);
+    }
+    EXPECT_LT(minWeight, 1.0);
+}
+
+TEST(MonteCarloSampler, RejectsInvalidConfigs) {
+    const auto registry = phys::CableRegistry::africanDefaults();
+    const auto rejects = [&](auto mutate) {
+        SamplerConfig config;
+        mutate(config);
+        EXPECT_FALSE(config.validate().hasValue());
+        EXPECT_THROW((MonteCarloSampler{registry, config}),
+                     net::PreconditionError);
+    };
+    rejects([](SamplerConfig& c) { c.count = 0; });
+    rejects([](SamplerConfig& c) { c.importanceBoost = 0.9; });
+    rejects([](SamplerConfig& c) { c.correlation.maxProb = 1.0; });
+    rejects([](SamplerConfig& c) { c.correlation.sameCorridorProb = -0.1; });
+    rejects([](SamplerConfig& c) { c.repairMeanDays = 0.0; });
+    rejects([](SamplerConfig& c) { c.repairFloorDays = -1.0; });
+    EXPECT_TRUE(SamplerConfig{}.validate().hasValue());
+}
+
+/// The ISSUE's differential harness: one catalog (hand-written cascade +
+/// buildout + Monte-Carlo block), compiled once, swept on a sequential
+/// reference substrate and then on pooled substrates at 1/2/8 threads,
+/// cold and warm cache — every scenario outcome and the weighted
+/// aggregate must be byte-identical throughout.
+TEST(MonteCarloSampler, BatchSweepIsByteIdenticalAcrossThreads) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{smallConfig(19)}.generate();
+
+    ScenarioCatalog catalog;
+    catalog.add(CascadeTemplate::phasedRecovery(
+        "recovery", {"WACS", "MainOne"}, 10.0));
+    SampledTemplate mc;
+    mc.name = "mc";
+    mc.config.seed = 77;
+    mc.config.count = 40;
+    mc.config.importanceBoost = 2.0;
+    // Keep the unique-cut-set count modest on the small topology.
+    mc.config.correlation.sameCorridorProb = 0.25;
+    mc.config.correlation.sharedLandingProb = 0.02;
+    catalog.add(mc);
+
+    sweep::SweepOptions options;
+    options.scenarioAggregates = true;
+    const core::Substrate reference{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+    const auto batch = catalog.compile(reference);
+    ASSERT_TRUE(batch.hasValue()) << batch.error().message;
+    const sweep::ScenarioSweepEngine referenceEngine{reference, options};
+    const auto referenceRun = referenceEngine.runBatch(batch.value());
+    ASSERT_EQ(referenceRun.sweep.stats.errors, 0U);
+    EXPECT_GT(referenceRun.aggregate.totalWeight, 0.0);
+    EXPECT_EQ(referenceRun.aggregate.scored, batch.value().entries.size());
+
+    const auto expectSame = [&](const sweep::BatchSweepResult& run,
+                                const std::string& label) {
+        ASSERT_EQ(run.sweep.scenarios.size(),
+                  referenceRun.sweep.scenarios.size())
+            << label;
+        for (std::size_t i = 0; i < run.sweep.scenarios.size(); ++i) {
+            ASSERT_TRUE(run.sweep.scenarios[i].outcome.hasValue())
+                << label << " scenario " << i;
+            EXPECT_TRUE(run.sweep.scenarios[i].outcome.value() ==
+                        referenceRun.sweep.scenarios[i].outcome.value())
+                << label << " scenario " << i;
+            ASSERT_TRUE(run.sweep.scenarios[i].aggregates.has_value())
+                << label << " scenario " << i;
+            EXPECT_TRUE(*run.sweep.scenarios[i].aggregates ==
+                        *referenceRun.sweep.scenarios[i].aggregates)
+                << label << " scenario " << i;
+        }
+        EXPECT_TRUE(run.aggregate == referenceRun.aggregate) << label;
+    };
+
+    for (const int threads : {1, 2, 8}) {
+        exec::WorkerPool pool{threads};
+        route::OracleCache cache{topo, 64, &pool};
+        core::Substrate::Options accel;
+        accel.oracleCache = &cache;
+        accel.pool = &pool;
+        const core::Substrate pooled{
+            topo, phys::CableRegistry::africanDefaults(),
+            dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+            accel};
+        // The compiled batch must not depend on the substrate's
+        // accelerators either.
+        const auto pooledBatch = catalog.compile(pooled);
+        ASSERT_TRUE(pooledBatch.hasValue());
+        const sweep::ScenarioSweepEngine engine{pooled, options};
+        const std::string label = "threads=" + std::to_string(threads);
+        expectSame(engine.runBatch(pooledBatch.value()), label + " cold");
+        expectSame(engine.runBatch(pooledBatch.value()), label + " warm");
+    }
+}
+
+TEST(MonteCarloSampler, ReaggregationMatchesRunBatch) {
+    const topo::Topology topo =
+        topo::TopologyGenerator{smallConfig(23)}.generate();
+    const core::Substrate substrate{
+        topo, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults()};
+
+    ScenarioCatalog catalog;
+    SampledTemplate mc;
+    mc.name = "mc";
+    mc.config.count = 16;
+    mc.config.importanceBoost = 1.5;
+    catalog.add(mc);
+    const auto batch = catalog.compile(substrate);
+    ASSERT_TRUE(batch.hasValue());
+
+    const sweep::ScenarioSweepEngine engine{substrate};
+    const auto run = engine.runBatch(batch.value());
+    const auto again = sweep::ScenarioSweepEngine::aggregate(
+        run.sweep, batch.value().weights());
+    EXPECT_TRUE(run.aggregate == again);
+    // Uniform re-weighting changes the estimate's weighting but keeps
+    // the bookkeeping consistent.
+    const std::vector<double> uniform(batch.value().entries.size(), 1.0);
+    const auto unweighted =
+        sweep::ScenarioSweepEngine::aggregate(run.sweep, uniform);
+    EXPECT_EQ(unweighted.scored, run.aggregate.scored);
+    EXPECT_DOUBLE_EQ(unweighted.totalWeight,
+                     static_cast<double>(batch.value().entries.size()));
+}
+
+} // namespace
+} // namespace aio::scenario
