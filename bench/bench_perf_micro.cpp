@@ -24,6 +24,7 @@
 #include "routing/path_oracle.hpp"
 #include "routing/sharded_oracle.hpp"
 #include "scenario/catalog.hpp"
+#include "plan/planner.hpp"
 #include "service/service.hpp"
 #include "stream/consumer.hpp"
 #include "stream/ingestor.hpp"
@@ -864,6 +865,56 @@ BENCHMARK(BM_ServiceSweepOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// Question -> costed CampaignPlan, the pre-execution quote path. Pure
+// plan-time work: scope resolution, set-cover vantages, digest peeks,
+// budget ordering — nothing executes, so this must stay cheap enough to
+// run on every submission.
+void BM_PlannerCompile(benchmark::State& state) {
+    const auto& snapshot = serviceWorld();
+    const plan::CampaignPlanner planner{snapshot->substrate()};
+    plan::MeasurementQuestion question;
+    question.name = "content locality of top sites";
+    question.kind = plan::QuestionKind::ContentLocality;
+    question.topSites = 25;
+    question.budgetUsd = 40.0;
+
+    std::size_t tasks = 0;
+    for (auto _ : state) {
+        auto compiled = planner.compile(question).valueOrRaise();
+        tasks = compiled.tasks.size();
+        benchmark::DoNotOptimize(compiled);
+    }
+    state.counters["tasks"] = static_cast<double>(tasks);
+}
+BENCHMARK(BM_PlannerCompile)->Unit(benchmark::kMillisecond);
+
+// The full quote-then-verify loop: compile, execute, hold the estimate
+// to account. The exported counter is the estimate's relative error —
+// the quantity the EstimateAccuracy tests bound by retransJitterMax.
+void BM_EstimateAccuracy(benchmark::State& state) {
+    const auto& snapshot = serviceWorld();
+    const plan::CampaignPlanner planner{snapshot->substrate()};
+    plan::MeasurementQuestion question;
+    question.name = "detour rate of landlocked countries";
+    question.kind = plan::QuestionKind::DetourRate;
+    question.landlockedOnly = true;
+    question.samplePairs = 24;
+    question.budgetUsd = 40.0;
+
+    double errorShare = 0.0;
+    bool withinBound = true;
+    for (auto _ : state) {
+        const auto compiled = planner.compile(question).valueOrRaise();
+        const plan::CampaignReport report = planner.execute(compiled);
+        errorShare = report.estimateErrorShare;
+        withinBound = withinBound && report.withinBound;
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["estimate_error_share"] = errorShare;
+    state.SetLabel(withinBound ? "within bound" : "BOUND VIOLATED");
+}
+BENCHMARK(BM_EstimateAccuracy)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,155 @@
+// The observatory's front door: a research question, written as text,
+// submitted to the resident service as a named workload. The service
+// parses it, compiles a costed campaign plan, quotes cost and coverage
+// BEFORE anything executes, then runs the campaign and holds the quote
+// to account against the actually billed megabytes.
+//
+//   ./build/examples/question_frontdoor [handler-threads]
+//
+// The printed report is byte-identical for any thread count — planning
+// and execution are pure functions of (snapshot seed, question).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "content/catalog.hpp"
+#include "dns/resolver.hpp"
+#include "netbase/error.hpp"
+#include "netbase/stats.hpp"
+#include "obs/clock.hpp"
+#include "phys/cable.hpp"
+#include "service/service.hpp"
+#include "topo/generator.hpp"
+
+using namespace aio;
+
+namespace {
+
+// A demo-sized topology so the snapshot builds in a couple of seconds.
+topo::GeneratorConfig demoConfig() {
+    auto config = topo::GeneratorConfig::defaults();
+    config.seed = 11;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    config.europe.accessPerCountry = 2;
+    config.northAmerica.accessPerCountry = 2;
+    config.southAmerica.accessPerCountry = 2;
+    config.asiaPacific.accessPerCountry = 2;
+    return config;
+}
+
+std::string num(double value, int decimals) {
+    return net::TextTable::num(value, decimals);
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    const std::size_t threads =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+
+    // The question, in the plan/textio format a tenant would ship over
+    // the wire. Everything below this text is derived from it.
+    const std::string question = "question content locality of top sites\n"
+                                 "kind content-locality\n"
+                                 "country NG\n"
+                                 "country KE\n"
+                                 "country RW\n"
+                                 "top-sites 25\n"
+                                 "budget-usd 40\n"
+                                 "end\n";
+    std::cout << "Submitting question:\n" << question << "\n";
+
+    const topo::Topology topology =
+        topo::TopologyGenerator{demoConfig()}.generate();
+    auto snapshot = service::ServiceSnapshot::build(
+                        topology, phys::CableRegistry::africanDefaults(),
+                        dns::DnsConfig::defaults(),
+                        content::ContentConfig::defaults(), {})
+                        .valueOrRaise();
+
+    obs::ManualClock clock;
+    service::ObservatoryService observatory{snapshot, {}, &clock};
+    service::TenantQuota quota;
+    quota.tenant = "research-lab";
+    quota.budgetUsd = 10.0;
+    observatory.registerTenant(quota);
+    if (threads > 0) {
+        observatory.start(threads);
+    }
+
+    // 1. The estimate workload: parse + compile + quote, execute nothing.
+    service::ServiceRequest ask;
+    ask.tenant = "research-lab";
+    ask.workload = "estimate";
+    ask.questionText = question;
+    auto quoted = observatory.submit(ask);
+    if (threads == 0) {
+        (void)observatory.drain();
+    }
+    const service::ServiceResponse estimate = quoted.get();
+    if (estimate.status != service::ResponseStatus::Ok) {
+        throw std::runtime_error{"estimate refused: " + estimate.error};
+    }
+    const plan::CampaignEstimate& quote = estimate.plan->estimate;
+    std::cout << "Pre-execution estimate (charged $"
+              << num(estimate.chargedUsd, 4) << " for the quote):\n"
+              << "  tasks      " << quote.tasks << " (" << quote.prunedTasks
+              << " answerable from the snapshot cache)\n"
+              << "  wire       " << num(quote.wireMb, 2) << " MB, at most "
+              << num(quote.maxWireMb, 2) << " MB with retransmissions\n"
+              << "  cost       $" << num(quote.costUsd, 4) << "\n"
+              << "  coverage   " << quote.coverage.countriesPlanned << "/"
+              << quote.coverage.countriesRequested << " countries, "
+              << quote.coverage.ixpsCovered << "/"
+              << quote.coverage.ixpsTotal << " IXPs\n\n";
+
+    // 2. The plan workload: same compile, then the campaign actually
+    // runs. Plan is deadline-Required — an open-ended campaign is not
+    // admissible.
+    service::ServiceRequest run = ask;
+    run.workload = "plan";
+    run.deadlineNanos = clock.nowNanos() + 60'000'000'000ULL;
+    auto executed = observatory.submit(run);
+    if (threads == 0) {
+        (void)observatory.drain();
+    }
+    const service::ServiceResponse answer = executed.get();
+    if (answer.status != service::ResponseStatus::Ok) {
+        throw std::runtime_error{"campaign failed: " + answer.error};
+    }
+    const plan::CampaignReport& report = *answer.report;
+    std::cout << "Campaign answer (" << report.tasksRun << " tasks run):\n";
+    for (const auto& row : report.answer.rows) {
+        std::cout << "  " << row.country << "  "
+                  << num(100.0 * row.value, 1)
+                  << "% of top-site fetches served from Africa  ("
+                  << row.samples << " sites)\n";
+    }
+    std::cout << "  overall  " << num(100.0 * report.answer.overall, 1)
+              << "%\n\n";
+
+    std::cout << "Estimate vs. actual:\n"
+              << "  billed wire   " << num(report.actualWireMb, 2)
+              << " MB (quoted " << num(quote.wireMb, 2) << ".."
+              << num(quote.maxWireMb, 2) << " MB)\n"
+              << "  billed cost   $" << num(report.actualCostUsd, 4)
+              << " (quoted $" << num(quote.costUsd, 4) << ")\n"
+              << "  error share   "
+              << num(100.0 * report.estimateErrorShare, 2) << "%\n"
+              << "  within bound  "
+              << (report.withinBound ? "yes" : "NO — estimator bug")
+              << "\n";
+
+    if (threads > 0) {
+        observatory.stop();
+    }
+    return report.withinBound ? 0 : 1;
+} catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+}

@@ -40,12 +40,16 @@ struct HostingProfile {
     double africanRegionalDc = 0.05;
     double europeDc = 0.55;
     double northAmericaDc = 0.2;
+
+    [[nodiscard]] bool operator==(const HostingProfile&) const = default;
 };
 
 struct ContentConfig {
     int sitesPerCountry = 200; ///< scaled stand-in for the top-1000 list
     std::array<HostingProfile, 5> africa; ///< africanRegions() order
     static ContentConfig defaults();
+
+    [[nodiscard]] bool operator==(const ContentConfig&) const = default;
 };
 
 /// Per-country top-site catalogs with hosting assignments.

@@ -220,6 +220,8 @@ struct ScenarioSpec {
     [[nodiscard]] net::Expected<outage::OutageEvent>
     makeEvent(const phys::CableRegistry& registry) const;
 
+    [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
+
     /// Checks the spec against `substrate`: non-empty name; a damage
     /// surface matching the event type (CableCut needs cuts or an
     /// overlay, the country-scoped classes need countries and no cuts);

@@ -32,12 +32,16 @@ struct ResolverProfile {
     double cloudInAfrica = 0.1;
     double cloudOffshore = 0.35;
     double ispOffshore = 0.15;
+
+    [[nodiscard]] bool operator==(const ResolverProfile&) const = default;
 };
 
 struct DnsConfig {
     /// Profiles for the five African regions (africanRegions() order).
     std::array<ResolverProfile, 5> africa;
     static DnsConfig defaults();
+
+    [[nodiscard]] bool operator==(const DnsConfig&) const = default;
 };
 
 /// Concrete resolver used by one client AS.

@@ -6,6 +6,8 @@ namespace aio::net {
 struct GeoPoint {
     double latitude = 0.0;
     double longitude = 0.0;
+
+    [[nodiscard]] bool operator==(const GeoPoint&) const = default;
 };
 
 /// Great-circle distance in kilometres (haversine formula).

@@ -15,6 +15,8 @@ using CorridorId = std::size_t;
 struct LandingStation {
     std::string countryCode;
     net::GeoPoint location;
+
+    [[nodiscard]] bool operator==(const LandingStation&) const = default;
 };
 
 /// One submarine cable system.
@@ -26,6 +28,8 @@ struct SubseaCable {
     double capacityTbps = 10.0;
 
     [[nodiscard]] bool landsIn(std::string_view iso2) const;
+
+    [[nodiscard]] bool operator==(const SubseaCable&) const = default;
 };
 
 /// A geographic corridor: cables laid along similar seabed paths whose
@@ -50,6 +54,9 @@ struct CableCorrelationConfig {
     /// Upper clamp for the combined probability; must stay below 1 so
     /// importance reweighting is always well-defined.
     double maxProb = 0.95;
+
+    [[nodiscard]] bool operator==(const CableCorrelationConfig&) const =
+        default;
 };
 
 /// Registry of subsea cables and their corridors. `africanDefaults()`

@@ -37,6 +37,8 @@ struct LinkMapConfig {
     /// Probability the backup rides the SAME corridor as the primary —
     /// the correlated-backup failure mode legislation ignores (§5.1).
     double backupSameCorridorProb = 0.85;
+
+    [[nodiscard]] bool operator==(const LinkMapConfig&) const = default;
 };
 
 /// Maps every inter-AS adjacency of a topology to its physical carriers.

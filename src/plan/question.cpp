@@ -1,0 +1,96 @@
+#include "plan/question.hpp"
+
+#include <cmath>
+
+#include "netbase/region.hpp"
+
+namespace aio::plan {
+
+std::string_view questionKindName(QuestionKind kind) {
+    switch (kind) {
+    case QuestionKind::ContentLocality: return "content-locality";
+    case QuestionKind::DetourRate: return "detour-rate";
+    case QuestionKind::OutageExposure: return "outage-exposure";
+    case QuestionKind::IxpCoverage: return "ixp-coverage";
+    }
+    return "?";
+}
+
+net::Expected<QuestionKind> questionKindFromName(std::string_view name) {
+    for (const QuestionKind kind :
+         {QuestionKind::ContentLocality, QuestionKind::DetourRate,
+          QuestionKind::OutageExposure, QuestionKind::IxpCoverage}) {
+        if (name == questionKindName(kind)) {
+            return kind;
+        }
+    }
+    return net::Error::parse(std::string{"unknown question kind '"} +
+                             std::string{name} + "'");
+}
+
+net::Expected<void>
+MeasurementQuestion::validate(const core::Substrate& substrate) const {
+    using V = net::Expected<void>;
+    if (name.empty()) {
+        return V{net::Error::precondition("question needs a name")};
+    }
+    const net::CountryTable& world = net::CountryTable::world();
+    for (const std::string& iso2 : countries) {
+        if (!world.contains(iso2)) {
+            return V{net::Error::notFound(
+                std::string{"question '"} + name + "': unknown country '" +
+                iso2 + "'")};
+        }
+        if (!net::isAfrican(world.byCode(iso2).region)) {
+            return V{net::Error::precondition(
+                std::string{"question '"} + name + "': country '" + iso2 +
+                "' is outside the observatory's African scope")};
+        }
+    }
+    if (!(std::isfinite(budgetUsd) && budgetUsd > 0.0)) {
+        return V{net::Error::precondition(
+            std::string{"question '"} + name +
+            "': budget must be positive and finite")};
+    }
+    switch (kind) {
+    case QuestionKind::ContentLocality:
+        if (topSites < 1) {
+            return V{net::Error::precondition(
+                std::string{"question '"} + name +
+                "': topSites must be >= 1")};
+        }
+        break;
+    case QuestionKind::DetourRate:
+        if (samplePairs < 1) {
+            return V{net::Error::precondition(
+                std::string{"question '"} + name +
+                "': samplePairs must be >= 1")};
+        }
+        break;
+    case QuestionKind::OutageExposure: {
+        if (corridor.empty()) {
+            return V{net::Error::precondition(
+                std::string{"question '"} + name +
+                "': outage-exposure needs a non-empty corridor")};
+        }
+        if (!(std::isfinite(repairDays) && repairDays > 0.0)) {
+            return V{net::Error::precondition(
+                std::string{"question '"} + name +
+                "': repairDays must be positive and finite")};
+        }
+        // Resolve every corridor cable now: a typo fails at plan time
+        // with the cable named, not mid-sweep.
+        if (auto cuts = core::canonicalCutSet(substrate.registry(),
+                                              corridor);
+            !cuts) {
+            return V{cuts.error()};
+        }
+        break;
+    }
+    case QuestionKind::IxpCoverage:
+        break;
+    }
+    return V::ok();
+}
+
+} // namespace aio::plan

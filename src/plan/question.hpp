@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/substrate.hpp"
+#include "netbase/expected.hpp"
+
+namespace aio::plan {
+
+/// The question classes the Observatory's front door compiles (§6/§7):
+/// each maps a paper-level ask onto the substrate analyses the repo
+/// already owns. The planner decides *how* to answer (vantages, task
+/// order, what is already computable from the snapshot); the kind only
+/// names *what* is being asked.
+enum class QuestionKind : std::uint8_t {
+    /// "How local is the content of the top-N sites per country?" —
+    /// popularity-weighted African-hosted share over the content catalog.
+    ContentLocality,
+    /// "What share of intra-African routes from these countries leave
+    /// the continent?" — per-country detour sampling over policy routes.
+    DetourRate,
+    /// "What happens to these countries when corridor X fails?" — a
+    /// what-if cut of the named cables through the scenario sweep.
+    OutageExposure,
+    /// "What is the minimal vantage set that sees every African IXP?" —
+    /// the §7 greedy set cover, scoped to candidate host networks.
+    IxpCoverage,
+};
+
+[[nodiscard]] std::string_view questionKindName(QuestionKind kind);
+
+/// Inverse of questionKindName; a Parse error on an unknown name.
+[[nodiscard]] net::Expected<QuestionKind>
+questionKindFromName(std::string_view name);
+
+/// A high-level measurement question, the value the service's Plan and
+/// Estimate workloads accept (as text — see plan/textio.hpp) and the
+/// CampaignPlanner compiles. Deliberately declarative: countries, not
+/// ASes; cable names, not link filters; a budget, not a task list.
+struct MeasurementQuestion {
+    std::string name;
+    QuestionKind kind = QuestionKind::ContentLocality;
+
+    /// ISO alpha-2 scope; empty = every African country present in the
+    /// topology. Unknown codes fail validation with a typed NotFound.
+    std::vector<std::string> countries;
+    /// Restrict the scope to landlocked countries (the paper's "detour
+    /// rate for landlocked countries" example).
+    bool landlockedOnly = false;
+
+    /// ContentLocality: audit the top `topSites` sites per country.
+    int topSites = 100;
+    /// DetourRate: sampled eyeball pairs per scope country.
+    std::size_t samplePairs = 128;
+
+    /// OutageExposure: cable names forming the corridor under question.
+    std::vector<std::string> corridor;
+    /// OutageExposure: assumed repair time of the corridor event.
+    double repairDays = 14.0;
+
+    /// Planning budget the compiled campaign must fit (under the
+    /// planner's pricing model); tasks that do not fit are dropped,
+    /// shrinking coverage instead of overrunning cost.
+    double budgetUsd = 10.0;
+
+    [[nodiscard]] bool operator==(const MeasurementQuestion&) const = default;
+
+    /// Checks the question against `substrate`: non-empty name, known
+    /// scope countries, kind-specific surfaces (positive topSites /
+    /// samplePairs, a non-empty resolvable corridor for OutageExposure),
+    /// positive finite repairDays and budget. Returned as a value so the
+    /// service can reject a malformed question without aborting the
+    /// handler.
+    [[nodiscard]] net::Expected<void>
+    validate(const core::Substrate& substrate) const;
+};
+
+} // namespace aio::plan

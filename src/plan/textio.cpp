@@ -1,0 +1,811 @@
+#include "plan/textio.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <string>
+#include <system_error>
+#include <vector>
+
+namespace aio::plan {
+
+namespace {
+
+using scenario::BuildoutTemplate;
+using scenario::CascadeTemplate;
+using scenario::PhaseSpec;
+using scenario::SampledTemplate;
+using scenario::ScenarioCatalog;
+
+// ---- shared lexing ------------------------------------------------------
+
+[[nodiscard]] std::string_view trim(std::string_view text) {
+    while (!text.empty() &&
+           (text.front() == ' ' || text.front() == '\t' ||
+            text.front() == '\r')) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() &&
+           (text.back() == ' ' || text.back() == '\t' ||
+            text.back() == '\r')) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+/// One meaningful line: `keyword` plus its end-of-line value.
+struct Line {
+    int number = 0;
+    std::string_view keyword;
+    std::string_view value;
+};
+
+/// Splits `text` into trimmed, comment-free lines. Lines whose first
+/// non-blank character is '#' are comments; values run to end of line.
+[[nodiscard]] std::vector<Line> lex(std::string_view text) {
+    std::vector<Line> lines;
+    int number = 0;
+    while (!text.empty()) {
+        const std::size_t eol = text.find('\n');
+        std::string_view raw = eol == std::string_view::npos
+                                   ? text
+                                   : text.substr(0, eol);
+        text.remove_prefix(eol == std::string_view::npos ? text.size()
+                                                         : eol + 1);
+        ++number;
+        const std::string_view content = trim(raw);
+        if (content.empty() || content.front() == '#') {
+            continue;
+        }
+        Line line;
+        line.number = number;
+        const std::size_t split = content.find_first_of(" \t");
+        if (split == std::string_view::npos) {
+            line.keyword = content;
+        } else {
+            line.keyword = content.substr(0, split);
+            line.value = trim(content.substr(split + 1));
+        }
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+struct Cursor {
+    std::vector<Line> lines;
+    std::size_t pos = 0;
+
+    [[nodiscard]] bool done() const { return pos == lines.size(); }
+    [[nodiscard]] const Line& peek() const { return lines[pos]; }
+    const Line& next() { return lines[pos++]; }
+    /// Line number errors point at when the input ran out.
+    [[nodiscard]] int lastNumber() const {
+        return lines.empty() ? 0 : lines.back().number;
+    }
+};
+
+[[nodiscard]] net::Error parseError(int line, std::string_view field,
+                                    std::string_view detail) {
+    return net::Error::parse("line " + std::to_string(line) + ": field '" +
+                             std::string{field} + "': " +
+                             std::string{detail});
+}
+
+template <typename T>
+[[nodiscard]] net::Expected<T> parseNumber(const Line& line,
+                                           std::string_view what) {
+    T value{};
+    const char* begin = line.value.data();
+    const char* end = begin + line.value.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || line.value.empty()) {
+        return net::Expected<T>{parseError(
+            line.number, line.keyword,
+            "expected " + std::string{what} + ", got '" +
+                std::string{line.value} + "'")};
+    }
+    return value;
+}
+
+[[nodiscard]] net::Expected<bool> parseBool(const Line& line) {
+    if (line.value == "true") {
+        return true;
+    }
+    if (line.value == "false") {
+        return false;
+    }
+    return net::Expected<bool>{parseError(line.number, line.keyword,
+                                          "expected 'true' or 'false', got '" +
+                                              std::string{line.value} + "'")};
+}
+
+[[nodiscard]] net::Expected<std::string> parseName(const Line& line) {
+    if (line.value.empty()) {
+        return net::Expected<std::string>{
+            parseError(line.number, line.keyword, "expected a name")};
+    }
+    return std::string{line.value};
+}
+
+// ---- shared rendering ---------------------------------------------------
+
+void renderDouble(std::string& out, double value) {
+    char buffer[64];
+    // max_digits10 precision: the decimal string maps back to the exact
+    // same double, which is what makes parse(render(x)) == x bit-true.
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    out += buffer;
+}
+
+void renderLine(std::string& out, std::string_view keyword,
+                std::string_view value) {
+    out += keyword;
+    if (!value.empty()) {
+        out += ' ';
+        out += value;
+    }
+    out += '\n';
+}
+
+void renderNumberLine(std::string& out, std::string_view keyword,
+                      double value) {
+    out += keyword;
+    out += ' ';
+    renderDouble(out, value);
+    out += '\n';
+}
+
+/// Names travel as trimmed end-of-line values, so a name the trim would
+/// alter (or that spans lines) cannot round-trip; refuse to emit it.
+[[nodiscard]] net::Expected<void> checkRenderable(std::string_view name,
+                                                  std::string_view field) {
+    using V = net::Expected<void>;
+    if (name.empty()) {
+        return V{net::Error::parse("field '" + std::string{field} +
+                                   "': empty name is not representable")};
+    }
+    if (name != trim(name) || name.find('\n') != std::string_view::npos) {
+        return V{net::Error::parse(
+            "field '" + std::string{field} + "': name '" +
+            std::string{name} +
+            "' is not representable (surrounding whitespace or newline)")};
+    }
+    return V::ok();
+}
+
+// ---- question blocks ----------------------------------------------------
+
+constexpr std::string_view kQuestionKeyword = "question";
+
+[[nodiscard]] net::Expected<MeasurementQuestion> parseQuestionBlock(
+    Cursor& cursor) {
+    using E = net::Expected<MeasurementQuestion>;
+    const Line& header = cursor.next();
+    MeasurementQuestion question;
+    auto name = parseName(header);
+    if (!name) {
+        return E{name.error()};
+    }
+    question.name = std::move(*name);
+    // Fields override the declared defaults; repeated list fields append.
+    question.countries.clear();
+    question.corridor.clear();
+    while (!cursor.done()) {
+        const Line& line = cursor.next();
+        if (line.keyword == "end") {
+            return question;
+        }
+        if (line.keyword == "kind") {
+            auto kind = questionKindFromName(line.value);
+            if (!kind) {
+                return E{parseError(line.number, line.keyword,
+                                    kind.error().message)};
+            }
+            question.kind = *kind;
+        } else if (line.keyword == "country") {
+            auto country = parseName(line);
+            if (!country) {
+                return E{country.error()};
+            }
+            question.countries.push_back(std::move(*country));
+        } else if (line.keyword == "landlocked-only") {
+            auto flag = parseBool(line);
+            if (!flag) {
+                return E{flag.error()};
+            }
+            question.landlockedOnly = *flag;
+        } else if (line.keyword == "top-sites") {
+            auto value = parseNumber<int>(line, "an integer");
+            if (!value) {
+                return E{value.error()};
+            }
+            question.topSites = *value;
+        } else if (line.keyword == "sample-pairs") {
+            auto value = parseNumber<std::size_t>(line, "an integer");
+            if (!value) {
+                return E{value.error()};
+            }
+            question.samplePairs = *value;
+        } else if (line.keyword == "cable") {
+            auto cable = parseName(line);
+            if (!cable) {
+                return E{cable.error()};
+            }
+            question.corridor.push_back(std::move(*cable));
+        } else if (line.keyword == "repair-days") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            question.repairDays = *value;
+        } else if (line.keyword == "budget-usd") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            question.budgetUsd = *value;
+        } else {
+            return E{parseError(line.number, line.keyword,
+                                "unknown question field")};
+        }
+    }
+    return E{parseError(cursor.lastNumber(), kQuestionKeyword,
+                        "unterminated 'question' block (missing 'end')")};
+}
+
+// ---- catalog blocks -----------------------------------------------------
+
+[[nodiscard]] std::string_view phaseTypeToken(outage::OutageType type) {
+    switch (type) {
+    case outage::OutageType::CableCut: return "cable-cut";
+    case outage::OutageType::PowerOutage: return "power-outage";
+    case outage::OutageType::GovernmentShutdown:
+        return "government-shutdown";
+    case outage::OutageType::RoutingIncident: return "routing-incident";
+    }
+    return "?";
+}
+
+[[nodiscard]] net::Expected<outage::OutageType>
+phaseTypeFromToken(const Line& line) {
+    for (const outage::OutageType type :
+         {outage::OutageType::CableCut, outage::OutageType::PowerOutage,
+          outage::OutageType::GovernmentShutdown,
+          outage::OutageType::RoutingIncident}) {
+        if (line.value == phaseTypeToken(type)) {
+            return type;
+        }
+    }
+    return net::Expected<outage::OutageType>{
+        parseError(line.number, line.keyword,
+                   "unknown phase type '" + std::string{line.value} + "'")};
+}
+
+[[nodiscard]] net::Expected<PhaseSpec> parsePhaseBlock(Cursor& cursor) {
+    using E = net::Expected<PhaseSpec>;
+    const Line& header = cursor.next();
+    PhaseSpec phase;
+    auto name = parseName(header);
+    if (!name) {
+        return E{name.error()};
+    }
+    phase.name = std::move(*name);
+    while (!cursor.done()) {
+        const Line& line = cursor.next();
+        if (line.keyword == "end") {
+            return phase;
+        }
+        if (line.keyword == "type") {
+            auto type = phaseTypeFromToken(line);
+            if (!type) {
+                return E{type.error()};
+            }
+            phase.type = *type;
+        } else if (line.keyword == "cut") {
+            auto cable = parseName(line);
+            if (!cable) {
+                return E{cable.error()};
+            }
+            phase.cutCables.push_back(std::move(*cable));
+        } else if (line.keyword == "country") {
+            auto country = parseName(line);
+            if (!country) {
+                return E{country.error()};
+            }
+            phase.countries.push_back(std::move(*country));
+        } else if (line.keyword == "start-day") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            phase.startDay = *value;
+        } else if (line.keyword == "duration-days") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            phase.durationDays = *value;
+        } else {
+            return E{parseError(line.number, line.keyword,
+                                "unknown phase field")};
+        }
+    }
+    return E{parseError(cursor.lastNumber(), "phase",
+                        "unterminated 'phase' block (missing 'end')")};
+}
+
+[[nodiscard]] net::Expected<CascadeTemplate>
+parseCascadeBlock(Cursor& cursor) {
+    using E = net::Expected<CascadeTemplate>;
+    const Line& header = cursor.next();
+    CascadeTemplate cascade;
+    auto name = parseName(header);
+    if (!name) {
+        return E{name.error()};
+    }
+    cascade.name = std::move(*name);
+    while (!cursor.done()) {
+        const Line& line = cursor.peek();
+        if (line.keyword == "end") {
+            cursor.next();
+            return cascade;
+        }
+        if (line.keyword == "phase") {
+            auto phase = parsePhaseBlock(cursor);
+            if (!phase) {
+                return E{phase.error()};
+            }
+            cascade.phases.push_back(std::move(*phase));
+            continue;
+        }
+        cursor.next();
+        if (line.keyword == "cumulative-cuts") {
+            auto flag = parseBool(line);
+            if (!flag) {
+                return E{flag.error()};
+            }
+            cascade.cumulativeCuts = *flag;
+        } else if (line.keyword == "weight") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            cascade.weight = *value;
+        } else {
+            return E{parseError(line.number, line.keyword,
+                                "unknown cascade field")};
+        }
+    }
+    return E{parseError(cursor.lastNumber(), "cascade",
+                        "unterminated 'cascade' block (missing 'end')")};
+}
+
+[[nodiscard]] net::Expected<phys::SubseaCable>
+parseCableBlock(Cursor& cursor) {
+    using E = net::Expected<phys::SubseaCable>;
+    const Line& header = cursor.next();
+    phys::SubseaCable cable;
+    auto name = parseName(header);
+    if (!name) {
+        return E{name.error()};
+    }
+    cable.name = std::move(*name);
+    while (!cursor.done()) {
+        const Line& line = cursor.next();
+        if (line.keyword == "end") {
+            return cable;
+        }
+        if (line.keyword == "corridor") {
+            auto value = parseNumber<std::size_t>(line, "an integer");
+            if (!value) {
+                return E{value.error()};
+            }
+            cable.corridor = *value;
+        } else if (line.keyword == "ready") {
+            auto value = parseNumber<int>(line, "an integer");
+            if (!value) {
+                return E{value.error()};
+            }
+            cable.readyForService = *value;
+        } else if (line.keyword == "capacity-tbps") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            cable.capacityTbps = *value;
+        } else if (line.keyword == "landing") {
+            // `landing CC LAT LON` — three whitespace-separated tokens.
+            std::vector<std::string_view> tokens;
+            std::string_view rest = line.value;
+            while (!rest.empty()) {
+                const std::size_t split = rest.find_first_of(" \t");
+                tokens.push_back(rest.substr(0, split));
+                rest = split == std::string_view::npos
+                           ? std::string_view{}
+                           : trim(rest.substr(split + 1));
+            }
+            if (tokens.size() != 3) {
+                return E{parseError(line.number, line.keyword,
+                                    "expected 'landing <country> <lat> "
+                                    "<lon>'")};
+            }
+            phys::LandingStation landing;
+            landing.countryCode = std::string{tokens[0]};
+            Line fake = line;
+            fake.value = tokens[1];
+            auto lat = parseNumber<double>(fake, "a number");
+            if (!lat) {
+                return E{lat.error()};
+            }
+            fake.value = tokens[2];
+            auto lon = parseNumber<double>(fake, "a number");
+            if (!lon) {
+                return E{lon.error()};
+            }
+            landing.location = {*lat, *lon};
+            cable.landings.push_back(std::move(landing));
+        } else {
+            return E{parseError(line.number, line.keyword,
+                                "unknown cable field")};
+        }
+    }
+    return E{parseError(cursor.lastNumber(), "add-cable",
+                        "unterminated 'add-cable' block (missing 'end')")};
+}
+
+[[nodiscard]] net::Expected<BuildoutTemplate>
+parseBuildoutBlock(Cursor& cursor) {
+    using E = net::Expected<BuildoutTemplate>;
+    const Line& header = cursor.next();
+    BuildoutTemplate buildout;
+    auto name = parseName(header);
+    if (!name) {
+        return E{name.error()};
+    }
+    buildout.name = std::move(*name);
+    while (!cursor.done()) {
+        const Line& line = cursor.peek();
+        if (line.keyword == "end") {
+            cursor.next();
+            return buildout;
+        }
+        if (line.keyword == "add-cable") {
+            auto cable = parseCableBlock(cursor);
+            if (!cable) {
+                return E{cable.error()};
+            }
+            buildout.cablesAdded.push_back(std::move(*cable));
+            continue;
+        }
+        cursor.next();
+        if (line.keyword == "stress-cut") {
+            auto cable = parseName(line);
+            if (!cable) {
+                return E{cable.error()};
+            }
+            buildout.stressCuts.push_back(std::move(*cable));
+        } else if (line.keyword == "repair-days") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            buildout.repairDays = *value;
+        } else if (line.keyword == "weight") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            buildout.weight = *value;
+        } else {
+            return E{parseError(line.number, line.keyword,
+                                "unknown buildout field")};
+        }
+    }
+    return E{parseError(cursor.lastNumber(), "buildout",
+                        "unterminated 'buildout' block (missing 'end')")};
+}
+
+[[nodiscard]] net::Expected<SampledTemplate>
+parseSampledBlock(Cursor& cursor) {
+    using E = net::Expected<SampledTemplate>;
+    const Line& header = cursor.next();
+    SampledTemplate sampled;
+    auto name = parseName(header);
+    if (!name) {
+        return E{name.error()};
+    }
+    sampled.name = std::move(*name);
+    while (!cursor.done()) {
+        const Line& line = cursor.next();
+        if (line.keyword == "end") {
+            return sampled;
+        }
+        if (line.keyword == "seed") {
+            auto value = parseNumber<std::uint64_t>(line, "an integer");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.seed = *value;
+        } else if (line.keyword == "count") {
+            auto value = parseNumber<std::size_t>(line, "an integer");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.count = *value;
+        } else if (line.keyword == "importance-boost") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.importanceBoost = *value;
+        } else if (line.keyword == "repair-mean-days") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.repairMeanDays = *value;
+        } else if (line.keyword == "repair-floor-days") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.repairFloorDays = *value;
+        } else if (line.keyword == "same-corridor-prob") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.correlation.sameCorridorProb = *value;
+        } else if (line.keyword == "shared-landing-prob") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.correlation.sharedLandingProb = *value;
+        } else if (line.keyword == "max-prob") {
+            auto value = parseNumber<double>(line, "a number");
+            if (!value) {
+                return E{value.error()};
+            }
+            sampled.config.correlation.maxProb = *value;
+        } else {
+            return E{parseError(line.number, line.keyword,
+                                "unknown sampled field")};
+        }
+    }
+    return E{parseError(cursor.lastNumber(), "sampled",
+                        "unterminated 'sampled' block (missing 'end')")};
+}
+
+[[nodiscard]] net::Expected<void> expectExhausted(const Cursor& cursor) {
+    using V = net::Expected<void>;
+    if (!cursor.done()) {
+        const Line& line = cursor.peek();
+        return V{parseError(line.number, line.keyword,
+                            "trailing content after 'end'")};
+    }
+    return V::ok();
+}
+
+} // namespace
+
+net::Expected<MeasurementQuestion> parseQuestion(std::string_view text) {
+    using E = net::Expected<MeasurementQuestion>;
+    Cursor cursor{lex(text)};
+    if (cursor.done()) {
+        return E{net::Error::parse("empty input: expected a 'question' "
+                                   "block")};
+    }
+    if (cursor.peek().keyword != kQuestionKeyword) {
+        return E{parseError(cursor.peek().number, cursor.peek().keyword,
+                            "expected 'question <name>'")};
+    }
+    auto question = parseQuestionBlock(cursor);
+    if (!question) {
+        return question;
+    }
+    if (auto rest = expectExhausted(cursor); !rest) {
+        return E{rest.error()};
+    }
+    return question;
+}
+
+net::Expected<std::string>
+renderQuestion(const MeasurementQuestion& question) {
+    using E = net::Expected<std::string>;
+    if (auto ok = checkRenderable(question.name, "question"); !ok) {
+        return E{ok.error()};
+    }
+    for (const std::string& cable : question.corridor) {
+        if (auto ok = checkRenderable(cable, "cable"); !ok) {
+            return E{ok.error()};
+        }
+    }
+    for (const std::string& country : question.countries) {
+        if (auto ok = checkRenderable(country, "country"); !ok) {
+            return E{ok.error()};
+        }
+    }
+    std::string out;
+    renderLine(out, kQuestionKeyword, question.name);
+    renderLine(out, "kind", questionKindName(question.kind));
+    for (const std::string& country : question.countries) {
+        renderLine(out, "country", country);
+    }
+    renderLine(out, "landlocked-only",
+               question.landlockedOnly ? "true" : "false");
+    renderLine(out, "top-sites", std::to_string(question.topSites));
+    renderLine(out, "sample-pairs", std::to_string(question.samplePairs));
+    for (const std::string& cable : question.corridor) {
+        renderLine(out, "cable", cable);
+    }
+    renderNumberLine(out, "repair-days", question.repairDays);
+    renderNumberLine(out, "budget-usd", question.budgetUsd);
+    renderLine(out, "end", {});
+    return out;
+}
+
+net::Expected<scenario::ScenarioCatalog> parseCatalog(std::string_view text) {
+    using E = net::Expected<scenario::ScenarioCatalog>;
+    Cursor cursor{lex(text)};
+    if (cursor.done()) {
+        return E{net::Error::parse("empty input: expected a 'catalog' "
+                                   "block")};
+    }
+    if (cursor.peek().keyword != "catalog") {
+        return E{parseError(cursor.peek().number, cursor.peek().keyword,
+                            "expected 'catalog'")};
+    }
+    cursor.next();
+    ScenarioCatalog catalog;
+    bool terminated = false;
+    while (!cursor.done()) {
+        const Line& line = cursor.peek();
+        if (line.keyword == "end") {
+            cursor.next();
+            terminated = true;
+            break;
+        }
+        if (line.keyword == "cascade") {
+            auto cascade = parseCascadeBlock(cursor);
+            if (!cascade) {
+                return E{cascade.error()};
+            }
+            catalog.add(std::move(*cascade));
+        } else if (line.keyword == "buildout") {
+            auto buildout = parseBuildoutBlock(cursor);
+            if (!buildout) {
+                return E{buildout.error()};
+            }
+            catalog.add(std::move(*buildout));
+        } else if (line.keyword == "sampled") {
+            auto sampled = parseSampledBlock(cursor);
+            if (!sampled) {
+                return E{sampled.error()};
+            }
+            catalog.add(std::move(*sampled));
+        } else {
+            return E{parseError(line.number, line.keyword,
+                                "expected 'cascade', 'buildout', 'sampled' "
+                                "or 'end'")};
+        }
+    }
+    if (!terminated) {
+        return E{parseError(cursor.lastNumber(), "catalog",
+                            "unterminated 'catalog' block (missing 'end')")};
+    }
+    if (auto rest = expectExhausted(cursor); !rest) {
+        return E{rest.error()};
+    }
+    return catalog;
+}
+
+net::Expected<std::string>
+renderCatalog(const scenario::ScenarioCatalog& catalog) {
+    using E = net::Expected<std::string>;
+    std::string out;
+    renderLine(out, "catalog", {});
+    for (const CascadeTemplate& cascade : catalog.cascades()) {
+        if (auto ok = checkRenderable(cascade.name, "cascade"); !ok) {
+            return E{ok.error()};
+        }
+        renderLine(out, "cascade", cascade.name);
+        renderLine(out, "cumulative-cuts",
+                   cascade.cumulativeCuts ? "true" : "false");
+        renderNumberLine(out, "weight", cascade.weight);
+        for (const PhaseSpec& phase : cascade.phases) {
+            if (auto ok = checkRenderable(phase.name, "phase"); !ok) {
+                return E{ok.error()};
+            }
+            renderLine(out, "phase", phase.name);
+            renderLine(out, "type", phaseTypeToken(phase.type));
+            for (const std::string& cable : phase.cutCables) {
+                if (auto ok = checkRenderable(cable, "cut"); !ok) {
+                    return E{ok.error()};
+                }
+                renderLine(out, "cut", cable);
+            }
+            for (const std::string& country : phase.countries) {
+                if (auto ok = checkRenderable(country, "country"); !ok) {
+                    return E{ok.error()};
+                }
+                renderLine(out, "country", country);
+            }
+            renderNumberLine(out, "start-day", phase.startDay);
+            renderNumberLine(out, "duration-days", phase.durationDays);
+            renderLine(out, "end", {});
+        }
+        renderLine(out, "end", {});
+    }
+    for (const BuildoutTemplate& buildout : catalog.buildouts()) {
+        if (auto ok = checkRenderable(buildout.name, "buildout"); !ok) {
+            return E{ok.error()};
+        }
+        if (buildout.dnsOverride || buildout.contentOverride ||
+            buildout.linkMapOverride) {
+            return E{net::Error::parse(
+                "buildout '" + buildout.name +
+                "': config overrides are not representable as text — "
+                "register this template in code")};
+        }
+        renderLine(out, "buildout", buildout.name);
+        renderNumberLine(out, "repair-days", buildout.repairDays);
+        renderNumberLine(out, "weight", buildout.weight);
+        for (const std::string& cable : buildout.stressCuts) {
+            if (auto ok = checkRenderable(cable, "stress-cut"); !ok) {
+                return E{ok.error()};
+            }
+            renderLine(out, "stress-cut", cable);
+        }
+        for (const phys::SubseaCable& cable : buildout.cablesAdded) {
+            if (auto ok = checkRenderable(cable.name, "add-cable"); !ok) {
+                return E{ok.error()};
+            }
+            renderLine(out, "add-cable", cable.name);
+            renderLine(out, "corridor", std::to_string(cable.corridor));
+            renderLine(out, "ready", std::to_string(cable.readyForService));
+            renderNumberLine(out, "capacity-tbps", cable.capacityTbps);
+            for (const phys::LandingStation& landing : cable.landings) {
+                if (landing.countryCode.empty() ||
+                    landing.countryCode.find_first_of(" \t\n") !=
+                        std::string::npos) {
+                    return E{net::Error::parse(
+                        "field 'landing': country code '" +
+                        landing.countryCode + "' is not representable")};
+                }
+                std::string value = landing.countryCode;
+                value += ' ';
+                renderDouble(value, landing.location.latitude);
+                value += ' ';
+                renderDouble(value, landing.location.longitude);
+                renderLine(out, "landing", value);
+            }
+            renderLine(out, "end", {});
+        }
+        renderLine(out, "end", {});
+    }
+    for (const SampledTemplate& sampled : catalog.sampled()) {
+        if (auto ok = checkRenderable(sampled.name, "sampled"); !ok) {
+            return E{ok.error()};
+        }
+        renderLine(out, "sampled", sampled.name);
+        renderLine(out, "seed", std::to_string(sampled.config.seed));
+        renderLine(out, "count", std::to_string(sampled.config.count));
+        renderNumberLine(out, "importance-boost",
+                         sampled.config.importanceBoost);
+        renderNumberLine(out, "repair-mean-days",
+                         sampled.config.repairMeanDays);
+        renderNumberLine(out, "repair-floor-days",
+                         sampled.config.repairFloorDays);
+        renderNumberLine(out, "same-corridor-prob",
+                         sampled.config.correlation.sameCorridorProb);
+        renderNumberLine(out, "shared-landing-prob",
+                         sampled.config.correlation.sharedLandingProb);
+        renderNumberLine(out, "max-prob",
+                         sampled.config.correlation.maxProb);
+        renderLine(out, "end", {});
+    }
+    renderLine(out, "end", {});
+    return out;
+}
+
+} // namespace aio::plan

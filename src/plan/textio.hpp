@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netbase/expected.hpp"
+#include "plan/question.hpp"
+#include "scenario/catalog.hpp"
+
+namespace aio::plan {
+
+/// Line-oriented text front end for the two config values tenants ship to
+/// the observatory: MeasurementQuestions (the Plan/Estimate workload
+/// payload) and scenario catalogs (PR 9's declarative what-if templates).
+///
+/// Format: one `keyword [value]` pair per line, where the value runs to
+/// end of line (names may contain spaces); lines whose first non-blank
+/// character is `#` are comments (values may contain `#`); blocks
+/// open with their keyword (`question`, `catalog`, `cascade`, `phase`,
+/// `buildout`, `add-cable`, `sampled`) and close with `end`. Repeated
+/// keywords (`country`, `cable`, `cut`, `landing`, ...) append. Doubles
+/// render with max_digits10 precision, so parse(render(x)) == x holds
+/// bit-for-bit — the property the round-trip suite pins.
+///
+/// Every parse failure is a typed net::Error (Parse kind) carrying the
+/// 1-based line number and the offending field, e.g.
+/// `line 7: field 'top-sites': expected an integer, got 'ten'`.
+
+/// Parses one `question ... end` block.
+[[nodiscard]] net::Expected<MeasurementQuestion>
+parseQuestion(std::string_view text);
+
+/// Renders a question; parseQuestion(renderQuestion(q)) == q for any
+/// representable question (names must not start/end with whitespace or
+/// contain newlines — rendering such a question returns a Parse error
+/// rather than emitting text that cannot round-trip).
+[[nodiscard]] net::Expected<std::string>
+renderQuestion(const MeasurementQuestion& question);
+
+/// Parses one `catalog ... end` block into a scenario catalog.
+[[nodiscard]] net::Expected<scenario::ScenarioCatalog>
+parseCatalog(std::string_view text);
+
+/// Renders a catalog. Buildout templates carrying DNS/content/link-map
+/// config overrides are not representable as text (the profile arrays
+/// are code-level config) — rendering one returns a typed Parse error
+/// naming the template instead of silently dropping the override.
+[[nodiscard]] net::Expected<std::string>
+renderCatalog(const scenario::ScenarioCatalog& catalog);
+
+} // namespace aio::plan

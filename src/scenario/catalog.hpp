@@ -29,6 +29,8 @@ struct PhaseSpec {
     [[nodiscard]] resilience::FaultClass faultClass() const {
         return resilience::faultClassFor(type);
     }
+
+    [[nodiscard]] bool operator==(const PhaseSpec&) const = default;
 };
 
 /// A cascading failure or phased recovery: ordered phases (startDay
@@ -50,6 +52,8 @@ struct CascadeTemplate {
     [[nodiscard]] static CascadeTemplate
     phasedRecovery(std::string name, std::vector<std::string> cutCables,
                    double repairSpacingDays);
+
+    [[nodiscard]] bool operator==(const CascadeTemplate&) const = default;
 };
 
 /// A build-out future: hypothetical cables and/or config mandates
@@ -67,6 +71,8 @@ struct BuildoutTemplate {
     std::vector<std::string> stressCuts;
     double repairDays = 21.0;
     double weight = 1.0;
+
+    [[nodiscard]] bool operator==(const BuildoutTemplate&) const = default;
 };
 
 /// A Monte-Carlo block: `config.count` correlated-corridor scenarios
@@ -76,6 +82,8 @@ struct BuildoutTemplate {
 struct SampledTemplate {
     std::string name;
     SamplerConfig config;
+
+    [[nodiscard]] bool operator==(const SampledTemplate&) const = default;
 };
 
 /// The declarative scenario catalog: named what-if templates in, one
@@ -93,6 +101,21 @@ public:
     [[nodiscard]] std::size_t templateCount() const {
         return cascades_.size() + buildouts_.size() + sampled_.size();
     }
+
+    /// Templates by class, in insertion order — the serialization front
+    /// end (plan/textio) renders catalogs through these, and round-trip
+    /// equality compares through them.
+    [[nodiscard]] const std::vector<CascadeTemplate>& cascades() const {
+        return cascades_;
+    }
+    [[nodiscard]] const std::vector<BuildoutTemplate>& buildouts() const {
+        return buildouts_;
+    }
+    [[nodiscard]] const std::vector<SampledTemplate>& sampled() const {
+        return sampled_;
+    }
+
+    [[nodiscard]] bool operator==(const ScenarioCatalog&) const = default;
 
     /// Compiles every template into one batch, validating template
     /// structure (unique names, sane timelines, sampler configs) and

@@ -37,6 +37,8 @@ struct SamplerConfig {
     double repairFloorDays = 3.0;
 
     [[nodiscard]] net::Expected<void> validate() const;
+
+    [[nodiscard]] bool operator==(const SamplerConfig&) const = default;
 };
 
 /// Seeded correlated-corridor scenario sampler over a CableRegistry:

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "netbase/error.hpp"
+#include "service/workload.hpp"
 
 namespace aio::service {
 
@@ -27,6 +28,7 @@ std::string_view rejectReasonName(RejectReason reason) {
     case RejectReason::DeadlineUnmeetable: return "deadline_unmeetable";
     case RejectReason::UnknownTenant: return "unknown_tenant";
     case RejectReason::ShuttingDown: return "shutting_down";
+    case RejectReason::UnknownWorkload: return "unknown_workload";
     }
     return "?";
 }
@@ -55,6 +57,9 @@ void AdmissionConfig::validate() const {
                 "what-if cost must be non-negative and finite");
     requireCost(sweepCostMbPerScenario,
                 "sweep cost must be non-negative and finite");
+    requireCost(estimateCostMb,
+                "estimate cost must be non-negative and finite");
+    requireCost(planCostMb, "plan cost must be non-negative and finite");
 }
 
 AdmissionController::AdmissionController(AdmissionConfig config,
@@ -85,6 +90,12 @@ bool AdmissionController::knowsTenant(std::string_view tenant) const {
 
 double
 AdmissionController::costMbFor(const ServiceRequest& request) const {
+    if (registry_ != nullptr) {
+        // The registry attribute is the single default-cost seam: what
+        // admission bills here is byte-for-byte what the ledger records
+        // and what a plan estimate quotes.
+        return registry_->resolveCostMb(request);
+    }
     if (request.costMb > 0.0) {
         return request.costMb;
     }
@@ -106,14 +117,31 @@ AdmissionController::decide(const ServiceRequest& request,
     if (it == tenants_.end()) {
         return reject(RejectReason::UnknownTenant);
     }
+    const WorkloadInfo* info =
+        registry_ == nullptr ? nullptr
+                             : registry_->find(workloadNameOf(request));
+    if (registry_ != nullptr && info == nullptr) {
+        return reject(RejectReason::UnknownWorkload);
+    }
     if (request.deadlineNanos != exec::kNoDeadlineNanos &&
         request.deadlineNanos <= nowNanos) {
+        return reject(RejectReason::DeadlineUnmeetable);
+    }
+    if (info != nullptr && info->deadline == DeadlinePolicy::Required &&
+        request.deadlineNanos == exec::kNoDeadlineNanos) {
+        // A deadline-Required workload without a deadline can never meet
+        // one — same reject family as an already-passed deadline.
         return reject(RejectReason::DeadlineUnmeetable);
     }
     if (queueDepth >= config_.queueCapacity) {
         return reject(RejectReason::QueueFull);
     }
-    if (isHeavy(request.kind)) {
+    // Heaviness is a registry attribute; unbound controllers fall back
+    // to the legacy kind split (non-query = heavy).
+    const bool heavy = info != nullptr
+                           ? info->heavy
+                           : request.kind != RequestKind::Query;
+    if (heavy) {
         // Degradation ladder, cheapest rung first: shed heavy work at
         // the depth watermark, then at the resident-byte watermark.
         if (queueDepth >= config_.shedQueueDepth) {

@@ -12,6 +12,8 @@
 
 namespace aio::service {
 
+class WorkloadRegistry;
+
 /// One tenant's contract with the service: how its bytes are billed
 /// (same PricingModel family the probe scheduler uses, bundles and all)
 /// and how much it may spend.
@@ -34,11 +36,16 @@ struct AdmissionConfig {
     std::uint64_t shedResidentBytes = 0;
     /// Retry-after hint attached to load-shed rejections.
     std::uint64_t retryAfterNanos = 1'000'000'000;
-    /// Default billable megabytes per kind when the request leaves
-    /// costMb zero. Sweeps bill per scenario.
+    /// Default billable megabytes per builtin workload when the request
+    /// leaves costMb zero. Sweeps bill per scenario. These seed the
+    /// WorkloadRegistry's builtin attributes — cost resolution itself
+    /// lives on the registry (WorkloadInfo::defaultCostMb), the single
+    /// source admission billing and the charge ledger both read.
     double queryCostMb = 0.01;
     double whatIfCostMb = 0.5;
     double sweepCostMbPerScenario = 0.5;
+    double estimateCostMb = 0.05;
+    double planCostMb = 2.0;
 
     /// Throws net::PreconditionError when the queue is zero-capacity,
     /// the shed watermark is zero or above capacity, the retry hint is
@@ -72,13 +79,24 @@ public:
     void registerTenant(const TenantQuota& quota);
     [[nodiscard]] bool knowsTenant(std::string_view tenant) const;
 
+    /// Binds the workload registry (not owned, must outlive the
+    /// controller) that decides heaviness, deadline policy and default
+    /// costs by name. Unbound, the controller falls back to the legacy
+    /// RequestKind switch — same decisions for the three legacy kinds.
+    void bindRegistry(const WorkloadRegistry* registry) {
+        registry_ = registry;
+    }
+
     /// Decides one submission given the current load facts. Admission
     /// bills the request's megabytes against the tenant's meter.
     [[nodiscard]] AdmissionDecision
     decide(const ServiceRequest& request, std::uint64_t nowNanos,
            std::size_t queueDepth, std::uint64_t residentBytes);
 
-    /// Billable megabytes for `request` under the per-kind defaults.
+    /// Billable megabytes for `request`: delegates to the bound
+    /// registry's per-workload attributes (the resolution the ledger
+    /// records too — one seam, so estimate and billing cannot
+    /// disagree); legacy per-kind switch when unbound.
     [[nodiscard]] double costMbFor(const ServiceRequest& request) const;
 
     [[nodiscard]] double spentUsd(std::string_view tenant) const;
@@ -109,6 +127,7 @@ private:
 
     AdmissionConfig config_;
     obs::MetricsRegistry* metrics_;
+    const WorkloadRegistry* registry_ = nullptr;
     /// std::map: deterministic iteration for tests and digests.
     std::map<std::string, Tenant, std::less<>> tenants_;
 };

@@ -8,16 +8,19 @@
 
 #include "core/substrate.hpp"
 #include "exec/cancel.hpp"
+#include "plan/planner.hpp"
 #include "routing/route_oracle.hpp"
 #include "sweep/scenario_sweep.hpp"
 #include "topo/as_graph.hpp"
 
 namespace aio::service {
 
-/// What a tenant asks the resident service for. The three kinds span the
-/// cost spectrum deliberately: Query is a lookup against the snapshot's
-/// baseline oracle, WhatIf re-evaluates one scenario, Sweep runs a whole
-/// batch — the admission layer's heavy/light distinction keys off this.
+/// Legacy closed request taxonomy, kept as a compatibility shim: a
+/// request with an empty `workload` dispatches by `kind` through the
+/// WorkloadRegistry's builtin of the same name ("query" / "whatif" /
+/// "sweep"), with byte-identical admission decisions and ledger charges.
+/// New callers name the workload directly; new workloads (plan,
+/// estimate, tenant registrations) exist only by name.
 enum class RequestKind : std::uint8_t {
     Query, ///< baseline next-hop/reachability lookup (light)
     WhatIf, ///< one scenario through the sweep engine (heavy)
@@ -27,7 +30,11 @@ enum class RequestKind : std::uint8_t {
 [[nodiscard]] std::string_view requestKindName(RequestKind kind);
 
 /// True for the kinds the degradation ladder sheds first under load.
-[[nodiscard]] constexpr bool isHeavy(RequestKind kind) {
+/// Deprecated: the heavy/light split is a WorkloadRegistry attribute now
+/// (WorkloadInfo::heavy); this shim only covers the three legacy kinds.
+[[deprecated("heaviness is a WorkloadInfo attribute; consult the "
+             "WorkloadRegistry")]] [[nodiscard]] constexpr bool
+isHeavy(RequestKind kind) {
     return kind != RequestKind::Query;
 }
 
@@ -35,6 +42,9 @@ enum class RequestKind : std::uint8_t {
 /// (the ledger's idempotency key); callers leave it zero.
 struct ServiceRequest {
     std::string tenant;
+    /// Named workload to dispatch to. Empty = legacy shim: the enum
+    /// `kind` below names the builtin ("query"/"whatif"/"sweep").
+    std::string workload;
     RequestKind kind = RequestKind::Query;
 
     /// Query payload: baseline route lookup endpoints.
@@ -43,6 +53,11 @@ struct ServiceRequest {
 
     /// WhatIf (one entry) / Sweep (batch) payload.
     std::vector<core::ScenarioSpec> scenarios;
+
+    /// Plan/Estimate payload: a textual MeasurementQuestion in the
+    /// plan/textio format. Parse errors resolve the request as Failed
+    /// with the typed line/field message.
+    std::string questionText;
 
     /// Absolute deadline on the service clock;
     /// exec::kNoDeadlineNanos = none. Propagated into the execution
@@ -68,7 +83,8 @@ enum class RejectReason : std::uint8_t {
     BudgetExhausted,  ///< tenant's budget cannot pay for this request
     DeadlineUnmeetable, ///< deadline at or before the service clock now
     UnknownTenant,    ///< tenant was never registered
-    ShuttingDown      ///< service is draining; nothing new is admitted
+    ShuttingDown,     ///< service is draining; nothing new is admitted
+    UnknownWorkload   ///< no registered workload answers to this name
 };
 
 [[nodiscard]] std::string_view rejectReasonName(RejectReason reason);
@@ -106,6 +122,13 @@ struct ServiceResponse {
 
     /// WhatIf/Sweep payload.
     std::optional<sweep::SweepResult> sweep;
+
+    /// Estimate payload: the compiled plan with its pre-execution
+    /// cost/coverage estimate. Plan requests carry it too.
+    std::optional<plan::CampaignPlan> plan;
+    /// Plan payload: the executed campaign — answer rows, actual billed
+    /// wire cost, and the estimate-vs-actual verdict.
+    std::optional<plan::CampaignReport> report;
 
     double chargedUsd = 0.0; ///< what admission billed the tenant
     std::string error;       ///< Failed: the engine's message

@@ -11,11 +11,13 @@ ObservatoryService::ObservatoryService(
     const obs::Clock* clock, obs::MetricsRegistry* metrics,
     persist::ByteSink* ledgerSink)
     : config_(config), clock_(clock), metrics_(metrics), epochs_(metrics),
+      registry_(WorkloadRegistry::builtins(config.admission)),
       admission_(config.admission, metrics) {
     AIO_EXPECTS(initial != nullptr,
                 "service needs a valid initial snapshot");
     AIO_EXPECTS(clock != nullptr, "service needs a clock");
     config_.validate();
+    admission_.bindRegistry(&registry_);
     if (ledgerSink != nullptr) {
         ledger_ = std::make_unique<TenantLedger>(*ledgerSink);
     }
@@ -27,6 +29,15 @@ ObservatoryService::~ObservatoryService() { stop(); }
 void ObservatoryService::registerTenant(const TenantQuota& quota) {
     const std::lock_guard<std::mutex> lock{mutex_};
     admission_.registerTenant(quota);
+}
+
+void ObservatoryService::registerWorkload(WorkloadInfo info,
+                                          WorkloadHandler handler) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    AIO_EXPECTS(seq_ == 0 && handlers_.empty(),
+                "workload registration must precede the first "
+                "submission and start()");
+    registry_.add(std::move(info), std::move(handler));
 }
 
 void ObservatoryService::restoreLedger(
@@ -275,24 +286,14 @@ ServiceResponse ObservatoryService::execute(Pending& pending) {
     const exec::CancelToken token{clock_, request.deadlineNanos};
     try {
         token.checkpoint(); // the deadline may have passed while queued
-        switch (request.kind) {
-        case RequestKind::Query: {
-            const route::RouteOracle& oracle =
-                *pinned->substrate().analyzer().baselineOracle();
-            response.nextHop = oracle.nextHopOf(request.src, request.dst);
-            response.reachable = response.nextHop >= 0;
-            break;
-        }
-        case RequestKind::WhatIf:
-        case RequestKind::Sweep: {
-            sweep::SweepOptions options;
-            options.cancel = &token;
-            const sweep::ScenarioSweepEngine engine{pinned->substrate(),
-                                                    options};
-            response.sweep = engine.run(request.scenarios);
-            break;
-        }
-        }
+        WorkloadContext context;
+        context.snapshot = pinned.operator->();
+        context.cancel = &token;
+        // Admission already vetted the name; a lookup miss here would be
+        // a registry mutation after serving started, which
+        // registerWorkload forbids.
+        registry_.handler(workloadNameOf(request))(context, request,
+                                                   response);
         response.status = ResponseStatus::Ok;
         const std::lock_guard<std::mutex> lock{mutex_};
         ++completed_;
@@ -302,12 +303,16 @@ ServiceResponse ObservatoryService::execute(Pending& pending) {
     } catch (const net::CancelledError&) {
         response.status = ResponseStatus::Cancelled;
         response.sweep.reset();
+        response.plan.reset();
+        response.report.reset();
         if (metrics_ != nullptr) {
             metrics_->counter("service.cancelled").add();
         }
     } catch (const net::AioError& error) {
         response.status = ResponseStatus::Failed;
         response.sweep.reset();
+        response.plan.reset();
+        response.report.reset();
         response.error = error.what();
         if (metrics_ != nullptr) {
             metrics_->counter("service.failed").add();

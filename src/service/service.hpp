@@ -18,6 +18,7 @@
 #include "service/ledger.hpp"
 #include "service/request.hpp"
 #include "service/snapshot.hpp"
+#include "service/workload.hpp"
 
 namespace aio::service {
 
@@ -71,6 +72,16 @@ public:
     ObservatoryService& operator=(const ObservatoryService&) = delete;
 
     void registerTenant(const TenantQuota& quota);
+
+    /// Registers (or replaces) a named workload on top of the builtins
+    /// (query/whatif/sweep/estimate/plan). Must precede the first
+    /// submission and start() — the registry is immutable once serving,
+    /// which is what lets handlers dispatch through it lock-free.
+    void registerWorkload(WorkloadInfo info, WorkloadHandler handler);
+
+    [[nodiscard]] const WorkloadRegistry& workloads() const {
+        return registry_;
+    }
 
     /// Resume path: replays a prior ledger journal into the registered
     /// tenants' meters (deduped by (tenant, seq) — never double-charges)
@@ -141,6 +152,7 @@ private:
     const obs::Clock* clock_;
     obs::MetricsRegistry* metrics_;
     EpochRegistry epochs_;
+    WorkloadRegistry registry_;
     AdmissionController admission_;
     std::unique_ptr<TenantLedger> ledger_;
 

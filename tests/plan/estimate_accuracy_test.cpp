@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "plan/planner.hpp"
+#include "plan_test_util.hpp"
+
+// The planner's headline promise, differentially: for every (world seed,
+// question kind) cell the pre-execution estimate brackets the actual
+// billed wire cost — actuals land in [wireMb, maxWireMb] — and execution
+// is a pure function of the plan (re-running reproduces the report
+// byte-for-byte).
+namespace aio::plan {
+namespace {
+
+using testutil::contentQuestion;
+using testutil::detourQuestion;
+using testutil::ixpQuestion;
+using testutil::makeWorld;
+using testutil::outageQuestion;
+using testutil::someCables;
+
+TEST(EstimateAccuracy, ActualsLandInsideTheQuotedBoundOnAGrid) {
+    for (const std::uint64_t seed : {11u, 23u}) {
+        const auto world = makeWorld(seed);
+        const CampaignPlanner planner{*world->substrate};
+        const std::vector<MeasurementQuestion> questions{
+            contentQuestion(), detourQuestion(),
+            outageQuestion(someCables(*world->substrate, 2)),
+            ixpQuestion()};
+
+        for (const MeasurementQuestion& question : questions) {
+            const CampaignPlan plan =
+                planner.compile(question).valueOrRaise();
+            const CampaignReport report = planner.execute(plan);
+
+            EXPECT_TRUE(report.withinBound)
+                << "seed " << seed << ", " << question.name;
+            EXPECT_GE(report.actualWireMb,
+                      plan.estimate.wireMb * (1.0 - 1e-9))
+                << "seed " << seed << ", " << question.name;
+            EXPECT_LE(report.actualWireMb,
+                      plan.estimate.maxWireMb * (1.0 + 1e-9))
+                << "seed " << seed << ", " << question.name;
+            // The quoted dollars are a floor: actuals add only bounded
+            // retransmission jitter on top.
+            EXPECT_GE(report.actualCostUsd,
+                      plan.estimate.costUsd * (1.0 - 1e-9))
+                << "seed " << seed << ", " << question.name;
+            EXPECT_GE(report.estimateErrorShare, -1e-9)
+                << "seed " << seed << ", " << question.name;
+            EXPECT_LE(report.estimateErrorShare,
+                      planner.config().retransJitterMax + 1e-9)
+                << "seed " << seed << ", " << question.name;
+
+            // Execution is deterministic: the differential re-run.
+            EXPECT_EQ(planner.execute(plan), report)
+                << "seed " << seed << ", " << question.name;
+        }
+    }
+}
+
+TEST(EstimateAccuracy, ZeroJitterMakesTheEstimateExact) {
+    const auto world = makeWorld(11);
+    PlannerConfig config;
+    config.retransJitterMax = 0.0;
+    const CampaignPlanner planner{*world->substrate, config};
+
+    const CampaignPlan plan =
+        planner.compile(contentQuestion()).valueOrRaise();
+    const CampaignReport report = planner.execute(plan);
+    EXPECT_TRUE(report.withinBound);
+    EXPECT_NEAR(report.actualWireMb, plan.estimate.wireMb,
+                plan.estimate.wireMb * 1e-12);
+    EXPECT_NEAR(report.actualCostUsd, plan.estimate.costUsd,
+                plan.estimate.costUsd * 1e-12 + 1e-15);
+    EXPECT_NEAR(report.estimateErrorShare, 0.0, 1e-12);
+}
+
+TEST(EstimateAccuracy, AnEmptyPlanIsTriviallyWithinBound) {
+    const auto world = makeWorld(11);
+    const CampaignPlanner planner{*world->substrate};
+
+    MeasurementQuestion question = contentQuestion();
+    question.budgetUsd = 1e-12; // nothing fits
+    const CampaignPlan plan = planner.compile(question).valueOrRaise();
+    EXPECT_TRUE(plan.tasks.empty());
+    EXPECT_EQ(plan.estimate.wireMb, 0.0);
+    EXPECT_EQ(plan.estimate.coverage.countriesPlanned, 0u);
+
+    const CampaignReport report = planner.execute(plan);
+    EXPECT_TRUE(report.withinBound);
+    EXPECT_EQ(report.actualWireMb, 0.0);
+    EXPECT_EQ(report.tasksRun, 0u);
+}
+
+} // namespace
+} // namespace aio::plan

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "content/catalog.hpp"
+#include "core/substrate.hpp"
+#include "dns/resolver.hpp"
+#include "exec/worker_pool.hpp"
+#include "phys/cable.hpp"
+#include "plan/planner.hpp"
+#include "plan/question.hpp"
+#include "routing/oracle_cache.hpp"
+#include "topo/generator.hpp"
+
+namespace aio::plan::testutil {
+
+/// A test-sized world (the service suite's tinyConfig shape): snapshots
+/// and substrates build in milliseconds, and a fixed seed gives a fixed
+/// topology, so plan digests are stable across runs.
+inline topo::GeneratorConfig tinyConfig(std::uint64_t seed) {
+    auto config = topo::GeneratorConfig::defaults();
+    config.seed = seed;
+    for (auto& profile : config.africa) {
+        profile.asPerMillionPeople *= 0.4;
+        profile.minAsesPerCountry = 1;
+        profile.ixpCount = std::max(1, profile.ixpCount / 2);
+    }
+    config.europe.accessPerCountry = 2;
+    config.northAmerica.accessPerCountry = 2;
+    config.southAmerica.accessPerCountry = 2;
+    config.asiaPacific.accessPerCountry = 2;
+    return config;
+}
+
+/// Topology + optional accelerators + the Substrate borrowing them, with
+/// stable addresses (heap-held via makeWorld) so the borrows outlive any
+/// moves of the handle.
+struct World {
+    explicit World(std::uint64_t seed)
+        : topology(topo::TopologyGenerator{tinyConfig(seed)}.generate()) {}
+
+    topo::Topology topology;
+    std::optional<exec::WorkerPool> pool;
+    std::optional<route::OracleCache> cache;
+    std::optional<core::Substrate> substrate;
+};
+
+inline std::unique_ptr<World> makeWorld(std::uint64_t seed = 11,
+                                        bool withCache = false,
+                                        int poolThreads = 0) {
+    auto world = std::make_unique<World>(seed);
+    core::Substrate::Options options;
+    if (poolThreads > 0) {
+        world->pool.emplace(poolThreads);
+        options.pool = &*world->pool;
+    }
+    if (withCache) {
+        world->cache.emplace(world->topology, 16, options.pool);
+        options.oracleCache = &*world->cache;
+    }
+    world->substrate.emplace(
+        world->topology, phys::CableRegistry::africanDefaults(),
+        dns::DnsConfig::defaults(), content::ContentConfig::defaults(),
+        options);
+    return world;
+}
+
+/// First `count` cable names of the substrate's registry — a corridor
+/// that resolves by construction.
+inline std::vector<std::string> someCables(const core::Substrate& substrate,
+                                           std::size_t count) {
+    std::vector<std::string> names;
+    for (std::size_t id = 0;
+         id < count && id < substrate.registry().cableCount(); ++id) {
+        names.push_back(substrate.registry().cable(id).name);
+    }
+    return names;
+}
+
+inline MeasurementQuestion contentQuestion(
+    std::vector<std::string> countries = {}) {
+    MeasurementQuestion question;
+    question.name = "content locality of top sites";
+    question.kind = QuestionKind::ContentLocality;
+    question.countries = std::move(countries);
+    question.topSites = 20;
+    question.budgetUsd = 50.0;
+    return question;
+}
+
+inline MeasurementQuestion detourQuestion() {
+    MeasurementQuestion question;
+    question.name = "detour rate of landlocked countries";
+    question.kind = QuestionKind::DetourRate;
+    question.landlockedOnly = true;
+    question.samplePairs = 16;
+    question.budgetUsd = 50.0;
+    return question;
+}
+
+inline MeasurementQuestion
+outageQuestion(std::vector<std::string> corridor) {
+    MeasurementQuestion question;
+    question.name = "outage exposure of corridor";
+    question.kind = QuestionKind::OutageExposure;
+    question.corridor = std::move(corridor);
+    question.repairDays = 14.0;
+    question.budgetUsd = 50.0;
+    return question;
+}
+
+inline MeasurementQuestion ixpQuestion() {
+    MeasurementQuestion question;
+    question.name = "ixp coverage of eyeball vantages";
+    question.kind = QuestionKind::IxpCoverage;
+    question.budgetUsd = 50.0;
+    return question;
+}
+
+} // namespace aio::plan::testutil

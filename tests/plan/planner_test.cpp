@@ -1,0 +1,174 @@
+#include "plan/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/error.hpp"
+#include "plan_test_util.hpp"
+
+// CampaignPlanner contract: compilation is a pure function of
+// (substrate seed/topology, question) — byte-identical across repeats,
+// rebuilds and worker-pool thread counts; validation failures are typed;
+// a warm oracle cache changes the quoted cost, never the answer; and the
+// budget scheduler's drops are deterministic and budget-respecting.
+namespace aio::plan {
+namespace {
+
+using testutil::contentQuestion;
+using testutil::detourQuestion;
+using testutil::ixpQuestion;
+using testutil::makeWorld;
+using testutil::outageQuestion;
+using testutil::someCables;
+
+TEST(CampaignPlanner, CompileIsByteIdenticalAcrossRepeatsAndRebuilds) {
+    const auto world = makeWorld(11);
+    const CampaignPlanner planner{*world->substrate};
+    const MeasurementQuestion question = contentQuestion();
+
+    const CampaignPlan first = planner.compile(question).valueOrRaise();
+    const CampaignPlan second = planner.compile(question).valueOrRaise();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.digest(), second.digest());
+    EXPECT_FALSE(first.tasks.empty());
+
+    // A separately generated world with the same seed compiles the same
+    // plan bytes — nothing leaks in from process state.
+    const auto rebuilt = makeWorld(11);
+    const CampaignPlanner other{*rebuilt->substrate};
+    EXPECT_EQ(other.compile(question).valueOrRaise().digest(),
+              first.digest());
+}
+
+TEST(CampaignPlanner, PlanAndReportAreIdenticalAcrossPoolThreadCounts) {
+    const MeasurementQuestion question =
+        outageQuestion(someCables(*makeWorld(11)->substrate, 2));
+
+    std::optional<std::uint64_t> expectedDigest;
+    std::optional<CampaignReport> expectedReport;
+    for (const int threads : {1, 2, 8}) {
+        const auto world = makeWorld(11, false, threads);
+        const CampaignPlanner planner{*world->substrate};
+        const CampaignPlan plan = planner.compile(question).valueOrRaise();
+        const CampaignReport report = planner.execute(plan);
+        if (!expectedDigest) {
+            expectedDigest = plan.digest();
+            expectedReport = report;
+            continue;
+        }
+        EXPECT_EQ(plan.digest(), *expectedDigest)
+            << "thread count " << threads << " changed the plan bytes";
+        EXPECT_EQ(report, *expectedReport)
+            << "thread count " << threads << " changed the answer";
+    }
+}
+
+TEST(CampaignPlanner, ValidationFailuresAreTyped) {
+    const auto world = makeWorld(11);
+    const CampaignPlanner planner{*world->substrate};
+
+    MeasurementQuestion unknown = contentQuestion({"ZZ"});
+    const auto notFound = planner.compile(unknown);
+    ASSERT_FALSE(notFound.hasValue());
+    EXPECT_EQ(notFound.error().kind, net::Error::Kind::NotFound);
+
+    MeasurementQuestion nonAfrican = contentQuestion({"US"});
+    const auto precondition = planner.compile(nonAfrican);
+    ASSERT_FALSE(precondition.hasValue());
+    EXPECT_EQ(precondition.error().kind, net::Error::Kind::Precondition);
+
+    MeasurementQuestion unnamed = contentQuestion();
+    unnamed.name.clear();
+    EXPECT_FALSE(planner.compile(unnamed).hasValue());
+
+    MeasurementQuestion broke = contentQuestion();
+    broke.budgetUsd = 0.0;
+    EXPECT_FALSE(planner.compile(broke).hasValue());
+
+    MeasurementQuestion ghostCable = outageQuestion({"no-such-cable"});
+    const auto ghost = planner.compile(ghostCable);
+    ASSERT_FALSE(ghost.hasValue());
+    EXPECT_EQ(ghost.error().kind, net::Error::Kind::NotFound);
+
+    MeasurementQuestion noCorridor = outageQuestion({});
+    EXPECT_FALSE(planner.compile(noCorridor).hasValue());
+}
+
+TEST(CampaignPlanner, WarmCacheCutsTheQuoteWithoutChangingTheAnswer) {
+    const auto world = makeWorld(11, /*withCache=*/true);
+    const CampaignPlanner planner{*world->substrate};
+    const MeasurementQuestion question =
+        outageQuestion(someCables(*world->substrate, 2));
+
+    const CampaignPlan cold = planner.compile(question).valueOrRaise();
+    EXPECT_EQ(cold.estimate.prunedTasks, 0u);
+
+    // Executing runs every scenario through the sweep engine, which
+    // seeds the shared oracle cache with the degraded routing states.
+    const CampaignReport coldReport = planner.execute(cold);
+
+    const CampaignPlan warm = planner.compile(question).valueOrRaise();
+    EXPECT_GT(warm.estimate.prunedTasks, 0u);
+    EXPECT_LT(warm.estimate.wireMb, cold.estimate.wireMb);
+    EXPECT_LE(warm.estimate.costUsd, cold.estimate.costUsd);
+
+    // Cache temperature is a cost concern, never an answer concern.
+    const CampaignReport warmReport = planner.execute(warm);
+    EXPECT_EQ(warmReport.answer, coldReport.answer);
+    EXPECT_LT(warmReport.actualWireMb, coldReport.actualWireMb);
+    EXPECT_TRUE(warmReport.withinBound);
+}
+
+TEST(CampaignPlanner, BudgetDropsTasksDeterministicallyAndRespectsCap) {
+    const auto world = makeWorld(11);
+    const CampaignPlanner planner{*world->substrate};
+
+    MeasurementQuestion roomy = contentQuestion();
+    const CampaignPlan full = planner.compile(roomy).valueOrRaise();
+    ASSERT_GT(full.tasks.size(), 2u);
+    EXPECT_TRUE(full.dropped.empty());
+
+    // Price the budget at roughly half the full campaign: some tasks
+    // must drop, and what remains still fits under the cap.
+    MeasurementQuestion tight = roomy;
+    tight.budgetUsd = full.estimate.costUsd / 2.0;
+    const CampaignPlan squeezed = planner.compile(tight).valueOrRaise();
+    EXPECT_FALSE(squeezed.dropped.empty());
+    EXPECT_LT(squeezed.tasks.size(), full.tasks.size());
+    EXPECT_EQ(squeezed.tasks.size() + squeezed.dropped.size(),
+              full.tasks.size());
+    EXPECT_LE(squeezed.estimate.costUsd, tight.budgetUsd + 1e-9);
+
+    EXPECT_EQ(squeezed.digest(),
+              planner.compile(tight).valueOrRaise().digest());
+
+    // Coverage honestly reports the shrinkage.
+    EXPECT_LT(squeezed.estimate.coverage.countriesPlanned,
+              squeezed.estimate.coverage.countriesRequested);
+    EXPECT_LT(squeezed.estimate.coverage.countryShare(), 1.0);
+}
+
+TEST(CampaignPlanner, EveryQuestionKindCompilesAndAnswers) {
+    const auto world = makeWorld(11);
+    const CampaignPlanner planner{*world->substrate};
+    const std::vector<MeasurementQuestion> questions{
+        contentQuestion(), detourQuestion(),
+        outageQuestion(someCables(*world->substrate, 2)), ixpQuestion()};
+
+    for (const MeasurementQuestion& question : questions) {
+        const CampaignPlan plan = planner.compile(question).valueOrRaise();
+        EXPECT_FALSE(plan.tasks.empty()) << question.name;
+        EXPECT_GT(plan.estimate.wireMb, 0.0) << question.name;
+        EXPECT_GT(plan.estimate.costUsd, 0.0) << question.name;
+        EXPECT_GE(plan.estimate.coverage.countryShare(), 0.0)
+            << question.name;
+
+        const CampaignReport report = planner.execute(plan);
+        EXPECT_FALSE(report.answer.rows.empty()) << question.name;
+        EXPECT_GE(report.answer.overall, 0.0) << question.name;
+        EXPECT_LE(report.answer.overall, 1.0) << question.name;
+        EXPECT_EQ(report.tasksRun, plan.tasks.size()) << question.name;
+    }
+}
+
+} // namespace
+} // namespace aio::plan

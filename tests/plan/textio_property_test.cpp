@@ -1,0 +1,270 @@
+#include "plan/textio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netbase/rng.hpp"
+
+// The serialization front end's two contracts: parse(render(x)) == x
+// bit-for-bit for every representable value (property + randomized
+// rounds), and every failure — parse or render — is a typed Parse error
+// carrying line/field context, never a crash (fuzz corpus).
+namespace aio::plan {
+namespace {
+
+using scenario::BuildoutTemplate;
+using scenario::CascadeTemplate;
+using scenario::PhaseSpec;
+using scenario::SampledTemplate;
+using scenario::ScenarioCatalog;
+
+[[nodiscard]] MeasurementQuestion sampleQuestion(net::Rng& rng) {
+    static const std::vector<std::string> names{
+        "content locality of top-100 sites",
+        "detour rate for landlocked countries",
+        "outage exposure of corridor X", "q#7 (with punctuation)"};
+    static const std::vector<std::string> countries{"NG", "KE", "ZA", "RW",
+                                                    "SN", "ET"};
+    static const std::vector<std::string> cables{
+        "WACS", "2Africa", "Equiano", "cable with spaces"};
+
+    MeasurementQuestion question;
+    question.name = rng.pick(names);
+    question.kind = static_cast<QuestionKind>(
+        static_cast<int>(rng.uniform01() * 3.999));
+    for (const std::string& country : countries) {
+        if (rng.uniform01() < 0.4) {
+            question.countries.push_back(country);
+        }
+    }
+    question.landlockedOnly = rng.uniform01() < 0.5;
+    question.topSites = 1 + static_cast<int>(rng.uniform01() * 500.0);
+    question.samplePairs =
+        1 + static_cast<std::size_t>(rng.uniform01() * 4096.0);
+    for (const std::string& cable : cables) {
+        if (rng.uniform01() < 0.5) {
+            question.corridor.push_back(cable);
+        }
+    }
+    // Awkward doubles on purpose: round-tripping must be bit-exact even
+    // for values with no short decimal form.
+    question.repairDays = rng.uniform01() * 90.0 + 1e-9;
+    question.budgetUsd = rng.uniform01() * 1e6 + 1e-7;
+    return question;
+}
+
+[[nodiscard]] ScenarioCatalog sampleCatalog(net::Rng& rng) {
+    ScenarioCatalog catalog;
+    const int cascades = 1 + static_cast<int>(rng.uniform01() * 2.0);
+    for (int c = 0; c < cascades; ++c) {
+        CascadeTemplate cascade;
+        cascade.name = "cascade " + std::to_string(c);
+        cascade.cumulativeCuts = rng.uniform01() < 0.5;
+        cascade.weight = rng.uniform01() * 3.0 + 0.1;
+        const int phases = 1 + static_cast<int>(rng.uniform01() * 3.0);
+        for (int p = 0; p < phases; ++p) {
+            PhaseSpec phase;
+            phase.name = "phase " + std::to_string(p);
+            phase.type = static_cast<outage::OutageType>(
+                static_cast<int>(rng.uniform01() * 3.999));
+            if (rng.uniform01() < 0.7) {
+                phase.cutCables = {"WACS", "cable with spaces"};
+            }
+            if (rng.uniform01() < 0.5) {
+                phase.countries = {"NG", "GH"};
+            }
+            phase.startDay = rng.uniform01() * 30.0;
+            phase.durationDays = rng.uniform01() * 40.0 + 0.5;
+            cascade.phases.push_back(std::move(phase));
+        }
+        catalog.add(std::move(cascade));
+    }
+
+    BuildoutTemplate buildout;
+    buildout.name = "buildout (double landing)";
+    buildout.repairDays = rng.uniform01() * 30.0 + 1.0;
+    buildout.weight = rng.uniform01() + 0.5;
+    buildout.stressCuts = {"SAT-3"};
+    phys::SubseaCable cable;
+    cable.name = "hypothetical east-coast express";
+    cable.corridor = static_cast<phys::CorridorId>(rng.uniform01() * 9.0);
+    cable.readyForService = 2026;
+    cable.capacityTbps = rng.uniform01() * 200.0 + 1.0;
+    cable.landings.push_back(
+        {"KE", {rng.uniform01() * 10.0 - 5.0, rng.uniform01() * 80.0}});
+    cable.landings.push_back(
+        {"ZA", {-rng.uniform01() * 35.0, rng.uniform01() * 40.0}});
+    buildout.cablesAdded.push_back(std::move(cable));
+    catalog.add(std::move(buildout));
+
+    SampledTemplate sampled;
+    sampled.name = "monte carlo block";
+    sampled.config.seed =
+        static_cast<std::uint64_t>(rng.uniform01() * 1e9);
+    sampled.config.count =
+        1 + static_cast<std::size_t>(rng.uniform01() * 5000.0);
+    sampled.config.importanceBoost = 1.0 + rng.uniform01() * 4.0;
+    sampled.config.repairMeanDays = rng.uniform01() * 40.0 + 3.0;
+    sampled.config.repairFloorDays = rng.uniform01() * 3.0 + 0.1;
+    sampled.config.correlation.sameCorridorProb = rng.uniform01() * 0.9;
+    sampled.config.correlation.sharedLandingProb = rng.uniform01() * 0.2;
+    sampled.config.correlation.maxProb = 0.9 + rng.uniform01() * 0.09;
+    catalog.add(std::move(sampled));
+    return catalog;
+}
+
+TEST(TextioProperty, QuestionRoundTripsBitForBit) {
+    net::Rng rng{2025};
+    for (int round = 0; round < 200; ++round) {
+        const MeasurementQuestion question = sampleQuestion(rng);
+        const auto text = renderQuestion(question);
+        ASSERT_TRUE(text.hasValue());
+        const auto back = parseQuestion(*text);
+        ASSERT_TRUE(back.hasValue()) << *text << "\n"
+                                     << back.error().message;
+        EXPECT_EQ(*back, question) << *text;
+        // Rendering the parsed value reproduces the text itself —
+        // render is canonical.
+        EXPECT_EQ(renderQuestion(*back).valueOrRaise(), *text);
+    }
+}
+
+TEST(TextioProperty, CatalogRoundTripsBitForBit) {
+    net::Rng rng{4242};
+    for (int round = 0; round < 60; ++round) {
+        const ScenarioCatalog catalog = sampleCatalog(rng);
+        const auto text = renderCatalog(catalog);
+        ASSERT_TRUE(text.hasValue());
+        const auto back = parseCatalog(*text);
+        ASSERT_TRUE(back.hasValue()) << *text << "\n"
+                                     << back.error().message;
+        EXPECT_EQ(*back, catalog) << *text;
+        EXPECT_EQ(renderCatalog(*back).valueOrRaise(), *text);
+    }
+}
+
+TEST(TextioProperty, CommentsAndBlankLinesAreInsignificant) {
+    const auto parsed = parseQuestion("# leading comment\n\n"
+                                      "question q\n"
+                                      "   # indented comment\n"
+                                      "kind detour-rate\n"
+                                      "\t\n"
+                                      "country NG\n"
+                                      "end\n");
+    ASSERT_TRUE(parsed.hasValue());
+    EXPECT_EQ((*parsed).kind, QuestionKind::DetourRate);
+    EXPECT_EQ((*parsed).countries, std::vector<std::string>{"NG"});
+}
+
+TEST(TextioProperty, ParseErrorsCarryLineAndFieldContext) {
+    const auto badInt =
+        parseQuestion("question q\ntop-sites ten\nend\n");
+    ASSERT_FALSE(badInt.hasValue());
+    EXPECT_EQ(badInt.error().kind, net::Error::Kind::Parse);
+    EXPECT_NE(badInt.error().message.find("line 2"), std::string::npos)
+        << badInt.error().message;
+    EXPECT_NE(badInt.error().message.find("top-sites"), std::string::npos);
+
+    const auto unknownField =
+        parseQuestion("question q\nfrobnicate 3\nend\n");
+    ASSERT_FALSE(unknownField.hasValue());
+    EXPECT_NE(unknownField.error().message.find("frobnicate"),
+              std::string::npos);
+
+    const auto unterminated = parseQuestion("question q\nkind ixp-coverage");
+    ASSERT_FALSE(unterminated.hasValue());
+    EXPECT_NE(unterminated.error().message.find("unterminated"),
+              std::string::npos);
+
+    const auto trailing = parseQuestion("question q\nend\nquestion r\nend");
+    ASSERT_FALSE(trailing.hasValue());
+    EXPECT_NE(trailing.error().message.find("trailing"),
+              std::string::npos);
+
+    const auto empty = parseQuestion("  \n# only a comment\n");
+    ASSERT_FALSE(empty.hasValue());
+    EXPECT_EQ(empty.error().kind, net::Error::Kind::Parse);
+
+    const auto badPhase = parseCatalog(
+        "catalog\ncascade c\nphase p\ntype earthquake\nend\nend\nend\n");
+    ASSERT_FALSE(badPhase.hasValue());
+    EXPECT_NE(badPhase.error().message.find("earthquake"),
+              std::string::npos);
+    EXPECT_NE(badPhase.error().message.find("line 4"), std::string::npos);
+}
+
+TEST(TextioProperty, RenderRefusesUnrepresentableValues) {
+    MeasurementQuestion padded;
+    padded.name = " padded ";
+    const auto paddedResult = renderQuestion(padded);
+    ASSERT_FALSE(paddedResult.hasValue());
+    EXPECT_EQ(paddedResult.error().kind, net::Error::Kind::Parse);
+
+    MeasurementQuestion multiline;
+    multiline.name = "two\nlines";
+    EXPECT_FALSE(renderQuestion(multiline).hasValue());
+
+    ScenarioCatalog catalog;
+    BuildoutTemplate buildout;
+    buildout.name = "mandated localization";
+    buildout.dnsOverride = dns::DnsConfig::defaults();
+    catalog.add(buildout);
+    const auto overridden = renderCatalog(catalog);
+    ASSERT_FALSE(overridden.hasValue());
+    EXPECT_NE(overridden.error().message.find("mandated localization"),
+              std::string::npos)
+        << overridden.error().message;
+}
+
+// Fuzz corpus: truncations at every byte boundary plus seeded byte
+// flips. Parsing must always return a value or a typed error — the
+// ASan/UBSan CI lane runs exactly this test by name.
+TEST(TextioFuzz, MalformedInputsAlwaysYieldTypedErrors) {
+    net::Rng rng{777};
+    const MeasurementQuestion question = sampleQuestion(rng);
+    const ScenarioCatalog catalog = sampleCatalog(rng);
+    const std::string questionText =
+        renderQuestion(question).valueOrRaise();
+    const std::string catalogText = renderCatalog(catalog).valueOrRaise();
+
+    const auto probeQuestion = [](const std::string& text) {
+        const auto result = parseQuestion(text);
+        if (!result.hasValue()) {
+            EXPECT_EQ(result.error().kind, net::Error::Kind::Parse);
+            EXPECT_FALSE(result.error().message.empty());
+        }
+    };
+    const auto probeCatalog = [](const std::string& text) {
+        const auto result = parseCatalog(text);
+        if (!result.hasValue()) {
+            EXPECT_EQ(result.error().kind, net::Error::Kind::Parse);
+            EXPECT_FALSE(result.error().message.empty());
+        }
+    };
+
+    for (std::size_t cut = 0; cut <= questionText.size(); ++cut) {
+        probeQuestion(questionText.substr(0, cut));
+    }
+    for (std::size_t cut = 0; cut <= catalogText.size(); ++cut) {
+        probeCatalog(catalogText.substr(0, cut));
+    }
+    for (int round = 0; round < 300; ++round) {
+        std::string mutated =
+            rng.uniform01() < 0.5 ? questionText : catalogText;
+        const std::size_t flips =
+            1 + static_cast<std::size_t>(rng.uniform01() * 4.0);
+        for (std::size_t f = 0; f < flips; ++f) {
+            const auto at = static_cast<std::size_t>(
+                rng.uniform01() * static_cast<double>(mutated.size()));
+            mutated[std::min(at, mutated.size() - 1)] =
+                static_cast<char>(rng.uniform01() * 127.0);
+        }
+        probeQuestion(mutated);
+        probeCatalog(mutated);
+    }
+}
+
+} // namespace
+} // namespace aio::plan

@@ -1,0 +1,258 @@
+#include "service/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "netbase/error.hpp"
+#include "obs/clock.hpp"
+#include "persist/record.hpp"
+#include "service/ledger.hpp"
+#include "service/service.hpp"
+#include "service_test_util.hpp"
+
+// The named-workload registry behind the service API: the legacy
+// RequestKind enum is a shim over the same registry (byte-identical
+// responses and ledger journals), cost defaults live on the workload
+// attribute so the admission estimate and the billed charge share one
+// seam, and the new plan/estimate workloads ride the same admission
+// ladder as the builtins.
+namespace aio::service {
+namespace {
+
+using testutil::cableCuts;
+using testutil::queryRequest;
+using testutil::quotaFor;
+using testutil::sweepRequest;
+using testutil::tinySnapshot;
+
+constexpr const char* kQuestionText = "question frontdoor demo\n"
+                                      "kind content-locality\n"
+                                      "top-sites 10\n"
+                                      "budget-usd 40\n"
+                                      "end\n";
+
+ServiceRequest namedRequest(std::string workload, std::string tenant) {
+    ServiceRequest request;
+    request.workload = std::move(workload);
+    request.tenant = std::move(tenant);
+    return request;
+}
+
+TEST(WorkloadRegistry, BuiltinsCarryTheirAttributes) {
+    const AdmissionConfig config;
+    const WorkloadRegistry registry = WorkloadRegistry::builtins(config);
+    ASSERT_EQ(registry.size(), 5u);
+
+    const WorkloadInfo* query = registry.find("query");
+    ASSERT_NE(query, nullptr);
+    EXPECT_FALSE(query->heavy);
+    EXPECT_EQ(query->defaultCostMb, config.queryCostMb);
+    EXPECT_EQ(query->deadline, DeadlinePolicy::Optional);
+
+    const WorkloadInfo* sweep = registry.find("sweep");
+    ASSERT_NE(sweep, nullptr);
+    EXPECT_TRUE(sweep->heavy);
+    EXPECT_TRUE(sweep->perScenario);
+
+    const WorkloadInfo* plan = registry.find("plan");
+    ASSERT_NE(plan, nullptr);
+    EXPECT_TRUE(plan->heavy);
+    EXPECT_EQ(plan->deadline, DeadlinePolicy::Required);
+
+    EXPECT_EQ(registry.find("nonsense"), nullptr);
+    EXPECT_THROW((void)registry.handler("nonsense"), net::NotFoundError);
+
+    // Cost resolution: explicit costMb wins; otherwise the attribute,
+    // scaled per scenario for batch workloads.
+    ServiceRequest request = sweepRequest("acme", cableCuts({"WACS"}));
+    request.kind = RequestKind::Sweep;
+    EXPECT_DOUBLE_EQ(registry.resolveCostMb(request),
+                     config.sweepCostMbPerScenario);
+    request.scenarios = cableCuts({"WACS", "SAT-3"});
+    EXPECT_DOUBLE_EQ(registry.resolveCostMb(request),
+                     2.0 * config.sweepCostMbPerScenario);
+    request.costMb = 9.5;
+    EXPECT_DOUBLE_EQ(registry.resolveCostMb(request), 9.5);
+}
+
+TEST(ObservatoryService, NamedDispatchMatchesTheLegacyEnumByteForByte) {
+    const auto snapshot = tinySnapshot(31);
+    obs::ManualClock legacyClock;
+    obs::ManualClock namedClock;
+    persist::MemorySink legacyJournal;
+    persist::MemorySink namedJournal;
+    ObservatoryService legacy{snapshot, {}, &legacyClock, nullptr,
+                              &legacyJournal};
+    ObservatoryService named{snapshot, {}, &namedClock, nullptr,
+                             &namedJournal};
+    legacy.registerTenant(quotaFor("acme"));
+    named.registerTenant(quotaFor("acme"));
+
+    // Legacy side speaks the enum (workload empty); named side names the
+    // builtin and leaves the enum at its default to prove the name wins.
+    std::vector<ServiceRequest> viaEnum{
+        queryRequest("acme", 0, 1),
+        sweepRequest("acme", cableCuts({"WACS"})),
+        sweepRequest("acme", cableCuts({"WACS", "SAT-3"}))};
+    std::vector<ServiceRequest> viaName;
+    for (const char* workload : {"query", "whatif", "sweep"}) {
+        viaName.push_back(namedRequest(workload, "acme"));
+    }
+    viaName[0].src = 0;
+    viaName[0].dst = 1;
+    viaName[1].scenarios = cableCuts({"WACS"});
+    viaName[2].scenarios = cableCuts({"WACS", "SAT-3"});
+
+    for (std::size_t i = 0; i < viaEnum.size(); ++i) {
+        auto legacyFuture = legacy.submit(viaEnum[i]);
+        auto namedFuture = named.submit(viaName[i]);
+        ASSERT_EQ(legacy.drain(), 1u);
+        ASSERT_EQ(named.drain(), 1u);
+        const ServiceResponse a = legacyFuture.get();
+        const ServiceResponse b = namedFuture.get();
+        ASSERT_EQ(a.status, ResponseStatus::Ok) << "request " << i;
+        EXPECT_EQ(b.status, a.status) << "request " << i;
+        EXPECT_EQ(b.seq, a.seq);
+        EXPECT_EQ(b.nextHop, a.nextHop);
+        EXPECT_EQ(b.reachable, a.reachable);
+        EXPECT_DOUBLE_EQ(b.chargedUsd, a.chargedUsd);
+        ASSERT_EQ(a.sweep.has_value(), b.sweep.has_value());
+        if (a.sweep) {
+            ASSERT_EQ(b.sweep->scenarios.size(), a.sweep->scenarios.size());
+            for (std::size_t s = 0; s < a.sweep->scenarios.size(); ++s) {
+                EXPECT_EQ(b.sweep->scenarios[s].scenario,
+                          a.sweep->scenarios[s].scenario);
+            }
+        }
+    }
+
+    EXPECT_DOUBLE_EQ(named.admission().spentUsd("acme"),
+                     legacy.admission().spentUsd("acme"));
+    // The write-ahead ledgers agree byte for byte: the shim changed
+    // nothing about what gets charged or journaled.
+    const auto namedBytes = namedJournal.bytes();
+    const auto legacyBytes = legacyJournal.bytes();
+    EXPECT_TRUE(std::ranges::equal(namedBytes, legacyBytes));
+}
+
+TEST(ObservatoryService, EstimateAndBillingShareTheWorkloadCostSeam) {
+    const ServiceConfig config;
+    const auto snapshot = tinySnapshot(31);
+    obs::ManualClock clock;
+    persist::MemorySink journal;
+    ObservatoryService service{snapshot, config, &clock, nullptr,
+                               &journal};
+    service.registerTenant(quotaFor("acme"));
+
+    // costMb deliberately left 0: resolution happens on the registry
+    // attribute, so the pre-admission estimate and the billed charge
+    // cannot disagree.
+    ServiceRequest estimate = namedRequest("estimate", "acme");
+    estimate.questionText = kQuestionText;
+    EXPECT_DOUBLE_EQ(service.admission().costMbFor(estimate),
+                     config.admission.estimateCostMb);
+
+    ServiceRequest planned = namedRequest("plan", "acme");
+    planned.questionText = kQuestionText;
+    planned.deadlineNanos = clock.nowNanos() + 60'000'000'000ULL;
+    EXPECT_DOUBLE_EQ(service.admission().costMbFor(planned),
+                     config.admission.planCostMb);
+
+    auto estimateFuture = service.submit(estimate);
+    auto planFuture = service.submit(planned);
+    ASSERT_EQ(service.drain(), 2u);
+    ASSERT_EQ(estimateFuture.get().status, ResponseStatus::Ok);
+    ASSERT_EQ(planFuture.get().status, ResponseStatus::Ok);
+
+    const auto replayed = TenantLedger::replay(journal.bytes());
+    const auto it = replayed.tenants.find("acme");
+    ASSERT_NE(it, replayed.tenants.end());
+    EXPECT_EQ(it->second.charges, 2u);
+    EXPECT_DOUBLE_EQ(it->second.peakMb + it->second.offPeakMb,
+                     config.admission.estimateCostMb +
+                         config.admission.planCostMb);
+}
+
+TEST(ObservatoryService, UnknownWorkloadIsATypedReject) {
+    const auto snapshot = tinySnapshot(31);
+    obs::ManualClock clock;
+    ObservatoryService service{snapshot, {}, &clock};
+    service.registerTenant(quotaFor("acme"));
+
+    auto future = service.submit(namedRequest("nonsense", "acme"));
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ResponseStatus::Rejected);
+    EXPECT_EQ(response.reject, RejectReason::UnknownWorkload);
+    EXPECT_EQ(service.drain(), 0u);
+    // A typed reject is free: nothing was admitted, nothing billed.
+    EXPECT_DOUBLE_EQ(service.admission().spentUsd("acme"), 0.0);
+}
+
+TEST(ObservatoryService, PlanWorkloadEnforcesItsDeadlinePolicy) {
+    const auto snapshot = tinySnapshot(31);
+    obs::ManualClock clock;
+    ObservatoryService service{snapshot, {}, &clock};
+    service.registerTenant(quotaFor("acme"));
+
+    ServiceRequest bare = namedRequest("plan", "acme");
+    bare.questionText = kQuestionText;
+    auto rejected = service.submit(bare);
+    EXPECT_EQ(rejected.get().reject, RejectReason::DeadlineUnmeetable);
+
+    ServiceRequest withDeadline = bare;
+    withDeadline.deadlineNanos = clock.nowNanos() + 60'000'000'000ULL;
+    auto future = service.submit(withDeadline);
+    ASSERT_EQ(service.drain(), 1u);
+    const ServiceResponse response = future.get();
+    ASSERT_EQ(response.status, ResponseStatus::Ok) << response.error;
+    ASSERT_TRUE(response.plan.has_value());
+    ASSERT_TRUE(response.report.has_value());
+    EXPECT_FALSE(response.plan->tasks.empty());
+    EXPECT_TRUE(response.report->withinBound);
+    EXPECT_FALSE(response.report->answer.rows.empty());
+
+    // A malformed question is an execution failure with the typed
+    // line/field parse message, not a crash and not a reject.
+    ServiceRequest garbled = withDeadline;
+    garbled.questionText = "question q\ntop-sites ten\nend\n";
+    auto failed = service.submit(garbled);
+    ASSERT_EQ(service.drain(), 1u);
+    const ServiceResponse failure = failed.get();
+    EXPECT_EQ(failure.status, ResponseStatus::Failed);
+    EXPECT_NE(failure.error.find("line 2"), std::string::npos)
+        << failure.error;
+}
+
+TEST(ObservatoryService, CustomWorkloadsRegisterBeforeFirstSubmission) {
+    const auto snapshot = tinySnapshot(31);
+    obs::ManualClock clock;
+    ObservatoryService service{snapshot, {}, &clock};
+    service.registerTenant(quotaFor("acme"));
+
+    service.registerWorkload(
+        {.name = "echo", .heavy = false, .defaultCostMb = 0.01},
+        [](const WorkloadContext&, const ServiceRequest&,
+           ServiceResponse& response) { response.nextHop = 42; });
+    EXPECT_NE(service.workloads().find("echo"), nullptr);
+
+    auto future = service.submit(namedRequest("echo", "acme"));
+    ASSERT_EQ(service.drain(), 1u);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ResponseStatus::Ok);
+    EXPECT_EQ(response.nextHop, 42);
+    EXPECT_GT(response.chargedUsd, 0.0);
+
+    // Registration is a configuration-time act: after the first
+    // submission the dispatch table is frozen.
+    EXPECT_THROW(service.registerWorkload({.name = "late",
+                                           .defaultCostMb = 0.01},
+                                          [](const WorkloadContext&,
+                                             const ServiceRequest&,
+                                             ServiceResponse&) {}),
+                 net::PreconditionError);
+}
+
+} // namespace
+} // namespace aio::service
